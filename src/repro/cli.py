@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``inventory`` — print the Table-2-style element inventory;
+* ``render <element>`` — show an element's Click-style source;
+* ``analyze <element>`` — train Clara (quick mode) and print the
+  offloading-insight report for a workload;
+* ``sweep <element>`` — core-count sweep of the naive port on the
+  simulated NIC;
+* ``explain`` — train the identifier/cost model and print the
+  interpretability report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--flows", type=int, default=10_000,
+                        help="concurrent flows (default 10000)")
+    parser.add_argument("--packet-bytes", type=int, default=256,
+                        help="packet size in bytes (default 256)")
+    parser.add_argument("--zipf", type=float, default=1.0,
+                        help="flow popularity skew (default 1.0)")
+    parser.add_argument("--udp", action="store_true",
+                        help="UDP traffic instead of TCP")
+    parser.add_argument("--packets", type=int, default=300,
+                        help="profiled trace length (default 300)")
+
+
+def _workload_from_args(args) -> "WorkloadSpec":
+    from repro.workload.spec import WorkloadSpec
+
+    return WorkloadSpec(
+        name="cli",
+        n_flows=args.flows,
+        packet_bytes=args.packet_bytes,
+        zipf_alpha=args.zipf,
+        udp_fraction=1.0 if args.udp else 0.0,
+        n_packets=args.packets,
+    )
+
+
+def cmd_inventory(_args) -> int:
+    from repro.click.elements import ELEMENT_BUILDERS, build_element
+    from repro.click.render import element_loc
+    from repro.core.prepare import prepare_element
+    from repro.nic.compiler import compile_module
+
+    print(f"{'element':14s} {'LoC':>5s} {'NIC instr':>9s} {'state':>6s}"
+          f" {'mem':>5s} {'api':>4s}")
+    for name in sorted(ELEMENT_BUILDERS):
+        element = build_element(name)
+        prepared = prepare_element(element)
+        program = compile_module(prepared.module)
+        print(
+            f"{name:14s} {element_loc(element):5d}"
+            f" {program.handler.n_total:9d}"
+            f" {'yes' if element.is_stateful else 'no':>6s}"
+            f" {prepared.annotation.n_mem_stateful:5d}"
+            f" {prepared.annotation.n_api:4d}"
+        )
+    return 0
+
+
+def cmd_render(args) -> int:
+    from repro.click.elements import build_element
+    from repro.click.render import render_element
+
+    print(render_element(build_element(args.element)), end="")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.click.elements import build_element
+    from repro.core import Clara
+
+    print("Training Clara (quick mode)...", file=sys.stderr)
+    clara = Clara(seed=args.seed).train(quick=True)
+    analysis = clara.analyze(build_element(args.element),
+                             _workload_from_args(args))
+    print(analysis.report.render(), end="")
+    config = clara.port_config(analysis)
+    print("\nSuggested port configuration:")
+    print(f"  checksum engine : {config.use_checksum_accel}")
+    print(f"  CRC-substituted : {len(config.crc_accel_blocks)} blocks")
+    print(f"  LPM-substituted : {len(config.lpm_accel_blocks)} blocks")
+    print(f"  cores           : {config.cores}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.click.elements import build_element, initial_state, install_state
+    from repro.click.frontend import lower_element
+    from repro.click.interp import Interpreter
+    from repro.nic.compiler import compile_module
+    from repro.nic.machine import NICModel
+    from repro.workload import characterize, generate_trace
+
+    element = build_element(args.element)
+    module = lower_element(element)
+    interp = Interpreter(module)
+    install_state(interp, initial_state(element))
+    spec = _workload_from_args(args)
+    profile = interp.run_trace(generate_trace(spec, seed=args.seed))
+    freq = {b: c / profile.packets for b, c in profile.block_counts.items()}
+    model = NICModel()
+    sweep = model.sweep_cores(
+        compile_module(module), freq, characterize(spec)
+    )
+    knee = model.optimal_cores(sweep)
+    print(f"{'cores':>6s} {'tput(Mpps)':>11s} {'lat(us)':>9s}")
+    for cores in (1, 2, 4, 8, 16, 24, 32, 40, 48, 60):
+        perf = sweep[cores]
+        marker = "  <-- knee" if cores == knee else ""
+        print(f"{cores:6d} {perf.throughput_mpps:11.2f}"
+              f" {perf.latency_us:9.2f}{marker}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.core import Clara
+    from repro.core.explain import render_explanations
+
+    print("Training Clara (quick mode)...", file=sys.stderr)
+    clara = Clara(seed=args.seed).train(quick=True)
+    print(render_explanations(clara.scaleout.model, clara.identifier), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clara (SOSP'21) reproduction: SmartNIC offloading insights",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("inventory", help="element inventory (Table 2)")
+
+    p_render = sub.add_parser("render", help="print element source")
+    p_render.add_argument("element")
+
+    p_analyze = sub.add_parser("analyze", help="offloading insights")
+    p_analyze.add_argument("element")
+    _add_workload_args(p_analyze)
+
+    p_sweep = sub.add_parser("sweep", help="core-count sweep")
+    p_sweep.add_argument("element")
+    _add_workload_args(p_sweep)
+
+    sub.add_parser("explain", help="model interpretability report")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "inventory": cmd_inventory,
+        "render": cmd_render,
+        "analyze": cmd_analyze,
+        "sweep": cmd_sweep,
+        "explain": cmd_explain,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

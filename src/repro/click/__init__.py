@@ -1,0 +1,89 @@
+"""ClickScript: a small C-flavoured mini-language for legacy NF elements.
+
+The paper's input is a Click element written in C++ and lowered through
+clang to LLVM IR.  ClickScript fills that slot: NF elements are declared
+as ASTs (state declarations, a ``simple_action``-style packet handler,
+helper subroutines), a frontend lowers them to NFIR, a renderer prints
+C++-like source (for line counts and human inspection), and an
+interpreter executes lowered elements on synthetic traffic to collect
+the host-side access profiles Clara's workload-specific analyses need
+(paper Sections 4.3-4.4).
+"""
+
+from repro.click.ast import (
+    AssignStmt,
+    BinExpr,
+    BreakStmt,
+    CallExpr,
+    CmpExpr,
+    ContinueStmt,
+    DeclStmt,
+    ElementDef,
+    ExprStmt,
+    FieldExpr,
+    ForStmt,
+    FuncDef,
+    IfStmt,
+    IndexExpr,
+    IntLit,
+    NotExpr,
+    ReturnStmt,
+    StateDecl,
+    StructDef,
+    VarRef,
+    WhileStmt,
+)
+from repro.click.packet import (
+    ETH_HEADER,
+    IP_HEADER,
+    TCP_HEADER,
+    UDP_HEADER,
+    HEADER_FIELD_NAMES,
+    PACKET_TYPE,
+    Packet,
+    header_struct,
+)
+from repro.click.framework import API_REGISTRY, ApiSpec, is_api
+from repro.click.frontend import LoweringError, lower_element
+from repro.click.render import render_element
+from repro.click.interp import ExecutionProfile, Interpreter
+
+__all__ = [
+    "AssignStmt",
+    "BinExpr",
+    "BreakStmt",
+    "CallExpr",
+    "CmpExpr",
+    "ContinueStmt",
+    "DeclStmt",
+    "ElementDef",
+    "ExprStmt",
+    "FieldExpr",
+    "ForStmt",
+    "FuncDef",
+    "IfStmt",
+    "IndexExpr",
+    "IntLit",
+    "NotExpr",
+    "ReturnStmt",
+    "StateDecl",
+    "StructDef",
+    "VarRef",
+    "WhileStmt",
+    "ETH_HEADER",
+    "IP_HEADER",
+    "TCP_HEADER",
+    "UDP_HEADER",
+    "HEADER_FIELD_NAMES",
+    "PACKET_TYPE",
+    "Packet",
+    "header_struct",
+    "API_REGISTRY",
+    "ApiSpec",
+    "is_api",
+    "LoweringError",
+    "lower_element",
+    "render_element",
+    "ExecutionProfile",
+    "Interpreter",
+]

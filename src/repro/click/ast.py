@@ -1,0 +1,373 @@
+"""ClickScript abstract syntax tree.
+
+Types are spelled with C-ish names (``u8``/``u16``/``u32``/``u64``) and
+map 1:1 onto NFIR integer types.  Structs declared with
+:class:`StructDef` become NFIR struct types; packet headers come
+predefined from :mod:`repro.click.packet`.
+
+The AST is also the unit the synthesis engine (paper Section 3.2, "data
+synthesis") samples: its guided generator matches the node-type and
+operator distributions extracted from the element library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+# -- script-level types ----------------------------------------------
+
+SCALAR_TYPES = ("u8", "u16", "u32", "u64", "bool")
+
+#: Widths of script scalar types in bits.
+TYPE_BITS: Dict[str, int] = {"bool": 1, "u8": 8, "u16": 16, "u32": 32, "u64": 64}
+
+BIN_OPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>")
+CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+BOOL_OPS = ("and", "or")
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+def _as_expr(value: Union["Expr", int]) -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return IntLit(value)
+    raise TypeError(f"cannot use {value!r} as an expression")
+
+
+class Expr(Node):
+    """Base expression.  Arithmetic operators are overloaded for
+    concise element definitions (``fld(ip, "ip_len") + 2``); comparisons
+    are built with the explicit helpers in
+    :mod:`repro.click.elements._dsl` so Python ``==`` keeps its normal
+    meaning on AST nodes."""
+
+    def __add__(self, other):
+        return BinExpr("+", self, _as_expr(other))
+
+    def __sub__(self, other):
+        return BinExpr("-", self, _as_expr(other))
+
+    def __mul__(self, other):
+        return BinExpr("*", self, _as_expr(other))
+
+    def __floordiv__(self, other):
+        return BinExpr("/", self, _as_expr(other))
+
+    def __mod__(self, other):
+        return BinExpr("%", self, _as_expr(other))
+
+    def __and__(self, other):
+        return BinExpr("&", self, _as_expr(other))
+
+    def __or__(self, other):
+        return BinExpr("|", self, _as_expr(other))
+
+    def __xor__(self, other):
+        return BinExpr("^", self, _as_expr(other))
+
+    def __lshift__(self, other):
+        return BinExpr("<<", self, _as_expr(other))
+
+    def __rshift__(self, other):
+        return BinExpr(">>", self, _as_expr(other))
+
+    def __radd__(self, other):
+        return BinExpr("+", _as_expr(other), self)
+
+    def __rsub__(self, other):
+        return BinExpr("-", _as_expr(other), self)
+
+    def __rand__(self, other):
+        return BinExpr("&", _as_expr(other), self)
+
+    def __rxor__(self, other):
+        return BinExpr("^", _as_expr(other), self)
+
+    def as_stmt(self) -> "ExprStmt":
+        """Wrap this expression as an expression statement."""
+        return ExprStmt(self)
+
+
+class Stmt(Node):
+    pass
+
+
+# -- expressions -------------------------------------------------------
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    type: str = "u32"
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class BinExpr(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BIN_OPS and self.op not in BOOL_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass
+class CmpExpr(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in CMP_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+
+@dataclass
+class NotExpr(Expr):
+    value: Expr
+
+
+@dataclass
+class FieldExpr(Expr):
+    """``base.field`` — header field, struct field, or map-entry field."""
+
+    base: Expr
+    field: str
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``base[index]`` — element of a state array or vector."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    """Framework API call (``pkt.ip_header()``, ``map.find(key)``),
+    intrinsic, or helper-subroutine call.
+
+    ``receiver`` carries the object for method-style calls; the
+    frontend resolves ``receiver.method`` against the API registry.
+    """
+
+    name: str
+    args: List[Expr] = field(default_factory=list)
+    receiver: Optional[Expr] = None
+
+
+# -- statements --------------------------------------------------------
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """Local variable declaration, e.g. ``u32 x = expr;`` or a local
+    struct value ``struct int_key key;`` (type names a StructDef)."""
+
+    name: str
+    type: str
+    init: Optional[Expr] = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Expr  # VarRef | FieldExpr | IndexExpr
+    value: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: List[Stmt] = field(default_factory=list)
+    max_trips: int = 4096  # interpreter safety bound
+
+
+@dataclass
+class ForStmt(Stmt):
+    """``for (TYPE var = start; var < end; var++)`` counted loop."""
+
+    var: str
+    start: Expr
+    end: Expr
+    body: List[Stmt] = field(default_factory=list)
+    var_type: str = "u32"
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# -- declarations ------------------------------------------------------
+
+
+@dataclass
+class StructDef:
+    """A script-level struct; ``fields`` map names to scalar type names."""
+
+    name: str
+    fields: List[Tuple[str, str]]
+
+    def size_bytes(self) -> int:
+        return sum(max(1, TYPE_BITS[t] // 8) for _, t in self.fields)
+
+
+STATE_KINDS = ("scalar", "array", "struct", "hashmap", "vector")
+
+
+@dataclass
+class StateDecl:
+    """A stateful member of the element (persists across packets).
+
+    * ``scalar``: ``value_type`` names a scalar type.
+    * ``array``: ``value_type`` scalar, ``entries`` elements.
+    * ``struct``: ``value_type`` names a StructDef.
+    * ``hashmap``: ``key_struct``/``value_struct`` name StructDefs,
+      ``entries`` is the pre-sized capacity (baremetal NICs cannot
+      malloc at runtime; Click's elastic HashMap is reverse ported onto
+      this fixed layout, paper Section 3.3).
+    * ``vector``: ``value_type`` names a StructDef or scalar,
+      ``entries`` capacity.
+    """
+
+    name: str
+    kind: str
+    value_type: str = "u32"
+    key_struct: Optional[str] = None
+    entries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in STATE_KINDS:
+            raise ValueError(f"unknown state kind {self.kind!r}")
+
+
+@dataclass
+class FuncDef:
+    """A helper subroutine of the element (inlined before analysis)."""
+
+    name: str
+    params: List[Tuple[str, str]]
+    ret_type: str  # scalar type name or "void"
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ElementDef:
+    """One Click element: state + packet handler + helpers."""
+
+    name: str
+    state: List[StateDecl] = field(default_factory=list)
+    structs: List[StructDef] = field(default_factory=list)
+    handler: List[Stmt] = field(default_factory=list)
+    helpers: List[FuncDef] = field(default_factory=list)
+    description: str = ""
+
+    def struct(self, name: str) -> StructDef:
+        for struct in self.structs:
+            if struct.name == name:
+                return struct
+        raise KeyError(f"element {self.name} has no struct {name!r}")
+
+    def state_decl(self, name: str) -> StateDecl:
+        for decl in self.state:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"element {self.name} has no state {name!r}")
+
+    @property
+    def is_stateful(self) -> bool:
+        return bool(self.state)
+
+
+# -- traversal helpers --------------------------------------------------
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and all sub-expressions, preorder."""
+    yield expr
+    if isinstance(expr, (BinExpr, CmpExpr)):
+        yield from walk_expr(expr.lhs)
+        yield from walk_expr(expr.rhs)
+    elif isinstance(expr, NotExpr):
+        yield from walk_expr(expr.value)
+    elif isinstance(expr, FieldExpr):
+        yield from walk_expr(expr.base)
+    elif isinstance(expr, IndexExpr):
+        yield from walk_expr(expr.base)
+        yield from walk_expr(expr.index)
+    elif isinstance(expr, CallExpr):
+        if expr.receiver is not None:
+            yield from walk_expr(expr.receiver)
+        for arg in expr.args:
+            yield from walk_expr(arg)
+
+
+def walk_stmts(stmts: Sequence[Stmt]):
+    """Yield every statement and expression in ``stmts``, preorder."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, DeclStmt) and stmt.init is not None:
+            yield from walk_expr(stmt.init)
+        elif isinstance(stmt, AssignStmt):
+            yield from walk_expr(stmt.target)
+            yield from walk_expr(stmt.value)
+        elif isinstance(stmt, IfStmt):
+            yield from walk_expr(stmt.cond)
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, WhileStmt):
+            yield from walk_expr(stmt.cond)
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, ForStmt):
+            yield from walk_expr(stmt.start)
+            yield from walk_expr(stmt.end)
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, ExprStmt):
+            yield from walk_expr(stmt.expr)
+        elif isinstance(stmt, ReturnStmt) and stmt.value is not None:
+            yield from walk_expr(stmt.value)
+
+
+def walk_element(element: ElementDef):
+    """Yield every node in the element (handler plus helpers)."""
+    yield from walk_stmts(element.handler)
+    for helper in element.helpers:
+        yield from walk_stmts(helper.body)

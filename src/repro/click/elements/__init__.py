@@ -1,0 +1,117 @@
+"""The element library: realistic Click NFs used throughout the
+evaluation (paper Table 2 and Figure 1).
+
+Each builder returns an :class:`~repro.click.ast.ElementDef`; builders
+take keyword parameters for the source-level variants the paper
+benchmarks (rule counts, sketch dimensions, scan depths).  Elements
+whose state needs non-zero initialisation (rule tables, signatures)
+expose it via :func:`initial_state`, which tests and benchmarks install
+through :func:`install_state`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.click.ast import ElementDef
+from repro.click.elements.counters import aggcounter, timefilter, udpcount
+from repro.click.elements.crypto import wepdecap
+from repro.click.elements.dpi import dpi, firewall
+from repro.click.elements.gen import dnsproxy, tcpgen, webgen, webtcp
+from repro.click.elements.lookup import ipclassifier, iplookup
+from repro.click.elements.nat import iprewriter, mazunat, mininat
+from repro.click.elements.shaping import loadbalancer, ratelimiter
+from repro.click.elements.simple import (
+    anonipaddr,
+    forcetcp,
+    tcpack,
+    tcpresp,
+    udpipencap,
+)
+from repro.click.elements.sketch import cmsketch, heavyhitter
+
+ELEMENT_BUILDERS: Dict[str, Callable[..., ElementDef]] = {
+    "anonipaddr": anonipaddr,
+    "tcpack": tcpack,
+    "udpipencap": udpipencap,
+    "forcetcp": forcetcp,
+    "tcpresp": tcpresp,
+    "tcpgen": tcpgen,
+    "aggcounter": aggcounter,
+    "timefilter": timefilter,
+    "cmsketch": cmsketch,
+    "wepdecap": wepdecap,
+    "iplookup": iplookup,
+    "iprewriter": iprewriter,
+    "ipclassifier": ipclassifier,
+    "dnsproxy": dnsproxy,
+    "mininat": mininat,
+    "mazunat": mazunat,
+    "udpcount": udpcount,
+    "webgen": webgen,
+    "webtcp": webtcp,
+    "heavyhitter": heavyhitter,
+    "dpi": dpi,
+    "firewall": firewall,
+    "ratelimiter": ratelimiter,
+    "loadbalancer": loadbalancer,
+}
+
+#: The Table-2 inventory order from the paper (plus our extras).
+TABLE2_ELEMENTS: List[str] = [
+    "anonipaddr",
+    "tcpack",
+    "udpipencap",
+    "forcetcp",
+    "tcpresp",
+    "tcpgen",
+    "aggcounter",
+    "timefilter",
+    "cmsketch",
+    "wepdecap",
+    "iplookup",
+    "iprewriter",
+    "ipclassifier",
+    "dnsproxy",
+    "mazunat",
+    "udpcount",
+    "webgen",
+]
+
+
+def build_element(name: str, **params) -> ElementDef:
+    """Build a library element by name."""
+    try:
+        builder = ELEMENT_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown element {name!r}; available: {sorted(ELEMENT_BUILDERS)}"
+        ) from None
+    return builder(**params)
+
+
+def all_elements() -> List[ElementDef]:
+    return [build_element(name) for name in ELEMENT_BUILDERS]
+
+
+def initial_state(element: ElementDef) -> Mapping[str, object]:
+    """Non-zero initial state the element expects, if any."""
+    return getattr(element, "initial_state", {})
+
+
+def install_state(interpreter, values: Mapping[str, object]) -> None:
+    """Install initial state values into an interpreter instance.
+
+    ``values`` maps global names to either scalars or sequences (for
+    array state); shorter sequences initialize a prefix of the array.
+    """
+    for name, value in values.items():
+        store = interpreter.globals.get(name)
+        if store is None:
+            raise KeyError(f"element has no state named {name!r}")
+        if isinstance(value, (list, tuple)):
+            tree = store.tree
+            for i, item in enumerate(value):
+                tree[i] = item
+        else:
+            store.tree = value

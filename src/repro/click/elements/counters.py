@@ -1,0 +1,190 @@
+"""Counting and time-window elements: aggcounter, timefilter, udpcount.
+
+These make extensive use of scalar/array state and are the primary
+subjects of the memory-coalescing (Figure 13) and state-placement
+(Figure 12) experiments.
+"""
+
+from __future__ import annotations
+
+from repro.click.ast import ElementDef
+from repro.click.elements._dsl import (
+    array_state,
+    assign,
+    decl,
+    eq,
+    fld,
+    ge,
+    hashmap_state,
+    idx,
+    if_,
+    lit,
+    lt,
+    mcall,
+    ne,
+    pkt,
+    ret,
+    scalar_state,
+    struct,
+    v,
+)
+
+
+def aggcounter(buckets: int = 256) -> ElementDef:
+    """Aggregate packet/byte counters keyed by address prefix.
+
+    Click's AggregateCounter: indexes a counter array by the top bits
+    of the destination address and maintains global tallies.
+    """
+    ip = v("ip")
+    handler = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("agg", "u32", (fld(ip, "dst_addr") >> 24) % buckets),
+        assign(idx(v("pkt_count"), v("agg")), idx(v("pkt_count"), v("agg")) + 1),
+        assign(
+            idx(v("byte_count"), v("agg")),
+            idx(v("byte_count"), v("agg")) + fld(ip, "ip_len"),
+        ),
+        assign(v("total_pkts"), v("total_pkts") + 1),
+        assign(v("total_bytes"), v("total_bytes") + fld(ip, "ip_len")),
+        if_(
+            ge(idx(v("pkt_count"), v("agg")), v("threshold")),
+            [
+                assign(v("hot_buckets"), v("hot_buckets") + 1),
+                pkt("send", 1).as_stmt(),
+            ],
+            [pkt("send", 0).as_stmt()],
+        ),
+    ]
+    return ElementDef(
+        name="aggcounter",
+        state=[
+            array_state("pkt_count", "u32", buckets),
+            array_state("byte_count", "u64", buckets),
+            scalar_state("total_pkts", "u64"),
+            scalar_state("total_bytes", "u64"),
+            scalar_state("threshold", "u32"),
+            scalar_state("hot_buckets", "u32"),
+        ],
+        handler=handler,
+        description="Prefix-aggregated packet and byte counters.",
+    )
+
+
+def timefilter(window_entries: int = 1024) -> ElementDef:
+    """Filter packets whose flow was seen too recently (rate limiting).
+
+    Keeps last-seen timestamps per flow hash plus window statistics —
+    Click's TimeFilter/RateFilter pattern.
+    """
+    ip = v("ip")
+    handler = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("now", "u64", pkt("timestamp_ns")),
+        decl(
+            "h",
+            "u32",
+            ((fld(ip, "src_addr") ^ fld(ip, "dst_addr")) * 0x9E3779B1)
+            % window_entries,
+        ),
+        decl("last", "u64", idx(v("last_seen"), v("h"))),
+        decl("gap", "u64", v("now") - v("last")),
+        if_(
+            lt(v("gap"), v("min_gap_ns")),
+            [
+                assign(v("filtered"), v("filtered") + 1),
+                # Exponentially-weighted violation tracking.
+                assign(v("violation_ewma"), (v("violation_ewma") * 7 + 256) >> 3),
+                pkt("drop").as_stmt(),
+            ],
+            [
+                assign(idx(v("last_seen"), v("h")), v("now")),
+                assign(v("passed"), v("passed") + 1),
+                assign(v("violation_ewma"), (v("violation_ewma") * 7) >> 3),
+                if_(
+                    eq(v("last"), 0),
+                    [assign(v("new_flows"), v("new_flows") + 1)],
+                ),
+                pkt("send", 0).as_stmt(),
+            ],
+        ),
+    ]
+    return ElementDef(
+        name="timefilter",
+        state=[
+            array_state("last_seen", "u64", window_entries),
+            scalar_state("min_gap_ns", "u64"),
+            scalar_state("filtered", "u64"),
+            scalar_state("passed", "u64"),
+            scalar_state("new_flows", "u32"),
+            scalar_state("violation_ewma", "u32"),
+        ],
+        handler=handler,
+        description="Per-flow inter-arrival rate filter with EWMA stats.",
+    )
+
+
+def udpcount(flow_entries: int = 2048, class_buckets: int = 64) -> ElementDef:
+    """UDPCount: classify UDP packets and count per-flow and per-class.
+
+    The paper's Section 5.5 example: the small, hot ``ipclassifier``
+    and ``counter`` structures want SRAM placement while the big flow
+    table goes to DRAM.
+    """
+    ip = v("ip")
+    udp = v("udp")
+    handler = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("udp", "udp_hdr*", pkt("udp_header")),
+        if_(eq(v("udp"), 0), [pkt("drop").as_stmt(), ret()]),
+        # Port-class classifier: tiny, touched by every packet.
+        decl("cls", "u32", fld(udp, "uh_dport") % class_buckets),
+        assign(idx(v("classifier"), v("cls")), idx(v("classifier"), v("cls")) + 1),
+        assign(v("counter"), v("counter") + 1),
+        # Per-flow tally in the big map.
+        decl("key", "udp_key"),
+        assign(fld(v("key"), "saddr"), fld(ip, "src_addr")),
+        assign(fld(v("key"), "daddr"), fld(ip, "dst_addr")),
+        assign(fld(v("key"), "sport"), fld(udp, "uh_sport")),
+        assign(fld(v("key"), "dport"), fld(udp, "uh_dport")),
+        decl("stats", "udp_stats*", mcall("flow_table", "find", v("key"))),
+        if_(
+            eq(v("stats"), 0),
+            [
+                decl("fresh", "udp_stats"),
+                assign(fld(v("fresh"), "pkts"), lit(1)),
+                assign(fld(v("fresh"), "bytes"), fld(ip, "ip_len")),
+                mcall("flow_table", "insert", v("key"), v("fresh")).as_stmt(),
+                assign(v("flows"), v("flows") + 1),
+            ],
+            [
+                assign(fld(v("stats"), "pkts"), fld(v("stats"), "pkts") + 1),
+                assign(
+                    fld(v("stats"), "bytes"),
+                    fld(v("stats"), "bytes") + fld(ip, "ip_len"),
+                ),
+            ],
+        ),
+        pkt("send", 0).as_stmt(),
+    ]
+    return ElementDef(
+        name="udpcount",
+        structs=[
+            struct(
+                "udp_key",
+                ("saddr", "u32"),
+                ("daddr", "u32"),
+                ("sport", "u16"),
+                ("dport", "u16"),
+            ),
+            struct("udp_stats", ("pkts", "u32"), ("bytes", "u32")),
+        ],
+        state=[
+            array_state("classifier", "u32", class_buckets),
+            scalar_state("counter", "u64"),
+            scalar_state("flows", "u32"),
+            hashmap_state("flow_table", "udp_key", "udp_stats", flow_entries),
+        ],
+        handler=handler,
+        description="UDP flow counting with a hot port classifier.",
+    )

@@ -1,0 +1,141 @@
+"""Crypto-flavoured element: wepdecap (WEP decapsulation with RC4 and a
+CRC32 integrity check) — the paper's second CRC-accelerator case study
+("CRC acceleration opportunities in elements like 'rc4' (part of the
+'wepdecap' NF)").
+
+The RC4 S-box is per-packet scratch (WEP re-keys on every IV), so it is
+a *local* array: on the NIC it lands in per-engine local memory, not in
+the shared hierarchy.  The ICV is a CRC32 over the full decrypted
+payload, computed word-at-a-time through the same procedural CRC helper
+the algorithm identifier flags.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.click.ast import ElementDef, Stmt
+from repro.click.elements._dsl import (
+    array_state,
+    assign,
+    decl,
+    eq,
+    fcall,
+    fld,
+    for_,
+    idx,
+    if_,
+    lit,
+    lt,
+    ne,
+    pkt,
+    ret,
+    scalar_state,
+    v,
+)
+from repro.click.elements.sketch import crc32_helper
+
+
+def wepdecap(max_decrypt: int = 64) -> ElementDef:
+    """WEP decapsulation: RC4-decrypt the payload, then verify a CRC32
+    integrity check value over the plaintext."""
+    ip = v("ip")
+    handler: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("plen", "u32", pkt("payload_len")),
+        if_(eq(v("plen"), 0), [pkt("drop").as_stmt(), ret()]),
+        decl("n", "u32", v("plen")),
+        if_(lt(lit(max_decrypt), v("n")), [assign(v("n"), lit(max_decrypt))]),
+        # Per-packet RC4 key schedule: WEP IV (we reuse ip_id) || key.
+        decl("iv", "u32", fld(ip, "ip_id")),
+        decl("key", "u32", (v("iv") << 16) ^ v("wep_key")),
+        decl("sbox", "u32[256]"),
+        for_("si", 0, 256, [assign(idx(v("sbox"), v("si")), v("si"))]),
+        decl("j", "u32", lit(0)),
+        for_(
+            "ki",
+            0,
+            256,
+            [
+                decl("kb", "u32", (v("key") >> ((v("ki") % 4) << 3)) & 0xFF),
+                assign(v("j"), (v("j") + idx(v("sbox"), v("ki")) + v("kb")) & 0xFF),
+                decl("tmp", "u32", idx(v("sbox"), v("ki"))),
+                assign(idx(v("sbox"), v("ki")), idx(v("sbox"), v("j"))),
+                assign(idx(v("sbox"), v("j")), v("tmp")),
+            ],
+        ),
+        # PRGA + decrypt in place.
+        decl("x", "u32", lit(0)),
+        decl("y", "u32", lit(0)),
+        for_(
+            "i",
+            0,
+            v("n"),
+            [
+                assign(v("x"), (v("x") + 1) & 0xFF),
+                assign(v("y"), (v("y") + idx(v("sbox"), v("x"))) & 0xFF),
+                decl("tmp2", "u32", idx(v("sbox"), v("x"))),
+                assign(idx(v("sbox"), v("x")), idx(v("sbox"), v("y"))),
+                assign(idx(v("sbox"), v("y")), v("tmp2")),
+                decl(
+                    "ks",
+                    "u32",
+                    idx(
+                        v("sbox"),
+                        (idx(v("sbox"), v("x")) + idx(v("sbox"), v("y"))) & 0xFF,
+                    ),
+                ),
+                decl("ct", "u32", pkt("payload_byte", v("i"))),
+                pkt("set_payload_byte", v("i"), v("ct") ^ v("ks")).as_stmt(),
+            ],
+        ),
+        # CRC32 integrity check over the decrypted payload, word at a
+        # time (WEP's ICV covers the whole plaintext).
+        decl("crc", "u32", lit(0)),
+        decl("words", "u32", v("n") >> 2),
+        for_(
+            "w",
+            0,
+            v("words"),
+            [
+                decl("base", "u32", v("w") << 2),
+                decl(
+                    "word",
+                    "u32",
+                    (pkt("payload_byte", v("base")) << 24)
+                    | (pkt("payload_byte", v("base") + 1) << 16)
+                    | (pkt("payload_byte", v("base") + 2) << 8)
+                    | pkt("payload_byte", v("base") + 3),
+                ),
+                assign(v("crc"), fcall("crc32_hash", v("word") ^ v("crc"), v("w"))),
+            ],
+        ),
+        decl("expected", "u32", idx(v("icv_table"), v("iv") % 256)),
+        if_(
+            ne(v("expected"), 0),
+            [
+                if_(
+                    ne(v("crc"), v("expected")),
+                    [
+                        assign(v("icv_failures"), v("icv_failures") + 1),
+                        pkt("drop").as_stmt(),
+                        ret(),
+                    ],
+                ),
+            ],
+        ),
+        assign(v("decapsulated"), v("decapsulated") + 1),
+        pkt("send", 0).as_stmt(),
+    ]
+    return ElementDef(
+        name="wepdecap",
+        state=[
+            scalar_state("wep_key", "u32"),
+            array_state("icv_table", "u32", 256),
+            scalar_state("icv_failures", "u32"),
+            scalar_state("decapsulated", "u64"),
+        ],
+        handler=handler,
+        helpers=[crc32_helper()],
+        description="WEP decapsulation: RC4 decrypt + CRC32 integrity check.",
+    )

@@ -1,0 +1,240 @@
+"""Deep packet inspection and firewall elements (two of the Figure-1
+variability NFs: DPI latency depends on packet size; FW performance on
+state location and flow distribution).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.click.ast import ElementDef, Stmt
+from repro.click.elements._dsl import (
+    array_state,
+    assign,
+    brk,
+    decl,
+    eq,
+    fld,
+    ge,
+    hashmap_state,
+    idx,
+    if_,
+    lit,
+    lt,
+    mcall,
+    ne,
+    pkt,
+    ret,
+    scalar_state,
+    struct,
+    v,
+    while_,
+)
+
+DEFAULT_SIGNATURES = (b"EXPLOIT", b"/etc/passwd", b"\x90\x90\x90\x90")
+
+
+def dpi(
+    scan_limit: int = 256,
+    signatures: Sequence[bytes] = DEFAULT_SIGNATURES,
+) -> ElementDef:
+    """Signature-based DPI: scan the payload for byte patterns.
+
+    Patterns are stored in a state array (offset table + byte table) and
+    matched with the naive shift-compare loop; per-packet work scales
+    with payload length, reproducing the paper's packet-size-dependent
+    DPI variants.
+    """
+    handler: List[Stmt] = [
+        decl("plen", "u32", pkt("payload_len")),
+        decl("n", "u32", v("plen")),
+        if_(lt(lit(scan_limit), v("n")), [assign(v("n"), lit(scan_limit))]),
+        decl("hit", "u32", lit(0)),
+        decl("s", "u32", lit(0)),
+        while_(
+            lt(v("s"), v("n_sigs")),
+            [
+                decl("off", "u32", idx(v("sig_offset"), v("s"))),
+                decl("slen", "u32", idx(v("sig_len"), v("s"))),
+                if_(
+                    ge(v("n"), v("slen")),
+                    [
+                        decl("pos", "u32", lit(0)),
+                        while_(
+                            lt(v("pos"), v("n") - v("slen") + 1),
+                            [
+                                decl("k", "u32", lit(0)),
+                                while_(
+                                    lt(v("k"), v("slen")),
+                                    [
+                                        if_(
+                                            ne(
+                                                pkt(
+                                                    "payload_byte",
+                                                    v("pos") + v("k"),
+                                                ),
+                                                idx(
+                                                    v("sig_bytes"),
+                                                    v("off") + v("k"),
+                                                ),
+                                            ),
+                                            [brk()],
+                                        ),
+                                        assign(v("k"), v("k") + 1),
+                                    ],
+                                    max_trips=64,
+                                ),
+                                if_(
+                                    eq(v("k"), v("slen")),
+                                    [assign(v("hit"), lit(1)), brk()],
+                                ),
+                                assign(v("pos"), v("pos") + 1),
+                            ],
+                            max_trips=4096,
+                        ),
+                    ],
+                ),
+                if_(v("hit"), [brk()]),
+                assign(v("s"), v("s") + 1),
+            ],
+            max_trips=64,
+        ),
+        assign(v("scanned"), v("scanned") + 1),
+        if_(
+            v("hit"),
+            [
+                assign(v("alerts"), v("alerts") + 1),
+                pkt("drop").as_stmt(),
+            ],
+            [pkt("send", 0).as_stmt()],
+        ),
+    ]
+    sig_bytes: List[int] = []
+    offsets: List[int] = []
+    lengths: List[int] = []
+    for sig in signatures:
+        offsets.append(len(sig_bytes))
+        lengths.append(len(sig))
+        sig_bytes.extend(sig)
+    element = ElementDef(
+        name="dpi",
+        state=[
+            array_state("sig_bytes", "u8", max(len(sig_bytes), 1)),
+            array_state("sig_offset", "u32", max(len(signatures), 1)),
+            array_state("sig_len", "u32", max(len(signatures), 1)),
+            scalar_state("n_sigs", "u32"),
+            scalar_state("scanned", "u64"),
+            scalar_state("alerts", "u64"),
+        ],
+        handler=handler,
+        description="Signature-based deep packet inspection.",
+    )
+    # Initial state the interpreter/tests can install.
+    element_init = {
+        "sig_bytes": sig_bytes,
+        "sig_offset": offsets,
+        "sig_len": lengths,
+        "n_sigs": len(signatures),
+    }
+    element.initial_state = element_init  # type: ignore[attr-defined]
+    return element
+
+
+def firewall(flow_entries: int = 4096, n_acl: int = 16) -> ElementDef:
+    """Stateful firewall: ACL check on SYN, then per-flow allow state.
+
+    New flows (TCP SYN) are checked against an ACL of (prefix, mask,
+    action) rules; admitted flows are installed in a connection table
+    consulted by every subsequent packet — the Figure-1 FW whose
+    performance hinges on where that table lives.
+    """
+    ip = v("ip")
+    tcp = v("tcp")
+    handler: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("tcp", "tcp_hdr*", pkt("tcp_header")),
+        if_(eq(v("tcp"), 0), [pkt("drop").as_stmt(), ret()]),
+        decl("key", "fw_key"),
+        assign(fld(v("key"), "saddr"), fld(ip, "src_addr")),
+        assign(fld(v("key"), "daddr"), fld(ip, "dst_addr")),
+        assign(fld(v("key"), "sport"), fld(tcp, "th_sport")),
+        assign(fld(v("key"), "dport"), fld(tcp, "th_dport")),
+        decl("conn", "fw_conn*", mcall("conn_table", "find", v("key"))),
+        if_(
+            ne(v("conn"), 0),
+            [
+                # Established flow: fast path.
+                assign(fld(v("conn"), "pkts"), fld(v("conn"), "pkts") + 1),
+                assign(v("fast_hits"), v("fast_hits") + 1),
+                pkt("send", 0).as_stmt(),
+                ret(),
+            ],
+        ),
+        # Only SYNs may establish new flows.
+        if_(
+            eq(fld(tcp, "th_flags") & 0x02, 0),
+            [
+                assign(v("no_state_drops"), v("no_state_drops") + 1),
+                pkt("drop").as_stmt(),
+                ret(),
+            ],
+        ),
+        decl("allowed", "u32", lit(0)),
+        decl("i", "u32", lit(0)),
+        while_(
+            lt(v("i"), v("n_acl")),
+            [
+                decl("mask", "u32", idx(v("acl_mask"), v("i"))),
+                if_(
+                    eq(fld(ip, "dst_addr") & v("mask"), idx(v("acl_prefix"), v("i"))),
+                    [
+                        assign(v("allowed"), idx(v("acl_action"), v("i"))),
+                        brk(),
+                    ],
+                ),
+                assign(v("i"), v("i") + 1),
+            ],
+            max_trips=1024,
+        ),
+        if_(
+            v("allowed"),
+            [
+                decl("fresh", "fw_conn"),
+                assign(fld(v("fresh"), "pkts"), lit(1)),
+                assign(fld(v("fresh"), "established"), lit(1, "u8")),
+                mcall("conn_table", "insert", v("key"), v("fresh")).as_stmt(),
+                assign(v("flows_admitted"), v("flows_admitted") + 1),
+                pkt("send", 0).as_stmt(),
+            ],
+            [
+                assign(v("acl_drops"), v("acl_drops") + 1),
+                pkt("drop").as_stmt(),
+            ],
+        ),
+    ]
+    return ElementDef(
+        name="firewall",
+        structs=[
+            struct(
+                "fw_key",
+                ("saddr", "u32"),
+                ("daddr", "u32"),
+                ("sport", "u16"),
+                ("dport", "u16"),
+            ),
+            struct("fw_conn", ("pkts", "u32"), ("established", "u8")),
+        ],
+        state=[
+            hashmap_state("conn_table", "fw_key", "fw_conn", flow_entries),
+            array_state("acl_prefix", "u32", n_acl),
+            array_state("acl_mask", "u32", n_acl),
+            array_state("acl_action", "u32", n_acl),
+            scalar_state("n_acl", "u32"),
+            scalar_state("fast_hits", "u64"),
+            scalar_state("flows_admitted", "u64"),
+            scalar_state("acl_drops", "u64"),
+            scalar_state("no_state_drops", "u64"),
+        ],
+        handler=handler,
+        description="Stateful firewall: ACL-gated connection table.",
+    )

@@ -1,0 +1,400 @@
+"""Traffic generators and proxies: tcpgen, webtcp, webgen, dnsproxy.
+
+``tcpgen``/``webtcp`` keep many scalar globals with strongly correlated
+access patterns — the memory-coalescing subjects of Figure 13 (the
+paper names ``tcp_state``/``send_next``/``recv_next`` clustering and
+the ``good_pkt``/``bad_pkt`` anti-cluster for tcpgen, which we model
+with the same variable names).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.click.ast import ElementDef, Stmt
+from repro.click.elements._dsl import (
+    and_,
+    array_state,
+    assign,
+    decl,
+    eq,
+    fcall,
+    fld,
+    ge,
+    gt,
+    hashmap_state,
+    idx,
+    if_,
+    lit,
+    lt,
+    mcall,
+    ne,
+    pkt,
+    ret,
+    scalar_state,
+    struct,
+    v,
+    vector_state,
+    while_,
+)
+
+TCP_SYN = 0x02
+TCP_ACK = 0x10
+TCP_FIN = 0x01
+
+
+def tcpgen() -> ElementDef:
+    """TCP traffic generator / ACK consumer state machine.
+
+    State variables are deliberately declared in a scattered order so
+    the coalescing analysis has real work to do: the ACK-processing
+    path touches ``tcp_state``/``send_next``/``recv_next`` together,
+    the indexing path touches ``sport``/``dport`` together, and
+    ``good_pkt``/``bad_pkt`` are never accessed in the same block.
+    """
+    ip = v("ip")
+    tcp = v("tcp")
+    handler: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("tcp", "tcp_hdr*", pkt("tcp_header")),
+        if_(eq(v("tcp"), 0), [pkt("drop").as_stmt(), ret()]),
+        # Flow indexing path: sport/dport are read together.
+        if_(
+            and_(
+                eq(fld(tcp, "th_dport"), v("sport")),
+                eq(fld(tcp, "th_sport"), v("dport")),
+            ),
+            [
+                # ACK-processing path: the paper's canonical cluster.
+                if_(
+                    and_(
+                        eq(fld(tcp, "th_ack"), v("iss") + 1),
+                        eq(v("tcp_state"), 0),
+                    ),
+                    [
+                        # SYN-ACK accepted: connection established.
+                        assign(v("tcp_state"), lit(1)),
+                        assign(v("send_next"), v("iss") + 1),
+                        assign(v("recv_next"), fld(tcp, "th_seq") + 1),
+                        assign(v("good_pkt"), v("good_pkt") + 1),
+                    ],
+                    [
+                        if_(
+                            eq(v("tcp_state"), 1),
+                            [
+                                if_(
+                                    ge(fld(tcp, "th_ack"), v("send_next")),
+                                    [
+                                        assign(v("send_next"), fld(tcp, "th_ack")),
+                                        assign(
+                                            v("recv_next"),
+                                            fld(tcp, "th_seq") + 1,
+                                        ),
+                                        assign(v("good_pkt"), v("good_pkt") + 1),
+                                    ],
+                                    [assign(v("bad_pkt"), v("bad_pkt") + 1)],
+                                ),
+                            ],
+                            [assign(v("bad_pkt"), v("bad_pkt") + 1)],
+                        ),
+                    ],
+                ),
+                # Emit the next segment of the flow.
+                assign(fld(tcp, "th_sport"), v("sport")),
+                assign(fld(tcp, "th_dport"), v("dport")),
+                assign(fld(tcp, "th_seq"), v("send_next")),
+                assign(fld(tcp, "th_ack"), v("recv_next")),
+                assign(fld(tcp, "th_flags"), lit(TCP_ACK, "u8")),
+                assign(v("segments_sent"), v("segments_sent") + 1),
+                fcall("checksum_update_tcp", tcp).as_stmt(),
+                pkt("send", 0).as_stmt(),
+            ],
+            [
+                assign(v("bad_pkt"), v("bad_pkt") + 1),
+                pkt("drop").as_stmt(),
+            ],
+        ),
+    ]
+    return ElementDef(
+        name="tcpgen",
+        state=[
+            scalar_state("sport", "u16"),
+            scalar_state("good_pkt", "u64"),
+            scalar_state("tcp_state", "u32"),
+            scalar_state("iss", "u32"),
+            scalar_state("dport", "u16"),
+            scalar_state("send_next", "u32"),
+            scalar_state("bad_pkt", "u64"),
+            scalar_state("recv_next", "u32"),
+            scalar_state("segments_sent", "u64"),
+        ],
+        handler=handler,
+        description="TCP generator state machine with clustered state access.",
+    )
+
+
+def webtcp() -> ElementDef:
+    """Minimal web-server TCP responder (the Figure-13 'webtcp').
+
+    Tracks a request/response byte budget per connection epoch; the
+    serving path touches ``bytes_left``/``cur_seq``/``cwnd`` together
+    while bookkeeping counters are touched elsewhere.
+    """
+    ip = v("ip")
+    tcp = v("tcp")
+    handler: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("tcp", "tcp_hdr*", pkt("tcp_header")),
+        if_(eq(v("tcp"), 0), [pkt("drop").as_stmt(), ret()]),
+        if_(
+            ne(fld(tcp, "th_flags") & TCP_SYN, 0),
+            [
+                # New request: reset the serving state.
+                assign(v("bytes_left"), v("object_size")),
+                assign(v("cur_seq"), fld(tcp, "th_seq") + 1),
+                assign(v("cwnd"), lit(2920)),
+                assign(v("requests"), v("requests") + 1),
+                assign(fld(tcp, "th_flags"), lit(TCP_SYN | TCP_ACK, "u8")),
+                pkt("send", 0).as_stmt(),
+                ret(),
+            ],
+        ),
+        if_(
+            gt(v("bytes_left"), 0),
+            [
+                # Serving path: the coalescing cluster.
+                decl("chunk", "u32", v("cwnd")),
+                if_(
+                    lt(v("bytes_left"), v("chunk")),
+                    [assign(v("chunk"), v("bytes_left"))],
+                ),
+                assign(v("bytes_left"), v("bytes_left") - v("chunk")),
+                assign(v("cur_seq"), v("cur_seq") + v("chunk")),
+                assign(v("cwnd"), v("cwnd") + 1460),
+                if_(
+                    gt(v("cwnd"), 29200),
+                    [assign(v("cwnd"), lit(29200))],
+                ),
+                assign(fld(tcp, "th_seq"), v("cur_seq")),
+                assign(fld(tcp, "th_flags"), lit(TCP_ACK, "u8")),
+                assign(v("bytes_served"), v("bytes_served") + v("chunk")),
+                pkt("send", 0).as_stmt(),
+            ],
+            [
+                assign(fld(tcp, "th_flags"), lit(TCP_FIN | TCP_ACK, "u8")),
+                assign(v("responses_done"), v("responses_done") + 1),
+                pkt("send", 0).as_stmt(),
+            ],
+        ),
+    ]
+    return ElementDef(
+        name="webtcp",
+        state=[
+            scalar_state("requests", "u64"),
+            scalar_state("bytes_left", "u32"),
+            scalar_state("bytes_served", "u64"),
+            scalar_state("cur_seq", "u32"),
+            scalar_state("object_size", "u32"),
+            scalar_state("cwnd", "u32"),
+            scalar_state("responses_done", "u64"),
+        ],
+        handler=handler,
+        description="Web-server TCP responder with a serving-state cluster.",
+    )
+
+
+def webgen(max_flows: int = 512) -> ElementDef:
+    """Web traffic generator: tracks emulated client flows in a vector
+    and drives request/response cycles (Table 2's WebGen)."""
+    ip = v("ip")
+    tcp = v("tcp")
+    handler: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("tcp", "tcp_hdr*", pkt("tcp_header")),
+        if_(eq(v("tcp"), 0), [pkt("drop").as_stmt(), ret()]),
+        decl("nflows", "u32", mcall("flows", "size")),
+        decl("slot_idx", "u32", fld(ip, "src_addr") % max_flows),
+        decl("found", "u32", lit(0)),
+        decl("i", "u32", lit(0)),
+        # Scan for this client's flow record.
+        decl("fr", "web_flow*", mcall("flows", "at", v("slot_idx") % (v("nflows") + 1))),
+        if_(
+            ne(v("fr"), 0),
+            [
+                if_(
+                    eq(fld(v("fr"), "client"), fld(ip, "src_addr")),
+                    [assign(v("found"), lit(1))],
+                ),
+            ],
+        ),
+        if_(
+            eq(v("found"), 0),
+            [
+                decl("nf", "web_flow"),
+                assign(fld(v("nf"), "client"), fld(ip, "src_addr")),
+                assign(fld(v("nf"), "reqs"), lit(0)),
+                assign(fld(v("nf"), "state"), lit(0)),
+                mcall("flows", "push_back", v("nf")).as_stmt(),
+                assign(v("flows_started"), v("flows_started") + 1),
+            ],
+        ),
+        # Pick a request size from the size table (heavy-tail emulation).
+        decl("r", "u32", fcall("random_u32")),
+        decl("size_class", "u32", v("r") % 16),
+        decl("req_size", "u32", idx(v("size_table"), v("size_class"))),
+        assign(fld(tcp, "th_sport"), (v("r") % 28000) + 32768),
+        assign(fld(tcp, "th_dport"), lit(80)),
+        assign(fld(tcp, "th_seq"), v("r")),
+        assign(fld(tcp, "th_flags"), lit(TCP_SYN, "u8")),
+        assign(fld(ip, "ip_len"), v("req_size") + 40),
+        assign(v("requests_sent"), v("requests_sent") + 1),
+        assign(v("bytes_requested"), v("bytes_requested") + v("req_size")),
+        fcall("checksum_update_tcp", tcp).as_stmt(),
+        fcall("checksum_update_ip", ip).as_stmt(),
+        pkt("send", 0).as_stmt(),
+    ]
+    return ElementDef(
+        name="webgen",
+        structs=[
+            struct("web_flow", ("client", "u32"), ("reqs", "u32"), ("state", "u32")),
+        ],
+        state=[
+            vector_state("flows", "web_flow", max_flows),
+            array_state("size_table", "u32", 16),
+            scalar_state("flows_started", "u32"),
+            scalar_state("requests_sent", "u64"),
+            scalar_state("bytes_requested", "u64"),
+        ],
+        handler=handler,
+        description="Web workload generator over an emulated flow vector.",
+    )
+
+
+def dnsproxy(cache_entries: int = 2048) -> ElementDef:
+    """Caching DNS proxy over UDP (Table 2's DNSProxy).
+
+    Parses the query id and a name hash from the payload, answers from
+    a response cache on hit, forwards upstream and records a pending
+    entry on miss.
+    """
+    ip = v("ip")
+    udp = v("udp")
+    handler: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("udp", "udp_hdr*", pkt("udp_header")),
+        if_(eq(v("udp"), 0), [pkt("drop").as_stmt(), ret()]),
+        decl("plen", "u32", pkt("payload_len")),
+        if_(lt(v("plen"), 12), [pkt("drop").as_stmt(), ret()]),
+        # DNS header: id = first two payload bytes.
+        decl(
+            "qid",
+            "u32",
+            (pkt("payload_byte", 0) << 8) | pkt("payload_byte", 1),
+        ),
+        # Hash the query name (bytes 12..plen).
+        decl("name_hash", "u32", lit(0x811C9DC5)),
+        decl("j", "u32", lit(12)),
+        decl("limit", "u32", v("plen")),
+        if_(gt(v("limit"), 44), [assign(v("limit"), lit(44))]),
+    ]
+    handler.extend(
+        [
+            # FNV-1a over the name bytes.
+            while_(
+                lt(v("j"), v("limit")),
+                [
+                    assign(v("name_hash"), v("name_hash") ^ pkt("payload_byte", v("j"))),
+                    assign(v("name_hash"), (v("name_hash") * 0x01000193) & 0xFFFFFFFF),
+                    assign(v("j"), v("j") + 1),
+                ],
+                max_trips=128,
+            ),
+            if_(
+                eq(fld(udp, "uh_dport"), 53),
+                [
+                    # Client -> proxy: try the cache.
+                    decl("ckey", "dns_key"),
+                    assign(fld(v("ckey"), "name_hash"), v("name_hash")),
+                    decl("hit", "dns_entry*", mcall("cache", "find", v("ckey"))),
+                    assign(v("queries"), v("queries") + 1),
+                    if_(
+                        ne(v("hit"), 0),
+                        [
+                            # Cache hit: answer directly.
+                            assign(v("cache_hits"), v("cache_hits") + 1),
+                            assign(fld(v("hit"), "hits"), fld(v("hit"), "hits") + 1),
+                            decl("tmp", "u32", fld(ip, "src_addr")),
+                            assign(fld(ip, "src_addr"), fld(ip, "dst_addr")),
+                            assign(fld(ip, "dst_addr"), v("tmp")),
+                            decl("tmpp", "u16", fld(udp, "uh_sport")),
+                            assign(fld(udp, "uh_sport"), fld(udp, "uh_dport")),
+                            assign(fld(udp, "uh_dport"), v("tmpp")),
+                            pkt("set_payload_byte", 2, lit(0x81)).as_stmt(),
+                            pkt("set_payload_byte", 3, lit(0x80)).as_stmt(),
+                            fcall("checksum_update_ip", ip).as_stmt(),
+                            pkt("send", 0).as_stmt(),
+                        ],
+                        [
+                            # Miss: record pending query, forward upstream.
+                            decl("pkey", "dns_key"),
+                            assign(fld(v("pkey"), "name_hash"), v("qid")),
+                            decl("pend", "dns_pending"),
+                            assign(fld(v("pend"), "client"), fld(ip, "src_addr")),
+                            assign(fld(v("pend"), "name_hash"), v("name_hash")),
+                            mcall("pending", "insert", v("pkey"), v("pend")).as_stmt(),
+                            assign(v("cache_misses"), v("cache_misses") + 1),
+                            assign(fld(ip, "dst_addr"), v("upstream_ip")),
+                            fcall("checksum_update_ip", ip).as_stmt(),
+                            pkt("send", 1).as_stmt(),
+                        ],
+                    ),
+                ],
+                [
+                    # Upstream response: fill the cache, return to client.
+                    decl("rkey", "dns_key"),
+                    assign(fld(v("rkey"), "name_hash"), v("qid")),
+                    decl("p", "dns_pending*", mcall("pending", "find", v("rkey"))),
+                    if_(
+                        ne(v("p"), 0),
+                        [
+                            decl("ekey", "dns_key"),
+                            assign(fld(v("ekey"), "name_hash"), fld(v("p"), "name_hash")),
+                            decl("ent", "dns_entry"),
+                            assign(fld(v("ent"), "answer_ip"), fld(ip, "src_addr")),
+                            assign(fld(v("ent"), "hits"), lit(0)),
+                            mcall("cache", "insert", v("ekey"), v("ent")).as_stmt(),
+                            assign(fld(ip, "dst_addr"), fld(v("p"), "client")),
+                            mcall("pending", "erase", v("rkey")).as_stmt(),
+                            assign(v("responses"), v("responses") + 1),
+                            fcall("checksum_update_ip", ip).as_stmt(),
+                            pkt("send", 0).as_stmt(),
+                        ],
+                        [
+                            assign(v("orphan_responses"), v("orphan_responses") + 1),
+                            pkt("drop").as_stmt(),
+                        ],
+                    ),
+                ],
+            ),
+        ]
+    )
+    return ElementDef(
+        name="dnsproxy",
+        structs=[
+            struct("dns_key", ("name_hash", "u32")),
+            struct("dns_entry", ("answer_ip", "u32"), ("hits", "u32")),
+            struct("dns_pending", ("client", "u32"), ("name_hash", "u32")),
+        ],
+        state=[
+            hashmap_state("cache", "dns_key", "dns_entry", cache_entries),
+            hashmap_state("pending", "dns_key", "dns_pending", cache_entries // 4),
+            scalar_state("upstream_ip", "u32"),
+            scalar_state("queries", "u64"),
+            scalar_state("cache_hits", "u64"),
+            scalar_state("cache_misses", "u64"),
+            scalar_state("responses", "u64"),
+            scalar_state("orphan_responses", "u64"),
+        ],
+        handler=handler,
+        description="Caching DNS proxy with pending-query tracking.",
+    )

@@ -1,0 +1,251 @@
+"""NAT-family elements: mininat (the paper's Figure 4 example),
+Mazu-NAT (the large real-world NAT from Table 2), and iprewriter.
+"""
+
+from __future__ import annotations
+
+from repro.click.ast import ElementDef
+from repro.click.elements._dsl import (
+    assign,
+    decl,
+    eq,
+    fcall,
+    fld,
+    hashmap_state,
+    if_,
+    lit,
+    lt,
+    mcall,
+    ne,
+    pkt,
+    ret,
+    scalar_state,
+    struct,
+    v,
+)
+
+
+def mininat(use_checksum_accel: bool = True) -> ElementDef:
+    """The simplified NAT element of the paper's Figure 4.
+
+    Looks up the reversed flow 5-tuple in an internal map and rewrites
+    the destination address/port.  ``use_checksum_accel`` only tags the
+    element metadata (a *porting* decision, not source logic).
+    """
+    ip = v("ip")
+    tcp = v("tcp")
+    body = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("tcp", "tcp_hdr*", pkt("tcp_header")),
+        if_(eq(v("tcp"), 0), [pkt("drop").as_stmt(), ret()]),
+        decl("hdr_size", "u16", (fld(ip, "ip_hl") + fld(tcp, "th_off")) << 2),
+        if_(
+            lt(v("hdr_size"), fld(ip, "ip_len")),
+            [
+                decl("key", "int_key"),
+                assign(fld(v("key"), "src_ip"), fld(ip, "dst_addr")),
+                assign(fld(v("key"), "dst_ip"), fld(ip, "src_addr")),
+                decl("f", "flow*", mcall("int_map", "find", v("key"))),
+                if_(
+                    ne(v("f"), 0),
+                    [
+                        assign(fld(ip, "dst_addr"), fld(v("f"), "int_ip")),
+                        assign(fld(tcp, "th_dport"), fld(v("f"), "int_port")),
+                        fcall("checksum_update_ip", ip).as_stmt(),
+                        pkt("send", 0).as_stmt(),
+                    ],
+                    [pkt("drop").as_stmt()],
+                ),
+            ],
+            [pkt("drop").as_stmt()],
+        ),
+    ]
+    element = ElementDef(
+        name="mininat",
+        structs=[
+            struct("int_key", ("src_ip", "u32"), ("dst_ip", "u32")),
+            struct("flow", ("int_ip", "u32"), ("int_port", "u16")),
+        ],
+        state=[hashmap_state("int_map", "int_key", "flow", 1024)],
+        handler=body,
+        description="Simplified NAT: rewrite destination from a flow map.",
+    )
+    return element
+
+
+def mazunat(map_entries: int = 4096) -> ElementDef:
+    """Mazu-NAT: bidirectional NAT with dynamic port allocation.
+
+    Internal->external packets allocate a translation on first sight;
+    external->internal packets reverse-translate.  Keeps per-direction
+    maps plus counters — the paper's heaviest NF (Table 2: 1266 LoC,
+    4127 instructions, 102 stateful accesses).
+    """
+    ip = v("ip")
+    tcp = v("tcp")
+    nat_ip = 0x0A00000A
+
+    handler = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("tcp", "tcp_hdr*", pkt("tcp_header")),
+        if_(eq(v("tcp"), 0), [pkt("drop").as_stmt(), ret()]),
+        decl("port", "u32", pkt("in_port")),
+        if_(
+            eq(v("port"), 0),
+            [
+                # Internal -> external: translate source.
+                decl("fkey", "nat_key"),
+                assign(fld(v("fkey"), "addr"), fld(ip, "src_addr")),
+                assign(fld(v("fkey"), "port"), fld(tcp, "th_sport")),
+                decl("fwd", "nat_entry*", mcall("fwd_map", "find", v("fkey"))),
+                if_(
+                    eq(v("fwd"), 0),
+                    [
+                        # Allocate a fresh external port.
+                        assign(v("next_port"), v("next_port") + 1),
+                        if_(
+                            eq(v("next_port"), 0),
+                            [assign(v("next_port"), lit(1024))],
+                        ),
+                        decl("ext_port", "u16", (v("next_port") & 0x3FFF) + 1024),
+                        decl("fval", "nat_entry"),
+                        assign(fld(v("fval"), "addr"), lit(nat_ip)),
+                        assign(fld(v("fval"), "port"), v("ext_port")),
+                        mcall("fwd_map", "insert", v("fkey"), v("fval")).as_stmt(),
+                        # Reverse mapping for returning traffic.
+                        decl("rkey", "nat_key"),
+                        assign(fld(v("rkey"), "addr"), lit(nat_ip)),
+                        assign(fld(v("rkey"), "port"), v("ext_port")),
+                        decl("rval", "nat_entry"),
+                        assign(fld(v("rval"), "addr"), fld(ip, "src_addr")),
+                        assign(fld(v("rval"), "port"), fld(tcp, "th_sport")),
+                        mcall("rev_map", "insert", v("rkey"), v("rval")).as_stmt(),
+                        assign(v("flows_created"), v("flows_created") + 1),
+                        assign(fld(ip, "src_addr"), lit(nat_ip)),
+                        assign(fld(tcp, "th_sport"), v("ext_port")),
+                    ],
+                    [
+                        assign(fld(ip, "src_addr"), fld(v("fwd"), "addr")),
+                        assign(fld(tcp, "th_sport"), fld(v("fwd"), "port")),
+                    ],
+                ),
+                assign(v("pkts_out"), v("pkts_out") + 1),
+                fcall("checksum_update_ip", ip).as_stmt(),
+                fcall("checksum_update_tcp", tcp).as_stmt(),
+                pkt("send", 1).as_stmt(),
+            ],
+            [
+                # External -> internal: reverse translate destination.
+                decl("rkey2", "nat_key"),
+                assign(fld(v("rkey2"), "addr"), fld(ip, "dst_addr")),
+                assign(fld(v("rkey2"), "port"), fld(tcp, "th_dport")),
+                decl("rev", "nat_entry*", mcall("rev_map", "find", v("rkey2"))),
+                if_(
+                    ne(v("rev"), 0),
+                    [
+                        assign(fld(ip, "dst_addr"), fld(v("rev"), "addr")),
+                        assign(fld(tcp, "th_dport"), fld(v("rev"), "port")),
+                        assign(v("pkts_in"), v("pkts_in") + 1),
+                        fcall("checksum_update_ip", ip).as_stmt(),
+                        fcall("checksum_update_tcp", tcp).as_stmt(),
+                        pkt("send", 0).as_stmt(),
+                    ],
+                    [
+                        assign(v("pkts_dropped"), v("pkts_dropped") + 1),
+                        pkt("drop").as_stmt(),
+                    ],
+                ),
+            ],
+        ),
+    ]
+    return ElementDef(
+        name="mazunat",
+        structs=[
+            struct("nat_key", ("addr", "u32"), ("port", "u16")),
+            struct("nat_entry", ("addr", "u32"), ("port", "u16")),
+        ],
+        state=[
+            hashmap_state("fwd_map", "nat_key", "nat_entry", map_entries),
+            hashmap_state("rev_map", "nat_key", "nat_entry", map_entries),
+            scalar_state("next_port", "u32"),
+            scalar_state("flows_created", "u32"),
+            scalar_state("pkts_out", "u64"),
+            scalar_state("pkts_in", "u64"),
+            scalar_state("pkts_dropped", "u64"),
+        ],
+        handler=handler,
+        description="Bidirectional NAT with dynamic port allocation (Mazu-NAT).",
+    )
+
+
+def iprewriter(map_entries: int = 2048) -> ElementDef:
+    """IPRewriter: pattern-based flow rewriting with per-flow mappings."""
+    ip = v("ip")
+    tcp = v("tcp")
+    handler = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("tcp", "tcp_hdr*", pkt("tcp_header")),
+        if_(eq(v("tcp"), 0), [pkt("drop").as_stmt(), ret()]),
+        decl("key", "rw_key"),
+        assign(fld(v("key"), "saddr"), fld(ip, "src_addr")),
+        assign(fld(v("key"), "daddr"), fld(ip, "dst_addr")),
+        assign(fld(v("key"), "sport"), fld(tcp, "th_sport")),
+        assign(fld(v("key"), "dport"), fld(tcp, "th_dport")),
+        decl("m", "rw_mapping*", mcall("map", "find", v("key"))),
+        if_(
+            eq(v("m"), 0),
+            [
+                # Install a new mapping from the rewrite pattern.
+                decl("nm", "rw_mapping"),
+                assign(
+                    fld(v("nm"), "new_saddr"),
+                    (fld(ip, "src_addr") & 0x0000FFFF) | (v("pattern_ip") & 0xFFFF0000),
+                ),
+                assign(fld(v("nm"), "new_daddr"), fld(ip, "dst_addr")),
+                assign(
+                    fld(v("nm"), "new_sport"),
+                    ((fld(tcp, "th_sport") * 31) & 0x3FFF) + 1024,
+                ),
+                assign(fld(v("nm"), "new_dport"), fld(tcp, "th_dport")),
+                mcall("map", "insert", v("key"), v("nm")).as_stmt(),
+                assign(v("installs"), v("installs") + 1),
+                decl("m2", "rw_mapping*", mcall("map", "find", v("key"))),
+                assign(fld(ip, "src_addr"), fld(v("m2"), "new_saddr")),
+                assign(fld(tcp, "th_sport"), fld(v("m2"), "new_sport")),
+            ],
+            [
+                assign(fld(ip, "src_addr"), fld(v("m"), "new_saddr")),
+                assign(fld(ip, "dst_addr"), fld(v("m"), "new_daddr")),
+                assign(fld(tcp, "th_sport"), fld(v("m"), "new_sport")),
+                assign(fld(tcp, "th_dport"), fld(v("m"), "new_dport")),
+            ],
+        ),
+        fcall("checksum_update_ip", ip).as_stmt(),
+        pkt("send", 0).as_stmt(),
+    ]
+    return ElementDef(
+        name="iprewriter",
+        structs=[
+            struct(
+                "rw_key",
+                ("saddr", "u32"),
+                ("daddr", "u32"),
+                ("sport", "u16"),
+                ("dport", "u16"),
+            ),
+            struct(
+                "rw_mapping",
+                ("new_saddr", "u32"),
+                ("new_daddr", "u32"),
+                ("new_sport", "u16"),
+                ("new_dport", "u16"),
+            ),
+        ],
+        state=[
+            hashmap_state("map", "rw_key", "rw_mapping", map_entries),
+            scalar_state("pattern_ip", "u32"),
+            scalar_state("installs", "u32"),
+        ],
+        handler=handler,
+        description="Flow rewriting with installed per-flow mappings.",
+    )

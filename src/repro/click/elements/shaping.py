@@ -1,0 +1,157 @@
+"""Traffic shaping and load-balancing elements (library extensions
+beyond the paper's Table 2): a token-bucket rate limiter and a
+Maglev-style consistent-hash load balancer.  Both are classic SmartNIC
+offload candidates with interesting state profiles (hot shared scalars
+for the bucket; a large read-mostly lookup table for the balancer).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.click.ast import ElementDef, Stmt
+from repro.click.elements._dsl import (
+    array_state,
+    assign,
+    decl,
+    eq,
+    fld,
+    ge,
+    gt,
+    hashmap_state,
+    idx,
+    if_,
+    lit,
+    lt,
+    mcall,
+    ne,
+    pkt,
+    ret,
+    scalar_state,
+    struct,
+    v,
+)
+
+
+def ratelimiter(rate_tokens_per_us: int = 64, burst: int = 65_536) -> ElementDef:
+    """Token-bucket policer: refill from the packet timestamp, charge
+    the wire length, drop on empty.
+
+    The bucket state (``tokens``/``last_refill_ns``) is written by
+    every packet — the hottest possible shared scalars, which makes the
+    element a stress test for placement and coalescing.
+    """
+    ip = v("ip")
+    handler: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("now", "u64", pkt("timestamp_ns")),
+        decl("elapsed_ns", "u64", v("now") - v("last_refill_ns")),
+        # Refill: tokens += elapsed_us * rate, capped at the burst.
+        decl("refill", "u64", (v("elapsed_ns") >> 10) * rate_tokens_per_us),
+        if_(
+            gt(v("refill"), 0),
+            [
+                assign(v("tokens"), v("tokens") + v("refill")),
+                if_(
+                    gt(v("tokens"), burst),
+                    [assign(v("tokens"), lit(burst))],
+                ),
+                assign(v("last_refill_ns"), v("now")),
+            ],
+        ),
+        decl("cost", "u64", fld(ip, "ip_len") + 14),
+        if_(
+            ge(v("tokens"), v("cost")),
+            [
+                assign(v("tokens"), v("tokens") - v("cost")),
+                assign(v("conformed"), v("conformed") + 1),
+                pkt("send", 0).as_stmt(),
+            ],
+            [
+                assign(v("policed"), v("policed") + 1),
+                assign(v("policed_bytes"), v("policed_bytes") + v("cost")),
+                pkt("drop").as_stmt(),
+            ],
+        ),
+    ]
+    return ElementDef(
+        name="ratelimiter",
+        state=[
+            scalar_state("tokens", "u64"),
+            scalar_state("last_refill_ns", "u64"),
+            scalar_state("conformed", "u64"),
+            scalar_state("policed", "u64"),
+            scalar_state("policed_bytes", "u64"),
+        ],
+        handler=handler,
+        description="Token-bucket rate limiter.",
+    )
+
+
+def loadbalancer(table_size: int = 4096, n_backends: int = 8) -> ElementDef:
+    """Maglev-style L4 load balancer.
+
+    New flows hash into a large read-mostly lookup table of backend
+    ids; chosen backends are pinned in a connection table so flows
+    stick across table rebuilds.  Read-mostly big table + per-flow
+    state = a placement problem with two very different structures.
+    """
+    ip = v("ip")
+    tcp = v("tcp")
+    handler: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("tcp", "tcp_hdr*", pkt("tcp_header")),
+        if_(eq(v("tcp"), 0), [pkt("drop").as_stmt(), ret()]),
+        decl("key", "lb_key"),
+        assign(fld(v("key"), "saddr"), fld(ip, "src_addr")),
+        assign(fld(v("key"), "sport"), fld(tcp, "th_sport")),
+        decl("conn", "lb_conn*", mcall("conn_table", "find", v("key"))),
+        decl("backend", "u32", lit(0)),
+        if_(
+            ne(v("conn"), 0),
+            [
+                # Sticky flow: reuse the pinned backend.
+                assign(v("backend"), fld(v("conn"), "backend")),
+                assign(v("sticky_hits"), v("sticky_hits") + 1),
+            ],
+            [
+                # New flow: consult the Maglev table.
+                decl(
+                    "h",
+                    "u32",
+                    ((fld(ip, "src_addr") * 0x9E3779B1)
+                     ^ (fld(tcp, "th_sport") * 0x85EBCA6B))
+                    & 0xFFFFFFFF,
+                ),
+                # Fold the high bits down: the low bits of a product
+                # xor carry too little entropy for a table index.
+                assign(v("h"), v("h") ^ (v("h") >> 16)),
+                assign(v("backend"), idx(v("maglev_table"), v("h") % table_size)),
+                decl("fresh", "lb_conn"),
+                assign(fld(v("fresh"), "backend"), v("backend")),
+                mcall("conn_table", "insert", v("key"), v("fresh")).as_stmt(),
+                assign(v("flows_assigned"), v("flows_assigned") + 1),
+            ],
+        ),
+        # DNAT to the chosen backend.
+        assign(fld(ip, "dst_addr"), 0x0A640000 + v("backend")),
+        assign(idx(v("backend_pkts"), v("backend") % n_backends),
+               idx(v("backend_pkts"), v("backend") % n_backends) + 1),
+        pkt("send", v("backend") % n_backends).as_stmt(),
+    ]
+    return ElementDef(
+        name="loadbalancer",
+        structs=[
+            struct("lb_key", ("saddr", "u32"), ("sport", "u16")),
+            struct("lb_conn", ("backend", "u32")),
+        ],
+        state=[
+            array_state("maglev_table", "u32", table_size),
+            hashmap_state("conn_table", "lb_key", "lb_conn", 8192),
+            array_state("backend_pkts", "u64", n_backends),
+            scalar_state("sticky_hits", "u64"),
+            scalar_state("flows_assigned", "u64"),
+        ],
+        handler=handler,
+        description="Maglev-style consistent-hashing load balancer.",
+    )

@@ -1,0 +1,237 @@
+"""Mostly-stateless Click elements: header manipulation NFs.
+
+These correspond to the top rows of Table 2 in the paper (anonipaddr,
+tcpack, udpipencap, forcetcp, tcpresp): no persistent state, dominated
+by compute and packet-header accesses, and therefore pure targets for
+the cross-platform instruction prediction of Section 3.
+"""
+
+from __future__ import annotations
+
+from repro.click.ast import ElementDef
+from repro.click.elements._dsl import (
+    and_,
+    assign,
+    decl,
+    eq,
+    fcall,
+    fld,
+    for_,
+    ge,
+    gt,
+    if_,
+    lit,
+    lt,
+    ne,
+    pkt,
+    ret,
+    v,
+)
+
+TCP_SYN = 0x02
+TCP_ACK = 0x10
+TCP_FIN = 0x01
+TCP_RST = 0x04
+
+
+def anonipaddr() -> ElementDef:
+    """Anonymize source/destination addresses with a keyed bijective mix.
+
+    Mirrors Click's AnonymizeIPAddr: a few rounds of xor/rotate mixing
+    so the mapping is deterministic but not reversible without the key.
+    """
+    ip = v("ip")
+    body = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("src", "u32", fld(ip, "src_addr")),
+        decl("dst", "u32", fld(ip, "dst_addr")),
+        decl("key", "u32", lit(0x9E3779B9)),
+        # Three mixing rounds per address.
+        assign(v("src"), (v("src") ^ v("key")) + ((v("src") << 5) & 0xFFFFFFFF)),
+        assign(v("src"), v("src") ^ (v("src") >> 13)),
+        assign(v("src"), (v("src") * 0x85EBCA6B) & 0xFFFFFFFF),
+        assign(v("dst"), (v("dst") ^ v("key")) + ((v("dst") << 5) & 0xFFFFFFFF)),
+        assign(v("dst"), v("dst") ^ (v("dst") >> 13)),
+        assign(v("dst"), (v("dst") * 0x85EBCA6B) & 0xFFFFFFFF),
+        # Preserve class-A locality like Click's anonymizer.
+        assign(fld(ip, "src_addr"), (v("src") & 0x00FFFFFF) | (fld(ip, "src_addr") & 0xFF000000)),
+        assign(fld(ip, "dst_addr"), (v("dst") & 0x00FFFFFF) | (fld(ip, "dst_addr") & 0xFF000000)),
+        fcall("checksum_update_ip", ip).as_stmt(),
+        pkt("send", 0).as_stmt(),
+    ]
+    return ElementDef(
+        name="anonipaddr",
+        handler=body,
+        description="Anonymizes IP addresses while preserving prefix locality.",
+    )
+
+
+def tcpack() -> ElementDef:
+    """Turn an inbound TCP segment into an ACK response (Click TCPAck)."""
+    ip = v("ip")
+    tcp = v("tcp")
+    body = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("tcp", "tcp_hdr*", pkt("tcp_header")),
+        if_(eq(v("tcp"), 0), [pkt("drop").as_stmt(), ret()]),
+        decl("tmp_ip", "u32", fld(ip, "src_addr")),
+        assign(fld(ip, "src_addr"), fld(ip, "dst_addr")),
+        assign(fld(ip, "dst_addr"), v("tmp_ip")),
+        decl("tmp_port", "u16", fld(tcp, "th_sport")),
+        assign(fld(tcp, "th_sport"), fld(tcp, "th_dport")),
+        assign(fld(tcp, "th_dport"), v("tmp_port")),
+        decl("seg_len", "u32", fld(ip, "ip_len") - ((fld(ip, "ip_hl") + fld(tcp, "th_off")) << 2)),
+        decl("ack_no", "u32", fld(tcp, "th_seq") + v("seg_len")),
+        if_(
+            ne(fld(tcp, "th_flags") & TCP_SYN, 0),
+            [assign(v("ack_no"), v("ack_no") + 1)],
+        ),
+        assign(fld(tcp, "th_ack"), v("ack_no")),
+        assign(fld(tcp, "th_seq"), lit(0)),
+        assign(fld(tcp, "th_flags"), lit(TCP_ACK, "u8")),
+        fcall("checksum_update_tcp", tcp).as_stmt(),
+        fcall("checksum_update_ip", ip).as_stmt(),
+        pkt("send", 0).as_stmt(),
+    ]
+    return ElementDef(
+        name="tcpack",
+        handler=body,
+        description="Reflects TCP segments as acknowledgments.",
+    )
+
+
+def udpipencap(dst_ip: int = 0x0A000001, dport: int = 4789) -> ElementDef:
+    """Encapsulate traffic in a fresh UDP/IP header (Click UDPIPEncap)."""
+    ip = v("ip")
+    udp = v("udp")
+    body = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("udp", "udp_hdr*", pkt("udp_header")),
+        if_(eq(v("udp"), 0), [pkt("drop").as_stmt(), ret()]),
+        decl("inner_len", "u32", fld(ip, "ip_len")),
+        assign(fld(ip, "ip_v"), lit(4, "u8")),
+        assign(fld(ip, "ip_hl"), lit(5, "u8")),
+        assign(fld(ip, "ip_tos"), lit(0, "u8")),
+        assign(fld(ip, "ip_len"), v("inner_len") + 28),
+        assign(fld(ip, "ip_id"), (v("inner_len") * 7919) & 0xFFFF),
+        assign(fld(ip, "ip_off"), lit(0)),
+        assign(fld(ip, "ip_ttl"), lit(64, "u8")),
+        assign(fld(ip, "ip_p"), lit(17, "u8")),
+        assign(fld(ip, "dst_addr"), lit(dst_ip)),
+        assign(fld(udp, "uh_sport"), (fld(ip, "src_addr") & 0x3FFF) + 49152),
+        assign(fld(udp, "uh_dport"), lit(dport)),
+        assign(fld(udp, "uh_ulen"), v("inner_len") + 8),
+        assign(fld(udp, "uh_sum"), lit(0)),
+        fcall("checksum_update_ip", ip).as_stmt(),
+        pkt("send", 0).as_stmt(),
+    ]
+    return ElementDef(
+        name="udpipencap",
+        handler=body,
+        description="Encapsulates packets in a new UDP/IP header.",
+    )
+
+
+def forcetcp() -> ElementDef:
+    """Coerce packets into well-formed TCP segments (Click ForceTCP)."""
+    ip = v("ip")
+    tcp = v("tcp")
+    body = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("tcp", "tcp_hdr*", pkt("tcp_header")),
+        if_(eq(v("tcp"), 0), [pkt("drop").as_stmt(), ret()]),
+        assign(fld(ip, "ip_p"), lit(6, "u8")),
+        decl("hlen", "u32", fld(ip, "ip_hl") << 2),
+        decl("min_len", "u32", v("hlen") + 20),
+        if_(
+            lt(fld(ip, "ip_len"), v("min_len")),
+            [assign(fld(ip, "ip_len"), v("min_len"))],
+        ),
+        # Clamp the data offset into the legal range [5, 15].
+        if_(
+            lt(fld(tcp, "th_off"), 5),
+            [assign(fld(tcp, "th_off"), lit(5, "u8"))],
+        ),
+        if_(
+            gt(fld(tcp, "th_off"), 15),
+            [assign(fld(tcp, "th_off"), lit(15, "u8"))],
+        ),
+        # RST segments must not carry SYN/FIN.
+        if_(
+            ne(fld(tcp, "th_flags") & TCP_RST, 0),
+            [
+                assign(
+                    fld(tcp, "th_flags"),
+                    fld(tcp, "th_flags") & lit(0xFF ^ (TCP_SYN | TCP_FIN), "u8"),
+                )
+            ],
+        ),
+        if_(
+            eq(fld(tcp, "th_win"), 0),
+            [assign(fld(tcp, "th_win"), lit(1024))],
+        ),
+        fcall("checksum_update_tcp", tcp).as_stmt(),
+        fcall("checksum_update_ip", ip).as_stmt(),
+        pkt("send", 0).as_stmt(),
+    ]
+    return ElementDef(
+        name="forcetcp",
+        handler=body,
+        description="Rewrites packets into well-formed TCP segments.",
+    )
+
+
+def tcpresp() -> ElementDef:
+    """Craft TCP responses: SYN->SYN/ACK, FIN->FIN/ACK, data->ACK."""
+    ip = v("ip")
+    tcp = v("tcp")
+    body = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("tcp", "tcp_hdr*", pkt("tcp_header")),
+        if_(eq(v("tcp"), 0), [pkt("drop").as_stmt(), ret()]),
+        decl("flags", "u8", fld(tcp, "th_flags")),
+        # Swap the endpoints.
+        decl("tmp_ip", "u32", fld(ip, "src_addr")),
+        assign(fld(ip, "src_addr"), fld(ip, "dst_addr")),
+        assign(fld(ip, "dst_addr"), v("tmp_ip")),
+        decl("tmp_port", "u16", fld(tcp, "th_sport")),
+        assign(fld(tcp, "th_sport"), fld(tcp, "th_dport")),
+        assign(fld(tcp, "th_dport"), v("tmp_port")),
+        decl("isn", "u32", (fld(ip, "dst_addr") * 2654435761) & 0xFFFFFFFF),
+        if_(
+            and_(ne(v("flags") & TCP_SYN, 0), eq(v("flags") & TCP_ACK, 0)),
+            [
+                assign(fld(tcp, "th_ack"), fld(tcp, "th_seq") + 1),
+                assign(fld(tcp, "th_seq"), v("isn")),
+                assign(fld(tcp, "th_flags"), lit(TCP_SYN | TCP_ACK, "u8")),
+            ],
+            [
+                if_(
+                    ne(v("flags") & TCP_FIN, 0),
+                    [
+                        assign(fld(tcp, "th_ack"), fld(tcp, "th_seq") + 1),
+                        assign(fld(tcp, "th_flags"), lit(TCP_FIN | TCP_ACK, "u8")),
+                    ],
+                    [
+                        decl(
+                            "seg_len",
+                            "u32",
+                            fld(ip, "ip_len")
+                            - ((fld(ip, "ip_hl") + fld(tcp, "th_off")) << 2),
+                        ),
+                        assign(fld(tcp, "th_ack"), fld(tcp, "th_seq") + v("seg_len")),
+                        assign(fld(tcp, "th_flags"), lit(TCP_ACK, "u8")),
+                    ],
+                ),
+            ],
+        ),
+        assign(fld(tcp, "th_win"), lit(65535)),
+        fcall("checksum_update_tcp", tcp).as_stmt(),
+        fcall("checksum_update_ip", ip).as_stmt(),
+        pkt("send", 0).as_stmt(),
+    ]
+    return ElementDef(
+        name="tcpresp",
+        handler=body,
+        description="Generates protocol-correct TCP responses.",
+    )

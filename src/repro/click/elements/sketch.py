@@ -1,0 +1,184 @@
+"""Sketching elements: count-min sketch and heavy-hitter detection.
+
+``cmsketch`` computes its row hashes with a procedural CRC32 — the
+paper calls out exactly this NF as a CRC-accelerator opportunity
+(Section 5.3: CRC acceleration in 'count-min sketch').
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.click.ast import ElementDef, FuncDef, Stmt
+from repro.click.elements._dsl import (
+    array_state,
+    assign,
+    decl,
+    eq,
+    fcall,
+    fld,
+    for_,
+    ge,
+    helper,
+    idx,
+    if_,
+    lit,
+    lt,
+    pkt,
+    ret,
+    scalar_state,
+    v,
+)
+
+CRC32_POLY = 0xEDB88320
+
+
+def crc32_helper(name: str = "crc32_hash") -> FuncDef:
+    """Bitwise (table-free) CRC32 over a 32-bit word, 8 rounds/byte.
+
+    The classic reflected CRC-32 inner loop: xor low bit, shift,
+    conditionally xor the polynomial — the bit-twiddling shape the
+    algorithm-identification SVM keys on.
+    """
+    body: List[Stmt] = [
+        decl("crc", "u32", v("seed") ^ 0xFFFFFFFF),
+        for_(
+            "byte_i",
+            0,
+            4,
+            [
+                decl("b", "u32", (v("data") >> (v("byte_i") << 3)) & 0xFF),
+                assign(v("crc"), v("crc") ^ v("b")),
+                for_(
+                    "bit_i",
+                    0,
+                    8,
+                    [
+                        decl("lsb", "u32", v("crc") & 1),
+                        assign(v("crc"), v("crc") >> 1),
+                        if_(
+                            v("lsb"),
+                            [assign(v("crc"), v("crc") ^ CRC32_POLY)],
+                        ),
+                    ],
+                ),
+            ],
+        ),
+        ret(v("crc") ^ 0xFFFFFFFF),
+    ]
+    return helper(name, [("data", "u32"), ("seed", "u32")], "u32", body)
+
+
+def cmsketch(rows: int = 4, cols: int = 1024) -> ElementDef:
+    """Count-min sketch keyed by a flow hash.
+
+    Each row uses a CRC32 with a different seed; counters live in one
+    backing array of ``rows * cols`` so placement treats the sketch as
+    a single stateful structure.
+    """
+    ip = v("ip")
+    handler: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("flow_id", "u32", fld(ip, "src_addr") ^ (fld(ip, "dst_addr") << 1)),
+        decl("min_est", "u32", lit(0xFFFFFFFF)),
+    ]
+    for r in range(rows):
+        slot = v(f"slot{r}")
+        handler.extend(
+            [
+                decl(
+                    f"h{r}",
+                    "u32",
+                    fcall("crc32_hash", v("flow_id"), 0x1000193 * (r + 1)),
+                ),
+                decl(f"slot{r}", "u32", (v(f"h{r}") % cols) + (r * cols)),
+                assign(idx(v("counters"), slot), idx(v("counters"), slot) + 1),
+                if_(
+                    lt(idx(v("counters"), slot), v("min_est")),
+                    [assign(v("min_est"), idx(v("counters"), slot))],
+                ),
+            ]
+        )
+    handler.extend(
+        [
+            assign(v("updates"), v("updates") + 1),
+            if_(
+                ge(v("min_est"), v("report_threshold")),
+                [
+                    assign(v("reported"), v("reported") + 1),
+                    pkt("send", 1).as_stmt(),
+                ],
+                [pkt("send", 0).as_stmt()],
+            ),
+        ]
+    )
+    return ElementDef(
+        name="cmsketch",
+        state=[
+            array_state("counters", "u32", rows * cols),
+            scalar_state("updates", "u64"),
+            scalar_state("reported", "u32"),
+            scalar_state("report_threshold", "u32"),
+        ],
+        handler=handler,
+        helpers=[crc32_helper()],
+        description="Count-min sketch with CRC32 row hashes.",
+    )
+
+
+def heavyhitter(buckets: int = 512, threshold: int = 64) -> ElementDef:
+    """Space-saving heavy-hitter detection.
+
+    A bucketed candidate table: the owning flow increments its count;
+    other flows decay it and take over emptied slots.  One of the
+    Figure-1 variability NFs (performance depends on packet rate and
+    flow skew).
+    """
+    ip = v("ip")
+    handler: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("fid", "u32", fld(ip, "src_addr") ^ fld(ip, "dst_addr")),
+        decl("h", "u32", (v("fid") * 0x9E3779B1) % buckets),
+        decl("owner", "u32", idx(v("owners"), v("h"))),
+        if_(
+            eq(v("owner"), v("fid")),
+            [assign(idx(v("counts"), v("h")), idx(v("counts"), v("h")) + 1)],
+            [
+                if_(
+                    eq(idx(v("counts"), v("h")), 0),
+                    [
+                        assign(idx(v("owners"), v("h")), v("fid")),
+                        assign(idx(v("counts"), v("h")), lit(1)),
+                        assign(v("evictions"), v("evictions") + 1),
+                    ],
+                    [
+                        assign(
+                            idx(v("counts"), v("h")),
+                            idx(v("counts"), v("h")) - 1,
+                        )
+                    ],
+                ),
+            ],
+        ),
+        assign(v("total"), v("total") + 1),
+        if_(
+            ge(idx(v("counts"), v("h")), threshold),
+            [
+                assign(v("heavy_flags"), v("heavy_flags") + 1),
+                pkt("send", 1).as_stmt(),
+            ],
+            [pkt("send", 0).as_stmt()],
+        ),
+    ]
+    return ElementDef(
+        name="heavyhitter",
+        state=[
+            array_state("owners", "u32", buckets),
+            array_state("counts", "u32", buckets),
+            scalar_state("total", "u64"),
+            scalar_state("evictions", "u32"),
+            scalar_state("heavy_flags", "u32"),
+        ],
+        handler=handler,
+        description="Space-saving heavy-hitter detection.",
+    )

@@ -1,0 +1,138 @@
+"""The Click framework API surface.
+
+Section 3.3 of the paper splits Click API calls into two classes:
+
+* **stateless header manipulation** (``ip_header``, ``tcp_header``,
+  packet send/drop, checksum helpers) — these map onto the SmartNIC's
+  own packet-handling primitives and carry a fixed NIC cost profile;
+* **stateful data structures** (``HashMap``, ``Vector``) — these differ
+  structurally between host and NIC (elastic vs. pre-sized storage,
+  linear probing vs. fixed bucket sets) and are handled by *reverse
+  porting* (:mod:`repro.click.reverse_port`).
+
+The registry here is the single source of truth for API names, shapes,
+and classification; the frontend, interpreter, reverse porter, and NIC
+compiler all consult it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Receiver kinds for method-style calls.
+RECEIVER_PACKET = "packet"
+RECEIVER_HASHMAP = "hashmap"
+RECEIVER_VECTOR = "vector"
+
+
+@dataclass(frozen=True)
+class ApiSpec:
+    """One framework API entry.
+
+    ``ret`` / ``params`` use symbolic shapes:
+
+    * scalar type names (``u8`` ... ``u64``, ``bool``, ``void``);
+    * header pointers (``ip_hdr*``, ``tcp_hdr*``, ``udp_hdr*``,
+      ``eth_hdr*``);
+    * ``key*`` / ``value*`` / ``elem*`` — struct pointers resolved from
+      the receiver's :class:`~repro.click.ast.StateDecl` at lowering
+      time.
+    """
+
+    name: str
+    receiver: Optional[str]  # None for free functions
+    params: Tuple[str, ...]
+    ret: str
+    stateless: bool
+    doc: str = ""
+
+    @property
+    def is_stateful(self) -> bool:
+        return not self.stateless
+
+
+_API_LIST = [
+    # -- stateless packet/header APIs --------------------------------
+    ApiSpec("eth_header", RECEIVER_PACKET, (), "eth_hdr*", True,
+            "View of the Ethernet header."),
+    ApiSpec("ip_header", RECEIVER_PACKET, (), "ip_hdr*", True,
+            "View of the IPv4 header."),
+    ApiSpec("tcp_header", RECEIVER_PACKET, (), "tcp_hdr*", True,
+            "View of the TCP header (null if not TCP)."),
+    ApiSpec("udp_header", RECEIVER_PACKET, (), "udp_hdr*", True,
+            "View of the UDP header (null if not UDP)."),
+    ApiSpec("payload_byte", RECEIVER_PACKET, ("u32",), "u8", True,
+            "Read one payload byte (bounds-wrapped)."),
+    ApiSpec("set_payload_byte", RECEIVER_PACKET, ("u32", "u8"), "void", True,
+            "Write one payload byte."),
+    ApiSpec("payload_len", RECEIVER_PACKET, (), "u32", True,
+            "Payload length in bytes."),
+    ApiSpec("send", RECEIVER_PACKET, ("u32",), "void", True,
+            "Emit the packet on the given port."),
+    ApiSpec("drop", RECEIVER_PACKET, (), "void", True,
+            "Discard the packet."),
+    ApiSpec("in_port", RECEIVER_PACKET, (), "u32", True,
+            "Ingress port of the packet."),
+    ApiSpec("timestamp_ns", RECEIVER_PACKET, (), "u64", True,
+            "Packet arrival timestamp in nanoseconds."),
+    ApiSpec("checksum_update_ip", None, ("ip_hdr*",), "void", True,
+            "Recompute the IPv4 header checksum."),
+    ApiSpec("checksum_update_tcp", None, ("tcp_hdr*",), "void", True,
+            "Recompute the TCP checksum."),
+    ApiSpec("random_u32", None, (), "u32", True,
+            "Pseudo-random 32-bit value."),
+    # -- stateful data-structure APIs (reverse ported) ----------------
+    ApiSpec("hashmap_find", RECEIVER_HASHMAP, ("key*",), "value*", False,
+            "Look up a key; returns a pointer to the value or null."),
+    ApiSpec("hashmap_insert", RECEIVER_HASHMAP, ("key*", "value*"), "bool", False,
+            "Insert or update an entry; false if the table is full."),
+    ApiSpec("hashmap_erase", RECEIVER_HASHMAP, ("key*",), "bool", False,
+            "Remove an entry (NIC port only marks it invalid)."),
+    ApiSpec("hashmap_size", RECEIVER_HASHMAP, (), "u32", False,
+            "Number of live entries."),
+    ApiSpec("vector_at", RECEIVER_VECTOR, ("u32",), "elem*", False,
+            "Pointer to the i-th element (null when out of range)."),
+    ApiSpec("vector_push", RECEIVER_VECTOR, ("elem*",), "bool", False,
+            "Append an element; false if at capacity."),
+    ApiSpec("vector_size", RECEIVER_VECTOR, (), "u32", False,
+            "Number of live elements."),
+    ApiSpec("vector_remove", RECEIVER_VECTOR, ("u32",), "void", False,
+            "Remove the i-th element (NIC port only marks it invalid)."),
+]
+
+API_REGISTRY: Dict[str, ApiSpec] = {spec.name: spec for spec in _API_LIST}
+
+#: Method name -> API name, per receiver kind (how ClickScript spells
+#: these calls: ``pkt.ip_header()``, ``m.find(&key)``, ``v.at(i)``).
+METHOD_TABLE: Dict[str, Dict[str, str]] = {
+    RECEIVER_PACKET: {
+        "eth_header": "eth_header",
+        "ip_header": "ip_header",
+        "tcp_header": "tcp_header",
+        "udp_header": "udp_header",
+        "payload_byte": "payload_byte",
+        "set_payload_byte": "set_payload_byte",
+        "payload_len": "payload_len",
+        "send": "send",
+        "drop": "drop",
+        "in_port": "in_port",
+        "timestamp_ns": "timestamp_ns",
+    },
+    RECEIVER_HASHMAP: {
+        "find": "hashmap_find",
+        "insert": "hashmap_insert",
+        "erase": "hashmap_erase",
+        "size": "hashmap_size",
+    },
+    RECEIVER_VECTOR: {
+        "at": "vector_at",
+        "push_back": "vector_push",
+        "size": "vector_size",
+        "remove": "vector_remove",
+    },
+}
+
+
+def is_api(name: str) -> bool:
+    return name in API_REGISTRY

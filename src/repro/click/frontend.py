@@ -1,0 +1,676 @@
+"""Lowering from ClickScript ASTs to NFIR.
+
+This plays the role clang plays in the paper: it produces deliberately
+*unoptimized* IR (paper Section 3.1: "Clara disables most LLVM
+optimizations"), with every local variable behind an ``alloca`` and no
+clever folding, so the IR stays close to the original NF logic.  The
+SmartNIC compiler in :mod:`repro.nic.compiler` then performs the opaque
+optimizations Clara's LSTM has to learn.
+
+Lowering conventions:
+
+* locals live in entry-block allocas; reads/writes are load/store
+  (stateless memory, elided later by the NIC register allocator);
+* element state becomes module globals; scalar/array/struct state is
+  accessed with direct GEP+load/store (stateful memory, counted
+  exactly); HashMap/Vector state is accessed through framework API
+  calls that are reverse ported;
+* header views (``pkt.ip_header()``) are API calls returning header
+  pointers; loads/stores through them are packet-buffer accesses;
+* helper subroutines lower to ``!internal`` calls and are inlined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.click import ast as C
+from repro.click.framework import (
+    API_REGISTRY,
+    METHOD_TABLE,
+    RECEIVER_HASHMAP,
+    RECEIVER_PACKET,
+    RECEIVER_VECTOR,
+)
+from repro.click.packet import PACKET_TYPE, header_struct
+from repro.nfir.block import BasicBlock
+from repro.nfir.builder import IRBuilder
+from repro.nfir.function import Function, GlobalVariable, Module
+from repro.nfir.inliner import inline_internal_calls
+from repro.nfir.instructions import (
+    Alloca,
+    Call,
+    Instruction,
+    CALL_KIND_API,
+    CALL_KIND_INTERNAL,
+)
+from repro.nfir.types import (
+    ArrayType,
+    IntType,
+    IRType,
+    PointerType,
+    StructType,
+    VOID,
+    I1,
+    I8,
+    I32,
+    int_type,
+)
+from repro.nfir.values import Constant, Value
+
+_HEADER_STRUCTS = {
+    "eth_hdr": header_struct("eth"),
+    "ip_hdr": header_struct("ip"),
+    "tcp_hdr": header_struct("tcp"),
+    "udp_hdr": header_struct("udp"),
+}
+
+
+class LoweringError(ValueError):
+    pass
+
+
+def _script_int_type(name: str) -> IntType:
+    if name not in C.TYPE_BITS:
+        raise LoweringError(f"not a scalar type: {name!r}")
+    return int_type(C.TYPE_BITS[name])
+
+
+class _ElementTypes:
+    """Resolves script type names to NFIR types for one element."""
+
+    def __init__(self, element: C.ElementDef) -> None:
+        self.element = element
+        self.structs: Dict[str, StructType] = dict(_HEADER_STRUCTS)
+        for sd in element.structs:
+            self.structs[sd.name] = StructType(
+                sd.name,
+                tuple((fname, _script_int_type(ftype)) for fname, ftype in sd.fields),
+            )
+
+    def resolve(self, name: str) -> IRType:
+        if name.endswith("*"):
+            return PointerType(self.resolve(name[:-1].strip()))
+        if name.endswith("]"):
+            # Local array type, e.g. "u32[256]".
+            base, _, count = name[:-1].partition("[")
+            try:
+                n = int(count)
+            except ValueError:
+                raise LoweringError(f"bad array type {name!r}") from None
+            if n <= 0:
+                raise LoweringError(f"bad array length in {name!r}")
+            return ArrayType(self.resolve(base.strip()), n)
+        if name == "void":
+            return VOID
+        if name in C.TYPE_BITS:
+            return _script_int_type(name)
+        if name in self.structs:
+            return self.structs[name]
+        raise LoweringError(f"unknown type {name!r}")
+
+
+def _hashmap_entry_struct(
+    types: _ElementTypes, decl: C.StateDecl
+) -> Tuple[StructType, StructType, StructType]:
+    """Entry layout for a pre-sized NIC hashmap: tag + key + value."""
+    if decl.key_struct is None:
+        raise LoweringError(f"hashmap {decl.name} missing key_struct")
+    key = types.structs[decl.key_struct]
+    value = types.structs[decl.value_type]
+    entry = StructType(
+        f"{decl.name}_entry",
+        (("occupied", I8), ("key", key), ("value", value)),
+    )
+    return entry, key, value
+
+
+def _vector_entry_struct(
+    types: _ElementTypes, decl: C.StateDecl
+) -> Tuple[StructType, IRType]:
+    if decl.value_type in C.TYPE_BITS:
+        elem: IRType = _script_int_type(decl.value_type)
+    else:
+        elem = types.structs[decl.value_type]
+    entry = StructType(f"{decl.name}_entry", (("valid", I8), ("elem", elem)))
+    return entry, elem
+
+
+class _FunctionLowering:
+    """Lowers one handler or helper body into an NFIR function."""
+
+    def __init__(
+        self,
+        element: C.ElementDef,
+        module: Module,
+        types: _ElementTypes,
+        function: Function,
+        helper_names: Dict[str, C.FuncDef],
+    ) -> None:
+        self.element = element
+        self.module = module
+        self.types = types
+        self.function = function
+        self.helpers = helper_names
+        self.builder = IRBuilder(function, function.add_block("entry"))
+        self.locals: Dict[str, Alloca] = {}
+        self.entry_allocas: List[Alloca] = []
+        # (continue_target, break_target) stack for loops.
+        self.loop_stack: List[Tuple[BasicBlock, BasicBlock]] = []
+        self.pkt_arg: Optional[Value] = None
+        for arg in function.args:
+            if arg.name == "pkt":
+                self.pkt_arg = arg
+
+    # -- plumbing -----------------------------------------------------
+    def _new_block(self, hint: str) -> BasicBlock:
+        return self.function.add_block(
+            f"{hint}{len(self.function.blocks)}"
+        )
+
+    def _alloca(self, name: str, type_: IRType) -> Alloca:
+        if name in self.locals:
+            raise LoweringError(
+                f"variable {name!r} redeclared in {self.function.name}"
+            )
+        slot = Alloca(type_, f"{name}.addr")
+        self.locals[name] = slot
+        self.entry_allocas.append(slot)
+        return slot
+
+    def _finish(self) -> None:
+        entry = self.function.entry
+        for slot in reversed(self.entry_allocas):
+            slot.parent = entry
+            entry.instructions.insert(0, slot)
+        for block in self.function.blocks:
+            if not block.is_terminated:
+                saved = self.builder.block
+                self.builder.position_at_end(block)
+                if self.function.ret_type.is_void:
+                    self.builder.ret()
+                else:
+                    self.builder.ret(Constant(self.function.ret_type, 0))
+                self.builder.position_at_end(saved)
+
+    def _coerce(self, value: Value, to_type: IRType) -> Value:
+        if value.type == to_type:
+            return value
+        if isinstance(value.type, IntType) and isinstance(to_type, IntType):
+            if isinstance(value, Constant):
+                return Constant(to_type, value.value)
+            if to_type.bits > value.type.bits:
+                return self.builder.zext(value, to_type)
+            return self.builder.trunc(value, to_type)
+        raise LoweringError(f"cannot coerce {value.type} to {to_type}")
+
+    def _truthy(self, value: Value) -> Value:
+        if value.type == I1:
+            return value
+        if isinstance(value.type, IntType):
+            return self.builder.icmp("ne", value, Constant(value.type, 0))
+        if value.type.is_pointer:
+            return self.builder.icmp("ne", value, Constant(value.type, 0))
+        raise LoweringError(f"cannot use {value.type} as a condition")
+
+    # -- lvalues --------------------------------------------------------
+    def _state_global(self, name: str) -> GlobalVariable:
+        return self.module.globals[name]
+
+    def lower_lvalue(self, expr: C.Expr) -> Value:
+        """Lower an expression to a pointer to its storage."""
+        if isinstance(expr, C.VarRef):
+            if expr.name in self.locals:
+                return self.locals[expr.name]
+            if expr.name in self.module.globals:
+                decl = self.element.state_decl(expr.name)
+                if decl.kind in ("hashmap", "vector"):
+                    raise LoweringError(
+                        f"{decl.kind} state {expr.name!r} must be accessed"
+                        " through its API methods"
+                    )
+                return self._state_global(expr.name)
+            raise LoweringError(f"unknown variable {expr.name!r}")
+        if isinstance(expr, C.FieldExpr):
+            base_ptr = self._struct_pointer(expr.base)
+            pointee = base_ptr.type.pointee  # type: ignore[union-attr]
+            if not isinstance(pointee, StructType):
+                raise LoweringError(
+                    f"field access {expr.field!r} on non-struct {pointee}"
+                )
+            return self.builder.gep(base_ptr, [expr.field])
+        if isinstance(expr, C.IndexExpr):
+            base_ptr = self.lower_lvalue(expr.base)
+            pointee = base_ptr.type.pointee  # type: ignore[union-attr]
+            if not isinstance(pointee, ArrayType):
+                raise LoweringError(f"indexing non-array type {pointee}")
+            index = self._coerce(self.lower_expr(expr.index), I32)
+            return self.builder.gep(base_ptr, [index])
+        raise LoweringError(f"not an lvalue: {expr.kind}")
+
+    def _struct_pointer(self, base: C.Expr) -> Value:
+        """Lower ``base`` of a field access to a struct pointer."""
+        if isinstance(base, C.VarRef):
+            # A pointer-typed variable (header view, map-entry pointer)
+            # dereferences; a struct-valued variable takes its address.
+            if base.name in self.locals:
+                slot = self.locals[base.name]
+                if slot.allocated_type.is_pointer:
+                    return self.builder.load(slot)
+                return slot
+            if base.name in self.module.globals:
+                return self._state_global(base.name)
+            raise LoweringError(f"unknown variable {base.name!r}")
+        if isinstance(base, C.CallExpr):
+            value = self.lower_expr(base)
+            if not value.type.is_pointer:
+                raise LoweringError(f"call {base.name} does not yield a pointer")
+            return value
+        if isinstance(base, C.IndexExpr):
+            return self.lower_lvalue(base)
+        raise LoweringError(f"cannot take struct pointer of {base.kind}")
+
+    # -- rvalues ---------------------------------------------------------
+    def lower_expr(self, expr: C.Expr) -> Value:
+        if isinstance(expr, C.IntLit):
+            return Constant(_script_int_type(expr.type), expr.value)
+        if isinstance(expr, C.VarRef):
+            ptr = self.lower_lvalue(expr)
+            pointee = ptr.type.pointee  # type: ignore[union-attr]
+            if pointee.is_aggregate:
+                return ptr  # aggregates decay to their address
+            return self.builder.load(ptr)
+        if isinstance(expr, C.BinExpr):
+            if expr.op in C.BOOL_OPS:
+                lhs = self._truthy(self.lower_expr(expr.lhs))
+                rhs = self._truthy(self.lower_expr(expr.rhs))
+                opcode = "and" if expr.op == "and" else "or"
+                return self.builder.binop(opcode, lhs, rhs)
+            lhs = self.lower_expr(expr.lhs)
+            rhs = self.lower_expr(expr.rhs)
+            lhs, rhs = self._promote(lhs, rhs)
+            opcode = {
+                "+": "add",
+                "-": "sub",
+                "*": "mul",
+                "/": "udiv",
+                "%": "urem",
+                "&": "and",
+                "|": "or",
+                "^": "xor",
+                "<<": "shl",
+                ">>": "lshr",
+            }[expr.op]
+            return self.builder.binop(opcode, lhs, rhs)
+        if isinstance(expr, C.CmpExpr):
+            lhs = self.lower_expr(expr.lhs)
+            rhs = self.lower_expr(expr.rhs)
+            # Pointer null-checks: `ptr == 0` / `ptr != 0`.
+            if lhs.type.is_pointer and isinstance(rhs, Constant):
+                rhs = Constant(lhs.type, 0)
+            elif rhs.type.is_pointer and isinstance(lhs, Constant):
+                lhs = Constant(rhs.type, 0)
+            else:
+                lhs, rhs = self._promote(lhs, rhs)
+            predicate = {
+                "==": "eq",
+                "!=": "ne",
+                "<": "ult",
+                "<=": "ule",
+                ">": "ugt",
+                ">=": "uge",
+            }[expr.op]
+            return self.builder.icmp(predicate, lhs, rhs)
+        if isinstance(expr, C.NotExpr):
+            value = self._truthy(self.lower_expr(expr.value))
+            return self.builder.xor(value, Constant(I1, 1))
+        if isinstance(expr, (C.FieldExpr, C.IndexExpr)):
+            ptr = self.lower_lvalue(expr)
+            pointee = ptr.type.pointee  # type: ignore[union-attr]
+            if pointee.is_aggregate:
+                return ptr
+            return self.builder.load(ptr)
+        if isinstance(expr, C.CallExpr):
+            return self.lower_call(expr)
+        raise LoweringError(f"cannot lower expression {expr.kind}")
+
+    def _promote(self, lhs: Value, rhs: Value) -> Tuple[Value, Value]:
+        if not (isinstance(lhs.type, IntType) and isinstance(rhs.type, IntType)):
+            raise LoweringError(
+                f"arithmetic on non-integers: {lhs.type}, {rhs.type}"
+            )
+        if lhs.type.bits == rhs.type.bits:
+            return lhs, rhs
+        wide = lhs.type if lhs.type.bits > rhs.type.bits else rhs.type
+        return self._coerce(lhs, wide), self._coerce(rhs, wide)
+
+    # -- calls -------------------------------------------------------------
+    def lower_call(self, expr: C.CallExpr) -> Value:
+        if expr.receiver is not None:
+            return self._lower_method_call(expr)
+        if expr.name in API_REGISTRY:
+            return self._lower_api_call(expr.name, None, expr.args)
+        if expr.name in self.helpers:
+            helper = self.helpers[expr.name]
+            if len(expr.args) != len(helper.params):
+                raise LoweringError(
+                    f"helper {expr.name} expects {len(helper.params)} args,"
+                    f" got {len(expr.args)}"
+                )
+            args = []
+            for (_pname, ptype), arg in zip(helper.params, expr.args):
+                args.append(
+                    self._coerce(self.lower_expr(arg), self.types.resolve(ptype))
+                )
+            ret = self.types.resolve(helper.ret_type)
+            return self.builder.call(expr.name, args, ret, kind=CALL_KIND_INTERNAL)
+        raise LoweringError(f"unknown function {expr.name!r}")
+
+    def _lower_method_call(self, expr: C.CallExpr) -> Value:
+        receiver = expr.receiver
+        if isinstance(receiver, C.VarRef) and receiver.name == "pkt":
+            table = METHOD_TABLE[RECEIVER_PACKET]
+            if expr.name not in table:
+                raise LoweringError(f"packet has no method {expr.name!r}")
+            return self._lower_api_call(table[expr.name], None, expr.args)
+        if isinstance(receiver, C.VarRef) and receiver.name in self.module.globals:
+            decl = self.element.state_decl(receiver.name)
+            if decl.kind == "hashmap":
+                table = METHOD_TABLE[RECEIVER_HASHMAP]
+            elif decl.kind == "vector":
+                table = METHOD_TABLE[RECEIVER_VECTOR]
+            else:
+                raise LoweringError(
+                    f"state {receiver.name!r} of kind {decl.kind} has no methods"
+                )
+            if expr.name not in table:
+                raise LoweringError(
+                    f"{decl.kind} has no method {expr.name!r}"
+                )
+            return self._lower_api_call(table[expr.name], decl, expr.args)
+        raise LoweringError(f"bad method receiver for {expr.name!r}")
+
+    def _api_shape_type(
+        self, shape: str, decl: Optional[C.StateDecl]
+    ) -> IRType:
+        if shape in C.TYPE_BITS or shape == "void":
+            return self.types.resolve(shape if shape != "bool" else "bool")
+        if shape.endswith("*"):
+            inner = shape[:-1]
+            if inner in _HEADER_STRUCTS:
+                return PointerType(_HEADER_STRUCTS[inner])
+            if decl is None:
+                raise LoweringError(f"shape {shape!r} needs a state receiver")
+            if inner == "key":
+                return PointerType(self.types.structs[decl.key_struct])  # type: ignore[index]
+            if inner == "value":
+                return PointerType(self.types.structs[decl.value_type])
+            if inner == "elem":
+                if decl.value_type in C.TYPE_BITS:
+                    return PointerType(_script_int_type(decl.value_type))
+                return PointerType(self.types.structs[decl.value_type])
+        raise LoweringError(f"unknown API shape {shape!r}")
+
+    def _lower_api_call(
+        self,
+        api_name: str,
+        decl: Optional[C.StateDecl],
+        args: List[C.Expr],
+    ) -> Value:
+        spec = API_REGISTRY[api_name]
+        if len(args) != len(spec.params):
+            raise LoweringError(
+                f"API {api_name} expects {len(spec.params)} args, got {len(args)}"
+            )
+        lowered: List[Value] = []
+        if spec.receiver == RECEIVER_PACKET:
+            if self.pkt_arg is None:
+                raise LoweringError(
+                    f"{self.function.name} has no packet argument for {api_name}"
+                )
+            lowered.append(self.pkt_arg)
+        elif spec.receiver in (RECEIVER_HASHMAP, RECEIVER_VECTOR):
+            assert decl is not None
+            lowered.append(self._state_global(decl.name))
+        for shape, arg in zip(spec.params, args):
+            if shape.endswith("*") and shape[:-1] in ("key", "value", "elem"):
+                lowered.append(self.lower_lvalue(arg))
+            elif shape.endswith("*"):
+                value = self.lower_expr(arg)
+                expected = self._api_shape_type(shape, decl)
+                if value.type != expected:
+                    raise LoweringError(
+                        f"API {api_name} arg has type {value.type}, expected"
+                        f" {expected}"
+                    )
+                lowered.append(value)
+            else:
+                lowered.append(
+                    self._coerce(self.lower_expr(arg), self._api_shape_type(shape, decl))
+                )
+        ret_type = self._api_shape_type(spec.ret, decl) if spec.ret != "void" else VOID
+        call = self.builder.call(api_name, lowered, ret_type, kind=CALL_KIND_API)
+        if spec.is_stateful and decl is not None and ret_type.is_pointer:
+            call.meta["points_to"] = f"stateful:{decl.name}"
+        return call
+
+    # -- statements -----------------------------------------------------
+    def lower_stmts(self, stmts: List[C.Stmt]) -> None:
+        for stmt in stmts:
+            if self.builder.block.is_terminated:
+                # Unreachable code after return/break; skip lowering the
+                # remainder of this statement list.
+                return
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: C.Stmt) -> None:
+        if isinstance(stmt, C.DeclStmt):
+            type_ = self.types.resolve(stmt.type)
+            slot = self._alloca(stmt.name, type_)
+            if stmt.init is not None:
+                value = self.lower_expr(stmt.init)
+                if type_.is_pointer:
+                    if not value.type.is_pointer:
+                        raise LoweringError(
+                            f"initializing pointer {stmt.name} with {value.type}"
+                        )
+                    self.builder.store(value, slot)
+                elif isinstance(type_, IntType):
+                    self.builder.store(self._coerce(value, type_), slot)
+                else:
+                    raise LoweringError(
+                        f"cannot initialize aggregate {stmt.name!r} inline"
+                    )
+            return
+        if isinstance(stmt, C.AssignStmt):
+            ptr = self.lower_lvalue(stmt.target)
+            value = self.lower_expr(stmt.value)
+            pointee = ptr.type.pointee  # type: ignore[union-attr]
+            if isinstance(pointee, IntType):
+                value = self._coerce(value, pointee)
+            elif pointee.is_pointer:
+                if value.type != pointee:
+                    raise LoweringError(
+                        f"assigning {value.type} to pointer slot {pointee}"
+                    )
+            else:
+                raise LoweringError(f"cannot assign aggregate {pointee}")
+            self.builder.store(value, ptr)
+            return
+        if isinstance(stmt, C.IfStmt):
+            cond = self._truthy(self.lower_expr(stmt.cond))
+            then_block = self._new_block("if.then")
+            merge_block = self._new_block("if.end")
+            else_block = (
+                self._new_block("if.else") if stmt.else_body else merge_block
+            )
+            self.builder.cond_br(cond, then_block, else_block)
+            self.builder.position_at_end(then_block)
+            self.lower_stmts(stmt.then_body)
+            if not self.builder.block.is_terminated:
+                self.builder.br(merge_block)
+            if stmt.else_body:
+                self.builder.position_at_end(else_block)
+                self.lower_stmts(stmt.else_body)
+                if not self.builder.block.is_terminated:
+                    self.builder.br(merge_block)
+            self.builder.position_at_end(merge_block)
+            return
+        if isinstance(stmt, C.WhileStmt):
+            cond_block = self._new_block("while.cond")
+            body_block = self._new_block("while.body")
+            exit_block = self._new_block("while.end")
+            self.builder.br(cond_block)
+            self.builder.position_at_end(cond_block)
+            cond = self._truthy(self.lower_expr(stmt.cond))
+            self.builder.cond_br(cond, body_block, exit_block)
+            self.builder.position_at_end(body_block)
+            self.loop_stack.append((cond_block, exit_block))
+            self.lower_stmts(stmt.body)
+            self.loop_stack.pop()
+            if not self.builder.block.is_terminated:
+                self.builder.br(cond_block)
+            self.builder.position_at_end(exit_block)
+            return
+        if isinstance(stmt, C.ForStmt):
+            var_type = self.types.resolve(stmt.var_type)
+            if not isinstance(var_type, IntType):
+                raise LoweringError("for-loop variable must be an integer")
+            slot = self._alloca(stmt.var, var_type)
+            start = self._coerce(self.lower_expr(stmt.start), var_type)
+            self.builder.store(start, slot)
+            cond_block = self._new_block("for.cond")
+            body_block = self._new_block("for.body")
+            inc_block = self._new_block("for.inc")
+            exit_block = self._new_block("for.end")
+            self.builder.br(cond_block)
+            self.builder.position_at_end(cond_block)
+            current = self.builder.load(slot)
+            end = self._coerce(self.lower_expr(stmt.end), var_type)
+            cond = self.builder.icmp("ult", current, end)
+            self.builder.cond_br(cond, body_block, exit_block)
+            self.builder.position_at_end(body_block)
+            self.loop_stack.append((inc_block, exit_block))
+            self.lower_stmts(stmt.body)
+            self.loop_stack.pop()
+            if not self.builder.block.is_terminated:
+                self.builder.br(inc_block)
+            self.builder.position_at_end(inc_block)
+            bumped = self.builder.add(
+                self.builder.load(slot), Constant(var_type, 1)
+            )
+            self.builder.store(bumped, slot)
+            self.builder.br(cond_block)
+            self.builder.position_at_end(exit_block)
+            return
+        if isinstance(stmt, C.ExprStmt):
+            self.lower_expr(stmt.expr)
+            return
+        if isinstance(stmt, C.ReturnStmt):
+            if self.function.ret_type.is_void:
+                if stmt.value is not None:
+                    raise LoweringError("void function returns a value")
+                self.builder.ret()
+            else:
+                if stmt.value is None:
+                    raise LoweringError("non-void function returns nothing")
+                value = self._coerce(
+                    self.lower_expr(stmt.value), self.function.ret_type
+                )
+                self.builder.ret(value)
+            return
+        if isinstance(stmt, C.BreakStmt):
+            if not self.loop_stack:
+                raise LoweringError("break outside a loop")
+            self.builder.br(self.loop_stack[-1][1])
+            return
+        if isinstance(stmt, C.ContinueStmt):
+            if not self.loop_stack:
+                raise LoweringError("continue outside a loop")
+            self.builder.br(self.loop_stack[-1][0])
+            return
+        raise LoweringError(f"cannot lower statement {stmt.kind}")
+
+
+def _lower_state(
+    element: C.ElementDef, module: Module, types: _ElementTypes
+) -> None:
+    for decl in element.state:
+        if decl.kind == "scalar":
+            module.add_global(
+                GlobalVariable(
+                    decl.name, _script_int_type(decl.value_type), kind="scalar"
+                )
+            )
+        elif decl.kind == "array":
+            elem = _script_int_type(decl.value_type)
+            module.add_global(
+                GlobalVariable(
+                    decl.name,
+                    ArrayType(elem, decl.entries),
+                    kind="array",
+                    entries=decl.entries,
+                )
+            )
+        elif decl.kind == "struct":
+            module.add_global(
+                GlobalVariable(
+                    decl.name, types.structs[decl.value_type], kind="struct"
+                )
+            )
+        elif decl.kind == "hashmap":
+            entry, _key, _value = _hashmap_entry_struct(types, decl)
+            module.add_global(
+                GlobalVariable(
+                    decl.name,
+                    ArrayType(entry, decl.entries),
+                    kind="hashmap",
+                    entries=decl.entries,
+                )
+            )
+        elif decl.kind == "vector":
+            entry, _elem = _vector_entry_struct(types, decl)
+            module.add_global(
+                GlobalVariable(
+                    decl.name,
+                    ArrayType(entry, decl.entries),
+                    kind="vector",
+                    entries=decl.entries,
+                )
+            )
+
+
+def lower_element(element: C.ElementDef, inline: bool = True) -> Module:
+    """Lower a ClickScript element to an NFIR module.
+
+    With ``inline=True`` (the default, matching the paper) internal
+    helper calls are inlined into the handler.
+    """
+    module = Module(element.name)
+    module.meta["element"] = element
+    types = _ElementTypes(element)
+    _lower_state(element, module, types)
+
+    helper_names = {h.name: h for h in element.helpers}
+
+    for helper in element.helpers:
+        params = [(n, types.resolve(t)) for n, t in helper.params]
+        function = Function(helper.name, params, types.resolve(helper.ret_type))
+        module.add_function(function)
+        lowering = _FunctionLowering(element, module, types, function, helper_names)
+        # -O0 style: copy parameters into allocas so they are mutable.
+        for arg in function.args:
+            slot = lowering._alloca(arg.name, arg.type)
+            lowering.builder.store(arg, slot)
+        lowering.lower_stmts(helper.body)
+        lowering._finish()
+
+    handler = Function("pkt_handler", [("pkt", PointerType(PACKET_TYPE))], VOID)
+    module.add_function(handler)
+    lowering = _FunctionLowering(element, module, types, handler, helper_names)
+    lowering.lower_stmts(element.handler)
+    lowering._finish()
+
+    if inline:
+        inline_internal_calls(module)
+    return module

@@ -1,0 +1,610 @@
+"""Host-side execution of lowered NF elements.
+
+Paper Sections 4.3-4.4: "To obtain access frequencies, Clara runs the
+Click NFs ... on the host machine with the specified workload."  This
+module is that host: an NFIR interpreter with host-framework semantics
+(elastic hashmaps, real header parsing), which records
+
+* basic-block execution counts (keyed by NFIR block names, so they line
+  up with the static analysis),
+* per-global load/store counts and per-(global, block) access vectors
+  (the inputs to the placement ILP and the coalescing K-means), and
+* framework API call counts.
+
+It doubles as a correctness oracle in tests: elements are executed on
+crafted packets and their NF-level behaviour (NAT rewrites, firewall
+verdicts, sketch counts) is asserted directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.click.packet import Packet
+from repro.nfir.block import BasicBlock
+from repro.nfir.function import Function, GlobalVariable, Module
+from repro.nfir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    GEP,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    evaluate_binary,
+    evaluate_icmp,
+)
+from repro.nfir.types import ArrayType, IntType, IRType, PointerType, StructType
+from repro.nfir.values import Argument, Constant, Value
+
+
+class InterpError(RuntimeError):
+    pass
+
+
+def zero_value(type_: IRType):
+    """Zero-initialized value tree for a type."""
+    if isinstance(type_, IntType):
+        return 0
+    if isinstance(type_, PointerType):
+        return NULL
+    if isinstance(type_, StructType):
+        return {name: zero_value(ftype) for name, ftype in type_.fields}
+    if isinstance(type_, ArrayType):
+        return [zero_value(type_.element) for _ in range(type_.count)]
+    raise InterpError(f"cannot zero-init {type_}")
+
+
+class _Store:
+    """Storage object a pointer can reference."""
+
+    def read(self, path: Tuple):
+        raise NotImplementedError
+
+    def write(self, path: Tuple, value) -> None:
+        raise NotImplementedError
+
+
+class TreeStore(_Store):
+    """Nested dict/list/int storage for allocas and plain globals."""
+
+    def __init__(self, tree) -> None:
+        self.tree = tree
+
+    def _navigate(self, path: Tuple):
+        node = self.tree
+        for step in path[:-1]:
+            node = node[step]
+        return node
+
+    def read(self, path: Tuple):
+        if not path:
+            return self.tree
+        return self._navigate(path)[path[-1]]
+
+    def write(self, path: Tuple, value) -> None:
+        if not path:
+            self.tree = value
+            return
+        self._navigate(path)[path[-1]] = value
+
+
+class PacketStore(_Store):
+    """Pointer target for header views: path = (header, field)."""
+
+    def __init__(self, packet: Packet) -> None:
+        self.packet = packet
+
+    def read(self, path: Tuple):
+        header, fname = path
+        hdr = self.packet.header(header)
+        if hdr is None:
+            raise InterpError(f"packet has no {header} header")
+        return hdr[fname]
+
+    def write(self, path: Tuple, value) -> None:
+        header, fname = path
+        hdr = self.packet.header(header)
+        if hdr is None:
+            raise InterpError(f"packet has no {header} header")
+        hdr[fname] = value
+
+
+@dataclass(frozen=True)
+class Ptr:
+    """A typed pointer value: storage object + access path.
+
+    ``origin`` names the module global this pointer is derived from (if
+    any) so the interpreter can attribute loads/stores to stateful data
+    structures.
+    """
+
+    store: Optional[_Store]
+    path: Tuple = ()
+    origin: Optional[str] = None
+
+    @property
+    def is_null(self) -> bool:
+        return self.store is None
+
+    def child(self, step) -> "Ptr":
+        return Ptr(self.store, self.path + (step,), self.origin)
+
+
+NULL = Ptr(None)
+
+
+class HostHashMap:
+    """Elastic, host-Click-style hashmap (dict-backed)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: Dict[Tuple, Dict] = {}
+
+    def find(self, key: Tuple) -> Optional[Dict]:
+        return self.entries.get(key)
+
+    def insert(self, key: Tuple, value: Dict) -> bool:
+        # Host Click grows elastically; we still bound it for safety.
+        if key not in self.entries and len(self.entries) >= self.capacity * 8:
+            return False
+        self.entries[key] = dict(value)
+        return True
+
+    def erase(self, key: Tuple) -> bool:
+        return self.entries.pop(key, None) is not None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class HostVector:
+    """Elastic host vector with NIC-style capacity accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.items: List = []
+
+    def push(self, value) -> bool:
+        if len(self.items) >= self.capacity:
+            return False
+        self.items.append(value)
+        return True
+
+
+@dataclass
+class ExecutionProfile:
+    """Aggregated result of interpreting a trace."""
+
+    packets: int = 0
+    sent: int = 0
+    dropped: int = 0
+    block_counts: Counter = field(default_factory=Counter)
+    #: loads/stores per global: name -> {"load": n, "store": n}
+    global_access: Dict[str, Counter] = field(default_factory=dict)
+    #: (global, block) -> access count; the coalescing access vectors.
+    global_block_access: Counter = field(default_factory=Counter)
+    api_counts: Counter = field(default_factory=Counter)
+    #: per-packet path signatures: frozenset of executed block names ->
+    #: packet count.  Used by the partial-offloading extension to
+    #: reason about which packets a host/NIC split would punt.
+    path_counts: Counter = field(default_factory=Counter)
+
+    def record_access(self, global_name: str, kind: str, block: str) -> None:
+        per_global = self.global_access.setdefault(global_name, Counter())
+        per_global[kind] += 1
+        self.global_block_access[(global_name, block)] += 1
+
+    def access_frequency(self, global_name: str) -> float:
+        """Accesses per packet for one global (placement ILP input)."""
+        if self.packets == 0:
+            return 0.0
+        per_global = self.global_access.get(global_name, Counter())
+        return (per_global["load"] + per_global["store"]) / self.packets
+
+    def access_vector(self, global_name: str, block_order: List[str]) -> np.ndarray:
+        """Normalized per-block access vector (Section 4.4)."""
+        counts = np.array(
+            [self.global_block_access.get((global_name, b), 0) for b in block_order],
+            dtype=float,
+        )
+        total = counts.sum()
+        return counts / total if total > 0 else counts
+
+
+class Interpreter:
+    """Executes a lowered element module packet by packet."""
+
+    def __init__(
+        self,
+        module: Module,
+        seed: int = 0,
+        max_steps_per_packet: int = 500_000,
+    ) -> None:
+        self.module = module
+        self.max_steps = max_steps_per_packet
+        self.rng = np.random.default_rng(seed)
+        self.profile = ExecutionProfile()
+        # Stateful storage (persists across packets).
+        self.globals: Dict[str, object] = {}
+        for name, g in module.globals.items():
+            if g.kind == "hashmap":
+                self.globals[name] = HostHashMap(g.entries)
+            elif g.kind == "vector":
+                self.globals[name] = HostVector(g.entries)
+            else:
+                self.globals[name] = TreeStore(zero_value(g.value_type))
+        self._current_packet: Optional[Packet] = None
+        self._packet_store: Optional[PacketStore] = None
+
+    # -- state inspection helpers (used by tests) ---------------------
+    def hashmap(self, name: str) -> HostHashMap:
+        obj = self.globals[name]
+        if not isinstance(obj, HostHashMap):
+            raise InterpError(f"{name} is not a hashmap")
+        return obj
+
+    def vector(self, name: str) -> HostVector:
+        obj = self.globals[name]
+        if not isinstance(obj, HostVector):
+            raise InterpError(f"{name} is not a vector")
+        return obj
+
+    def global_value(self, name: str):
+        obj = self.globals[name]
+        if not isinstance(obj, TreeStore):
+            raise InterpError(f"{name} has no direct value")
+        return obj.tree
+
+    # -- running -------------------------------------------------------
+    def run_trace(self, packets: Iterable[Packet]) -> ExecutionProfile:
+        for packet in packets:
+            self.run_packet(packet)
+        return self.profile
+
+    def run_packet(self, packet: Packet) -> Packet:
+        self._current_packet = packet
+        self._packet_store = PacketStore(packet)
+        handler = self.module.handler
+        before = Counter(self.profile.block_counts)
+        self._run_function(handler, [Ptr(self._packet_store, (), None)])
+        path = frozenset(
+            name
+            for name, count in self.profile.block_counts.items()
+            if count > before.get(name, 0)
+        )
+        self.profile.path_counts[path] += 1
+        self.profile.packets += 1
+        if packet.dropped:
+            self.profile.dropped += 1
+        elif packet.out_port is not None:
+            self.profile.sent += 1
+        return packet
+
+    # -- the core evaluation loop ---------------------------------------
+    def _run_function(self, function: Function, args: List):
+        env: Dict[int, object] = {}
+        for formal, actual in zip(function.args, args):
+            env[id(formal)] = actual
+        block = function.entry
+        prev_block: Optional[BasicBlock] = None
+        steps = 0
+        while True:
+            self.profile.block_counts[block.name] += 1
+            jumped = False
+            for instr in block.instructions:
+                steps += 1
+                if steps > self.max_steps:
+                    raise InterpError(
+                        f"step limit exceeded in @{function.name}"
+                        f" ({self.max_steps} steps)"
+                    )
+                if isinstance(instr, Br):
+                    prev_block, block = block, instr.target
+                    jumped = True
+                    break
+                if isinstance(instr, CondBr):
+                    cond = self._value(instr.cond, env)
+                    prev_block, block = (
+                        block,
+                        instr.if_true if cond else instr.if_false,
+                    )
+                    jumped = True
+                    break
+                if isinstance(instr, Ret):
+                    if instr.value is None:
+                        return None
+                    return self._value(instr.value, env)
+                self._execute(instr, env, block, prev_block)
+            if not jumped:
+                raise InterpError(
+                    f"block {block.name} in @{function.name} fell through"
+                )
+
+    def _value(self, value: Value, env: Dict[int, object]):
+        if isinstance(value, Constant):
+            if value.type.is_pointer:
+                return NULL
+            return value.value
+        if isinstance(value, GlobalVariable):
+            store = self.globals[value.name]
+            if isinstance(store, TreeStore):
+                return Ptr(store, (), value.name)
+            # hashmap/vector handles are opaque; only API calls use them.
+            return Ptr(None, (), value.name)
+        if id(value) in env:
+            return env[id(value)]
+        raise InterpError(f"use of undefined value {value.ref()}")
+
+    def _execute(
+        self,
+        instr,
+        env: Dict[int, object],
+        block: BasicBlock,
+        prev_block: Optional[BasicBlock],
+    ) -> None:
+        if isinstance(instr, BinaryOp):
+            lhs = self._value(instr.lhs, env)
+            rhs = self._value(instr.rhs, env)
+            env[id(instr)] = evaluate_binary(instr.opcode, instr.type, lhs, rhs)
+        elif isinstance(instr, ICmp):
+            lhs = self._value(instr.lhs, env)
+            rhs = self._value(instr.rhs, env)
+            if isinstance(lhs, Ptr) or isinstance(rhs, Ptr):
+                lnull = lhs.is_null if isinstance(lhs, Ptr) else lhs == 0
+                rnull = rhs.is_null if isinstance(rhs, Ptr) else rhs == 0
+                same = (lnull and rnull) or (
+                    isinstance(lhs, Ptr)
+                    and isinstance(rhs, Ptr)
+                    and lhs == rhs
+                )
+                env[id(instr)] = int(same if instr.predicate == "eq" else not same)
+            else:
+                env[id(instr)] = evaluate_icmp(
+                    instr.predicate, instr.lhs.type, lhs, rhs
+                )
+        elif isinstance(instr, Select):
+            cond = self._value(instr.cond, env)
+            env[id(instr)] = self._value(
+                instr.if_true if cond else instr.if_false, env
+            )
+        elif isinstance(instr, Cast):
+            value = self._value(instr.value, env)
+            if instr.opcode == "bitcast":
+                env[id(instr)] = value
+            elif instr.opcode in ("zext", "trunc"):
+                env[id(instr)] = instr.type.wrap(value)  # type: ignore[union-attr]
+            elif instr.opcode == "sext":
+                signed = instr.value.type.to_signed(value)  # type: ignore[union-attr]
+                env[id(instr)] = instr.type.wrap(signed)  # type: ignore[union-attr]
+        elif isinstance(instr, Alloca):
+            env[id(instr)] = Ptr(TreeStore(zero_value(instr.allocated_type)))
+        elif isinstance(instr, Load):
+            ptr = self._value(instr.ptr, env)
+            if not isinstance(ptr, Ptr) or ptr.is_null:
+                raise InterpError(f"load through bad pointer in {block.name}")
+            env[id(instr)] = ptr.store.read(ptr.path)
+            if ptr.origin is not None:
+                self.profile.record_access(ptr.origin, "load", block.name)
+        elif isinstance(instr, Store):
+            ptr = self._value(instr.ptr, env)
+            value = self._value(instr.value, env)
+            if not isinstance(ptr, Ptr) or ptr.is_null:
+                raise InterpError(f"store through bad pointer in {block.name}")
+            ptr.store.write(ptr.path, value)
+            if ptr.origin is not None:
+                self.profile.record_access(ptr.origin, "store", block.name)
+        elif isinstance(instr, GEP):
+            base = self._value(instr.base, env)
+            if not isinstance(base, Ptr):
+                raise InterpError("GEP on non-pointer value")
+            ptr = base
+            for idx in instr.indices:
+                if isinstance(idx, str):
+                    ptr = ptr.child(idx)
+                else:
+                    ptr = ptr.child(int(self._value(idx, env)))
+            env[id(instr)] = ptr
+        elif isinstance(instr, Phi):
+            if prev_block is None:
+                raise InterpError("phi in entry block")
+            for value, pred in instr.incomings:
+                if pred is prev_block:
+                    env[id(instr)] = self._value(value, env)
+                    return
+            raise InterpError(
+                f"phi in {block.name} has no arm for predecessor"
+                f" {prev_block.name}"
+            )
+        elif isinstance(instr, Call):
+            result = self._call(instr, env, block)
+            if instr.produces_value:
+                env[id(instr)] = result
+        else:
+            raise InterpError(f"cannot interpret {instr.opcode}")
+
+    # -- framework API implementations -----------------------------------
+    def _call(self, instr: Call, env: Dict[int, object], block: BasicBlock):
+        name = instr.callee
+        if instr.kind == "internal":
+            if name not in self.module.functions:
+                raise InterpError(f"call to unknown function @{name}")
+            args = [self._value(a, env) for a in instr.args]
+            return self._run_function(self.module.functions[name], args)
+        self.profile.api_counts[name] += 1
+        packet = self._current_packet
+        if packet is None:
+            raise InterpError("API call outside packet context")
+
+        if name in ("eth_header", "ip_header", "tcp_header", "udp_header"):
+            header = name.split("_")[0]
+            if packet.header(header) is None:
+                return NULL
+            return Ptr(self._packet_store, (header,))
+        if name == "payload_byte":
+            index = self._value(instr.args[1], env)
+            if not packet.payload:
+                return 0
+            return packet.payload[index % len(packet.payload)]
+        if name == "set_payload_byte":
+            index = self._value(instr.args[1], env)
+            value = self._value(instr.args[2], env)
+            if packet.payload:
+                payload = bytearray(packet.payload)
+                payload[index % len(payload)] = value & 0xFF
+                packet.payload = bytes(payload)
+            return None
+        if name == "payload_len":
+            return len(packet.payload)
+        if name == "send":
+            packet.out_port = self._value(instr.args[1], env)
+            return None
+        if name == "drop":
+            packet.dropped = True
+            return None
+        if name == "in_port":
+            return packet.in_port
+        if name == "timestamp_ns":
+            return packet.timestamp_ns
+        if name == "checksum_update_ip":
+            ptr = self._value(instr.args[0], env)
+            self._checksum_ip(ptr)
+            return None
+        if name == "checksum_update_tcp":
+            ptr = self._value(instr.args[0], env)
+            self._checksum_tcp(ptr)
+            return None
+        if name == "random_u32":
+            return int(self.rng.integers(0, 2**32, dtype=np.uint64))
+
+        # Stateful data-structure APIs.  The receiver global is the
+        # first argument.
+        receiver = instr.args[0]
+        if not isinstance(receiver, GlobalVariable):
+            raise InterpError(f"API {name} receiver is not a global")
+        gname = receiver.name
+        self.profile.record_access(gname, "load", block.name)
+        if name.startswith("hashmap_"):
+            return self._hashmap_call(name, gname, instr, env, block)
+        if name.startswith("vector_"):
+            return self._vector_call(name, gname, instr, env, block)
+        raise InterpError(f"unimplemented API {name!r}")
+
+    def _read_struct(self, ptr: Ptr) -> Dict:
+        value = ptr.store.read(ptr.path)  # type: ignore[union-attr]
+        if not isinstance(value, dict):
+            raise InterpError("expected a struct value")
+        return value
+
+    def _hashmap_call(self, name, gname, instr, env, block):
+        table = self.hashmap(gname)
+        if name == "hashmap_size":
+            return len(table)
+        key_ptr = self._value(instr.args[1], env)
+        key = tuple(sorted(self._read_struct(key_ptr).items()))
+        if name == "hashmap_find":
+            entry = table.find(key)
+            if entry is None:
+                return NULL
+            return Ptr(TreeStore(entry), (), gname)
+        if name == "hashmap_insert":
+            value_ptr = self._value(instr.args[2], env)
+            value = self._read_struct(value_ptr)
+            self.profile.record_access(gname, "store", block.name)
+            return int(table.insert(key, value))
+        if name == "hashmap_erase":
+            self.profile.record_access(gname, "store", block.name)
+            return int(table.erase(key))
+        raise InterpError(f"unknown hashmap API {name}")
+
+    def _vector_call(self, name, gname, instr, env, block):
+        vec = self.vector(gname)
+        if name == "vector_size":
+            return len(vec.items)
+        if name == "vector_at":
+            index = self._value(instr.args[1], env)
+            if index >= len(vec.items):
+                return NULL
+            item = vec.items[index]
+            if isinstance(item, dict):
+                return Ptr(TreeStore(item), (), gname)
+            # Scalar vectors: box the value so the pointer is writable.
+            box = {"elem": item}
+
+            class _BoxStore(TreeStore):
+                def __init__(self, items, i):
+                    super().__init__(items[i])
+                    self._items, self._i = items, i
+
+                def write(self, path, value):
+                    self._items[self._i] = value
+
+            return Ptr(_BoxStore(vec.items, index), (), gname)
+        if name == "vector_push":
+            elem_ptr = self._value(instr.args[1], env)
+            value = elem_ptr.store.read(elem_ptr.path)  # type: ignore[union-attr]
+            if isinstance(value, dict):
+                value = dict(value)
+            self.profile.record_access(gname, "store", block.name)
+            return int(vec.push(value))
+        if name == "vector_remove":
+            index = self._value(instr.args[1], env)
+            self.profile.record_access(gname, "store", block.name)
+            if index < len(vec.items):
+                del vec.items[index]
+            return None
+        raise InterpError(f"unknown vector API {name}")
+
+    # -- checksum helpers ---------------------------------------------------
+    def _checksum_ip(self, ptr: Ptr) -> None:
+        packet = self._current_packet
+        assert packet is not None
+        words = [
+            (packet.ip["ip_v"] << 12)
+            | (packet.ip["ip_hl"] << 8)
+            | packet.ip["ip_tos"],
+            packet.ip["ip_len"],
+            packet.ip["ip_id"],
+            packet.ip["ip_off"],
+            (packet.ip["ip_ttl"] << 8) | packet.ip["ip_p"],
+            packet.ip["src_addr"] >> 16,
+            packet.ip["src_addr"] & 0xFFFF,
+            packet.ip["dst_addr"] >> 16,
+            packet.ip["dst_addr"] & 0xFFFF,
+        ]
+        total = sum(words)
+        while total > 0xFFFF:
+            total = (total & 0xFFFF) + (total >> 16)
+        packet.ip["ip_sum"] = (~total) & 0xFFFF
+
+    def _checksum_tcp(self, ptr: Ptr) -> None:
+        packet = self._current_packet
+        assert packet is not None
+        if packet.tcp is None:
+            return
+        words = [
+            packet.tcp["th_sport"],
+            packet.tcp["th_dport"],
+            packet.tcp["th_seq"] >> 16,
+            packet.tcp["th_seq"] & 0xFFFF,
+            packet.tcp["th_ack"] >> 16,
+            packet.tcp["th_ack"] & 0xFFFF,
+            packet.ip["src_addr"] >> 16,
+            packet.ip["src_addr"] & 0xFFFF,
+            packet.ip["dst_addr"] >> 16,
+            packet.ip["dst_addr"] & 0xFFFF,
+        ]
+        total = sum(words)
+        while total > 0xFFFF:
+            total = (total & 0xFFFF) + (total >> 16)
+        packet.tcp["th_sum"] = (~total) & 0xFFFF

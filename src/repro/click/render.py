@@ -1,0 +1,126 @@
+"""Render ClickScript ASTs as C++-flavoured source text.
+
+Used for human inspection, documentation, and the lines-of-code column
+of the Table-2 inventory.  The output intentionally looks like a Click
+element (class wrapper, ``simple_action`` handler).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.click import ast as C
+
+
+def _expr(expr: C.Expr) -> str:
+    if isinstance(expr, C.IntLit):
+        return str(expr.value)
+    if isinstance(expr, C.VarRef):
+        return expr.name
+    if isinstance(expr, C.BinExpr):
+        op = {"and": "&&", "or": "||"}.get(expr.op, expr.op)
+        return f"({_expr(expr.lhs)} {op} {_expr(expr.rhs)})"
+    if isinstance(expr, C.CmpExpr):
+        return f"({_expr(expr.lhs)} {expr.op} {_expr(expr.rhs)})"
+    if isinstance(expr, C.NotExpr):
+        return f"!({_expr(expr.value)})"
+    if isinstance(expr, C.FieldExpr):
+        base = _expr(expr.base)
+        return f"{base}->{expr.field}"
+    if isinstance(expr, C.IndexExpr):
+        return f"{_expr(expr.base)}[{_expr(expr.index)}]"
+    if isinstance(expr, C.CallExpr):
+        args = ", ".join(_expr(a) for a in expr.args)
+        if expr.receiver is not None:
+            return f"{_expr(expr.receiver)}.{expr.name}({args})"
+        return f"{expr.name}({args})"
+    raise TypeError(f"cannot render {expr!r}")
+
+
+def _stmts(stmts: List[C.Stmt], indent: int, out: List[str]) -> None:
+    pad = "  " * indent
+    for stmt in stmts:
+        if isinstance(stmt, C.DeclStmt):
+            if stmt.init is not None:
+                out.append(f"{pad}{stmt.type} {stmt.name} = {_expr(stmt.init)};")
+            else:
+                out.append(f"{pad}{stmt.type} {stmt.name};")
+        elif isinstance(stmt, C.AssignStmt):
+            out.append(f"{pad}{_expr(stmt.target)} = {_expr(stmt.value)};")
+        elif isinstance(stmt, C.IfStmt):
+            out.append(f"{pad}if ({_expr(stmt.cond)}) {{")
+            _stmts(stmt.then_body, indent + 1, out)
+            if stmt.else_body:
+                out.append(f"{pad}}} else {{")
+                _stmts(stmt.else_body, indent + 1, out)
+            out.append(f"{pad}}}")
+        elif isinstance(stmt, C.WhileStmt):
+            out.append(f"{pad}while ({_expr(stmt.cond)}) {{")
+            _stmts(stmt.body, indent + 1, out)
+            out.append(f"{pad}}}")
+        elif isinstance(stmt, C.ForStmt):
+            out.append(
+                f"{pad}for ({stmt.var_type} {stmt.var} = {_expr(stmt.start)};"
+                f" {stmt.var} < {_expr(stmt.end)}; {stmt.var}++) {{"
+            )
+            _stmts(stmt.body, indent + 1, out)
+            out.append(f"{pad}}}")
+        elif isinstance(stmt, C.ExprStmt):
+            out.append(f"{pad}{_expr(stmt.expr)};")
+        elif isinstance(stmt, C.ReturnStmt):
+            if stmt.value is None:
+                out.append(f"{pad}return;")
+            else:
+                out.append(f"{pad}return {_expr(stmt.value)};")
+        elif isinstance(stmt, C.BreakStmt):
+            out.append(f"{pad}break;")
+        elif isinstance(stmt, C.ContinueStmt):
+            out.append(f"{pad}continue;")
+        else:
+            raise TypeError(f"cannot render {stmt!r}")
+
+
+def _state_decl(decl: C.StateDecl) -> str:
+    if decl.kind == "scalar":
+        return f"  {decl.value_type} {decl.name};"
+    if decl.kind == "array":
+        return f"  {decl.value_type} {decl.name}[{decl.entries}];"
+    if decl.kind == "struct":
+        return f"  struct {decl.value_type} {decl.name};"
+    if decl.kind == "hashmap":
+        return (
+            f"  HashMap<struct {decl.key_struct}, struct {decl.value_type}>"
+            f" {decl.name}; // capacity {decl.entries}"
+        )
+    if decl.kind == "vector":
+        return f"  Vector<{decl.value_type}> {decl.name}; // capacity {decl.entries}"
+    raise ValueError(decl.kind)
+
+
+def render_element(element: C.ElementDef) -> str:
+    """Render the element as Click-style C++ source."""
+    out: List[str] = []
+    for struct in element.structs:
+        out.append(f"struct {struct.name} {{")
+        for fname, ftype in struct.fields:
+            out.append(f"  {ftype} {fname};")
+        out.append("};")
+        out.append("")
+    out.append(f"class {element.name} : public Element {{")
+    for decl in element.state:
+        out.append(_state_decl(decl))
+    for helper in element.helpers:
+        params = ", ".join(f"{t} {n}" for n, t in helper.params)
+        out.append(f"  {helper.ret_type} {helper.name}({params}) {{")
+        _stmts(helper.body, 2, out)
+        out.append("  }")
+    out.append("  void simple_action(Packet *pkt) {")
+    _stmts(element.handler, 2, out)
+    out.append("  }")
+    out.append("};")
+    return "\n".join(out) + "\n"
+
+
+def element_loc(element: C.ElementDef) -> int:
+    """Non-blank source lines of the rendered element."""
+    return sum(1 for line in render_element(element).splitlines() if line.strip())

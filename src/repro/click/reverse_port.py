@@ -1,0 +1,266 @@
+"""Reverse porting of framework APIs (paper Section 3.3).
+
+Click's stateful data structures behave differently on the NIC: no
+runtime allocation, so HashMaps become pre-sized fixed-bucket tables
+(no linear probing), Vector deletion only marks entries invalid, etc.
+Clara handles this by *reverse porting*: deriving Click-style
+implementations whose control flow mirrors the SmartNIC library, so
+that host-side profiling triggers the same processing behaviour the
+ported NF will exhibit.
+
+Each entry here is a ClickScript :class:`~repro.click.ast.FuncDef`
+operating on a generic pre-sized table; they are lowered through the
+normal frontend and compiled with the NIC compiler to obtain
+high-fidelity per-API cost profiles (instructions + memory accesses) —
+"Clara uses the machine code as compiled from the SmartNIC compiler
+directly instead of using learning-based inference" (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.click.ast import ElementDef, FuncDef, Stmt
+from repro.click.elements._dsl import (
+    array_state,
+    assign,
+    brk,
+    decl,
+    eq,
+    fld,
+    for_,
+    ge,
+    idx,
+    if_,
+    lit,
+    ne,
+    ret,
+    scalar_state,
+    v,
+)
+
+#: Fixed bucket geometry of the NIC hashmap (ways per bucket).  Real
+#: Netronome hash tables use small fixed bucket sets because dynamic
+#: memory allocation is prohibited.
+BUCKET_WAYS = 4
+
+
+def _hash_stmts(out_var: str, key_var: str) -> List[Stmt]:
+    """The NIC library's multiplicative key hash (key already folded
+    into a 32-bit word by the caller)."""
+    return [
+        decl(out_var, "u32", (v(key_var) * 0x9E3779B1) & 0xFFFFFFFF),
+        assign(v(out_var), v(out_var) ^ (v(out_var) >> 16)),
+    ]
+
+
+def hashmap_find_rp() -> FuncDef:
+    """NIC-style find: hash to a bucket, scan its fixed ways.
+
+    State model: ``tags``/``vals`` arrays of ``n_buckets * WAYS``; a
+    zero tag means empty.  Returns the matching slot index + 1, or 0.
+    """
+    body: List[Stmt] = []
+    body += _hash_stmts("h", "key")
+    body += [
+        decl("base", "u32", (v("h") % v("n_buckets")) * BUCKET_WAYS),
+        decl("found", "u32", lit(0)),
+        for_(
+            "w",
+            0,
+            BUCKET_WAYS,
+            [
+                if_(
+                    eq(idx(v("tags"), v("base") + v("w")), v("key")),
+                    [assign(v("found"), v("base") + v("w") + 1), brk()],
+                ),
+            ],
+        ),
+        ret(v("found")),
+    ]
+    return FuncDef("rp_hashmap_find", [("key", "u32")], "u32", body)
+
+
+def hashmap_insert_rp() -> FuncDef:
+    """NIC-style insert: find the key or claim an empty way."""
+    body: List[Stmt] = []
+    body += _hash_stmts("h", "key")
+    body += [
+        decl("base", "u32", (v("h") % v("n_buckets")) * BUCKET_WAYS),
+        decl("slot", "u32", lit(0)),
+        for_(
+            "w",
+            0,
+            BUCKET_WAYS,
+            [
+                decl("tag", "u32", idx(v("tags"), v("base") + v("w"))),
+                if_(
+                    eq(v("tag"), v("key")),
+                    [assign(v("slot"), v("base") + v("w") + 1), brk()],
+                ),
+                if_(
+                    eq(v("tag"), 0),
+                    [assign(v("slot"), v("base") + v("w") + 1), brk()],
+                ),
+            ],
+        ),
+        if_(
+            ne(v("slot"), 0),
+            [
+                assign(idx(v("tags"), v("slot") - 1), v("key")),
+                assign(idx(v("vals"), v("slot") - 1), v("value")),
+                ret(lit(1)),
+            ],
+        ),
+        # Bucket full: baremetal tables cannot rehash at runtime.
+        ret(lit(0)),
+    ]
+    return FuncDef(
+        "rp_hashmap_insert", [("key", "u32"), ("value", "u32")], "u32", body
+    )
+
+
+def hashmap_erase_rp() -> FuncDef:
+    """NIC-style erase: deletion only marks the entry invalid."""
+    body: List[Stmt] = []
+    body += _hash_stmts("h", "key")
+    body += [
+        decl("base", "u32", (v("h") % v("n_buckets")) * BUCKET_WAYS),
+        for_(
+            "w",
+            0,
+            BUCKET_WAYS,
+            [
+                if_(
+                    eq(idx(v("tags"), v("base") + v("w")), v("key")),
+                    [
+                        # Invalidate the tag; the value slot is left as
+                        # is (no compaction on baremetal NICs).
+                        assign(idx(v("tags"), v("base") + v("w")), lit(0)),
+                        ret(lit(1)),
+                    ],
+                ),
+            ],
+        ),
+        ret(lit(0)),
+    ]
+    return FuncDef("rp_hashmap_erase", [("key", "u32")], "u32", body)
+
+
+
+def vector_at_rp() -> FuncDef:
+    """NIC-style vector indexing: bounds check + validity tag read."""
+    return FuncDef(
+        "rp_vector_at",
+        [("i", "u32")],
+        "u32",
+        [
+            if_(ge(v("i"), v("cap")), [ret(lit(0))]),
+            if_(eq(idx(v("valid"), v("i")), 0), [ret(lit(0))]),
+            ret(idx(v("vals"), v("i"))),
+        ],
+    )
+
+
+def vector_push_rp() -> FuncDef:
+    """NIC-style push: claim the next slot if below capacity."""
+    return FuncDef(
+        "rp_vector_push",
+        [("value", "u32")],
+        "u32",
+        [
+            if_(ge(v("count"), v("cap")), [ret(lit(0))]),
+            assign(idx(v("vals"), v("count")), v("value")),
+            assign(idx(v("valid"), v("count")), lit(1)),
+            assign(v("count"), v("count") + 1),
+            ret(lit(1)),
+        ],
+    )
+
+
+def vector_remove_rp() -> FuncDef:
+    """NIC-style remove: mark invalid, never shrink (Section 3.3:
+    "deletion calls only mark the entries as invalid")."""
+    return FuncDef(
+        "rp_vector_remove",
+        [("i", "u32")],
+        "void",
+        [
+            if_(ge(v("i"), v("cap")), [ret()]),
+            assign(idx(v("valid"), v("i")), lit(0)),
+            assign(v("tombstones"), v("tombstones") + 1),
+        ],
+    )
+
+
+#: API name -> reverse-ported implementation builder.
+REVERSE_PORTS = {
+    "hashmap_find": hashmap_find_rp,
+    "hashmap_insert": hashmap_insert_rp,
+    "hashmap_erase": hashmap_erase_rp,
+    "vector_at": vector_at_rp,
+    "vector_push": vector_push_rp,
+    "vector_remove": vector_remove_rp,
+}
+
+#: Expected per-call block-trip hints for cost estimation: fraction of
+#: loop iterations actually executed on the average call (a find
+#: probes half the ways on a hit, all ways on a miss; we assume a
+#: balanced mix).
+EXPECTED_WAY_TRIPS = 2.5
+
+
+def reverse_port_element(api_name: str, table_entries: int = 256) -> ElementDef:
+    """Wrap one reverse-ported API routine in a standalone element whose
+    handler exercises it once per packet (for profiling/compilation)."""
+    if api_name not in REVERSE_PORTS:
+        raise KeyError(f"no reverse port for API {api_name!r}")
+    func = REVERSE_PORTS[api_name]()
+    from repro.click.elements._dsl import fcall, fld as _fld, pkt
+
+    args: List = []
+    if api_name.startswith("hashmap"):
+        key_expr = None
+        call_args = [v("k")]
+        if api_name == "hashmap_insert":
+            call_args.append(v("k"))
+        handler = [
+            decl("ip", "ip_hdr*", pkt("ip_header")),
+            decl("k", "u32", _fld(v("ip"), "src_addr") ^ _fld(v("ip"), "dst_addr")),
+            decl("r", "u32", fcall(func.name, *call_args)),
+            assign(v("last_result"), v("r")),
+            pkt("send", 0).as_stmt(),
+        ]
+    else:
+        call_args = [v("k")]
+        if api_name == "vector_push":
+            call_args = [v("k")]
+        handler = [
+            decl("ip", "ip_hdr*", pkt("ip_header")),
+            decl("k", "u32", _fld(v("ip"), "src_addr") & 0xFF),
+        ]
+        if api_name == "vector_remove":
+            handler.append(fcall(func.name, *call_args).as_stmt())
+        else:
+            handler.append(decl("r", "u32", fcall(func.name, *call_args)))
+            handler.append(assign(v("last_result"), v("r")))
+        handler.append(pkt("send", 0).as_stmt())
+
+    state = [
+        array_state("tags", "u32", table_entries * BUCKET_WAYS),
+        array_state("vals", "u32", table_entries * BUCKET_WAYS),
+        array_state("valid", "u8", table_entries),
+        scalar_state("n_buckets", "u32"),
+        scalar_state("cap", "u32"),
+        scalar_state("count", "u32"),
+        scalar_state("tombstones", "u32"),
+        scalar_state("last_result", "u32"),
+    ]
+    return ElementDef(
+        name=f"rp_{api_name}",
+        state=state,
+        handler=handler,
+        helpers=[func],
+        description=f"Reverse-ported harness for {api_name}.",
+    )

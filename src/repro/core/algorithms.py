@@ -1,0 +1,836 @@
+"""Algorithm identification for accelerator offloading (Section 4.1).
+
+Clara "uses learning to perform pattern matches against well-known
+accelerator algorithms": SPE subsequence features (+ a few handcrafted
+ones, e.g. the pointer-chasing signature of LPM loops) feed one binary
+SVM per accelerator class.  The curated corpus deliberately spans
+implementation diversity — bitwise vs. table-driven CRCs, different
+polynomials and widths, loop vs. unrolled forms; linear-scan vs. trie
+LPMs — because "the same functionality can be implemented differently
+by different developers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.click import ast as C
+from repro.click.ast import ElementDef, FuncDef, Stmt
+from repro.click.elements._dsl import (
+    array_state,
+    assign,
+    brk,
+    decl,
+    eq,
+    fld,
+    for_,
+    helper,
+    idx,
+    if_,
+    lit,
+    lt,
+    ne,
+    pkt,
+    ret,
+    scalar_state,
+    v,
+    while_,
+)
+from repro.core.prepare import PreparedNF, prepare_element
+from repro.ml.spe import SequentialPatternExtractor
+from repro.ml.svm import LinearSVM
+from repro.synthesis.generator import ClickGen
+from repro.synthesis.stats import extract_stats
+
+#: Accelerator classes with engines on the simulated NIC.  The paper's
+#: Section 5.3: "On Netronome, there are acceleration engines for LPM
+#: (longest-prefix match), CRC, and other crypto algorithms (e.g., AES,
+#: MD5), although typical NFs do not involve cryptographic algorithms."
+ACCEL_CLASSES = ("crc", "lpm", "crypto")
+
+
+# ---------------------------------------------------------------------------
+# Corpus construction: diverse implementations of accelerator algorithms.
+# ---------------------------------------------------------------------------
+
+def _crc_bitwise_element(
+    name: str, poly: int, width: int, reflected: bool, rounds: int,
+    data_source: str = "xor2",
+) -> ElementDef:
+    """Bitwise CRC over one header word, parameterized like real-world
+    implementations differ: polynomial, width, bit order, unrolling,
+    and how the input word is assembled (``data_source``)."""
+    mask = (1 << width) - 1
+    top_bit = 1 << (width - 1)
+    if reflected:
+        step = [
+            decl("lsb", "u32", v("crc") & 1),
+            assign(v("crc"), v("crc") >> 1),
+            if_(v("lsb"), [assign(v("crc"), v("crc") ^ (poly & mask))]),
+        ]
+    else:
+        step = [
+            decl("msb", "u32", v("crc") & top_bit),
+            assign(v("crc"), (v("crc") << 1) & mask),
+            if_(v("msb"), [assign(v("crc"), v("crc") ^ (poly & mask))]),
+        ]
+    if data_source == "single":
+        data = fld(v("ip"), "src_addr")
+    elif data_source == "sum":
+        data = fld(v("ip"), "src_addr") + fld(v("ip"), "ip_id")
+    else:
+        data = fld(v("ip"), "src_addr") ^ fld(v("ip"), "dst_addr")
+    body: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("data", "u32", data),
+        decl("crc", "u32", lit(mask)),
+        assign(v("crc"), v("crc") ^ v("data")),
+        for_("bit", 0, rounds, step),
+        assign(v("crc"), v("crc") ^ mask),
+        assign(v("checksum_out"), v("crc")),
+        pkt("send", 0).as_stmt(),
+    ]
+    return ElementDef(
+        name=name,
+        state=[scalar_state("checksum_out", "u32")],
+        handler=body,
+        description=f"CRC{width} bitwise, poly={poly:#x}, reflected={reflected}",
+    )
+
+
+def _crc_table_element(name: str, width: int) -> ElementDef:
+    """Table-driven CRC (byte-at-a-time lookup + xor/shift fold)."""
+    mask = (1 << width) - 1
+    body: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("data", "u32", fld(v("ip"), "src_addr")),
+        decl("crc", "u32", lit(mask)),
+        for_(
+            "byte_i",
+            0,
+            4,
+            [
+                decl("b", "u32", (v("data") >> (v("byte_i") << 3)) & 0xFF),
+                decl("tbl_idx", "u32", (v("crc") ^ v("b")) & 0xFF),
+                assign(
+                    v("crc"),
+                    (v("crc") >> 8) ^ idx(v("crc_table"), v("tbl_idx")),
+                ),
+            ],
+        ),
+        assign(v("checksum_out"), v("crc") ^ mask),
+        pkt("send", 0).as_stmt(),
+    ]
+    return ElementDef(
+        name=name,
+        state=[
+            array_state("crc_table", "u32", 256),
+            scalar_state("checksum_out", "u32"),
+        ],
+        handler=body,
+        description=f"CRC{width} table-driven",
+    )
+
+
+def _lpm_linear_element(
+    name: str, n_rules: int, style: str = "break_first",
+    epilogue: str = "send_port",
+) -> ElementDef:
+    """Linear-scan LPM over (prefix, masklen) arrays.
+
+    ``style`` and ``epilogue`` vary the implementation the way real
+    developers do (first-match-on-sorted-rules vs. track-best-match;
+    direct send vs. result-store vs. TTL handling) so the learned
+    features capture the *match loop*, not the surrounding shell.
+    """
+    if style == "break_first":
+        loop_body: List[Stmt] = [
+            decl("mlen", "u32", idx(v("masklens"), v("i"))),
+            decl("m", "u32", lit(0xFFFFFFFF) << (32 - v("mlen"))),
+            if_(
+                eq(v("dst") & v("m"), idx(v("prefixes"), v("i"))),
+                [assign(v("port"), idx(v("ports"), v("i"))), brk()],
+            ),
+            assign(v("i"), v("i") + 1),
+        ]
+    else:  # scan_best: examine every rule, keep the longest match.
+        loop_body = [
+            decl("mlen", "u32", idx(v("masklens"), v("i"))),
+            decl("m", "u32", lit(0xFFFFFFFF) << (32 - v("mlen"))),
+            if_(
+                eq(v("dst") & v("m"), idx(v("prefixes"), v("i"))),
+                [
+                    if_(
+                        C.CmpExpr(">", v("mlen"), v("best")),
+                        [
+                            assign(v("best"), v("mlen")),
+                            assign(v("port"), idx(v("ports"), v("i"))),
+                        ],
+                    )
+                ],
+            ),
+            assign(v("i"), v("i") + 1),
+        ]
+    body: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("dst", "u32", fld(v("ip"), "dst_addr")),
+        decl("port", "u32", lit(0)),
+        decl("best", "u32", lit(0)),
+        decl("i", "u32", lit(0)),
+        while_(lt(v("i"), lit(n_rules)), loop_body, max_trips=4096),
+    ]
+    if epilogue == "send_port":
+        body.append(pkt("send", v("port")).as_stmt())
+    elif epilogue == "store_send":
+        body.append(assign(v("route_out"), v("port")))
+        body.append(pkt("send", 0).as_stmt())
+    else:  # ttl_check
+        body.extend(
+            [
+                assign(fld(v("ip"), "ip_ttl"), fld(v("ip"), "ip_ttl") - 1),
+                if_(
+                    eq(fld(v("ip"), "ip_ttl"), 0),
+                    [pkt("drop").as_stmt()],
+                    [pkt("send", v("port")).as_stmt()],
+                ),
+            ]
+        )
+    return ElementDef(
+        name=name,
+        state=[
+            array_state("prefixes", "u32", n_rules),
+            array_state("masklens", "u32", n_rules),
+            array_state("ports", "u32", n_rules),
+            scalar_state("route_out", "u32"),
+        ],
+        handler=body,
+        description=f"LPM linear scan ({style}/{epilogue}) over {n_rules} rules",
+    )
+
+
+def _lpm_trie_element(name: str, depth: int) -> ElementDef:
+    """Multi-bit trie walk: node index chases child pointers held in a
+    node array — the paper's hand-noted LPM feature ("distinct pointer
+    chasing behaviors, moving from one address to a child address in a
+    bounded loop")."""
+    body: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("dst", "u32", fld(v("ip"), "dst_addr")),
+        decl("node", "u32", lit(0)),
+        decl("best", "u32", lit(0)),
+        for_(
+            "level",
+            0,
+            depth,
+            [
+                decl("nibble", "u32", (v("dst") >> (28 - (v("level") << 2))) & 0xF),
+                decl("slot", "u32", (v("node") << 4) | v("nibble")),
+                decl("entry", "u32", idx(v("trie_nodes"), v("slot") % 4096)),
+                if_(
+                    ne(v("entry") & 0x80000000, 0),
+                    [assign(v("best"), v("entry") & 0xFFFF)],
+                ),
+                decl("child", "u32", v("entry") & 0xFFF),
+                if_(eq(v("child"), 0), [brk()]),
+                assign(v("node"), v("child")),
+            ],
+        ),
+        pkt("send", v("best")).as_stmt(),
+    ]
+    return ElementDef(
+        name=name,
+        state=[array_state("trie_nodes", "u32", 4096)],
+        handler=body,
+        description=f"LPM {depth}-level trie walk",
+    )
+
+
+def _loop_negative_element(name: str, flavor: str) -> ElementDef:
+    """Shell-matched negatives: same prologue (header read), same
+    epilogue (store result + send), same loop scaffolding as the CRC
+    positives — but folding loops that are *not* CRC.  These force the
+    SPE miner to key on the algorithm body, not on the handler shell.
+    """
+    body: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("data", "u32", fld(v("ip"), "src_addr")),
+        decl("acc", "u32", lit(0)),
+    ]
+    if flavor == "checksum_fold":
+        body.append(
+            for_(
+                "i",
+                0,
+                8,
+                [
+                    assign(v("acc"), v("acc") + ((v("data") >> (v("i") << 2)) & 0xF)),
+                    if_(
+                        ne(v("acc") & 0x10000, 0),
+                        [assign(v("acc"), (v("acc") & 0xFFFF) + 1)],
+                    ),
+                ],
+            )
+        )
+    elif flavor == "byte_sum":
+        body.append(
+            for_(
+                "i",
+                0,
+                4,
+                [
+                    decl("b", "u32", (v("data") >> (v("i") << 3)) & 0xFF),
+                    assign(v("acc"), v("acc") + v("b") + (v("b") >> 4)),
+                ],
+            )
+        )
+    elif flavor == "rotate_mix":
+        body.append(
+            for_(
+                "i",
+                0,
+                8,
+                [
+                    assign(v("acc"), (v("acc") << 3) | (v("acc") >> 29)),
+                    assign(v("acc"), v("acc") + (v("data") & 0xFF)),
+                    assign(v("data"), v("data") >> 4),
+                ],
+            )
+        )
+    else:  # flag_test: the load-local-then-branch idiom, sans CRC.
+        body.append(
+            for_(
+                "i",
+                0,
+                8,
+                [
+                    decl("b", "u32", (v("data") >> v("i")) & 0xFF),
+                    decl("flag", "u32", v("b") & 1),
+                    if_(v("flag"), [assign(v("acc"), v("acc") + v("b"))]),
+                    assign(v("data"), v("data") >> 1),
+                ],
+            )
+        )
+    body.extend(
+        [
+            assign(v("checksum_out"), v("acc")),
+            pkt("send", 0).as_stmt(),
+        ]
+    )
+    return ElementDef(
+        name=name,
+        state=[scalar_state("checksum_out", "u32")],
+        handler=body,
+        description=f"{flavor} fold loop (shell-matched negative)",
+    )
+
+
+def _array_walk_negative(name: str, flavor: str, entries: int = 64) -> ElementDef:
+    """Array-walking negatives: loops over state arrays that are *not*
+    longest-prefix matches (counters, table sums, sliding maxima) —
+    they share LPM's variable-indexed loads without its masked-compare
+    semantics."""
+    body: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("dst", "u32", fld(v("ip"), "dst_addr")),
+        decl("acc", "u32", lit(0)),
+        decl("i", "u32", lit(0)),
+    ]
+    if flavor == "table_sum":
+        loop = [
+            assign(v("acc"), v("acc") + idx(v("table"), v("i"))),
+            assign(v("i"), v("i") + 1),
+        ]
+    elif flavor == "sliding_max":
+        loop = [
+            decl("cell", "u32", idx(v("table"), v("i"))),
+            if_(
+                C.CmpExpr(">", v("cell"), v("acc")),
+                [assign(v("acc"), v("cell"))],
+            ),
+            assign(v("i"), v("i") + 1),
+        ]
+    else:  # bucket_update: hash-indexed counter touches
+        loop = [
+            decl("slot", "u32", ((v("dst") >> v("i")) ^ v("i")) % entries),
+            assign(idx(v("table"), v("slot")), idx(v("table"), v("slot")) + 1),
+            assign(v("i"), v("i") + 1),
+        ]
+    body.append(while_(lt(v("i"), lit(8)), loop, max_trips=64))
+    body.extend(
+        [
+            assign(v("checksum_out"), v("acc")),
+            pkt("send", 0).as_stmt(),
+        ]
+    )
+    return ElementDef(
+        name=name,
+        state=[
+            array_state("table", "u32", entries),
+            scalar_state("checksum_out", "u32"),
+        ],
+        handler=body,
+        description=f"{flavor} array walk (LPM-shaped negative)",
+    )
+
+
+def _md5_round_element(name: str, rounds: int = 16) -> ElementDef:
+    """MD5-style compression rounds: the nonlinear F function,
+    per-round additive constants, and data-dependent rotations — the
+    crypto idiom the NIC's MD5 engine accelerates."""
+    body: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("a", "u32", lit(0x67452301)),
+        decl("b", "u32", lit(0xEFCDAB89)),
+        decl("c", "u32", lit(0x98BADCFE)),
+        decl("d", "u32", lit(0x10325476)),
+        decl("m", "u32", fld(v("ip"), "src_addr")),
+        for_(
+            "r",
+            0,
+            rounds,
+            [
+                # F(b,c,d) = (b & c) | (~b & d)
+                decl("f", "u32", (v("b") & v("c")) | ((v("b") ^ 0xFFFFFFFF) & v("d"))),
+                decl("tmp", "u32", v("d")),
+                assign(v("d"), v("c")),
+                assign(v("c"), v("b")),
+                decl(
+                    "sum",
+                    "u32",
+                    (v("a") + v("f") + 0x5A827999 + v("m")) & 0xFFFFFFFF,
+                ),
+                # Rotate left by a round-dependent amount.
+                decl("rot", "u32", (v("r") & 3) * 5 + 7),
+                assign(
+                    v("b"),
+                    (v("b") + ((v("sum") << v("rot")) | (v("sum") >> (32 - v("rot")))))
+                    & 0xFFFFFFFF,
+                ),
+                assign(v("a"), v("tmp")),
+                assign(v("m"), (v("m") * 0x41C64E6D + 0x3039) & 0xFFFFFFFF),
+            ],
+        ),
+        assign(v("digest_out"), v("a") ^ v("b") ^ v("c") ^ v("d")),
+        pkt("send", 0).as_stmt(),
+    ]
+    return ElementDef(
+        name=name,
+        state=[scalar_state("digest_out", "u32")],
+        handler=body,
+        description=f"MD5-style compression, {rounds} rounds",
+    )
+
+
+def _aes_sub_element(name: str, rounds: int = 4) -> ElementDef:
+    """AES-style substitution-permutation rounds: S-box lookups from a
+    256-entry table, byte shuffles, and round-key xors."""
+    body: List[Stmt] = [
+        decl("ip", "ip_hdr*", pkt("ip_header")),
+        decl("state0", "u32", fld(v("ip"), "src_addr")),
+        decl("rk", "u32", fld(v("ip"), "dst_addr")),
+        for_(
+            "r",
+            0,
+            rounds,
+            [
+                # SubBytes via table lookups, byte at a time.
+                decl("b0", "u32", idx(v("sbox_tab"), v("state0") & 0xFF)),
+                decl("b1", "u32", idx(v("sbox_tab"), (v("state0") >> 8) & 0xFF)),
+                decl("b2", "u32", idx(v("sbox_tab"), (v("state0") >> 16) & 0xFF)),
+                decl("b3", "u32", idx(v("sbox_tab"), (v("state0") >> 24) & 0xFF)),
+                # ShiftRows-ish byte permutation + AddRoundKey.
+                assign(
+                    v("state0"),
+                    (v("b1") | (v("b2") << 8) | (v("b3") << 16) | (v("b0") << 24))
+                    ^ v("rk"),
+                ),
+                # Next round key (toy key schedule).
+                assign(v("rk"), ((v("rk") << 1) | (v("rk") >> 31)) ^ 0x1B),
+            ],
+        ),
+        assign(v("cipher_out"), v("state0")),
+        pkt("send", 0).as_stmt(),
+    ]
+    return ElementDef(
+        name=name,
+        state=[
+            array_state("sbox_tab", "u32", 256),
+            scalar_state("cipher_out", "u32"),
+        ],
+        handler=body,
+        description=f"AES-style SPN, {rounds} rounds",
+    )
+
+
+def _hash_negative_element(name: str, flavor: str) -> ElementDef:
+    """Hard negatives: bit-twiddling hash functions that are NOT CRC
+    (no conditional-xor-by-polynomial loop)."""
+    ip = v("ip")
+    if flavor == "fnv":
+        body = [
+            decl("ip", "ip_hdr*", pkt("ip_header")),
+            decl("h", "u32", lit(0x811C9DC5)),
+            for_(
+                "i",
+                0,
+                4,
+                [
+                    decl("b", "u32", (fld(ip, "src_addr") >> (v("i") << 3)) & 0xFF),
+                    assign(v("h"), v("h") ^ v("b")),
+                    assign(v("h"), (v("h") * 0x01000193) & 0xFFFFFFFF),
+                ],
+            ),
+            assign(v("hash_out"), v("h")),
+            pkt("send", 0).as_stmt(),
+        ]
+    else:  # jenkins-style avalanche
+        body = [
+            decl("ip", "ip_hdr*", pkt("ip_header")),
+            decl("h", "u32", fld(ip, "src_addr") ^ fld(ip, "dst_addr")),
+            assign(v("h"), (v("h") + 0x7ED55D16 + (v("h") << 12)) & 0xFFFFFFFF),
+            assign(v("h"), (v("h") ^ 0xC761C23C) ^ (v("h") >> 19)),
+            assign(v("h"), (v("h") + 0x165667B1 + (v("h") << 5)) & 0xFFFFFFFF),
+            assign(v("h"), ((v("h") + 0xD3A2646C) ^ (v("h") << 9)) & 0xFFFFFFFF),
+            assign(v("h"), (v("h") + 0xFD7046C5 + (v("h") << 3)) & 0xFFFFFFFF),
+            assign(v("h"), (v("h") ^ 0xB55A4F09) ^ (v("h") >> 16)),
+            assign(v("hash_out"), v("h")),
+            pkt("send", 0).as_stmt(),
+        ]
+    return ElementDef(
+        name=name,
+        state=[scalar_state("hash_out", "u32")],
+        handler=body,
+        description=f"{flavor} hash (negative example)",
+    )
+
+
+@dataclass
+class AlgorithmCorpus:
+    """Labelled training corpus: token sequences + one label each."""
+
+    sequences: List[List[str]] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)  # "crc" | "lpm" | "none"
+    names: List[str] = field(default_factory=list)
+
+    def add(self, element: ElementDef, label: str) -> None:
+        """Add the whole-program sample plus one sample per natural
+        loop (the granularity the identifier classifies at inference
+        time).  For algorithm elements the loop *is* the algorithm, so
+        loop samples inherit the element label."""
+        prepared = prepare_element(element)
+        tokens: List[str] = []
+        for block in prepared.module.handler.blocks:
+            tokens.extend(prepared.tokens[block.name])
+        self.sequences.append(tokens)
+        self.labels.append(label)
+        self.names.append(element.name)
+        from repro.core.algorithms import AlgorithmIdentifier
+
+        for region, blocks in AlgorithmIdentifier.regions(prepared).items():
+            if not region.startswith("loop:"):
+                continue
+            loop_tokens: List[str] = []
+            for name in blocks:
+                loop_tokens.extend(prepared.tokens[name])
+            if len(loop_tokens) < 6:
+                continue
+            self.sequences.append(loop_tokens)
+            self.labels.append(label)
+            self.names.append(f"{element.name}:{region}")
+
+    def binary_labels(self, positive: str) -> List[int]:
+        return [1 if label == positive else 0 for label in self.labels]
+
+
+def build_algorithm_corpus(
+    seed: int = 0, n_negatives: int = 40
+) -> AlgorithmCorpus:
+    """Curate the training corpus (the paper's 600+ Click elements and
+    9000+ crawled programs, scaled to laptop size)."""
+    corpus = AlgorithmCorpus()
+    polys32 = (0xEDB88320, 0x04C11DB7, 0x82F63B78, 0x973AFB51)
+    polys16 = (0xA001, 0x8005, 0x1021)
+    i = 0
+    data_sources = ("xor2", "single", "sum")
+    for poly in polys32:
+        for reflected in (True, False):
+            for rounds in (8, 16, 32):
+                corpus.add(
+                    _crc_bitwise_element(
+                        f"crc32_{i}", poly, 32, reflected, rounds,
+                        data_source=data_sources[i % 3],
+                    ),
+                    "crc",
+                )
+                i += 1
+    for poly in polys16:
+        for reflected in (True, False):
+            corpus.add(
+                _crc_bitwise_element(f"crc16_{i}", poly, 16, reflected, 8), "crc"
+            )
+            i += 1
+    for width in (16, 32):
+        for j in range(3):
+            corpus.add(_crc_table_element(f"crctab_{width}_{j}", width), "crc")
+    styles = ("break_first", "scan_best")
+    epilogues = ("send_port", "store_send", "ttl_check")
+    for n_rules in (8, 32, 128, 512):
+        for style in styles:
+            for epilogue in epilogues:
+                corpus.add(
+                    _lpm_linear_element(
+                        f"lpmlin_{n_rules}_{style}_{epilogue}",
+                        n_rules,
+                        style=style,
+                        epilogue=epilogue,
+                    ),
+                    "lpm",
+                )
+    for depth in (2, 4, 8):
+        for j in range(3):
+            corpus.add(_lpm_trie_element(f"lpmtrie_{depth}_{j}", depth), "lpm")
+    # Crypto engines (AES/MD5-style): present on the NIC "although
+    # typical NFs do not involve cryptographic algorithms".
+    for rounds in (8, 16, 32):
+        for j in range(2):
+            corpus.add(_md5_round_element(f"md5_{rounds}_{j}", rounds), "crypto")
+    for rounds in (2, 4, 8):
+        for j in range(2):
+            corpus.add(_aes_sub_element(f"aes_{rounds}_{j}", rounds), "crypto")
+    # Negatives: hash functions, shell-matched fold loops, and generic
+    # synthesized elements.
+    for j in range(6):
+        corpus.add(_hash_negative_element(f"fnv_{j}", "fnv"), "none")
+        corpus.add(_hash_negative_element(f"jenkins_{j}", "jenkins"), "none")
+    for j in range(4):
+        for flavor in ("checksum_fold", "byte_sum", "rotate_mix", "flag_test"):
+            corpus.add(
+                _loop_negative_element(f"{flavor}_{j}", flavor), "none"
+            )
+        for flavor in ("table_sum", "sliding_max", "bucket_update"):
+            corpus.add(
+                _array_walk_negative(f"{flavor}_{j}", flavor, entries=32 * (j + 1)),
+                "none",
+            )
+    from repro.click.elements import all_elements
+
+    stats = extract_stats(all_elements())
+    gen = ClickGen(stats, seed=seed)
+    for element in gen.elements(n_negatives, prefix="neg"):
+        corpus.add(element, "none")
+    return corpus
+
+
+# ---------------------------------------------------------------------------
+# Handcrafted features (Section 4.1: "We also augment this with
+# manually extracted features").
+# ---------------------------------------------------------------------------
+
+def _window_count(tokens: Sequence[str], predicates, window: int = 6) -> int:
+    """Count sliding windows in which every predicate matches some
+    token (order-insensitive within the window)."""
+    tokens = list(tokens)
+    count = 0
+    for start in range(max(len(tokens) - window + 1, 1)):
+        chunk = tokens[start : start + window]
+        if all(any(p(t) for t in chunk) for p in predicates):
+            count += 1
+    return count
+
+
+def handcrafted_features(tokens: Sequence[str]) -> np.ndarray:
+    n = max(len(tokens), 1)
+    bitops = sum(
+        1 for t in tokens if t.split()[0] in ("xor", "and", "or")
+    )
+    shifts = sum(1 for t in tokens if t.split()[0] in ("shl", "lshr", "ashr"))
+    loads = sum(1 for t in tokens if t.startswith("load"))
+    stores = sum(1 for t in tokens if t.startswith("store"))
+    cmps = sum(1 for t in tokens if t.startswith("icmp"))
+    branches = sum(1 for t in tokens if t.startswith("br"))
+    geps = sum(1 for t in tokens if t.startswith("getelementptr"))
+    muls = sum(1 for t in tokens if t.split()[0] == "mul")
+    # Pointer chasing proxy: variable-indexed GEPs feeding loads.
+    var_geps = sum(
+        1 for t in tokens if t.startswith("getelementptr") and "VAR" in t
+    )
+    # CRC signature: a conditional branch followed closely by an
+    # xor-with-constant (the poly fold) inside a shifting window.
+    conditional_xor = _window_count(
+        tokens,
+        [
+            lambda t: t == "br_cond",
+            lambda t: t.startswith("xor") and " INT" in t,
+            lambda t: t.split()[0] in ("lshr", "shl"),
+        ],
+        window=6,
+    )
+    # LPM signature (Section 4.1's manual feature): "distinct pointer
+    # chasing behaviors, moving from one address to a child address in
+    # a bounded loop" — stateful table loads compared for equality
+    # under a mask/shift, steering a branch.
+    masked_match = _window_count(
+        tokens,
+        [
+            lambda t: t.startswith("load") and "mem_stateful" in t,
+            lambda t: t.startswith("icmp eq"),
+            lambda t: t.split()[0] in ("and", "shl", "lshr"),
+            lambda t: t == "br_cond",
+        ],
+        window=8,
+    )
+    return np.array(
+        [
+            bitops / n,
+            shifts / n,
+            loads / n,
+            stores / n,
+            cmps / n,
+            branches / n,
+            geps / n,
+            muls / n,
+            var_geps / n,
+            float(np.log1p(len(tokens))),
+            conditional_xor / n,
+            masked_match / n,
+        ]
+    )
+
+
+class AlgorithmIdentifier:
+    """SPE + SVM accelerator classifiers (one per accelerator)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.extractors: Dict[str, SequentialPatternExtractor] = {}
+        self.svms: Dict[str, LinearSVM] = {}
+        #: calibrated decision thresholds per accelerator.
+        self.thresholds: Dict[str, float] = {}
+
+    @staticmethod
+    def _calibrate_threshold(scores: np.ndarray, labels: np.ndarray) -> float:
+        """Pick the decision threshold maximizing training F0.5 — the
+        raw SVM bias drifts with sampling noise, and the paper's
+        operating point weighs precision over recall (96.6% vs 83.3%):
+        a false accelerator suggestion costs a porting detour, a miss
+        only costs an optimization."""
+        beta2 = 0.5**2
+        candidates = np.unique(scores)
+        best_t, best_score = 0.0, -1.0
+        for t in candidates:
+            pred = scores > t
+            tp = float(np.sum(pred & (labels == 1)))
+            fp = float(np.sum(pred & (labels == 0)))
+            fn = float(np.sum(~pred & (labels == 1)))
+            precision = tp / (tp + fp) if tp + fp else 0.0
+            recall = tp / (tp + fn) if tp + fn else 0.0
+            if precision + recall == 0.0:
+                continue
+            fbeta = (
+                (1 + beta2) * precision * recall
+                / (beta2 * precision + recall)
+            )
+            if fbeta > best_score:
+                best_t, best_score = float(t), fbeta
+        return best_t
+
+    def fit(self, corpus: AlgorithmCorpus) -> "AlgorithmIdentifier":
+        for accel in ACCEL_CLASSES:
+            labels = np.asarray(corpus.binary_labels(accel))
+            # High support AND high confidence, per Section 4.1: "an
+            # identifying feature should occur in many programs with
+            # accelerator usage opportunities ... [and] almost never
+            # appear in non-accelerator programs".
+            extractor = SequentialPatternExtractor(
+                min_len=2, max_len=3, min_support=0.4, min_confidence=0.9,
+                max_patterns=48,
+            )
+            spe_features = extractor.fit_transform(
+                corpus.sequences, labels.tolist()
+            )
+            features = self._combine(spe_features, corpus.sequences)
+            svm = LinearSVM(lam=1e-3, epochs=30, seed=self.seed)
+            svm.fit(features, labels)
+            self.extractors[accel] = extractor
+            self.svms[accel] = svm
+            scores = svm.decision_function(features)
+            self.thresholds[accel] = self._calibrate_threshold(scores, labels)
+        return self
+
+    @staticmethod
+    def _combine(spe_features: np.ndarray, sequences) -> np.ndarray:
+        """SPE occurrence counts are normalized to densities per 100
+        tokens so a once-inlined helper scores like its multi-copy or
+        whole-program counterparts (scale invariance)."""
+        lengths = np.array(
+            [max(len(list(s)), 1) for s in sequences], dtype=float
+        )
+        spe_density = spe_features / lengths[:, None] * 100.0
+        manual = np.stack([handcrafted_features(s) for s in sequences])
+        return np.concatenate([spe_density, manual], axis=1)
+
+    def features(self, accel: str, sequences: Sequence[Sequence[str]]) -> np.ndarray:
+        spe_features = self.extractors[accel].transform(sequences)
+        return self._combine(spe_features, sequences)
+
+    def classify_sequence(self, tokens: Sequence[str]) -> str:
+        """Label one code region: an accelerator class or 'none'."""
+        best_label, best_excess = "none", 0.0
+        for accel in ACCEL_CLASSES:
+            score = float(
+                self.svms[accel].decision_function(
+                    self.features(accel, [list(tokens)])
+                )[0]
+            )
+            excess = score - self.thresholds.get(accel, 0.0)
+            if excess > best_excess:
+                best_label, best_excess = accel, excess
+        return best_label
+
+    def predict(self, sequences: Sequence[Sequence[str]]) -> List[str]:
+        return [self.classify_sequence(s) for s in sequences]
+
+    # -- applying to a prepared NF -------------------------------------
+    @staticmethod
+    def regions(prepared: PreparedNF) -> Dict[str, List[str]]:
+        """Candidate code regions of an NF: each inlined helper's block
+        group, the residual main body, and every natural loop of the
+        main body (the paper classifies per code block; loops are the
+        natural unit accelerator rewrites apply to)."""
+        from repro.nfir.cfg import natural_loops
+
+        regions: Dict[str, List[str]] = {}
+        for block in prepared.module.handler.blocks:
+            name = block.name
+            if name.startswith("inl."):
+                helper_name = name.split(".")[1]
+                regions.setdefault(f"helper:{helper_name}", []).append(name)
+            else:
+                regions.setdefault("main", []).append(name)
+        main_blocks = set(regions.get("main", ()))
+        handler = prepared.module.handler
+        layout = [b.name for b in handler.blocks]
+        for header, body in natural_loops(handler).items():
+            if header not in main_blocks:
+                continue  # helper-internal loops live in their region
+            loop_in_layout = [n for n in layout if n in body]
+            regions[f"loop:{header}"] = loop_in_layout
+        return regions
+
+    def identify(self, prepared: PreparedNF) -> Dict[str, Tuple[str, List[str]]]:
+        """Region name -> (accelerator label, block names) for regions
+        classified as accelerator opportunities."""
+        found: Dict[str, Tuple[str, List[str]]] = {}
+        for region, block_names in self.regions(prepared).items():
+            tokens: List[str] = []
+            for name in block_names:
+                tokens.extend(prepared.tokens[name])
+            if len(tokens) < 6:
+                continue
+            label = self.classify_sequence(tokens)
+            if label != "none":
+                found[region] = (label, block_names)
+        return found

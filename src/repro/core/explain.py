@@ -1,0 +1,137 @@
+"""Model interpretability reports (paper Section 6: "more interpretable
+models may enable new NF tuning and optimization opportunities, as the
+developers can easily digest the prediction results").
+
+Two kinds of explanations:
+
+* **tree-ensemble feature importances** — split-frequency x gain-proxy
+  counts over the GBDT used by the scale-out advisor and the
+  LambdaMART ranker;
+* **SVM pattern weights** — the highest-weighted SPE subsequences of an
+  accelerator classifier, i.e. *which instruction idioms made Clara
+  call this code CRC/LPM* (Section 5.3's observation that the features
+  "intuitively reflect a human understanding" of the algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.algorithms import AlgorithmIdentifier
+from repro.ml.gbdt import GBDTRegressor
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def _walk_tree(node, counts: Dict[int, float]) -> None:
+    if node is None or node.is_leaf:
+        return
+    counts[node.feature] = counts.get(node.feature, 0.0) + 1.0
+    _walk_tree(node.left, counts)
+    _walk_tree(node.right, counts)
+
+
+def gbdt_feature_importance(
+    model: GBDTRegressor, feature_names: Optional[Sequence[str]] = None
+) -> List[Tuple[str, float]]:
+    """Split-count feature importances, normalized to sum to 1."""
+    counts: Dict[int, float] = {}
+    for tree in model.trees:
+        _walk_tree(tree.root, counts)
+    total = sum(counts.values()) or 1.0
+    items = sorted(counts.items(), key=lambda kv: -kv[1])
+    out = []
+    for feature, count in items:
+        name = (
+            feature_names[feature]
+            if feature_names is not None and feature < len(feature_names)
+            else f"feature[{feature}]"
+        )
+        out.append((name, count / total))
+    return out
+
+
+SCALEOUT_FEATURE_NAMES = (
+    "compute/pkt",
+    "stateful-mem/pkt",
+    "packet-mem/pkt",
+    "api-calls/pkt",
+    "arithmetic-intensity",
+    "emem-cache-hit-rate",
+    "packet-bytes",
+    "est-issue-cycles",
+    "est-mem-cycles",
+    "est-cores",
+)
+
+COLOCATION_FEATURE_NAMES = (
+    "min-intensity",
+    "max-intensity",
+    "min-compute/pkt",
+    "max-compute/pkt",
+    "min-state-mem/pkt",
+    "max-state-mem/pkt",
+    "intensity-ratio",
+    "min-mem-rate",
+    "max-mem-rate",
+    "joint-mem-rate",
+)
+
+
+@dataclass
+class SvmPatternWeight:
+    pattern: Tuple[str, ...]
+    weight: float
+    support: float
+    confidence: float
+
+
+def svm_top_patterns(
+    identifier: AlgorithmIdentifier, accel: str, top: int = 10
+) -> List[SvmPatternWeight]:
+    """The SPE subsequences with the largest positive SVM weight for an
+    accelerator class — the idioms that vote "this is {accel}"."""
+    svm = identifier.svms[accel]
+    extractor = identifier.extractors[accel]
+    if svm.w is None:
+        raise RuntimeError("identifier is not fitted")
+    n_patterns = len(extractor.patterns_)
+    weights = svm.w[:n_patterns]
+    order = np.argsort(-weights)[:top]
+    out = []
+    for index in order:
+        pattern = extractor.patterns_[int(index)]
+        out.append(
+            SvmPatternWeight(
+                pattern=pattern.tokens,
+                weight=float(weights[int(index)]),
+                support=pattern.support,
+                confidence=pattern.confidence,
+            )
+        )
+    return out
+
+
+def render_explanations(
+    scaleout_model: Optional[GBDTRegressor] = None,
+    identifier: Optional[AlgorithmIdentifier] = None,
+) -> str:
+    """A human-readable interpretability report."""
+    lines: List[str] = ["Clara model explanations", "=" * 40]
+    if scaleout_model is not None and scaleout_model.trees:
+        lines.append("\nScale-out cost model: feature importances")
+        for name, share in gbdt_feature_importance(
+            scaleout_model, SCALEOUT_FEATURE_NAMES
+        ):
+            lines.append(f"  {name:22s} {share:6.1%}")
+    if identifier is not None and identifier.svms:
+        for accel in identifier.svms:
+            lines.append(f"\n{accel.upper()} classifier: top positive idioms")
+            for entry in svm_top_patterns(identifier, accel, top=6):
+                lines.append(
+                    f"  w={entry.weight:+7.2f} conf={entry.confidence:.2f}"
+                    f"  {' | '.join(entry.pattern)}"
+                )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,90 @@
+"""Offloading insights: the structured output of Clara's analyses
+(the ``Insights`` collection of the paper's Figure 3 algorithm)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+INSIGHT_TYPES = (
+    "compute",      # predicted compute instructions for a block
+    "memory",       # counted memory accesses for a block
+    "api",          # reverse-ported API cost profile
+    "accelerator",  # accelerator opportunity (CRC/LPM)
+    "scaleout",     # suggested core count
+    "placement",    # state -> memory region assignment
+    "coalescing",   # variable packs + access sizes
+    "colocation",   # pairwise friendliness ranking
+)
+
+
+@dataclass
+class Insight:
+    """One insight entry.
+
+    ``subject`` names what the insight is about (a block, an API, a
+    global, an NF pair); ``value`` is type-specific payload.
+    """
+
+    type: str
+    subject: str
+    value: Any
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type not in INSIGHT_TYPES:
+            raise ValueError(f"unknown insight type {self.type!r}")
+
+
+@dataclass
+class InsightReport:
+    """All insights Clara generated for one NF (+ workload)."""
+
+    nf_name: str
+    workload_name: str = ""
+    insights: List[Insight] = field(default_factory=list)
+
+    def add(self, type: str, subject: str, value: Any, detail: str = "") -> Insight:
+        insight = Insight(type, subject, value, detail)
+        self.insights.append(insight)
+        return insight
+
+    def of_type(self, type: str) -> List[Insight]:
+        return [i for i in self.insights if i.type == type]
+
+    @property
+    def predicted_compute(self) -> Dict[str, float]:
+        """block name -> predicted NIC compute instructions."""
+        return {i.subject: float(i.value) for i in self.of_type("compute")}
+
+    @property
+    def counted_memory(self) -> Dict[str, int]:
+        """block name -> counted stateful memory accesses."""
+        return {i.subject: int(i.value) for i in self.of_type("memory")}
+
+    @property
+    def suggested_cores(self) -> Optional[int]:
+        found = self.of_type("scaleout")
+        return int(found[0].value) if found else None
+
+    @property
+    def placement(self) -> Dict[str, str]:
+        return {i.subject: str(i.value) for i in self.of_type("placement")}
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [f"Clara offloading insights for NF '{self.nf_name}'"]
+        if self.workload_name:
+            lines.append(f"Workload: {self.workload_name}")
+        lines.append("=" * 60)
+        by_type: Dict[str, List[Insight]] = {}
+        for insight in self.insights:
+            by_type.setdefault(insight.type, []).append(insight)
+        for type_ in INSIGHT_TYPES:
+            if type_ not in by_type:
+                continue
+            lines.append(f"\n[{type_}]")
+            for insight in by_type[type_]:
+                suffix = f"  ({insight.detail})" if insight.detail else ""
+                lines.append(f"  {insight.subject}: {insight.value}{suffix}")
+        return "\n".join(lines) + "\n"

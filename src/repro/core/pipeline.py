@@ -1,0 +1,232 @@
+"""The end-to-end Clara pipeline (paper Figure 2).
+
+``Clara.train()`` performs the one-time learning phases (instruction
+prediction on synthesized pairs, algorithm-identification corpus,
+scale-out cost model); ``Clara.analyze()`` then takes an *unported*
+ClickScript element plus a workload spec and produces the full insight
+report; ``Clara.port_config()`` turns the insights into a
+:class:`~repro.nic.port.PortConfig` — the "Clara porting" strategy the
+evaluation benchmarks against naive porting and expert emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.click.ast import ElementDef
+from repro.click.elements import initial_state, install_state
+from repro.click.interp import ExecutionProfile, Interpreter
+from repro.core.algorithms import AlgorithmIdentifier, build_algorithm_corpus
+from repro.core.coalescing import CoalescingAdvisor
+from repro.core.insights import InsightReport
+from repro.core.placement import PlacementAdvisor
+from repro.core.predictor import InstructionPredictor, PredictorDataset
+from repro.core.prepare import PreparedNF, prepare_element
+from repro.core.scaleout import ScaleoutAdvisor
+from repro.nic.machine import NICModel, WorkloadCharacter
+from repro.nic.port import PortConfig
+from repro.workload import characterize, generate_trace
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass
+class AnalysisResult:
+    report: InsightReport
+    prepared: PreparedNF
+    profile: ExecutionProfile
+    workload: WorkloadCharacter
+
+    @property
+    def block_freq(self) -> Dict[str, float]:
+        packets = max(self.profile.packets, 1)
+        return {
+            b: c / packets for b, c in self.profile.block_counts.items()
+        }
+
+
+class Clara:
+    """Automated SmartNIC offloading insights."""
+
+    def __init__(self, nic: Optional[NICModel] = None, seed: int = 0) -> None:
+        self.nic = nic or NICModel()
+        self.seed = seed
+        self.predictor = InstructionPredictor(seed=seed)
+        self.identifier = AlgorithmIdentifier(seed=seed)
+        self.scaleout = ScaleoutAdvisor(nic=self.nic, seed=seed)
+        self.placement = PlacementAdvisor()
+        self.coalescing = CoalescingAdvisor(seed=seed)
+        #: trained lazily by :meth:`train_colocation`.
+        self.colocation = None
+        self.trained = False
+
+    # -- one-time training phases ---------------------------------------
+    def train(
+        self,
+        n_predictor_programs: int = 120,
+        n_scaleout_programs: int = 60,
+        predictor_epochs: int = 35,
+        quick: bool = False,
+    ) -> "Clara":
+        """Run all learning phases.  ``quick=True`` shrinks everything
+        for tests (minutes -> seconds) at some accuracy cost."""
+        if quick:
+            n_predictor_programs = 12
+            n_scaleout_programs = 6
+            predictor_epochs = 8
+        dataset = PredictorDataset.synthesize(
+            n_programs=n_predictor_programs, seed=self.seed
+        )
+        self.predictor.epochs = predictor_epochs
+        self.predictor.fit(dataset)
+        corpus = build_algorithm_corpus(
+            seed=self.seed, n_negatives=10 if quick else 40
+        )
+        self.identifier.fit(corpus)
+        self.scaleout.build_training_set(
+            n_programs=n_scaleout_programs,
+            trace_packets=150 if quick else 400,
+        )
+        self.scaleout.fit()
+        self.trained = True
+        return self
+
+    def train_colocation(
+        self,
+        n_programs: int = 20,
+        n_groups: int = 30,
+        objective: str = "total_throughput_loss",
+    ) -> "Clara":
+        """Train the colocation ranker (Section 4.5).  Separate from
+        :meth:`train` because colocation analysis is only needed when
+        several NFs compete for one NIC."""
+        from repro.core.colocation import ColocationAdvisor
+
+        advisor = ColocationAdvisor(
+            nic=self.nic, objective=objective, seed=self.seed
+        )
+        pool, workload = advisor.build_candidate_pool(n_programs=n_programs)
+        advisor.fit(pool, workload, n_groups=n_groups)
+        self.colocation = advisor
+        return self
+
+    def rank_colocations(self, candidates) -> list:
+        """Rank (a, b) NFCandidate pairs friendliest-first; requires
+        :meth:`train_colocation` to have run."""
+        if self.colocation is None:
+            raise RuntimeError("call Clara.train_colocation() first")
+        order = self.colocation.rank_pairs(candidates)
+        return [candidates[i] for i in order]
+
+    # -- per-NF analysis ---------------------------------------------------
+    def profile_on_host(
+        self,
+        prepared: PreparedNF,
+        spec: WorkloadSpec,
+        state: Optional[Mapping[str, object]] = None,
+        trace_seed: int = 0,
+    ) -> ExecutionProfile:
+        """Run the NF on the host against the workload (Section 4.3)."""
+        interp = Interpreter(prepared.module, seed=trace_seed)
+        if prepared.element is not None:
+            install_state(interp, initial_state(prepared.element))
+        if state:
+            install_state(interp, state)
+        return interp.run_trace(generate_trace(spec, seed=trace_seed))
+
+    def analyze(
+        self,
+        element: ElementDef,
+        spec: WorkloadSpec,
+        state: Optional[Mapping[str, object]] = None,
+        trace_seed: int = 0,
+    ) -> AnalysisResult:
+        if not self.trained:
+            raise RuntimeError("call Clara.train() before analyze()")
+        prepared = prepare_element(element)
+        profile = self.profile_on_host(prepared, spec, state, trace_seed)
+        workload = characterize(spec)
+
+        report = self.predictor.analyze(prepared)
+        report.workload_name = spec.name
+
+        # Accelerator opportunities (Section 4.1).
+        for region, (label, blocks) in self.identifier.identify(prepared).items():
+            report.add(
+                "accelerator",
+                region,
+                label,
+                detail=f"blocks: {','.join(blocks[:4])}"
+                + ("..." if len(blocks) > 4 else ""),
+            )
+            report.insights[-1].value = {"accel": label, "blocks": blocks}
+
+        # Scale-out suggestion (Section 4.2).
+        cores = self.scaleout.predict_cores(
+            prepared, report.predicted_compute, profile, workload
+        )
+        report.add("scaleout", "cores", cores, detail="GBDT cost model")
+
+        # State placement (Section 4.3).
+        solution = self.placement.advise(prepared.module, profile)
+        for name, region in solution.assignment.items():
+            report.add(
+                "placement", name, region,
+                detail=f"ILP ({solution.method})",
+            )
+
+        # Coalescing (Section 4.4).
+        plan = self.coalescing.advise(prepared.module, profile)
+        for pack in plan.packs:
+            report.add(
+                "coalescing",
+                "+".join(pack.variables),
+                pack.access_bytes,
+                detail="K-means access-vector cluster",
+            )
+
+        return AnalysisResult(report, prepared, profile, workload)
+
+    # -- turning insights into a port ---------------------------------------
+    def port_config(self, analysis: AnalysisResult) -> PortConfig:
+        """The "Clara porting" strategy: apply every insight."""
+        report = analysis.report
+        crc_blocks: List[str] = []
+        lpm_blocks: List[str] = []
+        crypto_blocks: List[str] = []
+        for insight in report.of_type("accelerator"):
+            value = insight.value
+            # Only helper bodies and natural loops are mechanically
+            # substitutable; a label on the residual "main" region is a
+            # rewrite *suggestion* for the developer, not a safe
+            # automated transformation.
+            if not (
+                insight.subject.startswith("helper:")
+                or insight.subject.startswith("loop:")
+            ):
+                continue
+            if value["accel"] == "crc":
+                crc_blocks.extend(value["blocks"])
+            elif value["accel"] == "lpm":
+                lpm_blocks.extend(value["blocks"])
+            elif value["accel"] == "crypto":
+                crypto_blocks.extend(value["blocks"])
+        packs = []
+        from repro.nic.port import CoalescePack
+
+        for insight in report.of_type("coalescing"):
+            packs.append(
+                CoalescePack(tuple(insight.subject.split("+")), int(insight.value))
+            )
+        uses_checksum = any(
+            api.startswith("checksum_update") for api in analysis.prepared.api_set
+        )
+        return PortConfig(
+            use_checksum_accel=uses_checksum,
+            crc_accel_blocks=frozenset(crc_blocks),
+            crypto_accel_blocks=frozenset(crypto_blocks),
+            lpm_accel_blocks=frozenset(lpm_blocks),
+            placement=dict(report.placement),
+            packs=packs,
+            cores=report.suggested_cores or 60,
+        )

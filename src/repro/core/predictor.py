@@ -1,0 +1,204 @@
+"""Cross-platform performance prediction (paper Section 3, Figure 3).
+
+Predicts, for an *unported* NF, the per-block number of compute
+instructions the closed-source NIC compiler would emit (LSTM+FC over
+vocabulary-compacted instruction sequences) and counts stateful memory
+accesses directly from the IR (which the paper reports is already
+96.4%-100% accurate).  Framework APIs are profiled through reverse
+porting instead of prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.click.elements import all_elements
+from repro.core.insights import InsightReport
+from repro.core.prepare import PreparedNF, prepare_element
+from repro.ml.encoding import (
+    InstructionVocabulary,
+    block_tokens,
+    encode_blocks,
+    histogram_features,
+)
+from repro.ml.lstm import LSTMRegressor
+from repro.ml.metrics import wmape
+from repro.nic.compiler import compile_module
+from repro.nic.isa import NICProgram
+from repro.nic.libnfp import api_cost
+from repro.nic.port import PortConfig
+from repro.synthesis.generator import ClickGen
+from repro.synthesis.stats import extract_stats
+
+#: Sequence length cap for block encodings (longer blocks truncate).
+MAX_BLOCK_LEN = 112
+
+
+@dataclass
+class PredictorDataset:
+    """(IR token sequence -> NIC instruction count) pairs, per block.
+
+    ``groups`` names the source program of each sample so evaluation
+    can split by program (the paper trains on synthesized programs and
+    tests on real NFs).
+    """
+
+    sequences: List[List[str]] = field(default_factory=list)
+    targets: List[float] = field(default_factory=list)
+    groups: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    def extend_from_prepared(
+        self, prepared: PreparedNF, program: Optional[NICProgram] = None
+    ) -> None:
+        """Add every handler block of a prepared NF with its compiled
+        ground-truth compute-instruction count."""
+        if program is None:
+            program = compile_module(prepared.module, PortConfig())
+        handler_asm = program.handler
+        for block_asm in handler_asm.blocks:
+            tokens = prepared.tokens.get(block_asm.name)
+            if tokens is None or not tokens:
+                continue
+            self.sequences.append(tokens)
+            self.targets.append(float(block_asm.n_compute))
+            self.groups.append(prepared.name)
+
+    @classmethod
+    def synthesize(
+        cls,
+        n_programs: int = 80,
+        seed: int = 0,
+        corpus=None,
+    ) -> "PredictorDataset":
+        """The data-synthesis pipeline of Section 3.2: generate guided
+        Click programs, compile each with both toolchains, and pair
+        per-block IR sequences with NIC instruction counts."""
+        corpus = corpus if corpus is not None else all_elements()
+        stats = extract_stats(corpus)
+        gen = ClickGen(stats, seed=seed)
+        dataset = cls()
+        for element in gen.elements(n_programs):
+            prepared = prepare_element(element)
+            dataset.extend_from_prepared(prepared)
+        return dataset
+
+    def split_by_group(
+        self, test_fraction: float = 0.2, seed: int = 0
+    ) -> Tuple["PredictorDataset", "PredictorDataset"]:
+        rng = np.random.default_rng(seed)
+        names = sorted(set(self.groups))
+        rng.shuffle(names)
+        n_test = max(1, int(len(names) * test_fraction))
+        test_names = set(names[:n_test])
+        train, test = PredictorDataset(), PredictorDataset()
+        for seq, target, group in zip(self.sequences, self.targets, self.groups):
+            bucket = test if group in test_names else train
+            bucket.sequences.append(seq)
+            bucket.targets.append(target)
+            bucket.groups.append(group)
+        return train, test
+
+
+class InstructionPredictor:
+    """The LSTM+FC instruction predictor (Figure 6)."""
+
+    def __init__(
+        self,
+        hidden_dim: int = 40,
+        max_len: int = MAX_BLOCK_LEN,
+        epochs: int = 35,
+        seed: int = 0,
+    ) -> None:
+        self.max_len = max_len
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.seed = seed
+        self.vocab = InstructionVocabulary()
+        self.model: Optional[LSTMRegressor] = None
+
+    def fit(self, dataset: PredictorDataset) -> "InstructionPredictor":
+        self.vocab.fit(dataset.sequences)
+        X, mask = encode_blocks(self.vocab, dataset.sequences, self.max_len)
+        y = np.asarray(dataset.targets)
+        self.model = LSTMRegressor(
+            input_dim=self.vocab.size,
+            hidden_dim=self.hidden_dim,
+            seed=self.seed,
+        )
+        self.model.fit(X, mask, y, epochs=self.epochs, seed=self.seed)
+        return self
+
+    def predict_sequences(self, sequences: Sequence[Sequence[str]]) -> np.ndarray:
+        """Predict per-sequence counts.  Blocks longer than ``max_len``
+        are chunked and their chunk predictions summed — instruction
+        selection is local, so a long straight-line block compiles to
+        roughly the concatenation of its windows."""
+        if self.model is None:
+            raise RuntimeError("predictor is not fitted")
+        chunks: List[List[str]] = []
+        owners: List[int] = []
+        for i, seq in enumerate(sequences):
+            seq = list(seq)
+            if not seq:
+                chunks.append(seq)
+                owners.append(i)
+                continue
+            for start in range(0, len(seq), self.max_len):
+                chunks.append(seq[start : start + self.max_len])
+                owners.append(i)
+        X, mask = encode_blocks(self.vocab, chunks, self.max_len)
+        chunk_preds = self.model.predict(X, mask)
+        out = np.zeros(len(list(sequences)))
+        for owner, value in zip(owners, chunk_preds):
+            out[owner] += value
+        return out
+
+    def evaluate(self, dataset: PredictorDataset) -> float:
+        """WMAPE against ground truth (the paper's Section 5.2 metric)."""
+        pred = self.predict_sequences(dataset.sequences)
+        return wmape(np.asarray(dataset.targets), pred)
+
+    # -- Figure 3: PREDICTOFFLOADINGPERF ------------------------------
+    def analyze(self, prepared: PreparedNF) -> InsightReport:
+        """Generate the prediction-class insights for an unported NF."""
+        report = InsightReport(nf_name=prepared.name)
+        sequences = prepared.block_token_sequences()
+        predictions = self.predict_sequences(sequences)
+        for block, pred in zip(prepared.blocks, predictions):
+            report.add(
+                "compute",
+                block.name,
+                float(round(float(pred), 2)),
+                detail="LSTM-predicted NIC compute instructions",
+            )
+            # Memory accesses are counted, not learned (Section 3.2).
+            report.add(
+                "memory",
+                block.name,
+                block.n_mem_stateful,
+                detail="stateful loads/stores counted from IR",
+            )
+        for api in prepared.api_set:
+            cost = api_cost(api)
+            n_accesses = sum(count for _k, _s, count in cost.accesses)
+            report.add(
+                "api",
+                api,
+                {"cycles": cost.cycles, "mem_accesses": n_accesses},
+                detail="reverse-ported profile (NIC library semantics)",
+            )
+        return report
+
+
+def histogram_dataset(
+    vocab: InstructionVocabulary, dataset: PredictorDataset
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Bag-of-words features for the DNN/AutoML/kNN baselines."""
+    X = histogram_features(vocab, dataset.sequences)
+    return X, np.asarray(dataset.targets)

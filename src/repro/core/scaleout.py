@@ -1,0 +1,194 @@
+"""Multicore scale-out factor analysis (paper Section 4.2).
+
+TVM-style: synthesize training programs covering a range of arithmetic
+intensities, measure them on the (simulated) NIC at every core count
+under different workloads, and train a GBDT cost model that predicts
+the optimal core count for a new (NF, workload) pair from statically
+predictable features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.click.elements import all_elements
+from repro.click.interp import ExecutionProfile, Interpreter
+from repro.core.prepare import PreparedNF, prepare_element
+from repro.ml.gbdt import GBDTRegressor
+from repro.nic.compiler import compile_module
+from repro.nic.machine import NICModel, WorkloadCharacter
+from repro.nic.port import PortConfig
+from repro.synthesis.generator import ClickGen
+from repro.synthesis.stats import extract_stats
+from repro.workload import STANDARD_WORKLOADS, characterize, generate_trace
+from repro.workload.spec import WorkloadSpec
+
+
+def scaleout_features(
+    prepared: PreparedNF,
+    block_compute: Mapping[str, float],
+    profile: ExecutionProfile,
+    workload: WorkloadCharacter,
+) -> np.ndarray:
+    """Feature vector for the cost model.
+
+    Built only from what Clara has *before* porting: per-block compute
+    counts (LSTM-predicted for a new NF, measured for training
+    programs), host-profiled block frequencies, counted stateful
+    accesses, and the workload character.
+    """
+    packets = max(profile.packets, 1)
+    compute_per_pkt = 0.0
+    stateful_per_pkt = 0.0
+    packet_mem_per_pkt = 0.0
+    for block in prepared.blocks:
+        freq = profile.block_counts.get(block.name, 0) / packets
+        compute_per_pkt += freq * float(block_compute.get(block.name, 0.0))
+        stateful_per_pkt += freq * block.n_mem_stateful
+        packet_mem_per_pkt += freq * block.n_mem_packet
+    api_per_pkt = sum(profile.api_counts.values()) / packets
+
+    # API costs come from the reverse-ported profiles (Section 3.3):
+    # this is what makes software checksums (2000+ cycles behind a
+    # single call instruction) visible to the cost model.
+    from repro.nic.libnfp import api_cost, sw_checksum_cycles
+
+    api_issue = 0.0
+    api_accesses = 0.0
+    for api, count in profile.api_counts.items():
+        per_pkt = count / packets
+        if api.startswith("checksum_update"):
+            api_issue += per_pkt * sw_checksum_cycles(workload.packet_bytes)
+            continue
+        cost = api_cost(api)
+        api_issue += per_pkt * cost.cycles
+        api_accesses += per_pkt * sum(c for _k, _s, c in cost.accesses)
+
+    intensity = compute_per_pkt / max(stateful_per_pkt + api_accesses, 0.25)
+    hit = workload.emem_cache_hit_rate
+    emem_latency = hit * 90.0 + (1.0 - hit) * 300.0
+    issue_est = 120.0 + compute_per_pkt + packet_mem_per_pkt + api_issue
+    mem_est = (stateful_per_pkt + api_accesses) * emem_latency
+    # Little's-law knee estimates: cores for the concurrency bound to
+    # reach line rate, and for the single-issue compute bound to do so.
+    line_rate_pps = 40e9 / 8.0 / (workload.packet_bytes + 20.0)
+    n_concurrency = line_rate_pps * (issue_est + mem_est) / (8.0 * 1.2e9)
+    n_compute = line_rate_pps * issue_est / 1.2e9
+    est_cores = max(n_concurrency, n_compute)
+    return np.array(
+        [
+            compute_per_pkt,
+            stateful_per_pkt + api_accesses,
+            packet_mem_per_pkt,
+            api_per_pkt,
+            intensity,
+            workload.emem_cache_hit_rate,
+            float(workload.packet_bytes),
+            issue_est,
+            mem_est,
+            est_cores,
+        ]
+    )
+
+
+@dataclass
+class ScaleoutSample:
+    features: np.ndarray
+    optimal_cores: int
+    program_name: str
+    workload_name: str
+
+
+class ScaleoutAdvisor:
+    """GBDT regression from NF/workload features to the best core count."""
+
+    def __init__(
+        self,
+        nic: Optional[NICModel] = None,
+        seed: int = 0,
+        model: Optional[object] = None,
+    ) -> None:
+        self.nic = nic or NICModel()
+        self.seed = seed
+        self.model = model or GBDTRegressor(
+            n_rounds=120, max_depth=4, learning_rate=0.1, seed=seed
+        )
+        self.samples: List[ScaleoutSample] = []
+
+    # -- training-set construction -------------------------------------
+    def measure_optimal(
+        self,
+        prepared: PreparedNF,
+        profile: ExecutionProfile,
+        workload: WorkloadCharacter,
+        config: Optional[PortConfig] = None,
+    ) -> int:
+        """Ground truth: exhaustive core sweep on the NIC."""
+        program = compile_module(prepared.module, config or PortConfig())
+        packets = max(profile.packets, 1)
+        freq = {b: c / packets for b, c in profile.block_counts.items()}
+        sweep = self.nic.sweep_cores(program, freq, workload)
+        return self.nic.optimal_cores(sweep)
+
+    def build_training_set(
+        self,
+        n_programs: int = 40,
+        workloads: Sequence[WorkloadSpec] = STANDARD_WORKLOADS,
+        trace_packets: int = 400,
+        seed: Optional[int] = None,
+    ) -> List[ScaleoutSample]:
+        """Synthesize programs spanning arithmetic intensities, deploy
+        each on the simulated NIC under each workload, and record the
+        measured optimum (the paper's automated training pipeline)."""
+        seed = self.seed if seed is None else seed
+        stats = extract_stats(all_elements())
+        gen = ClickGen(stats, seed=seed)
+        samples: List[ScaleoutSample] = []
+        for element in gen.elements(n_programs, prefix="scale"):
+            prepared = prepare_element(element)
+            program = compile_module(prepared.module, PortConfig())
+            # Ground-truth per-block compute from the compiled program
+            # (training programs ARE deployed, Section 4.2).
+            block_compute = {
+                b.name: float(b.n_compute) for b in program.handler.blocks
+            }
+            for spec in workloads:
+                from dataclasses import replace
+
+                spec_small = replace(spec, n_packets=trace_packets)
+                interp = Interpreter(prepared.module, seed=seed)
+                profile = interp.run_trace(generate_trace(spec_small, seed=seed))
+                workload = characterize(spec_small)
+                features = scaleout_features(
+                    prepared, block_compute, profile, workload
+                )
+                optimal = self.measure_optimal(prepared, profile, workload)
+                samples.append(
+                    ScaleoutSample(features, optimal, element.name, spec.name)
+                )
+        self.samples = samples
+        return samples
+
+    def fit(self, samples: Optional[List[ScaleoutSample]] = None) -> "ScaleoutAdvisor":
+        samples = samples if samples is not None else self.samples
+        if not samples:
+            raise RuntimeError("no training samples; call build_training_set")
+        X = np.stack([s.features for s in samples])
+        y = np.array([float(s.optimal_cores) for s in samples])
+        self.model.fit(X, y)
+        return self
+
+    def predict_cores(
+        self,
+        prepared: PreparedNF,
+        block_compute: Mapping[str, float],
+        profile: ExecutionProfile,
+        workload: WorkloadCharacter,
+        max_cores: int = 60,
+    ) -> int:
+        features = scaleout_features(prepared, block_compute, profile, workload)
+        raw = float(self.model.predict(features[None, :])[0])
+        return int(np.clip(round(raw), 1, max_cores))

@@ -1,0 +1,60 @@
+"""A compact, numpy-only machine-learning library.
+
+Substitutes for the paper's Scikit-learn / TensorFlow / XGBoost / TPOT
+stack (none of which is available offline): LSTM+FC sequence
+regression, MLP and 1-D CNN baselines, CART / random forest / GBDT,
+kNN, linear SVM, K-means, PCA, a LambdaMART-style pairwise ranker, a
+small AutoML pipeline search, sequential pattern extraction, and the
+evaluation metrics the paper reports (WMAPE, precision/recall, top-k
+ranking accuracy, and the six distribution-divergence measures of
+Table 1).
+
+All models take an explicit ``seed`` and are deterministic.
+"""
+
+from repro.ml import metrics
+from repro.ml.encoding import (
+    InstructionVocabulary,
+    abstract_instruction,
+    encode_blocks,
+    encode_sequence,
+)
+from repro.ml.lstm import LSTMRegressor
+from repro.ml.mlp import MLPClassifier, MLPRegressor
+from repro.ml.cnn import CNNRegressor
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbdt import GBDTClassifier, GBDTRegressor
+from repro.ml.knn import KNNClassifier, KNNRegressor
+from repro.ml.svm import LinearSVM
+from repro.ml.kmeans import KMeans
+from repro.ml.pca import PCA
+from repro.ml.ranking import LambdaRanker
+from repro.ml.automl import AutoMLRegressor, AutoMLClassifier
+from repro.ml.spe import SequentialPatternExtractor
+
+__all__ = [
+    "metrics",
+    "InstructionVocabulary",
+    "abstract_instruction",
+    "encode_blocks",
+    "encode_sequence",
+    "LSTMRegressor",
+    "MLPClassifier",
+    "MLPRegressor",
+    "CNNRegressor",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "GBDTClassifier",
+    "GBDTRegressor",
+    "KNNClassifier",
+    "KNNRegressor",
+    "LinearSVM",
+    "KMeans",
+    "PCA",
+    "LambdaRanker",
+    "AutoMLRegressor",
+    "AutoMLClassifier",
+    "SequentialPatternExtractor",
+]

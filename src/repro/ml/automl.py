@@ -1,0 +1,127 @@
+"""A small AutoML pipeline search (the paper's TPOT stand-in).
+
+TPOT "search[es] through different ML pipelines and hyperparameters";
+we do the same over this library's model zoo with k-fold
+cross-validation and a fixed candidate budget.  Like TPOT in the paper,
+it tends to settle on random-forest pipelines for instruction
+prediction and kNN for algorithm identification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbdt import GBDTClassifier, GBDTRegressor
+from repro.ml.knn import KNNClassifier, KNNRegressor
+from repro.ml.metrics import accuracy, wmape
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+@dataclass
+class _Candidate:
+    name: str
+    build: Callable[[], object]
+
+
+def _kfold_indices(n: int, k: int, rng: np.random.Generator):
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield train, test
+
+
+class _AutoMLBase:
+    def __init__(self, n_folds: int = 3, seed: int = 0) -> None:
+        self.n_folds = n_folds
+        self.seed = seed
+        self.best_name_: Optional[str] = None
+        self.best_model_: Optional[object] = None
+        self.leaderboard_: List[Tuple[str, float]] = []
+
+    def _candidates(self) -> List[_Candidate]:
+        raise NotImplementedError
+
+    def _score(self, model, X_test, y_test) -> float:
+        raise NotImplementedError
+
+    def fit(self, X: np.ndarray, y: np.ndarray):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        rng = np.random.default_rng(self.seed)
+        scores: List[Tuple[str, float]] = []
+        candidates = self._candidates()
+        for cand in candidates:
+            fold_scores = []
+            for train, test in _kfold_indices(len(y), self.n_folds, rng):
+                model = cand.build()
+                model.fit(X[train], y[train])
+                fold_scores.append(self._score(model, X[test], y[test]))
+            scores.append((cand.name, float(np.mean(fold_scores))))
+        # Higher is better by convention; subclasses negate errors.
+        self.leaderboard_ = sorted(scores, key=lambda item: -item[1])
+        self.best_name_ = self.leaderboard_[0][0]
+        best = next(c for c in candidates if c.name == self.best_name_)
+        self.best_model_ = best.build()
+        self.best_model_.fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.best_model_ is None:
+            raise RuntimeError("model is not fitted")
+        return self.best_model_.predict(np.asarray(X, dtype=float))
+
+
+class AutoMLRegressor(_AutoMLBase):
+    def _candidates(self) -> List[_Candidate]:
+        seed = self.seed
+        return [
+            _Candidate(
+                "random_forest_30",
+                lambda: RandomForestRegressor(n_trees=30, max_depth=8, seed=seed),
+            ),
+            _Candidate(
+                "random_forest_60",
+                lambda: RandomForestRegressor(
+                    n_trees=60, max_depth=10, max_features=0.7, seed=seed
+                ),
+            ),
+            _Candidate(
+                "gbdt_60", lambda: GBDTRegressor(n_rounds=60, seed=seed)
+            ),
+            _Candidate(
+                "gbdt_shallow",
+                lambda: GBDTRegressor(n_rounds=80, max_depth=2, seed=seed),
+            ),
+            _Candidate("knn_3", lambda: KNNRegressor(k=3)),
+            _Candidate("knn_7", lambda: KNNRegressor(k=7)),
+            _Candidate(
+                "cart", lambda: DecisionTreeRegressor(max_depth=10, seed=seed)
+            ),
+        ]
+
+    def _score(self, model, X_test, y_test) -> float:
+        return -wmape(y_test, model.predict(X_test))
+
+
+class AutoMLClassifier(_AutoMLBase):
+    def _candidates(self) -> List[_Candidate]:
+        seed = self.seed
+        return [
+            _Candidate("knn_3", lambda: KNNClassifier(k=3)),
+            _Candidate("knn_5", lambda: KNNClassifier(k=5)),
+            _Candidate(
+                "gbdt", lambda: GBDTClassifier(n_rounds=40, seed=seed)
+            ),
+            _Candidate(
+                "cart", lambda: DecisionTreeClassifier(max_depth=8, seed=seed)
+            ),
+        ]
+
+    def _score(self, model, X_test, y_test) -> float:
+        return accuracy(y_test, model.predict(X_test))

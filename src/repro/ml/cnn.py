@@ -1,0 +1,126 @@
+"""1-D convolutional sequence regressor (the paper's "CNN" baseline,
+in the style of sentence-classification CNNs: parallel convolutions of
+several widths over the one-hot sequence, global max pooling, FC head).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class CNNRegressor:
+    def __init__(
+        self,
+        input_dim: int,
+        n_filters: int = 16,
+        widths: Sequence[int] = (2, 3, 4),
+        lr: float = 2e-3,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.widths = tuple(widths)
+        self.n_filters = n_filters
+        self.params: Dict[str, np.ndarray] = {}
+        for w in self.widths:
+            self.params[f"K{w}"] = rng.normal(
+                0.0, np.sqrt(2.0 / (w * input_dim)), size=(w, input_dim, n_filters)
+            )
+            self.params[f"kb{w}"] = np.zeros(n_filters)
+        feat = n_filters * len(self.widths)
+        self.params["W"] = rng.normal(0.0, np.sqrt(1.0 / feat), size=(feat, 1))
+        self.params["b"] = np.zeros(1)
+        self.lr = lr
+        self._m = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._v = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._t = 0
+        self.history: List[float] = []
+
+    def _forward(self, X: np.ndarray, mask: np.ndarray):
+        """X: [B,T,D]; mask: [B,T]."""
+        B, T, D = X.shape
+        Xm = X * mask[:, :, None]
+        pooled = []
+        cache = {}
+        for w in self.widths:
+            K = self.params[f"K{w}"]
+            n_pos = max(T - w + 1, 1)
+            conv = np.zeros((B, n_pos, self.n_filters))
+            for offset in range(w):
+                end = offset + n_pos
+                # conv += X[:, offset:end, :] @ K[offset]
+                conv += np.tensordot(Xm[:, offset:end, :], K[offset], axes=([2], [0]))
+            conv += self.params[f"kb{w}"]
+            relu = np.maximum(conv, 0.0)
+            argmax = relu.argmax(axis=1)
+            pooled_w = relu.max(axis=1)
+            cache[w] = (Xm, conv, argmax, n_pos)
+            pooled.append(pooled_w)
+        features = np.concatenate(pooled, axis=1)
+        out = (features @ self.params["W"] + self.params["b"]).ravel()
+        return out, (features, cache)
+
+    def _backward(self, d_out: np.ndarray, cache) -> Dict[str, np.ndarray]:
+        features, conv_cache = cache
+        grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        grads["W"] = features.T @ d_out[:, None]
+        grads["b"] = d_out.sum(keepdims=True)
+        d_feat = d_out[:, None] @ self.params["W"].T
+        offset = 0
+        for w in self.widths:
+            Xm, conv, argmax, n_pos = conv_cache[w]
+            d_pool = d_feat[:, offset : offset + self.n_filters]
+            offset += self.n_filters
+            B = conv.shape[0]
+            d_conv = np.zeros_like(conv)
+            rows = np.repeat(np.arange(B), self.n_filters)
+            cols = argmax.ravel()
+            filt = np.tile(np.arange(self.n_filters), B)
+            d_conv[rows, cols, filt] = (d_pool * (conv[rows, cols, filt].reshape(B, -1) > 0)).ravel()
+            for off in range(w):
+                end = off + n_pos
+                grads[f"K{w}"][off] = np.tensordot(
+                    Xm[:, off:end, :], d_conv, axes=([0, 1], [0, 1])
+                )
+            grads[f"kb{w}"] = d_conv.sum(axis=(0, 1))
+        return grads
+
+    def _step(self, grads: Dict[str, np.ndarray]) -> None:
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        self._t += 1
+        for key, grad in grads.items():
+            self._m[key] = beta1 * self._m[key] + (1 - beta1) * grad
+            self._v[key] = beta2 * self._v[key] + (1 - beta2) * grad**2
+            m_hat = self._m[key] / (1 - beta1**self._t)
+            v_hat = self._v[key] / (1 - beta2**self._t)
+            self.params[key] -= self.lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    def fit(
+        self,
+        X: np.ndarray,
+        mask: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 40,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> "CNNRegressor":
+        rng = np.random.default_rng(seed)
+        y_log = np.log1p(np.asarray(y, dtype=float))
+        n = X.shape[0]
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            losses = []
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                pred, cache = self._forward(X[idx], mask[idx])
+                err = pred - y_log[idx]
+                losses.append(float(np.mean(err**2)))
+                grads = self._backward(2.0 * err / len(idx), cache)
+                self._step(grads)
+            self.history.append(float(np.mean(losses)))
+        return self
+
+    def predict(self, X: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        pred_log, _ = self._forward(X, mask)
+        return np.maximum(np.expm1(pred_log), 0.0)

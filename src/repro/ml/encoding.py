@@ -1,0 +1,199 @@
+"""Instruction abstraction and vocabulary compaction (paper Section 3.2).
+
+"Clara compacts the vocabulary by abstracting away concrete variable
+names and substituting an operand with its type (e.g., 'add int const'
+instead of 'add x 2'), with the exception of well-defined header field
+names."  The compacted vocabulary stays small (a few hundred words), so
+basic one-hot encoding suffices — no word embeddings needed.
+
+The ablation path (``compact=False``) keeps concrete operand text,
+blowing the vocabulary up and degrading the LSTM exactly as the paper's
+"prior experience of applying LSTM without vocabulary compaction"
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.click.packet import HEADER_FIELD_NAMES
+from repro.nfir.block import BasicBlock
+from repro.nfir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    GEP,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.nfir.values import Argument, Constant, Value
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+
+
+def _operand_token(value: Value, compact: bool) -> str:
+    if isinstance(value, Constant):
+        if not compact:
+            return str(value.value)
+        if value.is_null:
+            return "NULL"
+        # Constants are abstracted to their *compile-relevant class*,
+        # not their value: the NIC compiler treats powers of two
+        # (shifts), small immediates (free), 16-bit immediates (one
+        # instruction) and wide immediates (a pair) very differently,
+        # and the vocabulary must preserve that distinction while
+        # staying compact (4 classes, not 2^32 values).
+        magnitude = value.value
+        if magnitude > 0 and (magnitude & (magnitude - 1)) == 0:
+            return "INT_P2"
+        if magnitude < 256:
+            return "INT_SM"
+        if magnitude <= 0xFFFF:
+            return "INT_MID"
+        return "INT_WIDE"
+    if not compact:
+        return value.ref()
+    return "VAR"
+
+
+def _gep_field_token(field: str) -> str:
+    """Header field names survive compaction; other fields collapse."""
+    return field if field in HEADER_FIELD_NAMES else "FIELD"
+
+
+def abstract_instruction(instr: Instruction, compact: bool = True) -> str:
+    """One "word" per instruction, e.g. ``add i32 VAR INT``."""
+    if isinstance(instr, BinaryOp):
+        return (
+            f"{instr.opcode} {instr.type} "
+            f"{_operand_token(instr.lhs, compact)} "
+            f"{_operand_token(instr.rhs, compact)}"
+        )
+    if isinstance(instr, ICmp):
+        return (
+            f"icmp {instr.predicate} {instr.lhs.type} "
+            f"{_operand_token(instr.lhs, compact)} "
+            f"{_operand_token(instr.rhs, compact)}"
+        )
+    if isinstance(instr, Select):
+        return f"select {instr.type}"
+    if isinstance(instr, Cast):
+        return f"{instr.opcode} {instr.value.type} {instr.type}"
+    if isinstance(instr, Alloca):
+        return f"alloca {instr.allocated_type.size_bytes()}"
+    if isinstance(instr, Load):
+        category = instr.meta.get("category")
+        tag = getattr(category, "value", "mem")
+        return f"load {instr.type} {tag}"
+    if isinstance(instr, Store):
+        category = instr.meta.get("category")
+        tag = getattr(category, "value", "mem")
+        return (
+            f"store {instr.value.type} {tag} "
+            f"{_operand_token(instr.value, compact)}"
+        )
+    if isinstance(instr, GEP):
+        parts = ["getelementptr"]
+        for index in instr.indices:
+            if isinstance(index, str):
+                parts.append(_gep_field_token(index) if compact else index)
+            else:
+                parts.append(_operand_token(index, compact))
+        return " ".join(parts)
+    if isinstance(instr, Call):
+        return f"call {instr.callee} {instr.kind}"
+    if isinstance(instr, Br):
+        return "br"
+    if isinstance(instr, CondBr):
+        return "br_cond"
+    if isinstance(instr, Ret):
+        return "ret"
+    if isinstance(instr, Phi):
+        return f"phi {instr.type}"
+    raise TypeError(f"cannot abstract {instr!r}")
+
+
+def block_tokens(block: BasicBlock, compact: bool = True) -> List[str]:
+    return [abstract_instruction(i, compact) for i in block.instructions]
+
+
+class InstructionVocabulary:
+    """Token -> index mapping with pad/unk entries."""
+
+    def __init__(self) -> None:
+        self._index: Dict[str, int] = {PAD_TOKEN: 0, UNK_TOKEN: 1}
+
+    @property
+    def size(self) -> int:
+        return len(self._index)
+
+    def fit(self, sequences: Iterable[Sequence[str]]) -> "InstructionVocabulary":
+        for seq in sequences:
+            for token in seq:
+                if token not in self._index:
+                    self._index[token] = len(self._index)
+        return self
+
+    def index(self, token: str) -> int:
+        return self._index.get(token, self._index[UNK_TOKEN])
+
+    def encode(self, tokens: Sequence[str]) -> np.ndarray:
+        return np.array([self.index(t) for t in tokens], dtype=np.int64)
+
+    def tokens(self) -> List[str]:
+        return list(self._index)
+
+
+def encode_sequence(
+    vocab: InstructionVocabulary,
+    tokens: Sequence[str],
+    max_len: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One-hot encode a token sequence, padded/truncated to ``max_len``.
+
+    Returns ``(one_hot[max_len, vocab], mask[max_len])``.
+    """
+    ids = vocab.encode(list(tokens)[:max_len])
+    one_hot = np.zeros((max_len, vocab.size), dtype=np.float32)
+    mask = np.zeros(max_len, dtype=np.float32)
+    one_hot[np.arange(len(ids)), ids] = 1.0
+    mask[: len(ids)] = 1.0
+    return one_hot, mask
+
+
+def encode_blocks(
+    vocab: InstructionVocabulary,
+    token_sequences: Sequence[Sequence[str]],
+    max_len: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batch-encode sequences: ``(X[n, max_len, vocab], mask[n, max_len])``."""
+    n = len(token_sequences)
+    X = np.zeros((n, max_len, vocab.size), dtype=np.float32)
+    mask = np.zeros((n, max_len), dtype=np.float32)
+    for i, tokens in enumerate(token_sequences):
+        X[i], mask[i] = encode_sequence(vocab, tokens, max_len)
+    return X, mask
+
+
+def histogram_features(
+    vocab: InstructionVocabulary, token_sequences: Sequence[Sequence[str]]
+) -> np.ndarray:
+    """Bag-of-words counts — the representation the non-sequence
+    baselines (DNN/AutoML/kNN/...) consume."""
+    n = len(token_sequences)
+    X = np.zeros((n, vocab.size), dtype=np.float32)
+    for i, tokens in enumerate(token_sequences):
+        for token in tokens:
+            X[i, vocab.index(token)] += 1.0
+    return X

@@ -1,0 +1,52 @@
+"""Random forest regression (bagged CART trees with feature
+subsampling) — the pipeline TPOT settles on for instruction prediction
+in the paper ("the best ML solution it suggested is an ML pipeline with
+a random forest regression model", Section 5.2)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor:
+    def __init__(
+        self,
+        n_trees: int = 30,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        max_features: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees: List[DecisionTreeRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        rng = np.random.default_rng(self.seed)
+        n = len(y)
+        self.trees = []
+        for t in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=self.seed + 1000 + t,
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees:
+            raise RuntimeError("model is not fitted")
+        return np.mean([t.predict(X) for t in self.trees], axis=0)

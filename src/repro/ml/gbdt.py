@@ -1,0 +1,172 @@
+"""Gradient-boosted decision trees.
+
+The paper uses GBDT (via XGBoost) for multicore scale-out regression
+(Section 4.2) and LambdaMART ranking for colocation (Section 4.5).  The
+generic :meth:`GBDTRegressor.fit_gradients` entry point boosts against
+arbitrary per-sample gradients, which is what the LambdaMART ranker in
+:mod:`repro.ml.ranking` builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class GBDTRegressor:
+    def __init__(
+        self,
+        n_rounds: int = 60,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 3,
+        subsample: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        self.n_rounds = n_rounds
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.seed = seed
+        self.base_: float = 0.0
+        self.trees: List[DecisionTreeRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GBDTRegressor":
+        """Least-squares boosting."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        self.base_ = float(y.mean())
+        current = np.full(len(y), self.base_)
+        rng = np.random.default_rng(self.seed)
+        self.trees = []
+        n = len(y)
+        for t in range(self.n_rounds):
+            residual = y - current
+            if self.subsample < 1.0:
+                idx = rng.choice(n, size=max(2, int(n * self.subsample)),
+                                 replace=False)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                seed=self.seed + t,
+            )
+            tree.fit(X[idx], residual[idx])
+            current += self.learning_rate * tree.predict(X)
+            self.trees.append(tree)
+        return self
+
+    def fit_gradients(
+        self,
+        X: np.ndarray,
+        gradient_fn: Callable[[np.ndarray], np.ndarray],
+    ) -> "GBDTRegressor":
+        """Boost against arbitrary negative gradients.
+
+        ``gradient_fn(current_scores) -> pseudo-residuals`` is called
+        once per round; used by LambdaMART, where the pseudo-residuals
+        are the lambda gradients of the ranking loss.
+        """
+        X = np.asarray(X, dtype=float)
+        n = X.shape[0]
+        self.base_ = 0.0
+        current = np.zeros(n)
+        self.trees = []
+        for t in range(self.n_rounds):
+            residual = np.asarray(gradient_fn(current), dtype=float)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                seed=self.seed + t,
+            )
+            tree.fit(X, residual)
+            current += self.learning_rate * tree.predict(X)
+            self.trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        out = np.full(len(X), self.base_)
+        for tree in self.trees:
+            out += self.learning_rate * tree.predict(X)
+        return out
+
+
+class GBDTClassifier:
+    """Binary logistic boosting; multiclass handled one-vs-rest."""
+
+    def __init__(
+        self,
+        n_rounds: int = 60,
+        learning_rate: float = 0.15,
+        max_depth: int = 3,
+        min_samples_leaf: int = 3,
+        seed: int = 0,
+    ) -> None:
+        self.n_rounds = n_rounds
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self.classes_: Optional[np.ndarray] = None
+        self._boosters: List[List[DecisionTreeRegressor]] = []
+        self._bases: List[float] = []
+
+    def _fit_binary(self, X: np.ndarray, y01: np.ndarray, seed: int):
+        n = len(y01)
+        prior = np.clip(y01.mean(), 1e-6, 1 - 1e-6)
+        base = float(np.log(prior / (1 - prior)))
+        scores = np.full(n, base)
+        trees: List[DecisionTreeRegressor] = []
+        for t in range(self.n_rounds):
+            p = 1.0 / (1.0 + np.exp(-scores))
+            residual = y01 - p
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                seed=seed + t,
+            )
+            tree.fit(X, residual)
+            scores += self.learning_rate * tree.predict(X)
+            trees.append(tree)
+        return base, trees
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GBDTClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        self._boosters = []
+        self._bases = []
+        for k, cls in enumerate(self.classes_):
+            base, trees = self._fit_binary(
+                X, (y == cls).astype(float), self.seed + 10_000 * k
+            )
+            self._bases.append(base)
+            self._boosters.append(trees)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        scores = np.zeros((len(X), len(self._boosters)))
+        for k, trees in enumerate(self._boosters):
+            s = np.full(len(X), self._bases[k])
+            for tree in trees:
+                s += self.learning_rate * tree.predict(X)
+            scores[:, k] = s
+        return scores
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        p = 1.0 / (1.0 + np.exp(-scores))
+        totals = p.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return p / totals
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(self.decision_function(X), axis=1)]

@@ -1,0 +1,156 @@
+"""K-means clustering (the paper's coalescing engine: "this is
+achieved by a traditional K-means algorithm", Section 4.4).
+
+k-means++ initialization, Lloyd iterations, deterministic under a seed.
+Includes a silhouette-style model selection helper used to pick the
+number of variable clusters automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class KMeans:
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 100,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.seed = seed
+        self.centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: float = 0.0
+
+    def _init_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding."""
+        n = len(X)
+        centers = [X[rng.integers(0, n)]]
+        while len(centers) < self.n_clusters:
+            d2 = np.min(
+                ((X[:, None, :] - np.asarray(centers)[None]) ** 2).sum(axis=2),
+                axis=1,
+            )
+            total = d2.sum()
+            if total <= 0:
+                centers.append(X[rng.integers(0, n)])
+                continue
+            probs = d2 / total
+            centers.append(X[rng.choice(n, p=probs)])
+        return np.asarray(centers)
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        X = np.asarray(X, dtype=float)
+        if len(X) < self.n_clusters:
+            raise ValueError("fewer samples than clusters")
+        rng = np.random.default_rng(self.seed)
+        centers = self._init_centers(X, rng)
+        labels = np.zeros(len(X), dtype=int)
+        for _ in range(self.max_iter):
+            d2 = ((X[:, None, :] - centers[None]) ** 2).sum(axis=2)
+            new_labels = np.argmin(d2, axis=1)
+            if np.array_equal(new_labels, labels) and _ > 0:
+                break
+            labels = new_labels
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if len(members):
+                    centers[k] = members.mean(axis=0)
+        self.centers_ = centers
+        self.labels_ = labels
+        d2 = ((X[:, None, :] - centers[None]) ** 2).sum(axis=2)
+        self.inertia_ = float(d2[np.arange(len(X)), labels].sum())
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.centers_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        d2 = ((X[:, None, :] - self.centers_[None]) ** 2).sum(axis=2)
+        return np.argmin(d2, axis=1)
+
+
+def silhouette_score(X: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient (used for choosing k)."""
+    X = np.asarray(X, dtype=float)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        return 0.0
+    n = len(X)
+    dist = np.sqrt(((X[:, None, :] - X[None, :, :]) ** 2).sum(axis=2))
+    scores = np.zeros(n)
+    for i in range(n):
+        same = labels == labels[i]
+        same[i] = False
+        a = dist[i, same].mean() if same.any() else 0.0
+        b = np.inf
+        for other in unique:
+            if other == labels[i]:
+                continue
+            members = labels == other
+            if members.any():
+                b = min(b, dist[i, members].mean())
+        if not np.isfinite(b):
+            scores[i] = 0.0
+        else:
+            denom = max(a, b)
+            scores[i] = (b - a) / denom if denom > 0 else 0.0
+    return float(scores.mean())
+
+
+def choose_k(
+    X: np.ndarray, k_max: int, seed: int = 0
+) -> Tuple[int, KMeans]:
+    """Pick k in [2, k_max] maximizing silhouette; falls back to 1
+    cluster when there are too few samples."""
+    X = np.asarray(X, dtype=float)
+    if len(X) < 3:
+        model = KMeans(1, seed=seed).fit(X)
+        return 1, model
+    best_k, best_model, best_score = 1, None, -np.inf
+    for k in range(2, min(k_max, len(X) - 1) + 1):
+        model = KMeans(k, seed=seed).fit(X)
+        score = silhouette_score(X, model.labels_)
+        if score > best_score:
+            best_k, best_model, best_score = k, model, score
+    if best_model is None:
+        best_model = KMeans(1, seed=seed).fit(X)
+        best_k = 1
+    return best_k, best_model
+
+
+def choose_k_by_cutoff(
+    X: np.ndarray, k_max: int, cutoff: float, seed: int = 0
+) -> Tuple[int, KMeans]:
+    """Pick the *smallest* k whose clusters are all tight: every member
+    within ``cutoff`` of its center.
+
+    This is the paper's Section-5.8 selection rule for coalescing
+    clusters ("this has to use some cutoff threshold to determine some
+    suitable inter-cluster distance"): small k keeps co-accessed
+    variables together; the cutoff stops unrelated variables from being
+    packed.
+    """
+    X = np.asarray(X, dtype=float)
+    if len(X) == 0:
+        raise ValueError("no samples")
+    upper = min(k_max, len(X))
+    chosen = None
+    for k in range(1, upper + 1):
+        model = KMeans(k, seed=seed).fit(X)
+        assert model.centers_ is not None and model.labels_ is not None
+        distances = np.linalg.norm(X - model.centers_[model.labels_], axis=1)
+        if distances.max() <= cutoff:
+            chosen = (k, model)
+            break
+    if chosen is None:
+        chosen = (upper, KMeans(upper, seed=seed).fit(X))
+    return chosen

@@ -1,0 +1,59 @@
+"""k-nearest-neighbour models (paper baselines for algorithm
+identification and scale-out prediction)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class _KNNBase:
+    def __init__(self, k: int = 5, standardize: bool = True) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.standardize = standardize
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray):
+        X = np.asarray(X, dtype=float)
+        if self.standardize:
+            self._mean = X.mean(axis=0)
+            self._std = X.std(axis=0)
+            self._std[self._std == 0.0] = 1.0
+            X = (X - self._mean) / self._std
+        self._X = X
+        self._y = np.asarray(y)
+        return self
+
+    def _neighbors(self, X: np.ndarray) -> np.ndarray:
+        assert self._X is not None
+        X = np.asarray(X, dtype=float)
+        if self.standardize:
+            X = (X - self._mean) / self._std
+        d2 = ((X[:, None, :] - self._X[None, :, :]) ** 2).sum(axis=2)
+        k = min(self.k, self._X.shape[0])
+        return np.argsort(d2, axis=1)[:, :k]
+
+
+class KNNRegressor(_KNNBase):
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        nbrs = self._neighbors(X)
+        assert self._y is not None
+        return self._y[nbrs].astype(float).mean(axis=1)
+
+
+class KNNClassifier(_KNNBase):
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        nbrs = self._neighbors(X)
+        assert self._y is not None
+        votes = self._y[nbrs]
+        out = []
+        for row in votes:
+            values, counts = np.unique(row, return_counts=True)
+            out.append(values[np.argmax(counts)])
+        return np.asarray(out)

@@ -1,0 +1,172 @@
+"""Multi-layer perceptrons (the paper's "DNN" baseline)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class _MLPBase:
+    def __init__(
+        self,
+        input_dim: int,
+        hidden: Sequence[int] = (64, 32),
+        output_dim: int = 1,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        dims = [input_dim, *hidden, output_dim]
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for d_in, d_out in zip(dims[:-1], dims[1:]):
+            self.weights.append(
+                rng.normal(0.0, np.sqrt(2.0 / d_in), size=(d_in, d_out))
+            )
+            self.biases.append(np.zeros(d_out))
+        self.lr = lr
+        self._adam_m = [
+            (np.zeros_like(w), np.zeros_like(b))
+            for w, b in zip(self.weights, self.biases)
+        ]
+        self._adam_v = [
+            (np.zeros_like(w), np.zeros_like(b))
+            for w, b in zip(self.weights, self.biases)
+        ]
+        self._t = 0
+        self.history: List[float] = []
+
+    def _forward(self, X: np.ndarray):
+        activations = [X]
+        pre = []
+        for layer, (W, b) in enumerate(zip(self.weights, self.biases)):
+            z = activations[-1] @ W + b
+            pre.append(z)
+            if layer < len(self.weights) - 1:
+                activations.append(np.maximum(z, 0.0))
+            else:
+                activations.append(z)
+        return activations, pre
+
+    def _backward(self, activations, pre, d_out):
+        grads = []
+        delta = d_out
+        for layer in range(len(self.weights) - 1, -1, -1):
+            grads.append(
+                (activations[layer].T @ delta, delta.sum(axis=0))
+            )
+            if layer > 0:
+                delta = (delta @ self.weights[layer].T) * (pre[layer - 1] > 0.0)
+        grads.reverse()
+        return grads
+
+    def _step(self, grads) -> None:
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        self._t += 1
+        t = self._t
+        for layer, (gw, gb) in enumerate(grads):
+            mw, mb = self._adam_m[layer]
+            vw, vb = self._adam_v[layer]
+            mw = beta1 * mw + (1 - beta1) * gw
+            vw = beta2 * vw + (1 - beta2) * gw**2
+            mb = beta1 * mb + (1 - beta1) * gb
+            vb = beta2 * vb + (1 - beta2) * gb**2
+            self._adam_m[layer] = (mw, mb)
+            self._adam_v[layer] = (vw, vb)
+            self.weights[layer] -= (
+                self.lr * (mw / (1 - beta1**t))
+                / (np.sqrt(vw / (1 - beta2**t)) + eps)
+            )
+            self.biases[layer] -= (
+                self.lr * (mb / (1 - beta1**t))
+                / (np.sqrt(vb / (1 - beta2**t)) + eps)
+            )
+
+    def _train(
+        self, X, y_matrix, loss_grad, epochs: int, batch_size: int, seed: int
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        n = X.shape[0]
+        for _epoch in range(epochs):
+            order = rng.permutation(n)
+            losses = []
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                activations, pre = self._forward(X[idx])
+                loss, d_out = loss_grad(activations[-1], y_matrix[idx])
+                losses.append(loss)
+                grads = self._backward(activations, pre, d_out)
+                self._step(grads)
+            self.history.append(float(np.mean(losses)))
+
+
+class MLPRegressor(_MLPBase):
+    """ReLU MLP trained with MSE in log1p space (count targets)."""
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 60,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> "MLPRegressor":
+        y_log = np.log1p(np.asarray(y, dtype=float))[:, None]
+
+        def loss_grad(pred, target):
+            err = pred - target
+            return float(np.mean(err**2)), 2.0 * err / len(err)
+
+        self._train(np.asarray(X, float), y_log, loss_grad, epochs, batch_size, seed)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        activations, _ = self._forward(np.asarray(X, float))
+        return np.maximum(np.expm1(activations[-1].ravel()), 0.0)
+
+
+class MLPClassifier(_MLPBase):
+    """Softmax MLP classifier."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        n_classes: int,
+        hidden: Sequence[int] = (64, 32),
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(input_dim, hidden, n_classes, lr, seed)
+        self.n_classes = n_classes
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 60,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> "MLPClassifier":
+        y = np.asarray(y, dtype=int)
+        onehot = np.zeros((len(y), self.n_classes))
+        onehot[np.arange(len(y)), y] = 1.0
+
+        def loss_grad(logits, target):
+            z = logits - logits.max(axis=1, keepdims=True)
+            p = np.exp(z)
+            p /= p.sum(axis=1, keepdims=True)
+            loss = float(-np.mean(np.sum(target * np.log(p + 1e-12), axis=1)))
+            return loss, (p - target) / len(target)
+
+        self._train(np.asarray(X, float), onehot, loss_grad, epochs, batch_size, seed)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        activations, _ = self._forward(np.asarray(X, float))
+        z = activations[-1] - activations[-1].max(axis=1, keepdims=True)
+        p = np.exp(z)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(X), axis=1)

@@ -1,0 +1,41 @@
+"""Principal component analysis (used for the Figure 10(a) feature-
+space visualization of accelerator classification)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class PCA:
+    def __init__(self, n_components: int = 2) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        k = min(self.n_components, vt.shape[0])
+        self.components_ = vt[:k]
+        variance = s**2
+        total = variance.sum()
+        self.explained_variance_ratio_ = (
+            variance[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,106 @@
+"""LambdaMART-style pairwise ranking on gradient-boosted trees.
+
+The paper uses XGBoost's LambdaMART for colocation friendliness
+ranking (Section 4.5): "By sampling many data pairs and minimizing the
+pairwise loss during training, Clara learns an ML model for ranking."
+This implementation boosts regression trees against lambda gradients —
+the classic RankNet gradients scaled by the NDCG swap delta.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.gbdt import GBDTRegressor
+
+
+def ndcg_at_k(relevance_in_rank_order: Sequence[float], k: int = 0) -> float:
+    """NDCG of a ranking given item relevances in ranked order."""
+    rel = np.asarray(relevance_in_rank_order, dtype=float)
+    if k:
+        rel = rel[:k]
+    discounts = 1.0 / np.log2(np.arange(2, len(rel) + 2))
+    dcg = float(np.sum((2**rel - 1) * discounts))
+    ideal = np.sort(rel)[::-1]
+    idcg = float(np.sum((2**ideal - 1) * discounts))
+    return dcg / idcg if idcg > 0 else 1.0
+
+
+class LambdaRanker:
+    def __init__(
+        self,
+        n_rounds: int = 60,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        sigma: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        self.sigma = sigma
+        self.booster = GBDTRegressor(
+            n_rounds=n_rounds,
+            learning_rate=learning_rate,
+            max_depth=max_depth,
+            seed=seed,
+        )
+
+    def fit(
+        self,
+        X: np.ndarray,
+        relevance: np.ndarray,
+        query_ids: np.ndarray,
+    ) -> "LambdaRanker":
+        """``relevance``: higher is better within each query group."""
+        X = np.asarray(X, dtype=float)
+        relevance = np.asarray(relevance, dtype=float)
+        query_ids = np.asarray(query_ids)
+        groups: Dict[object, np.ndarray] = {
+            q: np.where(query_ids == q)[0] for q in np.unique(query_ids)
+        }
+
+        def lambda_gradients(scores: np.ndarray) -> np.ndarray:
+            lambdas = np.zeros_like(scores)
+            for idx in groups.values():
+                if len(idx) < 2:
+                    continue
+                rel = relevance[idx]
+                s = scores[idx]
+                # Current rank positions (descending by score).
+                order = np.argsort(-s, kind="stable")
+                position = np.empty_like(order)
+                position[order] = np.arange(len(idx))
+                discount = 1.0 / np.log2(position + 2.0)
+                gain = 2.0**rel - 1.0
+                ideal = np.sort(rel)[::-1]
+                idcg = float(
+                    np.sum((2.0**ideal - 1.0) / np.log2(np.arange(2, len(idx) + 2)))
+                )
+                if idcg <= 0:
+                    continue
+                for a in range(len(idx)):
+                    for b in range(len(idx)):
+                        if rel[a] <= rel[b]:
+                            continue
+                        # a should rank above b.
+                        diff = s[a] - s[b]
+                        rho = 1.0 / (1.0 + np.exp(self.sigma * diff))
+                        delta_ndcg = (
+                            abs(gain[a] - gain[b])
+                            * abs(discount[a] - discount[b])
+                            / idcg
+                        )
+                        lam = self.sigma * rho * delta_ndcg
+                        lambdas[idx[a]] += lam
+                        lambdas[idx[b]] -= lam
+            return lambdas
+
+        self.booster.fit_gradients(X, lambda_gradients)
+        return self
+
+    def score(self, X: np.ndarray) -> np.ndarray:
+        return self.booster.predict(X)
+
+    def rank(self, X: np.ndarray) -> np.ndarray:
+        """Item indices ordered best-first."""
+        return np.argsort(-self.score(X), kind="stable")

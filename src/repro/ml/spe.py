@@ -1,0 +1,115 @@
+"""Sequential Pattern Extraction (paper Section 4.1).
+
+"Code features are extracted using the Sequential Pattern Extraction
+(SPE) algorithm, where each feature is a subsequence of LLVM
+instructions ... Feature extraction optimizes for ... high support [and]
+high confidence."
+
+We mine contiguous opcode n-grams (a practical SPE variant) from
+labelled token sequences, keep those with support >= ``min_support``
+among positive examples and confidence >= ``min_confidence`` against
+negatives, and featurize new sequences by n-gram occurrence counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Pattern:
+    tokens: Tuple[str, ...]
+    support: float
+    confidence: float
+
+
+def _ngrams(sequence: Sequence[str], n: int) -> Set[Tuple[str, ...]]:
+    return {
+        tuple(sequence[i : i + n]) for i in range(len(sequence) - n + 1)
+    }
+
+
+def _count_occurrences(sequence: Sequence[str], pattern: Tuple[str, ...]) -> int:
+    n = len(pattern)
+    return sum(
+        1
+        for i in range(len(sequence) - n + 1)
+        if tuple(sequence[i : i + n]) == pattern
+    )
+
+
+class SequentialPatternExtractor:
+    """Mines discriminative instruction subsequences."""
+
+    def __init__(
+        self,
+        min_len: int = 2,
+        max_len: int = 4,
+        min_support: float = 0.5,
+        min_confidence: float = 0.8,
+        max_patterns: int = 64,
+    ) -> None:
+        self.min_len = min_len
+        self.max_len = max_len
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self.max_patterns = max_patterns
+        self.patterns_: List[Pattern] = []
+
+    def fit(
+        self,
+        sequences: Sequence[Sequence[str]],
+        labels: Sequence[int],
+    ) -> "SequentialPatternExtractor":
+        """Mine patterns frequent in positive sequences (label 1) and
+        rare in negatives (label 0)."""
+        positives = [s for s, l in zip(sequences, labels) if l == 1]
+        negatives = [s for s, l in zip(sequences, labels) if l == 0]
+        if not positives:
+            raise ValueError("need at least one positive example")
+
+        candidates: Counter = Counter()
+        for seq in positives:
+            for n in range(self.min_len, self.max_len + 1):
+                candidates.update(_ngrams(seq, n))
+
+        patterns: List[Pattern] = []
+        n_pos = len(positives)
+        for pattern, pos_count in candidates.items():
+            support = pos_count / n_pos
+            if support < self.min_support:
+                continue
+            neg_count = sum(
+                1 for seq in negatives if pattern in _ngrams(seq, len(pattern))
+            )
+            total = pos_count + neg_count
+            confidence = pos_count / total if total else 1.0
+            if confidence < self.min_confidence:
+                continue
+            patterns.append(Pattern(pattern, support, confidence))
+        # Most discriminative first; longer patterns break ties.
+        patterns.sort(
+            key=lambda p: (-p.confidence, -p.support, -len(p.tokens), p.tokens)
+        )
+        self.patterns_ = patterns[: self.max_patterns]
+        return self
+
+    def transform(self, sequences: Sequence[Sequence[str]]) -> np.ndarray:
+        """Occurrence-count feature vectors for the mined patterns."""
+        if not self.patterns_:
+            raise RuntimeError("extractor is not fitted or found no patterns")
+        X = np.zeros((len(sequences), len(self.patterns_)), dtype=float)
+        for i, seq in enumerate(sequences):
+            seq = list(seq)
+            for j, pattern in enumerate(self.patterns_):
+                X[i, j] = _count_occurrences(seq, pattern.tokens)
+        return X
+
+    def fit_transform(
+        self, sequences: Sequence[Sequence[str]], labels: Sequence[int]
+    ) -> np.ndarray:
+        return self.fit(sequences, labels).transform(sequences)

@@ -1,0 +1,156 @@
+"""CART decision trees (regression and classification).
+
+Vectorized threshold search over presorted feature values; used
+directly as the paper's "DT" baseline and as the weak learner inside
+the random forest, GBDT, and LambdaMART models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: float = 0.0
+    #: class-probability vector at leaves (classification only).
+    proba: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split_mse(X: np.ndarray, y: np.ndarray, feature_indices: np.ndarray,
+                    min_leaf: int):
+    """Best (feature, threshold, gain) under MSE reduction."""
+    n = len(y)
+    total_sum = y.sum()
+    total_sq = (y**2).sum()
+    base_impurity = total_sq - total_sum**2 / n
+    best = (None, 0.0, 0.0)
+    for feature in feature_indices:
+        order = np.argsort(X[:, feature], kind="stable")
+        xs = X[order, feature]
+        ys = y[order]
+        csum = np.cumsum(ys)[:-1]
+        csq = np.cumsum(ys**2)[:-1]
+        counts = np.arange(1, n)
+        valid = (xs[1:] != xs[:-1]) & (counts >= min_leaf) & (n - counts >= min_leaf)
+        if not valid.any():
+            continue
+        left_imp = csq - csum**2 / counts
+        right_sum = total_sum - csum
+        right_sq = total_sq - csq
+        right_imp = right_sq - right_sum**2 / (n - counts)
+        gain = base_impurity - (left_imp + right_imp)
+        gain = np.where(valid, gain, -np.inf)
+        idx = int(np.argmax(gain))
+        if gain[idx] > best[2]:
+            threshold = 0.5 * (xs[idx] + xs[idx + 1])
+            best = (int(feature), float(threshold), float(gain[idx]))
+    return best
+
+
+class DecisionTreeRegressor:
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 2,
+        max_features: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = np.random.default_rng(seed)
+        self.root: Optional[_Node] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        self.n_features = X.shape[1]
+        self.root = self._build(X, y, depth=0)
+        return self
+
+    def _feature_candidates(self) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(self.n_features)
+        k = max(1, int(self.n_features * self.max_features))
+        return self.rng.choice(self.n_features, size=k, replace=False)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf:
+            return node
+        if float(y.var()) < 1e-12:
+            return node
+        feature, threshold, gain = _best_split_mse(
+            X, y, self._feature_candidates(), self.min_samples_leaf
+        )
+        if feature is None or gain <= 1e-12:
+            return node
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self.root
+            while node is not None and not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value if node is not None else 0.0
+        return out
+
+
+class DecisionTreeClassifier:
+    """CART classifier via one-vs-rest regression trees on class
+    indicators (Gini-equivalent for binary splits on MSE of
+    indicators)."""
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self.classes_: Optional[np.ndarray] = None
+        self._trees: List[DecisionTreeRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        self._trees = []
+        for cls in self.classes_:
+            tree = DecisionTreeRegressor(
+                self.max_depth, self.min_samples_leaf, seed=self.seed
+            )
+            tree.fit(X, (y == cls).astype(float))
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        scores = np.stack([t.predict(X) for t in self._trees], axis=1)
+        scores = np.clip(scores, 0.0, None)
+        totals = scores.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return scores / totals
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

@@ -1,0 +1,294 @@
+"""Instruction annotation: the static pass of paper Section 3.1.
+
+Separates, per basic block:
+
+* **compute** instructions (arithmetic, logic, comparisons, casts,
+  address computation),
+* **memory accesses**, further split into *stateful* (globals that
+  persist across packets — flow tables, counters), *stateless*
+  (function-local stack slots, which the SmartNIC register allocator
+  normally elides), and *packet* (header/payload bytes, which live in
+  the NIC's packet buffer),
+* **framework API calls** that must be reverse ported, and
+* control flow.
+
+These categories drive everything downstream: the LSTM predicts what
+the compute portion compiles to, stateful accesses are counted
+directly, and API calls are swapped for reverse-ported profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.nfir.block import BasicBlock
+from repro.nfir.function import Function, GlobalVariable, Module
+from repro.nfir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    GEP,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    CALL_KIND_API,
+    CALL_KIND_INTRINSIC,
+)
+from repro.nfir.values import Argument, Value
+
+
+class Category(str, Enum):
+    COMPUTE = "compute"
+    MEM_STATEFUL = "mem_stateful"
+    MEM_STATELESS = "mem_stateless"
+    MEM_PACKET = "mem_packet"
+    API = "api"
+    INTRINSIC = "intrinsic"
+    CALL = "call"
+    CONTROL = "control"
+    ALLOCA = "alloca"
+
+
+def trace_pointer_root(value: Value) -> Value:
+    """Walk GEP/cast chains back to the root object of a pointer."""
+    seen = 0
+    while seen < 1000:
+        seen += 1
+        if isinstance(value, GEP):
+            value = value.base
+        elif isinstance(value, Cast):
+            value = value.value
+        else:
+            return value
+    return value  # pragma: no cover - cycle guard
+
+
+#: points-to targets: "packet", "stateless", or "stateful:<global>".
+PointsTo = str
+
+
+def _root_target(root: Value, alloca_map: Optional[Dict[int, PointsTo]]) -> PointsTo:
+    if isinstance(root, GlobalVariable):
+        return f"stateful:{root.name}"
+    if isinstance(root, Alloca):
+        return "stateless"
+    if isinstance(root, Argument):
+        # Pointer arguments are packet buffers / header views.
+        return "packet"
+    if isinstance(root, Call):
+        # Pointer-returning calls: header views point into the packet
+        # buffer; stateful-structure lookups (hashmap_find, vector_at)
+        # point into NF state.  The frontend records which via meta;
+        # when meta is absent (e.g. after a textual round trip) the
+        # target is inferred structurally: stateful APIs receive their
+        # backing global as the first argument.
+        points_to = root.meta.get("points_to")
+        if points_to is not None:
+            return str(points_to)
+        if root.args and isinstance(root.args[0], GlobalVariable):
+            return f"stateful:{root.args[0].name}"
+        return "packet"
+    if isinstance(root, Load):
+        # A pointer read out of a local slot: consult the points-to map
+        # built from the stores into that slot.  Without a map (or for
+        # a pointer fetched out of a stateful structure) stay
+        # conservative: treat the dereference as stateful.
+        if alloca_map is not None:
+            slot = trace_pointer_root(root.ptr)
+            if isinstance(slot, Alloca) and id(slot) in alloca_map:
+                return alloca_map[id(slot)]
+        return "stateful:<indirect>"
+    return "stateless"
+
+
+def pointer_target(
+    ptr: Value, alloca_map: Optional[Dict[int, PointsTo]] = None
+) -> PointsTo:
+    """Where a pointer value ultimately points (flow-insensitive)."""
+    return _root_target(trace_pointer_root(ptr), alloca_map)
+
+
+def build_alloca_points_to(function: Function) -> Dict[int, PointsTo]:
+    """Flow-insensitive points-to targets for pointer-holding allocas.
+
+    For every alloca of pointer type, merge the targets of all values
+    stored into it.  Two passes resolve one level of pointer-copy
+    chains (``p = q``), which is all the frontend produces.
+    """
+    alloca_map: Dict[int, PointsTo] = {}
+    for _ in range(2):
+        new_map: Dict[int, PointsTo] = {}
+        for instr in function.instructions():
+            if not isinstance(instr, Store):
+                continue
+            if not instr.value.type.is_pointer:
+                continue
+            slot = trace_pointer_root(instr.ptr)
+            if not isinstance(slot, Alloca):
+                continue
+            target = pointer_target(instr.value, alloca_map)
+            previous = new_map.get(id(slot))
+            if previous is None or previous == target:
+                new_map[id(slot)] = target
+            else:
+                # Conflicting stores: degrade predictably.  A slot that
+                # may hold stateful pointers is treated as stateful.
+                if previous.startswith("stateful") or target.startswith("stateful"):
+                    new_map[id(slot)] = "stateful:<indirect>"
+                else:
+                    new_map[id(slot)] = "packet"
+        alloca_map = new_map
+    return alloca_map
+
+
+def _memory_category(
+    ptr: Value, alloca_map: Optional[Dict[int, PointsTo]] = None
+) -> Category:
+    target = pointer_target(ptr, alloca_map)
+    if target.startswith("stateful"):
+        return Category.MEM_STATEFUL
+    if target == "packet":
+        return Category.MEM_PACKET
+    return Category.MEM_STATELESS
+
+
+def classify_instruction(
+    instr: Instruction, alloca_map: Optional[Dict[int, PointsTo]] = None
+) -> Category:
+    """Assign the Section-3.1 category of a single instruction."""
+    if isinstance(instr, (BinaryOp, ICmp, Select, Cast, GEP)):
+        return Category.COMPUTE
+    if isinstance(instr, Load):
+        return _memory_category(instr.ptr, alloca_map)
+    if isinstance(instr, Store):
+        return _memory_category(instr.ptr, alloca_map)
+    if isinstance(instr, Alloca):
+        return Category.ALLOCA
+    if isinstance(instr, Call):
+        if instr.kind == CALL_KIND_API:
+            return Category.API
+        if instr.kind == CALL_KIND_INTRINSIC:
+            return Category.INTRINSIC
+        return Category.CALL
+    if isinstance(instr, (Br, CondBr, Ret, Phi)):
+        return Category.CONTROL
+    raise TypeError(f"cannot classify {instr!r}")
+
+
+@dataclass
+class StatefulAccess:
+    """One load or store whose pointer roots at a module global."""
+
+    global_name: str
+    kind: str  # "load" | "store"
+    size_bytes: int
+
+
+@dataclass
+class AnnotatedBlock:
+    """Per-block annotation summary."""
+
+    name: str
+    counts: Dict[Category, int] = field(default_factory=dict)
+    api_calls: List[str] = field(default_factory=list)
+    stateful_accesses: List[StatefulAccess] = field(default_factory=list)
+    instructions: List[Tuple[Instruction, Category]] = field(default_factory=list)
+
+    @property
+    def n_compute(self) -> int:
+        return self.counts.get(Category.COMPUTE, 0)
+
+    @property
+    def n_mem_stateful(self) -> int:
+        return self.counts.get(Category.MEM_STATEFUL, 0)
+
+    @property
+    def n_mem_stateless(self) -> int:
+        return self.counts.get(Category.MEM_STATELESS, 0)
+
+    @property
+    def n_mem_packet(self) -> int:
+        return self.counts.get(Category.MEM_PACKET, 0)
+
+    @property
+    def n_api(self) -> int:
+        return self.counts.get(Category.API, 0)
+
+
+def annotate_block(
+    block: BasicBlock, alloca_map: Optional[Dict[int, PointsTo]] = None
+) -> AnnotatedBlock:
+    annotated = AnnotatedBlock(name=block.name)
+    for instr in block.instructions:
+        category = classify_instruction(instr, alloca_map)
+        instr.meta["category"] = category
+        annotated.counts[category] = annotated.counts.get(category, 0) + 1
+        annotated.instructions.append((instr, category))
+        if category == Category.API and isinstance(instr, Call):
+            annotated.api_calls.append(instr.callee)
+        if category == Category.MEM_STATEFUL:
+            ptr = instr.ptr  # type: ignore[union-attr]
+            target = pointer_target(ptr, alloca_map)
+            _, _, gname = target.partition(":")
+            gname = gname or "<indirect>"
+            if isinstance(instr, Load):
+                annotated.stateful_accesses.append(
+                    StatefulAccess(gname, "load", instr.type.size_bytes())
+                )
+            elif isinstance(instr, Store):
+                annotated.stateful_accesses.append(
+                    StatefulAccess(gname, "store", instr.value.type.size_bytes())
+                )
+    return annotated
+
+
+def annotate_function(function: Function) -> List[AnnotatedBlock]:
+    alloca_map = build_alloca_points_to(function)
+    return [annotate_block(block, alloca_map) for block in function.blocks]
+
+
+@dataclass
+class ModuleAnnotation:
+    """Whole-module summary used by Table-2-style inventories."""
+
+    module_name: str
+    blocks: List[AnnotatedBlock]
+    api_set: List[str]
+    n_compute: int
+    n_mem_stateful: int
+    n_mem_stateless: int
+    n_mem_packet: int
+    n_api: int
+    stateful: bool
+
+
+def annotate_module(
+    module: Module, function_name: str = "pkt_handler"
+) -> ModuleAnnotation:
+    function = module.get_function(function_name)
+    blocks = annotate_function(function)
+    api_set: List[str] = []
+    for annotated in blocks:
+        for api in annotated.api_calls:
+            if api not in api_set:
+                api_set.append(api)
+    return ModuleAnnotation(
+        module_name=module.name,
+        blocks=blocks,
+        api_set=api_set,
+        n_compute=sum(b.n_compute for b in blocks),
+        n_mem_stateful=sum(b.n_mem_stateful for b in blocks),
+        n_mem_stateless=sum(b.n_mem_stateless for b in blocks),
+        n_mem_packet=sum(b.n_mem_packet for b in blocks),
+        n_api=sum(b.n_api for b in blocks),
+        stateful=bool(module.globals),
+    )

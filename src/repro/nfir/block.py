@@ -1,0 +1,57 @@
+"""Basic blocks: straight-line instruction sequences ended by a
+terminator, matching the CFG node granularity Clara analyzes
+(Section 3.1: "nodes are basic code blocks without branches or loops").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, TYPE_CHECKING
+
+from repro.nfir.instructions import Instruction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nfir.function import Function
+
+
+class BasicBlock:
+    def __init__(self, name: str, parent: Optional["Function"] = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.instructions: List[Instruction] = []
+
+    def append(self, instr: Instruction) -> Instruction:
+        if self.is_terminated:
+            raise ValueError(
+                f"block {self.name} already terminated; cannot append {instr.opcode}"
+            )
+        instr.parent = self
+        self.instructions.append(instr)
+        return instr
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        return getattr(term, "successors", lambda: [])()
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def ref(self) -> str:
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.name} ({len(self.instructions)} instrs)>"

@@ -1,0 +1,133 @@
+"""Convenience builder for constructing NFIR, in the style of LLVM's
+``IRBuilder``.  All value names are generated per-function so printed
+modules are stable and parseable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.nfir.block import BasicBlock
+from repro.nfir.function import Function
+from repro.nfir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    GEP,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    CALL_KIND_INTERNAL,
+)
+from repro.nfir.types import IntType, IRType
+from repro.nfir.values import Constant, Value
+
+
+class IRBuilder:
+    def __init__(self, function: Function, block: Optional[BasicBlock] = None) -> None:
+        self.function = function
+        self.block = block if block is not None else function.entry
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def _emit(self, instr: Instruction, name_prefix: str = "v") -> Instruction:
+        if instr.produces_value and instr.name is None:
+            instr.name = self.function.next_value_name(name_prefix)
+        self.block.append(instr)
+        return instr
+
+    # -- arithmetic -------------------------------------------------
+    def binop(self, opcode: str, lhs: Value, rhs: Value) -> Instruction:
+        return self._emit(BinaryOp(opcode, lhs, rhs))
+
+    def add(self, lhs: Value, rhs: Value) -> Instruction:
+        return self.binop("add", lhs, rhs)
+
+    def sub(self, lhs: Value, rhs: Value) -> Instruction:
+        return self.binop("sub", lhs, rhs)
+
+    def mul(self, lhs: Value, rhs: Value) -> Instruction:
+        return self.binop("mul", lhs, rhs)
+
+    def and_(self, lhs: Value, rhs: Value) -> Instruction:
+        return self.binop("and", lhs, rhs)
+
+    def or_(self, lhs: Value, rhs: Value) -> Instruction:
+        return self.binop("or", lhs, rhs)
+
+    def xor(self, lhs: Value, rhs: Value) -> Instruction:
+        return self.binop("xor", lhs, rhs)
+
+    def shl(self, lhs: Value, rhs: Value) -> Instruction:
+        return self.binop("shl", lhs, rhs)
+
+    def lshr(self, lhs: Value, rhs: Value) -> Instruction:
+        return self.binop("lshr", lhs, rhs)
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value) -> Instruction:
+        return self._emit(ICmp(predicate, lhs, rhs))
+
+    def select(self, cond: Value, if_true: Value, if_false: Value) -> Instruction:
+        return self._emit(Select(cond, if_true, if_false))
+
+    def cast(self, opcode: str, value: Value, to_type: IRType) -> Instruction:
+        return self._emit(Cast(opcode, value, to_type))
+
+    def zext(self, value: Value, to_type: IRType) -> Instruction:
+        return self.cast("zext", value, to_type)
+
+    def trunc(self, value: Value, to_type: IRType) -> Instruction:
+        return self.cast("trunc", value, to_type)
+
+    # -- memory -----------------------------------------------------
+    def alloca(self, allocated_type: IRType, name: Optional[str] = None) -> Instruction:
+        instr = Alloca(allocated_type, name)
+        return self._emit(instr, name_prefix="slot")
+
+    def load(self, ptr: Value) -> Instruction:
+        return self._emit(Load(ptr))
+
+    def store(self, value: Value, ptr: Value) -> Instruction:
+        return self._emit(Store(value, ptr))
+
+    def gep(self, base: Value, indices: Sequence[object]) -> Instruction:
+        return self._emit(GEP(base, indices), name_prefix="p")
+
+    # -- calls / control --------------------------------------------
+    def call(
+        self,
+        callee: str,
+        args: Sequence[Value],
+        ret_type: IRType,
+        kind: str = CALL_KIND_INTERNAL,
+    ) -> Instruction:
+        return self._emit(Call(callee, args, ret_type, kind))
+
+    def br(self, target: BasicBlock) -> Instruction:
+        return self._emit(Br(target))
+
+    def cond_br(
+        self, cond: Value, if_true: BasicBlock, if_false: BasicBlock
+    ) -> Instruction:
+        return self._emit(CondBr(cond, if_true, if_false))
+
+    def ret(self, value: Optional[Value] = None) -> Instruction:
+        return self._emit(Ret(value))
+
+    def phi(self, type_: IRType) -> Phi:
+        instr = Phi(type_)
+        self._emit(instr)
+        return instr
+
+    # -- constants ---------------------------------------------------
+    @staticmethod
+    def const(type_: IntType, value: int) -> Constant:
+        return Constant(type_, value)

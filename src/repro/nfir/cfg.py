@@ -1,0 +1,114 @@
+"""Control-flow graph utilities built on networkx.
+
+Clara extracts the CFG during program preparation (Section 3.1) and the
+LSTM predictor operates per basic block; the scale-out/coalescing
+analyses additionally need block execution frequencies, which the
+ClickScript interpreter records against these same block names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import networkx as nx
+
+from repro.nfir.block import BasicBlock
+from repro.nfir.function import Function
+
+
+def build_cfg(function: Function) -> "nx.DiGraph":
+    """Build a directed graph whose nodes are block names."""
+    graph = nx.DiGraph()
+    for block in function.blocks:
+        graph.add_node(block.name, block=block)
+    for block in function.blocks:
+        for successor in block.successors():
+            graph.add_edge(block.name, successor.name)
+    return graph
+
+
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    """Blocks in reverse postorder from the entry (a topological-ish
+    order that visits definitions before most uses)."""
+    graph = build_cfg(function)
+    order = list(nx.dfs_postorder_nodes(graph, source=function.entry.name))
+    order.reverse()
+    by_name = {b.name: b for b in function.blocks}
+    visited = [by_name[name] for name in order if name in by_name]
+    # Unreachable blocks go last, in layout order.
+    seen: Set[str] = {b.name for b in visited}
+    visited.extend(b for b in function.blocks if b.name not in seen)
+    return visited
+
+
+def reachable_blocks(function: Function) -> Set[str]:
+    graph = build_cfg(function)
+    return set(nx.descendants(graph, function.entry.name)) | {function.entry.name}
+
+
+def loop_headers(function: Function) -> Set[str]:
+    """Names of blocks that head a natural loop (targets of back edges)."""
+    graph = build_cfg(function)
+    headers: Set[str] = set()
+    try:
+        dominators = nx.immediate_dominators(graph, function.entry.name)
+    except nx.NetworkXError:
+        return headers
+
+    def dominates(a: str, b: str) -> bool:
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = dominators.get(node)
+            if parent is None or parent == node:
+                return False
+            node = parent
+
+    for src, dst in graph.edges:
+        if dominates(dst, src):
+            headers.add(dst)
+    return headers
+
+
+def natural_loops(function: Function) -> Dict[str, Set[str]]:
+    """Natural loop membership: header block name -> set of block
+    names in the loop (header included).  Loops sharing a header are
+    merged, nested loops appear under their own headers too."""
+    graph = build_cfg(function)
+    entry = function.entry.name
+    try:
+        dominators = nx.immediate_dominators(graph, entry)
+    except nx.NetworkXError:
+        return {}
+
+    def dominates(a: str, b: str) -> bool:
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = dominators.get(node)
+            if parent is None or parent == node:
+                return False
+            node = parent
+
+    loops: Dict[str, Set[str]] = {}
+    for src, dst in graph.edges:
+        if not dominates(dst, src):
+            continue
+        body = loops.setdefault(dst, {dst})
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            if node in body:
+                continue
+            body.add(node)
+            stack.extend(graph.predecessors(node))
+    return loops
+
+
+def block_depths(function: Function) -> Dict[str, int]:
+    """Shortest-path depth of each reachable block from the entry."""
+    graph = build_cfg(function)
+    lengths = nx.single_source_shortest_path_length(graph, function.entry.name)
+    return dict(lengths)

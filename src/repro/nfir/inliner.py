@@ -1,0 +1,180 @@
+"""Inlining of internal NF subroutines.
+
+Section 3.1: "Subroutines in the NF that do not depend on the host
+framework are directly inlined."  Framework API calls (``kind=api``)
+are left intact — they are handled by reverse porting — and intrinsics
+are left for the SmartNIC compiler.
+
+The inliner follows the classic -O0 recipe: split the call block, clone
+the callee with fresh value/block names, route every ``ret`` through a
+return slot (an alloca in the caller entry), and replace the call's
+value with a load from that slot.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Tuple
+
+from repro.nfir.block import BasicBlock
+from repro.nfir.function import Function, Module
+from repro.nfir.instructions import (
+    Alloca,
+    Br,
+    Call,
+    CondBr,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Store,
+    CALL_KIND_INTERNAL,
+)
+from repro.nfir.values import Argument, Value
+
+
+class InlineError(ValueError):
+    pass
+
+
+def _clone_instruction(instr: Instruction) -> Instruction:
+    clone = copy.copy(instr)
+    clone.parent = None
+    clone.meta = dict(instr.meta)
+    if isinstance(instr, Phi):
+        clone.incomings = list(instr.incomings)
+    if isinstance(instr, Call):
+        clone.args = list(instr.args)
+    return clone
+
+
+def _find_internal_call(
+    function: Function, module: Module
+) -> Optional[Tuple[BasicBlock, int, Call]]:
+    for block in function.blocks:
+        for i, instr in enumerate(block.instructions):
+            if (
+                isinstance(instr, Call)
+                and instr.kind == CALL_KIND_INTERNAL
+                and instr.callee in module.functions
+            ):
+                return block, i, instr
+    return None
+
+
+def _inline_one(caller: Function, block: BasicBlock, index: int, call: Call,
+                module: Module) -> None:
+    callee = module.functions[call.callee]
+    if callee is caller:
+        raise InlineError(f"cannot inline recursive call to @{callee.name}")
+    if len(call.args) != len(callee.args):
+        raise InlineError(
+            f"call to @{callee.name} passes {len(call.args)} args,"
+            f" expected {len(callee.args)}"
+        )
+
+    # 1. Split the call block: instructions after the call move to a
+    #    continuation block.
+    tail = caller.add_block(caller.next_value_name("inlcont."))
+    tail.instructions = block.instructions[index + 1 :]
+    for moved in tail.instructions:
+        moved.parent = tail
+    block.instructions = block.instructions[:index]
+
+    # Branch targets elsewhere still point at `block`; that is correct
+    # because `block` now falls through into the inlined body.
+
+    # 2. Return slot for non-void callees.
+    ret_slot: Optional[Alloca] = None
+    if not callee.ret_type.is_void:
+        ret_slot = Alloca(callee.ret_type, caller.next_value_name("retslot."))
+        entry = caller.entry
+        ret_slot.parent = entry
+        entry.instructions.insert(0, ret_slot)
+
+    # 3. Clone callee blocks with fresh names.
+    value_map: Dict[Value, Value] = {}
+    for formal, actual in zip(callee.args, call.args):
+        value_map[formal] = actual
+    block_map: Dict[BasicBlock, BasicBlock] = {}
+    for src in callee.blocks:
+        block_map[src] = caller.add_block(
+            caller.next_value_name(f"inl.{callee.name}.")
+        )
+    cloned: List[Tuple[Instruction, Instruction]] = []
+    for src in callee.blocks:
+        dst = block_map[src]
+        for instr in src.instructions:
+            clone = _clone_instruction(instr)
+            if clone.produces_value:
+                clone.name = caller.next_value_name("i")
+                value_map[instr] = clone
+            clone.parent = dst
+            dst.instructions.append(clone)
+            cloned.append((instr, clone))
+
+    # 4. Rewrite operands and block references inside the clones.
+    for _, clone in cloned:
+        clone.replace_operands(value_map)
+        if isinstance(clone, Br):
+            clone.target = block_map.get(clone.target, clone.target)
+        elif isinstance(clone, CondBr):
+            clone.if_true = block_map.get(clone.if_true, clone.if_true)
+            clone.if_false = block_map.get(clone.if_false, clone.if_false)
+        elif isinstance(clone, Phi):
+            clone.incomings = [
+                (v, block_map.get(b, b)) for v, b in clone.incomings
+            ]
+
+    # 5. Turn every cloned ret into (store to slot +) branch to tail.
+    for dst in block_map.values():
+        if dst.instructions and isinstance(dst.instructions[-1], Ret):
+            ret = dst.instructions.pop()
+            if ret_slot is not None:
+                if ret.value is None:
+                    raise InlineError(
+                        f"@{callee.name} returns void on some path but has"
+                        f" return type {callee.ret_type}"
+                    )
+                store = Store(ret.value, ret_slot)
+                store.parent = dst
+                dst.instructions.append(store)
+            br = Br(tail)
+            br.parent = dst
+            dst.instructions.append(br)
+
+    # 6. Jump from the (truncated) call block into the inlined entry.
+    entry_clone = block_map[callee.entry]
+    br = Br(entry_clone)
+    br.parent = block
+    block.instructions.append(br)
+
+    # 7. Replace uses of the call's result with a load from the slot.
+    if ret_slot is not None:
+        load = Load(ret_slot, caller.next_value_name("retval."))
+        load.parent = tail
+        tail.instructions.insert(0, load)
+        replacement: Dict[Value, Value] = {call: load}
+        for b in caller.blocks:
+            for instr in b.instructions:
+                instr.replace_operands(replacement)
+
+
+def inline_internal_calls(
+    module: Module, function_name: str = "pkt_handler", max_inlines: int = 200
+) -> int:
+    """Inline internal calls within one function; returns the number of
+    call sites inlined.  Raises :class:`InlineError` on recursion or if
+    ``max_inlines`` is exceeded (a cycle guard)."""
+    function = module.get_function(function_name)
+    count = 0
+    while count < max_inlines:
+        found = _find_internal_call(function, module)
+        if found is None:
+            return count
+        block, index, call = found
+        _inline_one(function, block, index, call, module)
+        count += 1
+    raise InlineError(
+        f"@{function_name} still has internal calls after {max_inlines} inlines"
+    )

@@ -1,0 +1,476 @@
+"""Parser for the NFIR textual format produced by
+:mod:`repro.nfir.printer`.
+
+Round-tripping through text gives the synthesis engine a stable on-disk
+corpus format and lets tests assert printer/parser agreement.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.nfir.block import BasicBlock
+from repro.nfir.function import Function, GlobalVariable, Module
+from repro.nfir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    GEP,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    BINARY_OPCODES,
+    CAST_OPCODES,
+)
+from repro.nfir.types import (
+    ArrayType,
+    IntType,
+    IRType,
+    PointerType,
+    StructType,
+    VOID,
+    int_type,
+)
+from repro.nfir.values import Constant, Value
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, line_no: Optional[int] = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    %[A-Za-z_][A-Za-z0-9_.]*   # value / block / struct reference
+    | @[A-Za-z_][A-Za-z0-9_.]* # function / global reference
+    | \.[A-Za-z_][A-Za-z0-9_]* # GEP field index
+    | ![a-z]+                  # call-kind / function attribute
+    | -?\d+                    # integer literal
+    | [A-Za-z_][A-Za-z0-9_]*   # keyword / opcode / type word
+    | [\[\]{}(),=:*]           # punctuation
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(line: str) -> List[str]:
+    tokens = _TOKEN_RE.findall(line)
+    remainder = _TOKEN_RE.sub("", line).strip()
+    if remainder:
+        raise ParseError(f"unexpected characters {remainder!r} in {line!r}")
+    return tokens
+
+
+class _Cursor:
+    """A token stream with one-token lookahead."""
+
+    def __init__(self, tokens: List[str], line_no: int) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.line_no = line_no
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of line", self.line_no)
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ParseError(f"expected {token!r}, got {got!r}", self.line_no)
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.pos += 1
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+class _FunctionScope:
+    """Tracks SSA values and blocks while parsing one function."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.values: Dict[str, Value] = {a.name: a for a in function.args}
+        self.blocks: Dict[str, BasicBlock] = {}
+        # phi arms may reference not-yet-defined values/blocks.
+        self.pending_phis: List[Tuple[Phi, List[Tuple[str, str]]]] = []
+
+    def block(self, name: str) -> BasicBlock:
+        if name not in self.blocks:
+            self.blocks[name] = self.function.add_block(name)
+        return self.blocks[name]
+
+    def define(self, name: str, value: Value) -> None:
+        if name in self.values:
+            raise ParseError(f"value %{name} redefined")
+        self.values[name] = value
+
+    def lookup(self, name: str) -> Value:
+        try:
+            return self.values[name]
+        except KeyError:
+            raise ParseError(f"use of undefined value %{name}") from None
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.lines = text.splitlines()
+        self.structs: Dict[str, StructType] = {}
+        self.module: Optional[Module] = None
+
+    # -- types -------------------------------------------------------
+    def parse_type(self, cursor: _Cursor) -> IRType:
+        token = cursor.next()
+        base: IRType
+        if token == "void":
+            base = VOID
+        elif re.fullmatch(r"i\d+", token):
+            base = int_type(int(token[1:]))
+        elif token.startswith("%struct."):
+            name = token[len("%struct.") :]
+            if name not in self.structs:
+                raise ParseError(f"unknown struct {name!r}", cursor.line_no)
+            base = self.structs[name]
+        elif token == "[":
+            count = int(cursor.next())
+            cursor.expect("x")
+            element = self.parse_type(cursor)
+            cursor.expect("]")
+            base = ArrayType(element, count)
+        else:
+            raise ParseError(f"cannot parse type from {token!r}", cursor.line_no)
+        while cursor.accept("*"):
+            base = PointerType(base)
+        return base
+
+    # -- operands ----------------------------------------------------
+    def parse_operand(
+        self, cursor: _Cursor, type_: IRType, scope: _FunctionScope
+    ) -> Value:
+        token = cursor.next()
+        if token.startswith("%"):
+            value = scope.lookup(token[1:])
+            if value.type != type_:
+                raise ParseError(
+                    f"operand {token} has type {value.type}, expected {type_}",
+                    cursor.line_no,
+                )
+            return value
+        if token.startswith("@"):
+            module = self._require_module(cursor.line_no)
+            name = token[1:]
+            if name not in module.globals:
+                raise ParseError(f"unknown global {token}", cursor.line_no)
+            value = module.globals[name]
+            if value.type != type_:
+                raise ParseError(
+                    f"global {token} has type {value.type}, expected {type_}",
+                    cursor.line_no,
+                )
+            return value
+        if token == "null":
+            if not type_.is_pointer:
+                raise ParseError(
+                    f"null literal for non-pointer type {type_}", cursor.line_no
+                )
+            return Constant(type_, 0)
+        if re.fullmatch(r"-?\d+", token):
+            if not isinstance(type_, IntType):
+                raise ParseError(
+                    f"integer literal for non-integer type {type_}", cursor.line_no
+                )
+            return Constant(type_, int(token))
+        raise ParseError(f"cannot parse operand {token!r}", cursor.line_no)
+
+    def parse_typed_operand(
+        self, cursor: _Cursor, scope: _FunctionScope
+    ) -> Value:
+        type_ = self.parse_type(cursor)
+        return self.parse_operand(cursor, type_, scope)
+
+    # -- top-level ----------------------------------------------------
+    def parse(self) -> Module:
+        i = 0
+        while i < len(self.lines):
+            line = self.lines[i].strip()
+            i += 1
+            if not line or line.startswith(";"):
+                continue
+            if line.startswith("module"):
+                match = re.fullmatch(r'module\s+"([^"]*)"', line)
+                if not match:
+                    raise ParseError(f"bad module header {line!r}", i)
+                self.module = Module(match.group(1))
+            elif line.startswith("struct"):
+                self._parse_struct(line, i)
+            elif line.startswith("global"):
+                self._parse_global(line, i)
+            elif line.startswith("define"):
+                i = self._parse_function(i - 1)
+            else:
+                raise ParseError(f"unexpected line {line!r}", i)
+        if self.module is None:
+            raise ParseError("no module header found")
+        return self.module
+
+    def _require_module(self, line_no: int) -> Module:
+        if self.module is None:
+            raise ParseError("declaration before module header", line_no)
+        return self.module
+
+    def _parse_struct(self, line: str, line_no: int) -> None:
+        cursor = _Cursor(_tokenize(line), line_no)
+        cursor.expect("struct")
+        token = cursor.next()
+        if not token.startswith("%struct."):
+            raise ParseError(f"bad struct name {token!r}", line_no)
+        name = token[len("%struct.") :]
+        cursor.expect("=")
+        cursor.expect("{")
+        fields: List[Tuple[str, IRType]] = []
+        if not cursor.accept("}"):
+            while True:
+                fname = cursor.next()
+                cursor.expect(":")
+                ftype = self.parse_type(cursor)
+                fields.append((fname, ftype))
+                if cursor.accept("}"):
+                    break
+                cursor.expect(",")
+        self.structs[name] = StructType(name, tuple(fields))
+
+    def _parse_global(self, line: str, line_no: int) -> None:
+        module = self._require_module(line_no)
+        match = re.fullmatch(
+            r"global\s+@(\S+)\s*:\s*(.+?)\s+kind=(\w+)\s+entries=(\d+)\s+size=(\d+)",
+            line,
+        )
+        if not match:
+            raise ParseError(f"bad global declaration {line!r}", line_no)
+        name, type_text, kind, entries, size = match.groups()
+        cursor = _Cursor(_tokenize(type_text), line_no)
+        value_type = self.parse_type(cursor)
+        module.add_global(
+            GlobalVariable(
+                name,
+                value_type,
+                kind=kind,
+                entries=int(entries),
+                size_bytes=int(size),
+            )
+        )
+
+    def _parse_function(self, start: int) -> int:
+        """Parse a function beginning at ``self.lines[start]``; return
+        the index just past its closing brace."""
+        line_no = start + 1
+        module = self._require_module(line_no)
+        header = self.lines[start].strip()
+        match = re.fullmatch(
+            r"define\s+(.+?)\s+@([A-Za-z_][A-Za-z0-9_.]*)\((.*)\)( !api)? \{", header
+        )
+        if not match:
+            raise ParseError(f"bad function header {header!r}", line_no)
+        ret_text, name, args_text, api_attr = match.groups()
+        ret_type = self.parse_type(_Cursor(_tokenize(ret_text), line_no))
+        args: List[Tuple[str, IRType]] = []
+        if args_text.strip():
+            for arg_text in args_text.split(","):
+                cursor = _Cursor(_tokenize(arg_text), line_no)
+                arg_type = self.parse_type(cursor)
+                arg_name = cursor.next()
+                if not arg_name.startswith("%"):
+                    raise ParseError(f"bad argument name {arg_name!r}", line_no)
+                args.append((arg_name[1:], arg_type))
+        function = Function(name, args, ret_type, is_api=api_attr is not None)
+        module.add_function(function)
+        scope = _FunctionScope(function)
+
+        # Pre-create blocks in label order so printing the parsed module
+        # reproduces the source block layout exactly.
+        for j in range(start + 1, len(self.lines)):
+            body_line = self.lines[j].strip()
+            if body_line == "}":
+                break
+            label = re.fullmatch(r"([A-Za-z_][A-Za-z0-9_.]*):", body_line)
+            if label:
+                scope.block(label.group(1))
+
+        current: Optional[BasicBlock] = None
+        i = start + 1
+        while i < len(self.lines):
+            line = self.lines[i].strip()
+            line_no = i + 1
+            i += 1
+            if not line or line.startswith(";"):
+                continue
+            if line == "}":
+                self._resolve_phis(scope)
+                return i
+            label = re.fullmatch(r"([A-Za-z_][A-Za-z0-9_.]*):", line)
+            if label:
+                current = scope.block(label.group(1))
+                continue
+            if current is None:
+                raise ParseError("instruction before first block label", line_no)
+            instr = self._parse_instruction(line, line_no, scope)
+            current.append(instr)
+        raise ParseError(f"function @{name} not closed", line_no)
+
+    def _resolve_phis(self, scope: _FunctionScope) -> None:
+        for phi, arms in scope.pending_phis:
+            for value_token, block_name in arms:
+                if value_token.startswith("%"):
+                    value = scope.lookup(value_token[1:])
+                else:
+                    value = Constant(phi.type, int(value_token))  # type: ignore[arg-type]
+                phi.add_incoming(value, scope.block(block_name))
+
+    # -- instructions --------------------------------------------------
+    def _parse_instruction(
+        self, line: str, line_no: int, scope: _FunctionScope
+    ) -> Instruction:
+        cursor = _Cursor(_tokenize(line), line_no)
+        result: Optional[str] = None
+        token = cursor.peek()
+        if token and token.startswith("%") and cursor.tokens[1:2] == ["="]:
+            result = cursor.next()[1:]
+            cursor.expect("=")
+        instr = self._parse_instruction_body(cursor, scope)
+        if result is not None:
+            if not instr.produces_value:
+                raise ParseError("void instruction assigned to a value", line_no)
+            instr.name = result
+            scope.define(result, instr)
+        if not cursor.exhausted:
+            raise ParseError(
+                f"trailing tokens {cursor.tokens[cursor.pos:]!r}", line_no
+            )
+        return instr
+
+    def _parse_instruction_body(
+        self, cursor: _Cursor, scope: _FunctionScope
+    ) -> Instruction:
+        opcode = cursor.next()
+        if opcode in BINARY_OPCODES:
+            type_ = self.parse_type(cursor)
+            lhs = self.parse_operand(cursor, type_, scope)
+            cursor.expect(",")
+            rhs = self.parse_operand(cursor, type_, scope)
+            return BinaryOp(opcode, lhs, rhs)
+        if opcode == "icmp":
+            predicate = cursor.next()
+            type_ = self.parse_type(cursor)
+            lhs = self.parse_operand(cursor, type_, scope)
+            cursor.expect(",")
+            rhs = self.parse_operand(cursor, type_, scope)
+            return ICmp(predicate, lhs, rhs)
+        if opcode == "select":
+            cond = self.parse_typed_operand(cursor, scope)
+            cursor.expect(",")
+            if_true = self.parse_typed_operand(cursor, scope)
+            cursor.expect(",")
+            if_false = self.parse_typed_operand(cursor, scope)
+            return Select(cond, if_true, if_false)
+        if opcode in CAST_OPCODES:
+            value = self.parse_typed_operand(cursor, scope)
+            cursor.expect("to")
+            to_type = self.parse_type(cursor)
+            return Cast(opcode, value, to_type)
+        if opcode == "alloca":
+            return Alloca(self.parse_type(cursor))
+        if opcode == "load":
+            self.parse_type(cursor)  # result type, implied by pointer
+            cursor.expect(",")
+            ptr = self.parse_typed_operand(cursor, scope)
+            return Load(ptr)
+        if opcode == "store":
+            value = self.parse_typed_operand(cursor, scope)
+            cursor.expect(",")
+            ptr = self.parse_typed_operand(cursor, scope)
+            return Store(value, ptr)
+        if opcode == "getelementptr":
+            base = self.parse_typed_operand(cursor, scope)
+            indices: List[object] = []
+            while cursor.accept(","):
+                token = cursor.peek()
+                if token is not None and token.startswith("."):
+                    indices.append(cursor.next()[1:])
+                else:
+                    indices.append(self.parse_typed_operand(cursor, scope))
+            return GEP(base, indices)
+        if opcode == "call":
+            ret_type = self.parse_type(cursor)
+            callee = cursor.next()
+            if not callee.startswith("@"):
+                raise ParseError(f"bad callee {callee!r}", cursor.line_no)
+            cursor.expect("(")
+            args: List[Value] = []
+            if not cursor.accept(")"):
+                while True:
+                    args.append(self.parse_typed_operand(cursor, scope))
+                    if cursor.accept(")"):
+                        break
+                    cursor.expect(",")
+            kind_token = cursor.next()
+            if not kind_token.startswith("!"):
+                raise ParseError(f"missing call kind, got {kind_token!r}", cursor.line_no)
+            return Call(callee[1:], args, ret_type, kind=kind_token[1:])
+        if opcode == "br":
+            if cursor.peek() == "label":
+                cursor.next()
+                target = cursor.next()
+                return Br(scope.block(target[1:]))
+            type_ = self.parse_type(cursor)
+            cond = self.parse_operand(cursor, type_, scope)
+            cursor.expect(",")
+            cursor.expect("label")
+            if_true = cursor.next()
+            cursor.expect(",")
+            cursor.expect("label")
+            if_false = cursor.next()
+            return CondBr(cond, scope.block(if_true[1:]), scope.block(if_false[1:]))
+        if opcode == "ret":
+            if cursor.peek() == "void":
+                cursor.next()
+                return Ret(None)
+            return Ret(self.parse_typed_operand(cursor, scope))
+        if opcode == "phi":
+            type_ = self.parse_type(cursor)
+            phi = Phi(type_)
+            arms: List[Tuple[str, str]] = []
+            while cursor.accept("["):
+                value_token = cursor.next()
+                cursor.expect(",")
+                block_token = cursor.next()
+                cursor.expect("]")
+                arms.append((value_token, block_token[1:]))
+                cursor.accept(",")
+            scope.pending_phis.append((phi, arms))
+            return phi
+        raise ParseError(f"unknown opcode {opcode!r}", cursor.line_no)
+
+
+def parse_module(text: str) -> Module:
+    """Parse the textual NFIR format back into a :class:`Module`."""
+    return _Parser(text).parse()

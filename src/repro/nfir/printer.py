@@ -1,0 +1,190 @@
+"""Textual printer for NFIR modules.
+
+The format is LLVM-flavoured and round-trips exactly through
+:func:`repro.nfir.parser.parse_module`, which the test suite checks by
+property.  Printed modules are also what the ML encoding layer consumes
+(one instruction per "word", see :mod:`repro.ml.encoding`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.nfir.block import BasicBlock
+from repro.nfir.function import Function, GlobalVariable, Module
+from repro.nfir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    GEP,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.nfir.types import ArrayType, IRType, PointerType, StructType
+from repro.nfir.values import Constant, Value
+
+
+def type_str(type_: IRType) -> str:
+    return str(type_)
+
+
+def _operand(value: Value) -> str:
+    if isinstance(value, Constant):
+        return value.ref()  # integer literal or "null"
+    return value.ref()
+
+
+def _typed_operand(value: Value) -> str:
+    return f"{type_str(value.type)} {_operand(value)}"
+
+
+def print_instruction(instr: Instruction) -> str:
+    """Render one instruction as a single line (no indentation)."""
+    if isinstance(instr, BinaryOp):
+        return (
+            f"{instr.ref()} = {instr.opcode} {type_str(instr.type)} "
+            f"{_operand(instr.lhs)}, {_operand(instr.rhs)}"
+        )
+    if isinstance(instr, ICmp):
+        return (
+            f"{instr.ref()} = icmp {instr.predicate} {type_str(instr.lhs.type)} "
+            f"{_operand(instr.lhs)}, {_operand(instr.rhs)}"
+        )
+    if isinstance(instr, Select):
+        return (
+            f"{instr.ref()} = select {_typed_operand(instr.cond)}, "
+            f"{_typed_operand(instr.if_true)}, {_typed_operand(instr.if_false)}"
+        )
+    if isinstance(instr, Cast):
+        return (
+            f"{instr.ref()} = {instr.opcode} {_typed_operand(instr.value)} "
+            f"to {type_str(instr.type)}"
+        )
+    if isinstance(instr, Alloca):
+        return f"{instr.ref()} = alloca {type_str(instr.allocated_type)}"
+    if isinstance(instr, Load):
+        return (
+            f"{instr.ref()} = load {type_str(instr.type)}, "
+            f"{type_str(instr.ptr.type)} {_operand(instr.ptr)}"
+        )
+    if isinstance(instr, Store):
+        return (
+            f"store {_typed_operand(instr.value)}, "
+            f"{type_str(instr.ptr.type)} {_operand(instr.ptr)}"
+        )
+    if isinstance(instr, GEP):
+        parts = [f"{type_str(instr.base.type)} {_operand(instr.base)}"]
+        for idx in instr.indices:
+            if isinstance(idx, str):
+                parts.append(f".{idx}")
+            else:
+                parts.append(_typed_operand(idx))
+        return f"{instr.ref()} = getelementptr {', '.join(parts)}"
+    if isinstance(instr, Call):
+        args = ", ".join(_typed_operand(a) for a in instr.args)
+        call = f"call {type_str(instr.type)} @{instr.callee}({args}) !{instr.kind}"
+        if instr.produces_value:
+            return f"{instr.ref()} = {call}"
+        return call
+    if isinstance(instr, Br):
+        return f"br label {instr.target.ref()}"
+    if isinstance(instr, CondBr):
+        return (
+            f"br i1 {_operand(instr.cond)}, label {instr.if_true.ref()}, "
+            f"label {instr.if_false.ref()}"
+        )
+    if isinstance(instr, Ret):
+        if instr.value is None:
+            return "ret void"
+        return f"ret {_typed_operand(instr.value)}"
+    if isinstance(instr, Phi):
+        arms = ", ".join(
+            f"[ {_operand(v)}, {b.ref()} ]" for v, b in instr.incomings
+        )
+        return f"{instr.ref()} = phi {type_str(instr.type)} {arms}"
+    raise TypeError(f"cannot print instruction {instr!r}")
+
+
+def _print_block(block: BasicBlock) -> List[str]:
+    lines = [f"{block.name}:"]
+    lines.extend(f"  {print_instruction(i)}" for i in block.instructions)
+    return lines
+
+
+def print_function(function: Function) -> str:
+    args = ", ".join(f"{type_str(a.type)} {a.ref()}" for a in function.args)
+    attr = " !api" if function.is_api else ""
+    header = f"define {type_str(function.ret_type)} @{function.name}({args}){attr} {{"
+    lines = [header]
+    for block in function.blocks:
+        lines.extend(_print_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _collect_structs(module: Module) -> Dict[str, StructType]:
+    """Find every struct type reachable from globals and instructions.
+
+    Returned in dependency postorder (field structs before the structs
+    that contain them) so a single forward pass can re-parse them.
+    """
+    found: Dict[str, StructType] = {}
+
+    def visit(type_: IRType) -> None:
+        if isinstance(type_, StructType):
+            if type_.name not in found:
+                for _, ftype in type_.fields:
+                    visit(ftype)
+                found[type_.name] = type_
+        elif isinstance(type_, PointerType):
+            visit(type_.pointee)
+        elif isinstance(type_, ArrayType):
+            visit(type_.element)
+
+    for g in module.globals.values():
+        visit(g.value_type)
+    for fn in module.functions.values():
+        for arg in fn.args:
+            visit(arg.type)
+        visit(fn.ret_type)
+        for instr in fn.instructions():
+            visit(instr.type)
+            if isinstance(instr, Alloca):
+                visit(instr.allocated_type)
+            for op in instr.operands:
+                visit(op.type)
+    return found
+
+
+def _print_global(g: GlobalVariable) -> str:
+    return (
+        f"global @{g.name} : {type_str(g.value_type)} kind={g.kind} "
+        f"entries={g.entries} size={g.size_bytes}"
+    )
+
+
+def print_module(module: Module) -> str:
+    lines = [f'module "{module.name}"', ""]
+    structs = _collect_structs(module)
+    for name in structs:
+        st = structs[name]
+        fields = ", ".join(f"{fn}: {type_str(ft)}" for fn, ft in st.fields)
+        lines.append(f"struct %struct.{name} = {{ {fields} }}")
+    if structs:
+        lines.append("")
+    for gname in sorted(module.globals):
+        lines.append(_print_global(module.globals[gname]))
+    if module.globals:
+        lines.append("")
+    for fname, fn in module.functions.items():
+        lines.append(print_function(fn))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,152 @@
+"""Type system for NFIR.
+
+Mirrors the small corner of LLVM's type system that network functions
+need: fixed-width integers, pointers, named structs, and fixed-size
+arrays.  Types are immutable and compared structurally, so they can be
+used as dictionary keys and interned freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class IRType:
+    """Base class for all NFIR types."""
+
+    def size_bytes(self) -> int:
+        """Size of a value of this type in memory, in bytes."""
+        raise NotImplementedError
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (StructType, ArrayType))
+
+
+@dataclass(frozen=True)
+class IntType(IRType):
+    """Fixed-width integer type, e.g. ``i32``."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {self.bits}")
+
+    def size_bytes(self) -> int:
+        return max(1, self.bits // 8)
+
+    def max_unsigned(self) -> int:
+        return (1 << self.bits) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap an arbitrary Python integer to this type's unsigned range."""
+        return value & self.max_unsigned()
+
+    def to_signed(self, value: int) -> int:
+        """Interpret an unsigned ``value`` of this width as signed."""
+        value = self.wrap(value)
+        if value >= 1 << (self.bits - 1):
+            return value - (1 << self.bits)
+        return value
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+@dataclass(frozen=True)
+class VoidType(IRType):
+    def size_bytes(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class PointerType(IRType):
+    """Pointer to a pointee type.  Pointers are 8 bytes (64-bit host)."""
+
+    pointee: IRType
+
+    def size_bytes(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(IRType):
+    element: IRType
+    count: int
+
+    def size_bytes(self) -> int:
+        return self.element.size_bytes() * self.count
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+@dataclass(frozen=True)
+class StructType(IRType):
+    """A named struct with ordered, named fields.
+
+    Layout is packed (no padding): SmartNIC firmware conventionally uses
+    packed layouts, and the memory-coalescing analysis (paper Section
+    4.4) reasons about adjacency in exactly these terms.
+    """
+
+    name: str
+    fields: Tuple[Tuple[str, IRType], ...] = field(default_factory=tuple)
+
+    def size_bytes(self) -> int:
+        return sum(t.size_bytes() for _, t in self.fields)
+
+    def field_index(self, field_name: str) -> int:
+        for i, (fname, _) in enumerate(self.fields):
+            if fname == field_name:
+                return i
+        raise KeyError(f"struct {self.name} has no field {field_name!r}")
+
+    def field_type(self, field_name: str) -> IRType:
+        return self.fields[self.field_index(field_name)][1]
+
+    def field_offset(self, field_name: str) -> int:
+        """Byte offset of a field within the packed struct layout."""
+        offset = 0
+        for fname, ftype in self.fields:
+            if fname == field_name:
+                return offset
+            offset += ftype.size_bytes()
+        raise KeyError(f"struct {self.name} has no field {field_name!r}")
+
+    def __str__(self) -> str:
+        return f"%struct.{self.name}"
+
+
+# Interned singletons for the common integer widths.
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+VOID = VoidType()
+
+
+def int_type(bits: int) -> IntType:
+    """Return the interned integer type of the given width."""
+    return {1: I1, 8: I8, 16: I16, 32: I32, 64: I64}[bits]

@@ -1,0 +1,63 @@
+"""Value hierarchy for NFIR: constants, arguments, and (via subclassing
+in :mod:`repro.nfir.instructions`) instructions that produce results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nfir.types import IntType, IRType
+
+
+class Value:
+    """Anything that can appear as an instruction operand."""
+
+    def __init__(self, type_: IRType, name: Optional[str] = None) -> None:
+        self.type = type_
+        self.name = name
+
+    def ref(self) -> str:
+        """Textual reference to this value (``%name`` / literal)."""
+        return f"%{self.name}" if self.name is not None else "%<unnamed>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.ref()}: {self.type}>"
+
+
+class Constant(Value):
+    """An integer or null-pointer constant.  Integers are stored
+    unsigned-wrapped to their type width; the only pointer constant is
+    null (value 0)."""
+
+    def __init__(self, type_: IRType, value: int) -> None:
+        super().__init__(type_)
+        if isinstance(type_, IntType):
+            value = type_.wrap(int(value))
+        elif type_.is_pointer and int(value) != 0:
+            raise ValueError("the only pointer constant is null")
+        self.value = int(value)
+
+    @property
+    def is_null(self) -> bool:
+        return self.type.is_pointer and self.value == 0
+
+    def ref(self) -> str:
+        return "null" if self.is_null else str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.type == self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class Argument(Value):
+    """A formal function parameter."""
+
+    def __init__(self, type_: IRType, name: str, index: int) -> None:
+        super().__init__(type_, name)
+        self.index = index

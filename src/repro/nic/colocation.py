@@ -1,0 +1,138 @@
+"""NF colocation on a shared SmartNIC (paper Section 4.5).
+
+Two NFs placed on the same NIC split the micro-engines but *share* the
+memory subsystem; interference "primarily stems from contention at the
+memory subsystems" (the paper citing SLOMO).  The joint fixed point
+below couples the two NFs through the region-utilization terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.nic.isa import NICProgram
+from repro.nic.machine import (
+    DISPATCH_CYCLES_PER_CORE,
+    NICModel,
+    PerfResult,
+    WorkloadCharacter,
+)
+
+
+@dataclass
+class ColocationResult:
+    """Joint performance of a colocated NF pair."""
+
+    perf_a: PerfResult
+    perf_b: PerfResult
+    solo_a: PerfResult
+    solo_b: PerfResult
+
+    @property
+    def total_throughput_loss(self) -> float:
+        """1 - (colocated aggregate / solo aggregate): the paper's best
+        ranking objective (Figure 14a, "Th.Tot.")."""
+        solo = self.solo_a.throughput_mpps + self.solo_b.throughput_mpps
+        coloc = self.perf_a.throughput_mpps + self.perf_b.throughput_mpps
+        return 1.0 - coloc / solo if solo > 0 else 0.0
+
+    @property
+    def average_throughput_loss(self) -> float:
+        losses = []
+        for perf, solo in ((self.perf_a, self.solo_a), (self.perf_b, self.solo_b)):
+            if solo.throughput_mpps > 0:
+                losses.append(1.0 - perf.throughput_mpps / solo.throughput_mpps)
+        return sum(losses) / len(losses) if losses else 0.0
+
+    @property
+    def total_latency_loss(self) -> float:
+        solo = self.solo_a.latency_us + self.solo_b.latency_us
+        coloc = self.perf_a.latency_us + self.perf_b.latency_us
+        return coloc / solo - 1.0 if solo > 0 else 0.0
+
+    @property
+    def average_latency_loss(self) -> float:
+        losses = []
+        for perf, solo in ((self.perf_a, self.solo_a), (self.perf_b, self.solo_b)):
+            if solo.latency_us > 0:
+                losses.append(perf.latency_us / solo.latency_us - 1.0)
+        return sum(losses) / len(losses) if losses else 0.0
+
+
+def simulate_colocation(
+    model: NICModel,
+    program_a: NICProgram,
+    freq_a: Mapping[str, float],
+    program_b: NICProgram,
+    freq_b: Mapping[str, float],
+    workload: WorkloadCharacter,
+    cores_a: Optional[int] = None,
+    cores_b: Optional[int] = None,
+) -> ColocationResult:
+    """Simulate two NFs sharing the NIC.
+
+    By default each NF gets half the micro-engines (the paper: "each NF
+    is given the same amount of SmartNIC resources" unless configured).
+    Solo baselines use the same per-NF core share so the measured loss
+    isolates *memory* interference, matching the paper's normalization.
+    """
+    half = model.n_cores // 2
+    n_a = cores_a if cores_a is not None else half
+    n_b = cores_b if cores_b is not None else half
+
+    demand_a = model.packet_demand(program_a, freq_a, workload)
+    demand_b = model.packet_demand(program_b, freq_b, workload)
+    line_rate = model.line_rate_pps(workload.packet_bytes)
+
+    # Solo baselines (each NF alone on its core share).
+    solo_a = model.simulate(program_a, freq_a, workload, cores=n_a)
+    solo_b = model.simulate(program_b, freq_b, workload, cores=n_b)
+
+    x_a, x_b = 1e6, 1e6
+    lat_a = lat_b = 0.0
+    for _ in range(80):
+        util = model._utilization([(demand_a, x_a), (demand_b, x_b)])
+        mem_a = model._memory_cycles(demand_a, util) + demand_a.accel_cycles
+        mem_b = model._memory_cycles(demand_b, util) + demand_b.accel_cycles
+        lat_a = demand_a.issue_cycles + mem_a + DISPATCH_CYCLES_PER_CORE * n_a
+        lat_b = demand_b.issue_cycles + mem_b + DISPATCH_CYCLES_PER_CORE * n_b
+        new_a = min(
+            n_a * model.threads_per_core * model.freq_hz / lat_a,
+            n_a * model.freq_hz / demand_a.issue_cycles,
+            line_rate,
+        )
+        new_b = min(
+            n_b * model.threads_per_core * model.freq_hz / lat_b,
+            n_b * model.freq_hz / demand_b.issue_cycles,
+            line_rate,
+        )
+        # Shared-bandwidth ceiling: if any region would exceed its
+        # sustainable utilization, throttle both NFs proportionally.
+        trial = model._utilization([(demand_a, new_a), (demand_b, new_b)])
+        worst = max(trial.values(), default=0.0)
+        if worst > model.MAX_UTILIZATION:
+            scale = model.MAX_UTILIZATION / worst
+            new_a *= scale
+            new_b *= scale
+        x_a = 0.5 * x_a + 0.5 * new_a
+        x_b = 0.5 * x_b + 0.5 * new_b
+
+    util = model._utilization([(demand_a, x_a), (demand_b, x_b)])
+    perf_a = PerfResult(
+        throughput_mpps=x_a / 1e6,
+        latency_us=lat_a / model.freq_hz * 1e6,
+        per_packet_cycles=lat_a,
+        compute_cycles=demand_a.issue_cycles,
+        memory_cycles=lat_a - demand_a.issue_cycles,
+        region_utilization=dict(util),
+    )
+    perf_b = PerfResult(
+        throughput_mpps=x_b / 1e6,
+        latency_us=lat_b / model.freq_hz * 1e6,
+        per_packet_cycles=lat_b,
+        compute_cycles=demand_b.issue_cycles,
+        memory_cycles=lat_b - demand_b.issue_cycles,
+        region_utilization=dict(util),
+    )
+    return ColocationResult(perf_a=perf_a, perf_b=perf_b, solo_a=solo_a, solo_b=solo_b)

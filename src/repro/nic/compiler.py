@@ -1,0 +1,499 @@
+"""NFCC: the simulated closed-source SmartNIC compiler.
+
+Translates NFIR into the micro-engine assembly of
+:mod:`repro.nic.isa`.  This is the "opaque" toolchain of the paper:
+its instruction selection, operation fusion, immediate materialization,
+and register allocation produce a nontrivial mapping from IR sequences
+to instruction counts — the mapping Clara's LSTM learns to mimic
+(Section 3.2: "the compiler performs instruction selection or peephole
+optimizations to rewrite compute instructions; it also performs
+advanced register allocations for local variables so that stack
+operations may not result in any memory accesses").
+
+Selection rules (NFP-flavoured):
+
+* ALU ops are single instructions; a single-use shift feeding an ALU op
+  in the same block fuses into one ``alu_shf``.
+* ``icmp`` feeding the block's terminator fuses into ``br_cond``;
+  standalone comparisons cost two instructions (subtract + flag
+  extract).
+* Immediates: values < 256 ride along for free; 16-bit values need one
+  ``immed``; wider ones an ``immed``/``immed_w1`` pair.  Constants are
+  materialized once per block.
+* Multiplies: power-of-two -> one ``alu_shf``; small constants -> a
+  shift-add triple; general 32x32 -> five ``mul_step``; 64-bit doubles
+  everything.
+* Division: power-of-two -> one shift; anything else expands the
+  micro-engine's software divide loop inline (~30 instructions).
+* 64-bit arithmetic uses register pairs: two ALU instructions per op.
+* Locals are register-allocated (28 GPRs); loads/stores to promoted
+  slots vanish, spills go to per-engine local memory (``lmem_*``).
+* Stateful loads/stores become ``mem_read``/``mem_write`` tagged with
+  the symbolic region of their global (resolved by the placement map);
+  coalesced packs fetch once per block.
+* Packet-header accesses are ``ld_field`` on the pre-DMA'd header
+  transfer registers; payload bytes are CTM accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.nfir.annotate import (
+    Category,
+    build_alloca_points_to,
+    classify_instruction,
+    pointer_target,
+    trace_pointer_root,
+)
+from repro.nfir.function import Function, GlobalVariable, Module
+from repro.nfir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    GEP,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.nfir.types import ArrayType, IntType
+from repro.nfir.values import Constant, Value
+from repro.nic.isa import BlockAsm, FunctionAsm, NICInstruction, NICProgram
+from repro.nic.port import PortConfig
+from repro.nic.regions import REGION_CTM
+
+#: General-purpose registers available to one NF context.
+N_GPRS = 28
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass
+class _RegAlloc:
+    """Which allocas are promoted to registers vs. spilled to LMEM."""
+
+    promoted: Set[int] = field(default_factory=set)
+    spilled: Set[int] = field(default_factory=set)
+
+    def is_promoted(self, alloca: Alloca) -> bool:
+        return id(alloca) in self.promoted
+
+
+def _allocate_registers(function: Function) -> _RegAlloc:
+    """First-come register allocation over alloca slots.
+
+    Each slot consumes ceil(size/4) registers; slots that do not fit in
+    the 28-GPR budget spill to local memory.  This mirrors the visible
+    behaviour of the real allocator: small NFs see *zero* stack traffic,
+    large ones start paying for spills.
+    """
+    alloc = _RegAlloc()
+    budget = N_GPRS
+    for instr in function.instructions():
+        if not isinstance(instr, Alloca):
+            continue
+        need = max(1, (instr.allocated_type.size_bytes() + 3) // 4)
+        if need <= budget:
+            alloc.promoted.add(id(instr))
+            budget -= need
+        else:
+            alloc.spilled.add(id(instr))
+    return alloc
+
+
+def _single_use_map(function: Function) -> Dict[int, Instruction]:
+    """Map id(instr) -> its sole user, for values used exactly once."""
+    uses: Dict[int, List[Instruction]] = {}
+    for instr in function.instructions():
+        for op in instr.operands:
+            if isinstance(op, Instruction):
+                uses.setdefault(id(op), []).append(instr)
+    return {
+        key: users[0] for key, users in uses.items() if len(users) == 1
+    }
+
+
+class NFCC:
+    """Compiler instance; one per (module, port config)."""
+
+    def __init__(self, module: Module, config: Optional[PortConfig] = None) -> None:
+        self.module = module
+        self.config = config or PortConfig()
+        self.config.validate(list(module.globals))
+
+    # -- public API ----------------------------------------------------
+    def compile(self) -> NICProgram:
+        program = NICProgram(module_name=self.module.name)
+        for name, function in self.module.functions.items():
+            program.functions[name] = self._compile_function(function)
+        program.meta["config"] = self.config
+        return program
+
+    # -- per-function --------------------------------------------------
+    def _compile_function(self, function: Function) -> FunctionAsm:
+        regalloc = _allocate_registers(function)
+        single_use = _single_use_map(function)
+        alloca_map = build_alloca_points_to(function)
+        fasm = FunctionAsm(function.name)
+        accel_sets = (
+            ("crc", self.config.crc_accel_blocks, "crc", "CRC engine"),
+            ("lpm", self.config.lpm_accel_blocks, "cam_lookup",
+             "LPM flow cache"),
+            ("crypto", self.config.crypto_accel_blocks, "crypto",
+             "crypto engine"),
+        )
+        # One accelerator command per *contiguous run* of substituted
+        # blocks (a loop or one inlined-helper copy), emitted at the
+        # run's first block; the rest of the run compiles to nothing.
+        prev_kind = None
+        for block in function.blocks:
+            kind = None
+            opcode = comment = ""
+            for k, blocks, op, note in accel_sets:
+                if block.name in blocks:
+                    kind, opcode, comment = k, op, note
+                    break
+            if kind is None:
+                fasm.blocks.append(
+                    self._compile_block(block, regalloc, single_use, alloca_map)
+                )
+            else:
+                basm = BlockAsm(block.name)
+                if kind != prev_kind:
+                    basm.instructions.append(
+                        NICInstruction(
+                            opcode, dst=f"{kind}_out", comment=comment
+                        )
+                    )
+                fasm.blocks.append(basm)
+            prev_kind = kind
+        return fasm
+
+    # -- per-block -------------------------------------------------------
+    def _compile_block(self, block, regalloc, single_use, alloca_map) -> BlockAsm:
+        basm = BlockAsm(block.name)
+        emit = basm.instructions.append
+        #: instructions fused into a later consumer (emit nothing).
+        fused: Set[int] = set()
+        #: constants already materialized in this block.
+        materialized: Set[Tuple[int, int]] = set()
+        #: coalesce packs already fetched/written in this block.
+        packs_read: Set[Tuple[str, ...]] = set()
+        packs_written: Set[Tuple[str, ...]] = set()
+
+        def materialize(value: Value) -> int:
+            """Emit immed instructions for a constant operand; returns
+            the number of instructions emitted."""
+            if not isinstance(value, Constant) or value.type.is_pointer:
+                return 0
+            magnitude = value.value
+            if magnitude < 256:
+                return 0
+            key = (magnitude, 0)
+            if key in materialized:
+                return 0
+            materialized.add(key)
+            emit(NICInstruction("immed", dst="tmp", srcs=(str(magnitude & 0xFFFF),)))
+            if magnitude > 0xFFFF:
+                emit(
+                    NICInstruction(
+                        "immed_w1", dst="tmp", srcs=(str(magnitude >> 16),)
+                    )
+                )
+            return 1
+
+        for instr in block.instructions:
+            if id(instr) in fused:
+                continue
+            category = classify_instruction(instr, alloca_map)
+
+            if isinstance(instr, BinaryOp):
+                self._compile_binop(
+                    instr, block, emit, fused, single_use, materialize
+                )
+            elif isinstance(instr, ICmp):
+                consumer = single_use.get(id(instr))
+                terminator = block.terminator
+                if (
+                    consumer is terminator
+                    and isinstance(terminator, CondBr)
+                    and not instr.lhs.type.is_pointer
+                ):
+                    # Fused into br_cond at the terminator.
+                    fused.add(id(instr))
+                    materialize(instr.lhs)
+                    materialize(instr.rhs)
+                    instr.meta["fused_with_branch"] = True
+                else:
+                    materialize(instr.lhs)
+                    materialize(instr.rhs)
+                    emit(NICInstruction("alu", dst="cc", srcs=("sub",)))
+                    emit(NICInstruction("alu_shf", dst="flag", srcs=("carry",)))
+            elif isinstance(instr, Select):
+                emit(NICInstruction("br_cond", srcs=("sel",)))
+                emit(NICInstruction("alu", dst="sel", srcs=("b",)))
+                emit(NICInstruction("alu", dst="sel", srcs=("a",)))
+            elif isinstance(instr, Cast):
+                self._compile_cast(instr, emit)
+            elif isinstance(instr, Alloca):
+                pass  # register or lmem slot; no code
+            elif isinstance(instr, (Load, Store)):
+                self._compile_memory(
+                    instr,
+                    category,
+                    emit,
+                    regalloc,
+                    materialize,
+                    packs_read,
+                    packs_written,
+                )
+            elif isinstance(instr, GEP):
+                self._compile_gep(instr, emit, materialize)
+            elif isinstance(instr, Call):
+                self._compile_call(instr, emit, materialize)
+            elif isinstance(instr, Br):
+                emit(NICInstruction("br", srcs=(instr.target.name,)))
+            elif isinstance(instr, CondBr):
+                # If the comparison fused, this is a single compare-and-
+                # branch; otherwise it branches on a register flag.
+                emit(
+                    NICInstruction(
+                        "br_cond",
+                        srcs=(instr.if_true.name, instr.if_false.name),
+                    )
+                )
+            elif isinstance(instr, Ret):
+                emit(NICInstruction("rtn"))
+            elif isinstance(instr, Phi):
+                # Resolved by the register allocator as a move on each
+                # incoming edge; charge one ALU move.
+                emit(NICInstruction("alu", dst="phi", srcs=("mov",)))
+            else:  # pragma: no cover - exhaustive over the ISA
+                raise TypeError(f"cannot select for {instr.opcode}")
+        return basm
+
+    # -- selection helpers --------------------------------------------------
+    def _compile_binop(
+        self, instr: BinaryOp, block, emit, fused, single_use, materialize
+    ) -> None:
+        opcode = instr.opcode
+        bits = instr.type.bits if isinstance(instr.type, IntType) else 32
+        wide = bits > 32
+
+        if opcode in ("shl", "lshr", "ashr"):
+            consumer = single_use.get(id(instr))
+            if (
+                consumer is not None
+                and consumer.parent is block
+                and isinstance(consumer, BinaryOp)
+                and consumer.opcode in ("add", "sub", "and", "or", "xor")
+                and not wide
+            ):
+                # Fuse into the consumer's alu_shf.
+                fused.add(id(instr))
+                consumer.meta["fused_shift"] = True
+                materialize(instr.lhs)
+                return
+            materialize(instr.lhs)
+            materialize(instr.rhs)
+            emit(NICInstruction("alu_shf", dst="r", srcs=(opcode,)))
+            if wide:
+                emit(NICInstruction("alu_shf", dst="r_hi", srcs=(opcode,)))
+                emit(NICInstruction("alu", dst="r_hi", srcs=("or",)))
+            return
+
+        if opcode in ("add", "sub", "and", "or", "xor"):
+            materialize(instr.lhs)
+            materialize(instr.rhs)
+            if instr.meta.get("fused_shift"):
+                emit(NICInstruction("alu_shf", dst="r", srcs=(opcode, "shift")))
+            else:
+                emit(NICInstruction("alu", dst="r", srcs=(opcode,)))
+            if wide:
+                # carry-propagating second half (add/sub) or plain pair op.
+                emit(NICInstruction("alu", dst="r_hi", srcs=(opcode + "c",)))
+            return
+
+        if opcode == "mul":
+            const = self._const_operand(instr)
+            if const is not None and _is_power_of_two(const):
+                emit(NICInstruction("alu_shf", dst="r", srcs=("shl",)))
+            elif const is not None and const < 256:
+                emit(NICInstruction("alu_shf", dst="r", srcs=("shl",)))
+                emit(NICInstruction("alu", dst="r", srcs=("add",)))
+                emit(NICInstruction("alu_shf", dst="r", srcs=("shl",)))
+            else:
+                materialize(instr.lhs)
+                materialize(instr.rhs)
+                steps = 10 if wide else 5
+                for _ in range(steps):
+                    emit(NICInstruction("mul_step", dst="r"))
+            return
+
+        if opcode in ("udiv", "sdiv", "urem", "srem"):
+            const = self._const_operand(instr, rhs_only=True)
+            if const is not None and _is_power_of_two(const):
+                emit(NICInstruction("alu_shf", dst="r", srcs=("shr",)))
+                return
+            # Software divide: unrolled conditional-subtract loop.
+            materialize(instr.lhs)
+            materialize(instr.rhs)
+            for _ in range(8):
+                emit(NICInstruction("alu_shf", dst="q", srcs=("shl",)))
+                emit(NICInstruction("alu", dst="t", srcs=("sub",)))
+                emit(NICInstruction("br_cond", srcs=("div_step",)))
+            for _ in range(6):
+                emit(NICInstruction("alu", dst="q", srcs=("fixup",)))
+            return
+
+        raise TypeError(f"unhandled binop {opcode}")  # pragma: no cover
+
+    @staticmethod
+    def _const_operand(instr: BinaryOp, rhs_only: bool = False) -> Optional[int]:
+        if isinstance(instr.rhs, Constant):
+            return instr.rhs.value
+        if not rhs_only and isinstance(instr.lhs, Constant):
+            return instr.lhs.value
+        return None
+
+    def _compile_cast(self, instr: Cast, emit) -> None:
+        src_bits = (
+            instr.value.type.bits if isinstance(instr.value.type, IntType) else 32
+        )
+        dst_bits = instr.type.bits if isinstance(instr.type, IntType) else 32
+        if instr.opcode == "bitcast":
+            return
+        if instr.opcode == "zext":
+            if dst_bits > 32 and src_bits <= 32:
+                emit(NICInstruction("immed", dst="r_hi", srcs=("0",)))
+            # within one register: values are kept zero-extended
+            return
+        if instr.opcode == "sext":
+            emit(NICInstruction("alu_shf", dst="r", srcs=("shl",)))
+            emit(NICInstruction("alu_shf", dst="r", srcs=("asr",)))
+            return
+        if instr.opcode == "trunc":
+            if dst_bits < 32:
+                emit(NICInstruction("ld_field", dst="r", srcs=(f"b{dst_bits}",)))
+            return
+
+    def _compile_gep(self, instr: GEP, emit, materialize) -> None:
+        # Constant field paths fold into the access; variable indices
+        # need address arithmetic.
+        for index in instr.indices:
+            if isinstance(index, Value) and not isinstance(index, Constant):
+                emit(NICInstruction("alu_shf", dst="addr", srcs=("scale",)))
+                emit(NICInstruction("alu", dst="addr", srcs=("add",)))
+            elif isinstance(index, Constant):
+                materialize(index)
+
+    def _compile_memory(
+        self,
+        instr,
+        category: Category,
+        emit,
+        regalloc: _RegAlloc,
+        materialize,
+        packs_read: Set[Tuple[str, ...]],
+        packs_written: Set[Tuple[str, ...]],
+    ) -> None:
+        is_store = isinstance(instr, Store)
+        if is_store:
+            materialize(instr.value)
+        size = (
+            instr.value.type.size_bytes() if is_store else instr.type.size_bytes()
+        )
+
+        if category == Category.MEM_STATELESS:
+            root = trace_pointer_root(instr.ptr)
+            if isinstance(root, Alloca) and regalloc.is_promoted(root):
+                return  # register-resident: no code at all
+            emit(
+                NICInstruction(
+                    "lmem_write" if is_store else "lmem_read",
+                    region="lmem",
+                    size=size,
+                )
+            )
+            return
+
+        if category == Category.MEM_PACKET:
+            # Header fields live in transfer registers after ingress DMA.
+            emit(NICInstruction("ld_field", dst="hdr", srcs=("pkt",)))
+            return
+
+        # Stateful access: resolve the backing global and its pack.
+        target = pointer_target(instr.ptr, None)
+        _, _, gname = target.partition(":")
+        pack = self.config.pack_of(gname)
+        if pack is not None:
+            key = pack.variables
+            already = packs_written if is_store else packs_read
+            if key in already:
+                return  # served by the transfer registers of the pack
+            already.add(key)
+            size = pack.access_bytes
+        emit(
+            NICInstruction(
+                "mem_write" if is_store else "mem_read",
+                region=f"state:{gname}",
+                size=size,
+            )
+        )
+
+    def _compile_call(self, instr: Call, emit, materialize) -> None:
+        for arg in instr.args:
+            materialize(arg)
+        name = instr.callee
+        if name == "send":
+            emit(NICInstruction("pkt_send"))
+            return
+        if name == "drop":
+            emit(NICInstruction("pkt_drop"))
+            return
+        if name in ("in_port", "timestamp_ns", "payload_len"):
+            emit(NICInstruction("ld_field", dst="meta", srcs=(name,)))
+            return
+        if name in ("eth_header", "ip_header", "tcp_header", "udp_header"):
+            # Header views are offsets into the transfer registers.
+            emit(NICInstruction("alu", dst="hview", srcs=("add",)))
+            return
+        if name == "payload_byte":
+            emit(NICInstruction("mem_read", region=REGION_CTM, size=1))
+            return
+        if name == "set_payload_byte":
+            emit(NICInstruction("mem_write", region=REGION_CTM, size=1))
+            return
+        if name == "random_u32":
+            emit(NICInstruction("rand", dst="r"))
+            return
+        if name in ("checksum_update_ip", "checksum_update_tcp"):
+            if self.config.use_checksum_accel:
+                emit(NICInstruction("csum", dst="sum", comment="ingress engine"))
+            else:
+                emit(NICInstruction("call", srcs=("sw_checksum",)))
+            return
+        # Stateful data-structure APIs and any remaining calls become
+        # library calls; the machine model charges their cost using the
+        # reverse-ported routine profiles.
+        gname = ""
+        if instr.args and isinstance(instr.args[0], GlobalVariable):
+            gname = instr.args[0].name
+        emit(NICInstruction("call", srcs=(name, gname)))
+
+
+def compile_module(
+    module: Module, config: Optional[PortConfig] = None
+) -> NICProgram:
+    """Compile an NFIR module to NIC assembly under a port config."""
+    return NFCC(module, config).compile()

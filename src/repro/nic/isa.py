@@ -1,0 +1,179 @@
+"""The simulated NFP micro-engine ISA.
+
+Opcode inventory and issue costs follow the flavour of Netronome's
+micro-engine assembly: single-cycle ALU ops with an optional fused
+shifter (``alu_shf``), immediates materialized in 16-bit halves,
+multi-step multiplies, explicit ``mem`` commands tagged with the target
+memory region, and accelerator commands (``crc``, ``cam_lookup``,
+``csum``).  Memory *latency* is not part of the instruction — it is
+charged by the performance model based on the region tag, because on
+real hardware the latency is hidden or exposed depending on thread
+occupancy and contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+# Issue cost (cycles spent occupying the micro-engine pipeline) per
+# opcode.  Memory/accelerator ops additionally incur engine latency,
+# charged by the machine model.
+ISSUE_COST: Dict[str, int] = {
+    "alu": 1,
+    "alu_shf": 1,
+    "immed": 1,
+    "immed_w1": 1,
+    "ld_field": 1,
+    "mul_step": 1,
+    "br": 1,
+    "br_cond": 1,
+    "cam_lookup": 1,
+    "crc": 1,
+    "crypto": 1,
+    "csum": 1,
+    "mem_read": 1,
+    "mem_write": 1,
+    "lmem_read": 3,   # local scratch (spills): short fixed latency
+    "lmem_write": 3,
+    "pkt_send": 3,
+    "pkt_drop": 1,
+    "call": 2,   # branch-and-link into a library routine
+    "rtn": 1,
+    "nop": 1,
+    "rand": 1,   # pseudo-random CSR read
+    "halt": 1,
+}
+
+#: Opcodes the analysis counts as *memory accesses* (paper's key
+#: performance parameter #2); everything else counts as compute.
+MEMORY_OPCODES = frozenset({"mem_read", "mem_write", "lmem_read", "lmem_write"})
+
+ACCEL_OPCODES = frozenset({"cam_lookup", "crc", "crypto", "csum"})
+
+
+@dataclass
+class NICInstruction:
+    """One micro-engine instruction.
+
+    ``region`` is set for ``mem_*`` ops ("cls"/"ctm"/"imem"/"emem" or
+    the symbolic ``state:<global>`` form resolved by a placement map at
+    simulation time).  ``size`` is the access size in bytes.
+    """
+
+    opcode: str
+    dst: Optional[str] = None
+    srcs: Tuple[str, ...] = ()
+    region: Optional[str] = None
+    size: int = 4
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.opcode not in ISSUE_COST:
+            raise ValueError(f"unknown NIC opcode {self.opcode!r}")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in MEMORY_OPCODES
+
+    @property
+    def issue_cycles(self) -> int:
+        return ISSUE_COST[self.opcode]
+
+    def render(self) -> str:
+        parts = [self.opcode]
+        operands = []
+        if self.dst is not None:
+            operands.append(self.dst)
+        operands.extend(self.srcs)
+        if operands:
+            parts.append("[" + ", ".join(operands) + "]")
+        if self.region is not None:
+            parts.append(f"@{self.region}")
+        if self.comment:
+            parts.append(f"; {self.comment}")
+        return " ".join(parts)
+
+
+@dataclass
+class BlockAsm:
+    """Assembly emitted for one NFIR basic block."""
+
+    name: str
+    instructions: List[NICInstruction] = field(default_factory=list)
+
+    @property
+    def n_total(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def n_memory(self) -> int:
+        return sum(1 for i in self.instructions if i.is_memory)
+
+    @property
+    def n_compute(self) -> int:
+        return self.n_total - self.n_memory
+
+    def issue_cycles(self) -> int:
+        return sum(i.issue_cycles for i in self.instructions)
+
+    def memory_accesses(self) -> List[NICInstruction]:
+        return [i for i in self.instructions if i.is_memory]
+
+
+@dataclass
+class FunctionAsm:
+    name: str
+    blocks: List[BlockAsm] = field(default_factory=list)
+
+    def block(self, name: str) -> BlockAsm:
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise KeyError(f"no block {name!r} in @{self.name}")
+
+    @property
+    def n_total(self) -> int:
+        return sum(b.n_total for b in self.blocks)
+
+    @property
+    def n_memory(self) -> int:
+        return sum(b.n_memory for b in self.blocks)
+
+    @property
+    def n_compute(self) -> int:
+        return sum(b.n_compute for b in self.blocks)
+
+
+@dataclass
+class NICProgram:
+    """The compiled artifact: per-function, per-block NIC assembly.
+
+    Per-block structure is preserved deliberately — the paper's
+    instruction-prediction accuracy is evaluated "on a per-code block
+    basis" (Section 5.2), so the block mapping is the ground-truth
+    labelling the LSTM trains against.
+    """
+
+    module_name: str
+    functions: Dict[str, FunctionAsm] = field(default_factory=dict)
+    #: Library routines expanded out of line (API implementations).
+    library: Dict[str, FunctionAsm] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def handler(self) -> FunctionAsm:
+        return self.functions["pkt_handler"]
+
+    def render(self) -> str:
+        lines: List[str] = [f"; NIC program {self.module_name}"]
+        for section, table in (("func", self.functions), ("lib", self.library)):
+            for fname, fasm in table.items():
+                lines.append(f".{section} {fname}:")
+                for block in fasm.blocks:
+                    lines.append(f"{block.name}:")
+                    lines.extend(f"    {i.render()}" for i in block.instructions)
+        return "\n".join(lines) + "\n"
+
+    def total_instructions(self) -> int:
+        return sum(f.n_total for f in self.functions.values())

@@ -1,0 +1,115 @@
+"""Cost profiles of the NIC's built-in library routines.
+
+Stateful framework APIs (hashmap/vector ops) compile to calls into the
+NIC's data-structure library.  The profiles below are derived from the
+reverse-ported implementations in :mod:`repro.click.reverse_port`
+(fixed 4-way buckets, tag+value layout, invalidation-only deletes):
+``cycles`` is the expected micro-engine issue time of the routine body
+and ``accesses`` the expected memory operations against the backing
+global's region.  ``derive_from_reverse_port`` recomputes the compute
+side by actually compiling the reverse-ported code with the NFCC — the
+test suite asserts the static table stays consistent with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: (kind, size_bytes, expected_count_per_call); kind "state" resolves
+#: to the backing global's placed region.
+Access = Tuple[str, int, float]
+
+
+@dataclass(frozen=True)
+class ApiCost:
+    cycles: float
+    accesses: Tuple[Access, ...]
+
+
+#: Expected probes per lookup with 4-way buckets at moderate occupancy.
+_EXPECTED_PROBES = 2.5
+
+API_COSTS: Dict[str, ApiCost] = {
+    # Stateless packet APIs: header views are offsets into the
+    # pre-DMA'd transfer registers; send/drop drive the egress path.
+    "eth_header": ApiCost(cycles=1, accesses=()),
+    "ip_header": ApiCost(cycles=1, accesses=()),
+    "tcp_header": ApiCost(cycles=1, accesses=()),
+    "udp_header": ApiCost(cycles=1, accesses=()),
+    "payload_len": ApiCost(cycles=1, accesses=()),
+    "in_port": ApiCost(cycles=1, accesses=()),
+    "timestamp_ns": ApiCost(cycles=1, accesses=()),
+    "payload_byte": ApiCost(cycles=2, accesses=(("ctm", 1, 1.0),)),
+    "set_payload_byte": ApiCost(cycles=2, accesses=(("ctm", 1, 1.0),)),
+    "send": ApiCost(cycles=5, accesses=(("ctm", 64, 1.0),)),
+    "drop": ApiCost(cycles=2, accesses=()),
+    "random_u32": ApiCost(cycles=1, accesses=()),
+    # find: hash (4 cyc) + bucket loop (~3 cyc/probe) + result select;
+    # one coalesced tag read for the bucket, one value read on hit.
+    "hashmap_find": ApiCost(
+        cycles=4 + 3 * _EXPECTED_PROBES + 3,
+        accesses=(("state", 16, 1.0), ("state", 8, 0.7)),
+    ),
+    "hashmap_insert": ApiCost(
+        cycles=4 + 3 * _EXPECTED_PROBES + 5,
+        accesses=(("state", 16, 1.0), ("state", 4, 1.0), ("state", 8, 1.0)),
+    ),
+    "hashmap_erase": ApiCost(
+        cycles=4 + 3 * _EXPECTED_PROBES + 2,
+        accesses=(("state", 16, 1.0), ("state", 4, 0.8)),
+    ),
+    "hashmap_size": ApiCost(cycles=2, accesses=(("state", 4, 1.0),)),
+    "vector_at": ApiCost(
+        cycles=5, accesses=(("state", 1, 1.0), ("state", 8, 0.9))
+    ),
+    "vector_push": ApiCost(
+        cycles=7,
+        accesses=(("state", 4, 1.0), ("state", 8, 1.0), ("state", 1, 1.0)),
+    ),
+    "vector_size": ApiCost(cycles=2, accesses=(("state", 4, 1.0),)),
+    "vector_remove": ApiCost(
+        cycles=4, accesses=(("state", 1, 1.0), ("state", 4, 1.0))
+    ),
+}
+
+#: Software checksum: fixed header cost plus per-16-bit-word folding.
+SW_CHECKSUM_BASE_CYCLES = 900.0
+SW_CHECKSUM_CYCLES_PER_WORD = 10.0
+
+
+def sw_checksum_cycles(packet_bytes: int) -> float:
+    """Cycles for the software checksum loop over a packet.
+
+    Calibrated so a ~220-byte packet costs ~2000 cycles, matching the
+    paper's "2000+ cycles on the general-purpose cores".
+    """
+    return SW_CHECKSUM_BASE_CYCLES + SW_CHECKSUM_CYCLES_PER_WORD * (
+        packet_bytes / 2.0
+    )
+
+
+def api_cost(name: str) -> ApiCost:
+    try:
+        return API_COSTS[name]
+    except KeyError:
+        # Unknown library routine: a conservative default.
+        return ApiCost(cycles=10.0, accesses=(("state", 4, 1.0),))
+
+
+def derive_from_reverse_port(api_name: str) -> float:
+    """Recompute a routine's compute cycles by compiling its
+    reverse-ported implementation (consistency oracle for tests)."""
+    from repro.click.frontend import lower_element
+    from repro.click.reverse_port import reverse_port_element
+    from repro.nic.compiler import compile_module
+
+    element = reverse_port_element(api_name)
+    module = lower_element(element)
+    program = compile_module(module)
+    helper_blocks = [
+        b
+        for b in program.handler.blocks
+        if b.name.startswith("inl.rp_")
+    ]
+    return float(sum(b.issue_cycles() for b in helper_blocks))

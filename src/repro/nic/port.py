@@ -1,0 +1,85 @@
+"""Porting configurations.
+
+A :class:`PortConfig` captures every decision a developer makes when
+porting an NF to the NIC — exactly the knobs Clara's offloading
+insights set (paper Section 4): accelerator usage, state placement,
+variable coalescing packs, and the core count.  The *naive port* is the
+all-defaults config (no accelerators, everything in EMEM, no packing,
+all cores) the paper uses as its ground-truth baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.nic.regions import REGION_EMEM
+
+
+@dataclass
+class CoalescePack:
+    """A group of stateful scalars packed adjacently and fetched with
+    one coalesced access of ``access_bytes`` (Section 4.4)."""
+
+    variables: Tuple[str, ...]
+    access_bytes: int
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise ValueError("empty coalesce pack")
+        if self.access_bytes <= 0:
+            raise ValueError("pack access size must be positive")
+
+
+@dataclass
+class PortConfig:
+    """All porting decisions for one NF.
+
+    * ``use_checksum_accel`` — route ``checksum_update_*`` API calls to
+      the ingress checksum engine instead of the software loop.
+    * ``crc_accel_blocks`` / ``lpm_accel_blocks`` — basic blocks
+      (typically an inlined helper's ``inl.crc32_hash.*`` blocks or an
+      LPM loop) replaced by the corresponding accelerator command.
+    * ``placement`` — memory region per stateful global; unlisted
+      globals default to EMEM (the naive port of Section 5.5).
+    * ``packs`` — coalescing packs of stateful scalars.
+    * ``cores`` — micro-engine count assigned to the NF.
+    """
+
+    use_checksum_accel: bool = False
+    crc_accel_blocks: FrozenSet[str] = frozenset()
+    lpm_accel_blocks: FrozenSet[str] = frozenset()
+    crypto_accel_blocks: FrozenSet[str] = frozenset()
+    placement: Dict[str, str] = field(default_factory=dict)
+    packs: List[CoalescePack] = field(default_factory=list)
+    cores: int = 60
+
+    def region_of(self, global_name: str) -> str:
+        return self.placement.get(global_name, REGION_EMEM)
+
+    def pack_of(self, variable: str) -> Optional[CoalescePack]:
+        for pack in self.packs:
+            if variable in pack.variables:
+                return pack
+        return None
+
+    def validate(self, global_names: Sequence[str]) -> None:
+        known = set(global_names)
+        for name in self.placement:
+            if name not in known:
+                raise ValueError(f"placement names unknown global {name!r}")
+        seen: Set[str] = set()
+        for pack in self.packs:
+            for variable in pack.variables:
+                if variable not in known:
+                    raise ValueError(f"pack names unknown global {variable!r}")
+                if variable in seen:
+                    raise ValueError(f"global {variable!r} in multiple packs")
+                seen.add(variable)
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+
+
+def naive_port(cores: int = 60) -> PortConfig:
+    """The faithful, optimization-free port (paper's baseline)."""
+    return PortConfig(cores=cores)

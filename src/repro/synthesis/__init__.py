@@ -1,0 +1,20 @@
+"""Data synthesis (paper Section 3.2, Table 1).
+
+SmartNIC training pairs do not exist in abundance, so Clara customizes
+a program generator (YarpGen in the paper) to synthesize representative
+Click elements: "The AST generation strategy is ... guided by the
+statistical properties of the target program corpus."
+
+* :mod:`repro.synthesis.stats` extracts AST statistics (statement-kind,
+  operator, and shape distributions) from the real element library;
+* :mod:`repro.synthesis.generator` samples new ClickScript elements
+  from those statistics, constrained to packet operations the NIC
+  supports;
+* the *baseline* generator ignores the corpus statistics (uniform
+  sampling) — the ablation row of Table 1.
+"""
+
+from repro.synthesis.stats import CorpusStats, extract_stats
+from repro.synthesis.generator import ClickGen, baseline_stats
+
+__all__ = ["CorpusStats", "extract_stats", "ClickGen", "baseline_stats"]

@@ -1,0 +1,94 @@
+"""AST statistics extraction from a ClickScript corpus."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.click import ast as C
+from repro.click.ast import walk_element
+
+
+@dataclass
+class CorpusStats:
+    """Distributional profile of a Click element corpus.
+
+    All counters are raw counts; :meth:`probabilities` normalizes.
+    """
+
+    stmt_kinds: Counter = field(default_factory=Counter)
+    bin_ops: Counter = field(default_factory=Counter)
+    cmp_ops: Counter = field(default_factory=Counter)
+    literal_magnitudes: Counter = field(default_factory=Counter)  # bucketed
+    handler_lengths: List[int] = field(default_factory=list)
+    if_depths: List[int] = field(default_factory=list)
+    state_kinds: Counter = field(default_factory=Counter)
+    api_calls: Counter = field(default_factory=Counter)
+    #: scalar widths of local declarations (u8/u16/u32/u64).
+    decl_types: Counter = field(default_factory=Counter)
+    #: expression-leaf kinds: literal / var / header_field / array.
+    leaf_kinds: Counter = field(default_factory=Counter)
+
+    def probabilities(self, counter_name: str) -> Dict[str, float]:
+        counter: Counter = getattr(self, counter_name)
+        total = sum(counter.values())
+        if total == 0:
+            return {}
+        return {key: count / total for key, count in counter.items()}
+
+
+def _literal_bucket(value: int) -> str:
+    if value < 2:
+        return "tiny"
+    if value < 256:
+        return "byte"
+    if value < 65536:
+        return "short"
+    return "wide"
+
+
+def _max_if_depth(stmts: Sequence[C.Stmt], depth: int = 0) -> int:
+    deepest = depth
+    for stmt in stmts:
+        if isinstance(stmt, C.IfStmt):
+            deepest = max(
+                deepest,
+                _max_if_depth(stmt.then_body, depth + 1),
+                _max_if_depth(stmt.else_body, depth + 1),
+            )
+        elif isinstance(stmt, (C.WhileStmt, C.ForStmt)):
+            deepest = max(deepest, _max_if_depth(stmt.body, depth + 1))
+    return deepest
+
+
+def extract_stats(elements: Sequence[C.ElementDef]) -> CorpusStats:
+    """Extract corpus-level AST statistics from real elements."""
+    stats = CorpusStats()
+    for element in elements:
+        stats.handler_lengths.append(len(element.handler))
+        stats.if_depths.append(_max_if_depth(element.handler))
+        for decl in element.state:
+            stats.state_kinds[decl.kind] += 1
+        for node in walk_element(element):
+            kind = type(node).__name__
+            if isinstance(node, C.Stmt):
+                stats.stmt_kinds[kind] += 1
+                if isinstance(node, C.DeclStmt) and node.type in C.TYPE_BITS:
+                    stats.decl_types[node.type] += 1
+            elif isinstance(node, C.BinExpr):
+                stats.bin_ops[node.op] += 1
+            elif isinstance(node, C.CmpExpr):
+                stats.cmp_ops[node.op] += 1
+            elif isinstance(node, C.IntLit):
+                stats.literal_magnitudes[_literal_bucket(node.value)] += 1
+                stats.leaf_kinds["literal"] += 1
+            elif isinstance(node, C.VarRef):
+                stats.leaf_kinds["var"] += 1
+            elif isinstance(node, C.FieldExpr):
+                stats.leaf_kinds["header_field"] += 1
+            elif isinstance(node, C.IndexExpr):
+                stats.leaf_kinds["array"] += 1
+            elif isinstance(node, C.CallExpr):
+                stats.api_calls[node.name] += 1
+    return stats

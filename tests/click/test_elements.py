@@ -1,0 +1,463 @@
+"""Behavioural tests for the NF element library: every element is
+lowered, executed on crafted packets, and its NF-level behaviour is
+asserted (the host interpreter is our correctness oracle).
+"""
+
+import pytest
+
+from repro.click.elements import (
+    ELEMENT_BUILDERS,
+    TABLE2_ELEMENTS,
+    all_elements,
+    build_element,
+    initial_state,
+    install_state,
+)
+from repro.click.frontend import lower_element
+from repro.click.interp import Interpreter
+from repro.click.packet import Packet
+from repro.click.render import element_loc, render_element
+from repro.nfir import verify_module
+from repro.workload import generate_trace
+from repro.workload.spec import WorkloadSpec
+
+
+def interp_for(name, state=None, **params):
+    element = build_element(name, **params)
+    interp = Interpreter(lower_element(element))
+    install_state(interp, initial_state(element))
+    if state:
+        install_state(interp, state)
+    return interp
+
+
+class TestLibraryWide:
+    @pytest.mark.parametrize("name", sorted(ELEMENT_BUILDERS))
+    def test_lowers_and_verifies(self, name, lowered_library):
+        verify_module(lowered_library[name])
+
+    @pytest.mark.parametrize("name", sorted(ELEMENT_BUILDERS))
+    def test_renders_nonempty_source(self, name):
+        element = build_element(name)
+        source = render_element(element)
+        assert f"class {name}" in source
+        assert element_loc(element) >= 10
+
+    def test_table2_inventory_is_complete(self):
+        assert len(TABLE2_ELEMENTS) == 17
+        for name in TABLE2_ELEMENTS:
+            assert name in ELEMENT_BUILDERS
+
+    @pytest.mark.parametrize("name", sorted(ELEMENT_BUILDERS))
+    def test_survives_a_mixed_trace(self, name):
+        """Every element must process a generic trace without errors."""
+        interp = interp_for(name)
+        spec = WorkloadSpec(name="mix", n_flows=50, n_packets=60,
+                            udp_fraction=0.3)
+        interp.run_trace(generate_trace(spec, seed=2))
+        assert interp.profile.packets == 60
+
+
+class TestNATs:
+    def test_mininat_rewrites_known_flow(self):
+        interp = interp_for("mininat")
+        key = tuple(sorted({"src_ip": 100, "dst_ip": 200}.items()))
+        interp.hashmap("int_map").entries[key] = {"int_ip": 999, "int_port": 8080}
+        p = Packet(
+            ip={"src_addr": 200, "dst_addr": 100, "ip_len": 200},
+            tcp={"th_dport": 80, "th_off": 5},
+        )
+        interp.run_packet(p)
+        assert p.ip["dst_addr"] == 999
+        assert p.tcp["th_dport"] == 8080
+
+    def test_mininat_drops_unknown_flow(self):
+        interp = interp_for("mininat")
+        p = Packet(ip={"src_addr": 1, "dst_addr": 2, "ip_len": 200},
+                   tcp={"th_off": 5})
+        interp.run_packet(p)
+        assert p.dropped
+
+    def test_mazunat_allocates_and_reverses(self):
+        interp = interp_for("mazunat")
+        out = Packet(
+            ip={"src_addr": 0x0A000001, "dst_addr": 0x08080808},
+            tcp={"th_sport": 1234, "th_dport": 80},
+            in_port=0,
+        )
+        interp.run_packet(out)
+        assert out.out_port == 1
+        nat_ip, nat_port = out.ip["src_addr"], out.tcp["th_sport"]
+        assert nat_ip != 0x0A000001
+        # Return traffic reverses through rev_map.
+        back = Packet(
+            ip={"src_addr": 0x08080808, "dst_addr": nat_ip},
+            tcp={"th_sport": 80, "th_dport": nat_port},
+            in_port=1,
+        )
+        interp.run_packet(back)
+        assert not back.dropped
+        assert back.ip["dst_addr"] == 0x0A000001
+        assert back.tcp["th_dport"] == 1234
+
+    def test_mazunat_reuses_mapping(self):
+        interp = interp_for("mazunat")
+        for _ in range(3):
+            p = Packet(
+                ip={"src_addr": 0x0A000001, "dst_addr": 0x08080808},
+                tcp={"th_sport": 1234, "th_dport": 80},
+                in_port=0,
+            )
+            interp.run_packet(p)
+        assert interp.global_value("flows_created") == 1
+        assert interp.global_value("pkts_out") == 3
+
+    def test_iprewriter_installs_then_applies(self):
+        interp = interp_for("iprewriter")
+        p1 = Packet(ip={"src_addr": 5, "dst_addr": 6},
+                    tcp={"th_sport": 100, "th_dport": 200})
+        interp.run_packet(p1)
+        assert interp.global_value("installs") == 1
+        p2 = Packet(ip={"src_addr": 5, "dst_addr": 6},
+                    tcp={"th_sport": 100, "th_dport": 200})
+        interp.run_packet(p2)
+        assert interp.global_value("installs") == 1  # reused
+        assert p2.ip["src_addr"] == p1.ip["src_addr"]
+
+
+class TestCountersAndSketches:
+    def test_aggcounter_buckets(self):
+        interp = interp_for("aggcounter", state={"threshold": 1000})
+        for _ in range(4):
+            interp.run_packet(
+                Packet(ip={"dst_addr": 0x0A000000, "ip_len": 100}, tcp={})
+            )
+        bucket = 0x0A % 256
+        assert interp.global_value("pkt_count")[bucket] == 4
+        assert interp.global_value("byte_count")[bucket] == 400
+        assert interp.global_value("total_pkts") == 4
+
+    def test_aggcounter_threshold_redirects(self):
+        interp = interp_for("aggcounter", state={"threshold": 2})
+        ports = []
+        for _ in range(3):
+            p = Packet(ip={"dst_addr": 0x0A000000, "ip_len": 100}, tcp={})
+            interp.run_packet(p)
+            ports.append(p.out_port)
+        assert ports == [0, 1, 1]
+
+    def test_timefilter_blocks_fast_repeats(self):
+        interp = interp_for("timefilter", state={"min_gap_ns": 10_000})
+        p1 = Packet(ip={"src_addr": 1, "dst_addr": 2}, tcp={}, timestamp_ns=100_000)
+        p2 = Packet(ip={"src_addr": 1, "dst_addr": 2}, tcp={}, timestamp_ns=101_000)
+        p3 = Packet(ip={"src_addr": 1, "dst_addr": 2}, tcp={}, timestamp_ns=200_000)
+        interp.run_packet(p1)
+        interp.run_packet(p2)
+        interp.run_packet(p3)
+        assert not p1.dropped
+        assert p2.dropped  # only 1us after p1
+        assert not p3.dropped  # 99us later
+
+    def test_cmsketch_min_estimate_monotone(self):
+        interp = interp_for("cmsketch", state={"report_threshold": 4},
+                            rows=2, cols=64)
+        outs = []
+        for _ in range(6):
+            p = Packet(ip={"src_addr": 3, "dst_addr": 4}, tcp={})
+            interp.run_packet(p)
+            outs.append(p.out_port)
+        # First three under threshold -> port 0; then port 1.
+        assert outs[:3] == [0, 0, 0]
+        assert outs[-1] == 1
+        assert interp.global_value("updates") == 6
+
+    def test_heavyhitter_flags_heavy_flow(self):
+        interp = interp_for("heavyhitter", threshold=5)
+        heavy = {"src_addr": 10, "dst_addr": 20}
+        for _ in range(6):
+            p = Packet(ip=dict(heavy), tcp={})
+            interp.run_packet(p)
+        assert p.out_port == 1
+        assert interp.global_value("heavy_flags") >= 1
+
+    def test_heavyhitter_decays_other_flows(self):
+        interp = interp_for("heavyhitter", buckets=1, threshold=1000)
+        interp.run_packet(Packet(ip={"src_addr": 1, "dst_addr": 0}, tcp={}))
+        first_owner = interp.global_value("owners")[0]
+        interp.run_packet(Packet(ip={"src_addr": 2, "dst_addr": 0}, tcp={}))
+        # Different flow decremented the count to 0 (space-saving).
+        assert interp.global_value("counts")[0] == 0
+        interp.run_packet(Packet(ip={"src_addr": 2, "dst_addr": 0}, tcp={}))
+        assert interp.global_value("owners")[0] != first_owner
+
+    def test_udpcount_counts_flows(self):
+        interp = interp_for("udpcount")
+        for sport in (1000, 1000, 2000):
+            interp.run_packet(
+                Packet(ip={"src_addr": 1, "dst_addr": 2},
+                       udp={"uh_sport": sport, "uh_dport": 53})
+            )
+        assert interp.global_value("flows") == 2
+        assert interp.global_value("counter") == 3
+        interp.run_packet(Packet(ip={}, tcp={}))  # non-UDP dropped
+        assert interp.profile.dropped == 1
+
+
+class TestLookupAndFirewall:
+    def test_iplookup_longest_prefix_wins(self):
+        interp = interp_for(
+            "iplookup",
+            state={
+                "n_rules": 2,
+                "rule_prefix": [0x0A0A0000, 0x0A000000],
+                "rule_masklen": [16, 8],
+                "rule_port": [5, 3],
+                "default_port": 9,
+            },
+            n_rules=4,
+        )
+        cases = [(0x0A0A0101, 5), (0x0A0B0101, 3), (0x0B000001, 9)]
+        for dst, want in cases:
+            p = Packet(ip={"dst_addr": dst, "ip_ttl": 10}, tcp={})
+            interp.run_packet(p)
+            assert p.out_port == want, hex(dst)
+
+    def test_iplookup_ttl_expiry(self):
+        interp = interp_for("iplookup", state={"default_port": 0})
+        p = Packet(ip={"dst_addr": 1, "ip_ttl": 1}, tcp={})
+        interp.run_packet(p)
+        assert p.dropped
+
+    def test_ipclassifier_unmatched_drops(self):
+        interp = interp_for("ipclassifier", n_rules=8)
+        p = Packet(ip={"dst_addr": 0, "ip_p": 99}, tcp={})
+        p.ip["ip_p"] = 99  # protocol matching no rule
+        interp.run_packet(p)
+        assert p.dropped
+        assert interp.global_value("unmatched") == 1
+
+    def test_firewall_full_lifecycle(self):
+        interp = interp_for(
+            "firewall",
+            state={
+                "n_acl": 1,
+                "acl_prefix": [0x0A000000],
+                "acl_mask": [0xFF000000],
+                "acl_action": [1],
+            },
+        )
+        syn = Packet(ip={"src_addr": 1, "dst_addr": 0x0A000007},
+                     tcp={"th_flags": 0x02, "th_sport": 5, "th_dport": 80})
+        interp.run_packet(syn)
+        assert not syn.dropped
+        data = Packet(ip={"src_addr": 1, "dst_addr": 0x0A000007},
+                      tcp={"th_flags": 0x10, "th_sport": 5, "th_dport": 80})
+        interp.run_packet(data)
+        assert not data.dropped
+        assert interp.global_value("fast_hits") == 1
+        # Non-SYN without state drops.
+        stray = Packet(ip={"src_addr": 9, "dst_addr": 0x0A000007},
+                       tcp={"th_flags": 0x10})
+        interp.run_packet(stray)
+        assert stray.dropped
+        # SYN to non-ACL destination drops.
+        bad = Packet(ip={"src_addr": 9, "dst_addr": 0x0B000007},
+                     tcp={"th_flags": 0x02})
+        interp.run_packet(bad)
+        assert bad.dropped
+        assert interp.global_value("acl_drops") == 1
+
+
+class TestDpiAndCrypto:
+    def test_dpi_detects_signature(self):
+        interp = interp_for("dpi")
+        bad = Packet(ip={}, tcp={}, payload=b"GET /etc/passwd HTTP/1.0")
+        interp.run_packet(bad)
+        assert bad.dropped
+        assert interp.global_value("alerts") == 1
+
+    def test_dpi_passes_clean_payload(self):
+        interp = interp_for("dpi")
+        ok = Packet(ip={}, tcp={}, payload=b"GET /index.html HTTP/1.0")
+        interp.run_packet(ok)
+        assert not ok.dropped
+
+    def test_dpi_signature_at_end_of_scan_window(self):
+        interp = interp_for("dpi", scan_limit=32)
+        payload = b"A" * 20 + b"EXPLOIT"
+        p = Packet(ip={}, tcp={}, payload=payload)
+        interp.run_packet(p)
+        assert p.dropped
+
+    def test_wepdecap_decrypts_deterministically(self):
+        a = interp_for("wepdecap", state={"wep_key": 0xDEADBEEF})
+        b = interp_for("wepdecap", state={"wep_key": 0xDEADBEEF})
+        pa = Packet(ip={"ip_id": 7}, tcp={}, payload=b"secret!!")
+        pb = Packet(ip={"ip_id": 7}, tcp={}, payload=b"secret!!")
+        a.run_packet(pa)
+        b.run_packet(pb)
+        assert pa.payload == pb.payload
+        assert pa.payload != b"secret!!"
+        assert a.global_value("decapsulated") == 1
+
+    def test_wepdecap_key_changes_output(self):
+        a = interp_for("wepdecap", state={"wep_key": 1})
+        b = interp_for("wepdecap", state={"wep_key": 2})
+        pa = Packet(ip={"ip_id": 7}, tcp={}, payload=b"secret!!")
+        pb = Packet(ip={"ip_id": 7}, tcp={}, payload=b"secret!!")
+        a.run_packet(pa)
+        b.run_packet(pb)
+        assert pa.payload != pb.payload
+
+
+class TestGenerators:
+    def test_tcpgen_handshake_then_ack(self):
+        interp = interp_for(
+            "tcpgen", state={"sport": 80, "dport": 1234, "iss": 1000}
+        )
+        synack = Packet(
+            ip={},
+            tcp={"th_sport": 1234, "th_dport": 80, "th_ack": 1001, "th_seq": 50},
+        )
+        interp.run_packet(synack)
+        assert interp.global_value("tcp_state") == 1
+        assert interp.global_value("send_next") == 1001
+        assert interp.global_value("recv_next") == 51
+        assert interp.global_value("good_pkt") == 1
+        stray = Packet(ip={}, tcp={"th_sport": 9, "th_dport": 9})
+        interp.run_packet(stray)
+        assert interp.global_value("bad_pkt") == 1
+        assert stray.dropped
+
+    def test_webtcp_serves_object(self):
+        interp = interp_for("webtcp", state={"object_size": 3000})
+        syn = Packet(ip={}, tcp={"th_flags": 0x02, "th_seq": 10})
+        interp.run_packet(syn)
+        assert interp.global_value("bytes_left") == 3000
+        ack = Packet(ip={}, tcp={"th_flags": 0x10})
+        interp.run_packet(ack)
+        assert interp.global_value("bytes_left") == 3000 - 2920
+        interp.run_packet(Packet(ip={}, tcp={"th_flags": 0x10}))
+        assert interp.global_value("bytes_left") == 0
+        fin = Packet(ip={}, tcp={"th_flags": 0x10})
+        interp.run_packet(fin)
+        assert fin.tcp["th_flags"] == 0x11  # FIN|ACK
+        assert interp.global_value("responses_done") == 1
+
+    def test_webgen_emits_requests(self):
+        interp = interp_for(
+            "webgen", state={"size_table": [100 * (i + 1) for i in range(16)]}
+        )
+        p = Packet(ip={"src_addr": 77}, tcp={})
+        interp.run_packet(p)
+        assert p.tcp["th_dport"] == 80
+        assert p.tcp["th_flags"] == 0x02
+        assert interp.global_value("requests_sent") == 1
+        assert len(interp.vector("flows").items) == 1
+
+    def test_dnsproxy_cache_miss_then_hit(self):
+        interp = interp_for("dnsproxy", state={"upstream_ip": 0x08080808})
+        query_payload = bytes([0x12, 0x34, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0]) + b"example"
+        query = Packet(
+            ip={"src_addr": 111, "dst_addr": 222},
+            udp={"uh_sport": 5353, "uh_dport": 53},
+            payload=query_payload,
+        )
+        interp.run_packet(query)
+        assert query.out_port == 1  # forwarded upstream
+        assert query.ip["dst_addr"] == 0x08080808
+        assert interp.global_value("cache_misses") == 1
+        # Upstream response with the same DNS id fills the cache.
+        response = Packet(
+            ip={"src_addr": 0x08080808, "dst_addr": 222},
+            udp={"uh_sport": 53, "uh_dport": 5353},
+            payload=query_payload,
+        )
+        interp.run_packet(response)
+        assert interp.global_value("responses") == 1
+        assert response.ip["dst_addr"] == 111  # returned to client
+        # Same query now hits the cache.
+        query2 = Packet(
+            ip={"src_addr": 111, "dst_addr": 222},
+            udp={"uh_sport": 5353, "uh_dport": 53},
+            payload=query_payload,
+        )
+        interp.run_packet(query2)
+        assert interp.global_value("cache_hits") == 1
+        assert query2.out_port == 0
+
+
+class TestStatelessElements:
+    def test_anonipaddr_preserves_class_a(self):
+        interp = interp_for("anonipaddr")
+        p = Packet(ip={"src_addr": 0x0A111111, "dst_addr": 0x0B222222}, tcp={})
+        interp.run_packet(p)
+        assert p.ip["src_addr"] >> 24 == 0x0A
+        assert p.ip["dst_addr"] >> 24 == 0x0B
+        assert p.ip["src_addr"] != 0x0A111111
+
+    def test_anonipaddr_is_deterministic(self):
+        a, b = interp_for("anonipaddr"), interp_for("anonipaddr")
+        pa = Packet(ip={"src_addr": 123456}, tcp={})
+        pb = Packet(ip={"src_addr": 123456}, tcp={})
+        a.run_packet(pa)
+        b.run_packet(pb)
+        assert pa.ip["src_addr"] == pb.ip["src_addr"]
+
+    def test_tcpack_swaps_and_acks(self):
+        interp = interp_for("tcpack")
+        p = Packet(
+            ip={"src_addr": 1, "dst_addr": 2, "ip_len": 140},
+            tcp={"th_sport": 10, "th_dport": 20, "th_seq": 100, "th_off": 5},
+        )
+        interp.run_packet(p)
+        assert (p.ip["src_addr"], p.ip["dst_addr"]) == (2, 1)
+        assert (p.tcp["th_sport"], p.tcp["th_dport"]) == (20, 10)
+        # seg_len = 140 - (5+5)*4 = 100 -> ack = 200.
+        assert p.tcp["th_ack"] == 200
+        assert p.tcp["th_flags"] == 0x10
+
+    def test_tcpack_syn_consumes_sequence_slot(self):
+        interp = interp_for("tcpack")
+        p = Packet(
+            ip={"ip_len": 40},
+            tcp={"th_seq": 100, "th_flags": 0x02, "th_off": 5},
+        )
+        interp.run_packet(p)
+        assert p.tcp["th_ack"] == 101
+
+    def test_udpipencap_sets_outer_header(self):
+        interp = interp_for("udpipencap")
+        p = Packet(ip={"ip_len": 100, "src_addr": 42}, udp={})
+        interp.run_packet(p)
+        assert p.ip["ip_p"] == 17
+        assert p.ip["ip_len"] == 128
+        assert p.udp["uh_dport"] == 4789
+        assert p.udp["uh_ulen"] == 108
+
+    def test_forcetcp_clamps_offsets(self):
+        interp = interp_for("forcetcp")
+        p = Packet(ip={"ip_len": 10}, tcp={"th_off": 1, "th_flags": 0x06,
+                                           "th_win": 0})
+        interp.run_packet(p)
+        assert p.tcp["th_off"] == 5
+        assert p.ip["ip_len"] >= 40
+        assert p.tcp["th_win"] == 1024
+        # RST had SYN stripped.
+        assert p.tcp["th_flags"] & 0x02 == 0
+
+    def test_tcpresp_synack_for_syn(self):
+        interp = interp_for("tcpresp")
+        p = Packet(ip={"src_addr": 1, "dst_addr": 2},
+                   tcp={"th_flags": 0x02, "th_seq": 500})
+        interp.run_packet(p)
+        assert p.tcp["th_flags"] == 0x12  # SYN|ACK
+        assert p.tcp["th_ack"] == 501
+        assert (p.ip["src_addr"], p.ip["dst_addr"]) == (2, 1)
+
+    def test_tcpresp_finack_for_fin(self):
+        interp = interp_for("tcpresp")
+        p = Packet(ip={}, tcp={"th_flags": 0x01, "th_seq": 500})
+        interp.run_packet(p)
+        assert p.tcp["th_flags"] == 0x11
+        assert p.tcp["th_ack"] == 501

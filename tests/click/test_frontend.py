@@ -1,0 +1,278 @@
+"""Frontend lowering tests: ClickScript -> NFIR."""
+
+import pytest
+
+from repro.click import ast as C
+from repro.click.elements._dsl import (
+    array_state,
+    assign,
+    brk,
+    decl,
+    eq,
+    fld,
+    for_,
+    hashmap_state,
+    helper,
+    idx,
+    if_,
+    lit,
+    lt,
+    mcall,
+    ne,
+    pkt,
+    ret,
+    scalar_state,
+    struct,
+    v,
+    while_,
+)
+from repro.click.frontend import LoweringError, lower_element
+from repro.nfir import Category, annotate_module, verify_module
+from repro.nfir.instructions import Alloca, Call, CondBr, Load, Store
+
+
+def lower(handler, state=(), structs=(), helpers=(), inline=True):
+    element = C.ElementDef(
+        "t", state=list(state), structs=list(structs),
+        handler=list(handler), helpers=list(helpers),
+    )
+    module = lower_element(element, inline=inline)
+    verify_module(module)
+    return module
+
+
+class TestBasicLowering:
+    def test_empty_handler_gets_ret(self):
+        m = lower([])
+        assert m.handler.blocks[0].terminator.opcode == "ret"
+
+    def test_local_decl_creates_entry_alloca(self):
+        m = lower([decl("x", "u32", lit(5))])
+        entry = m.handler.entry
+        assert isinstance(entry.instructions[0], Alloca)
+
+    def test_width_coercion_on_assign(self):
+        m = lower([decl("x", "u8"), assign(v("x"), lit(300))])
+        # 300 is coerced into the u8 slot (constant folding or trunc).
+        stores = [i for i in m.handler.instructions() if isinstance(i, Store)]
+        assert stores
+        assert stores[-1].value.type.size_bytes() == 1
+
+    def test_promotion_widens_mixed_arith(self):
+        m = lower(
+            [
+                decl("a", "u16", lit(1)),
+                decl("b", "u32", lit(2)),
+                decl("c", "u32", v("a") + v("b")),
+            ]
+        )
+        from repro.nfir.instructions import BinaryOp
+
+        adds = [i for i in m.handler.instructions() if isinstance(i, BinaryOp)]
+        assert all(i.type.size_bytes() == 4 for i in adds if i.opcode == "add")
+
+    def test_if_produces_diamond(self):
+        m = lower([if_(eq(lit(1), 1), [decl("x", "u32", lit(1))])])
+        names = [b.name for b in m.handler.blocks]
+        assert any(n.startswith("if.then") for n in names)
+        assert any(n.startswith("if.end") for n in names)
+
+    def test_while_produces_loop(self):
+        m = lower(
+            [
+                decl("i", "u32", lit(0)),
+                while_(lt(v("i"), 4), [assign(v("i"), v("i") + 1)]),
+            ]
+        )
+        names = [b.name for b in m.handler.blocks]
+        assert any(n.startswith("while.cond") for n in names)
+        cond_block = next(
+            b for b in m.handler.blocks if b.name.startswith("while.cond")
+        )
+        assert isinstance(cond_block.terminator, CondBr)
+
+    def test_for_loop_counts(self):
+        from repro.click.interp import Interpreter
+        from repro.click.packet import Packet
+
+        m = lower(
+            [
+                decl("total", "u32", lit(0)),
+                for_("i", 0, 5, [assign(v("total"), v("total") + v("i"))]),
+                assign(v("out"), v("total")),
+            ],
+            state=[scalar_state("out", "u32")],
+        )
+        interp = Interpreter(m)
+        interp.run_packet(Packet(ip={}, tcp={}))
+        assert interp.global_value("out") == 0 + 1 + 2 + 3 + 4
+
+    def test_break_exits_innermost_loop(self):
+        from repro.click.interp import Interpreter
+        from repro.click.packet import Packet
+
+        m = lower(
+            [
+                decl("n", "u32", lit(0)),
+                for_(
+                    "i",
+                    0,
+                    10,
+                    [
+                        if_(eq(v("i"), 3), [brk()]),
+                        assign(v("n"), v("n") + 1),
+                    ],
+                ),
+                assign(v("out"), v("n")),
+            ],
+            state=[scalar_state("out", "u32")],
+        )
+        interp = Interpreter(m)
+        interp.run_packet(Packet(ip={}, tcp={}))
+        assert interp.global_value("out") == 3
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(LoweringError, match="break"):
+            lower([brk()])
+
+    def test_redeclaration_rejected(self):
+        with pytest.raises(LoweringError, match="redeclared"):
+            lower([decl("x", "u32"), decl("x", "u32")])
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(LoweringError, match="unknown variable"):
+            lower([assign(v("ghost"), lit(1))])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(LoweringError, match="unknown type"):
+            lower([decl("x", "u33")])
+
+
+class TestStateLowering:
+    def test_scalar_state_global(self):
+        m = lower(
+            [assign(v("ctr"), v("ctr") + 1)],
+            state=[scalar_state("ctr", "u64")],
+        )
+        assert m.globals["ctr"].kind == "scalar"
+        assert m.globals["ctr"].size_bytes == 8
+
+    def test_array_state_size(self):
+        m = lower(
+            [assign(idx(v("a"), 3), lit(1))],
+            state=[array_state("a", "u32", 128)],
+        )
+        assert m.globals["a"].size_bytes == 512
+
+    def test_hashmap_entry_layout_presized(self):
+        m = lower(
+            [],
+            state=[hashmap_state("m", "k", "val", 64)],
+            structs=[
+                struct("k", ("a", "u32")),
+                struct("val", ("b", "u32")),
+            ],
+        )
+        g = m.globals["m"]
+        assert g.kind == "hashmap"
+        assert g.entries == 64
+        # occupied(1) + key(4) + value(4) per entry.
+        assert g.size_bytes == 64 * 9
+
+    def test_state_accesses_annotated_stateful(self):
+        m = lower(
+            [assign(v("ctr"), v("ctr") + 1)],
+            state=[scalar_state("ctr", "u32")],
+        )
+        ann = annotate_module(m)
+        assert ann.n_mem_stateful == 2  # one load + one store
+
+    def test_map_without_method_rejected(self):
+        with pytest.raises(LoweringError, match="API methods"):
+            lower(
+                [assign(v("m"), lit(1))],
+                state=[hashmap_state("m", "k", "val", 4)],
+                structs=[struct("k", ("a", "u32")), struct("val", ("b", "u32"))],
+            )
+
+
+class TestApiLowering:
+    def test_header_api_returns_pointer(self):
+        m = lower([decl("ip", "ip_hdr*", pkt("ip_header"))])
+        calls = [i for i in m.handler.instructions() if isinstance(i, Call)]
+        assert calls[0].callee == "ip_header"
+        assert calls[0].kind == "api"
+        assert calls[0].type.is_pointer
+
+    def test_find_takes_key_address_and_tags_points_to(self):
+        m = lower(
+            [
+                decl("key", "k"),
+                assign(fld(v("key"), "a"), lit(1)),
+                decl("f", "val*", mcall("m", "find", v("key"))),
+                if_(ne(v("f"), 0), [assign(fld(v("f"), "b"), lit(2))]),
+            ],
+            state=[hashmap_state("m", "k", "val", 4)],
+            structs=[struct("k", ("a", "u32")), struct("val", ("b", "u32"))],
+        )
+        find = next(
+            i for i in m.handler.instructions()
+            if isinstance(i, Call) and i.callee == "hashmap_find"
+        )
+        assert find.meta["points_to"] == "stateful:m"
+        ann = annotate_module(m)
+        touched = {a.global_name for b in ann.blocks for a in b.stateful_accesses}
+        assert touched == {"m"}
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(LoweringError, match="expects"):
+            lower([pkt("send").as_stmt()])  # send requires a port
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(LoweringError, match="no method"):
+            lower([pkt("teleport", 1).as_stmt()])
+
+
+class TestHelpers:
+    def test_helper_inlined_by_default(self):
+        h = helper(
+            "triple", [("x", "u32")], "u32", [ret(v("x") * 3)]
+        )
+        m = lower(
+            [decl("y", "u32", C.CallExpr("triple", [lit(5)]))],
+            helpers=[h],
+        )
+        internal = [
+            i for i in m.handler.instructions()
+            if isinstance(i, Call) and i.kind == "internal"
+        ]
+        assert not internal
+        assert any(b.name.startswith("inl.triple") for b in m.handler.blocks)
+
+    def test_helper_not_inlined_when_disabled(self):
+        h = helper("noop", [], "void", [])
+        m = lower(
+            [C.ExprStmt(C.CallExpr("noop", []))], helpers=[h], inline=False
+        )
+        internal = [
+            i for i in m.handler.instructions()
+            if isinstance(i, Call) and i.kind == "internal"
+        ]
+        assert len(internal) == 1
+
+    def test_helper_semantics_after_inline(self):
+        from repro.click.interp import Interpreter
+        from repro.click.packet import Packet
+
+        h = helper("triple", [("x", "u32")], "u32", [ret(v("x") * 3)])
+        m = lower(
+            [
+                decl("y", "u32", C.CallExpr("triple", [lit(5)])),
+                assign(v("out"), v("y")),
+            ],
+            state=[scalar_state("out", "u32")],
+            helpers=[h],
+        )
+        interp = Interpreter(m)
+        interp.run_packet(Packet(ip={}, tcp={}))
+        assert interp.global_value("out") == 15

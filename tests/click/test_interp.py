@@ -1,0 +1,306 @@
+"""Interpreter semantics tests: framework APIs, state, profiling."""
+
+import pytest
+
+from repro.click import ast as C
+from repro.click.elements._dsl import (
+    assign,
+    decl,
+    eq,
+    fcall,
+    fld,
+    hashmap_state,
+    if_,
+    lit,
+    mcall,
+    ne,
+    pkt,
+    ret,
+    scalar_state,
+    struct,
+    v,
+    vector_state,
+    while_,
+)
+from repro.click.frontend import lower_element
+from repro.click.interp import InterpError, Interpreter
+from repro.click.packet import Packet
+
+
+def make_interp(handler, state=(), structs=(), seed=0):
+    element = C.ElementDef(
+        "t", state=list(state), structs=list(structs), handler=list(handler)
+    )
+    return Interpreter(lower_element(element), seed=seed)
+
+
+class TestPacketApis:
+    def test_send_sets_out_port(self):
+        interp = make_interp([pkt("send", 3).as_stmt()])
+        p = interp.run_packet(Packet(ip={}, tcp={}))
+        assert p.out_port == 3 and not p.dropped
+
+    def test_drop(self):
+        interp = make_interp([pkt("drop").as_stmt()])
+        p = interp.run_packet(Packet(ip={}, tcp={}))
+        assert p.dropped
+
+    def test_header_field_read_write(self):
+        interp = make_interp(
+            [
+                decl("ip", "ip_hdr*", pkt("ip_header")),
+                assign(fld(v("ip"), "ip_ttl"), fld(v("ip"), "ip_ttl") - 1),
+                pkt("send", 0).as_stmt(),
+            ]
+        )
+        p = interp.run_packet(Packet(ip={"ip_ttl": 64}, tcp={}))
+        assert p.ip["ip_ttl"] == 63
+
+    def test_missing_header_returns_null(self):
+        interp = make_interp(
+            [
+                decl("tcp", "tcp_hdr*", pkt("tcp_header")),
+                if_(
+                    eq(v("tcp"), 0),
+                    [assign(v("saw_null"), lit(1))],
+                ),
+                pkt("send", 0).as_stmt(),
+            ],
+            state=[scalar_state("saw_null", "u32")],
+        )
+        interp.run_packet(Packet(ip={}, udp={}))
+        assert interp.global_value("saw_null") == 1
+
+    def test_payload_byte_roundtrip(self):
+        interp = make_interp(
+            [
+                decl("b", "u32", pkt("payload_byte", 0)),
+                pkt("set_payload_byte", 1, v("b") + 1).as_stmt(),
+                pkt("send", 0).as_stmt(),
+            ]
+        )
+        p = interp.run_packet(Packet(ip={}, tcp={}, payload=b"\x10\x00"))
+        assert p.payload == b"\x10\x11"
+
+    def test_payload_len_and_metadata(self):
+        interp = make_interp(
+            [
+                assign(v("len_out"), pkt("payload_len")),
+                assign(v("port_out"), pkt("in_port")),
+                assign(v("ts_out"), pkt("timestamp_ns")),
+                pkt("send", 0).as_stmt(),
+            ],
+            state=[
+                scalar_state("len_out", "u32"),
+                scalar_state("port_out", "u32"),
+                scalar_state("ts_out", "u64"),
+            ],
+        )
+        interp.run_packet(
+            Packet(ip={}, tcp={}, payload=b"abcd", in_port=2, timestamp_ns=99)
+        )
+        assert interp.global_value("len_out") == 4
+        assert interp.global_value("port_out") == 2
+        assert interp.global_value("ts_out") == 99
+
+    def test_checksum_deterministic_and_changes(self):
+        interp = make_interp(
+            [
+                decl("ip", "ip_hdr*", pkt("ip_header")),
+                fcall("checksum_update_ip", v("ip")).as_stmt(),
+                pkt("send", 0).as_stmt(),
+            ]
+        )
+        p1 = interp.run_packet(Packet(ip={"src_addr": 1, "dst_addr": 2}, tcp={}))
+        p2 = interp.run_packet(Packet(ip={"src_addr": 1, "dst_addr": 2}, tcp={}))
+        p3 = interp.run_packet(Packet(ip={"src_addr": 9, "dst_addr": 2}, tcp={}))
+        assert p1.ip["ip_sum"] == p2.ip["ip_sum"] != 0
+        assert p1.ip["ip_sum"] != p3.ip["ip_sum"]
+
+    def test_random_is_seeded(self):
+        handler = [
+            assign(v("r"), fcall("random_u32")),
+            pkt("send", 0).as_stmt(),
+        ]
+        state = [scalar_state("r", "u32")]
+        a = make_interp(handler, state, seed=5)
+        b = make_interp(handler, state, seed=5)
+        a.run_packet(Packet(ip={}, tcp={}))
+        b.run_packet(Packet(ip={}, tcp={}))
+        assert a.global_value("r") == b.global_value("r")
+
+
+class TestStatefulApis:
+    MAP_STRUCTS = [struct("k", ("a", "u32")), struct("val", ("n", "u32"))]
+
+    def _find_or_insert(self):
+        return [
+            decl("key", "k"),
+            assign(fld(v("key"), "a"), fld(v("ip"), "src_addr")),
+            decl("f", "val*", mcall("m", "find", v("key"))),
+            if_(
+                ne(v("f"), 0),
+                [assign(fld(v("f"), "n"), fld(v("f"), "n") + 1)],
+                [
+                    decl("fresh", "val"),
+                    assign(fld(v("fresh"), "n"), lit(1)),
+                    mcall("m", "insert", v("key"), v("fresh")).as_stmt(),
+                ],
+            ),
+            pkt("send", 0).as_stmt(),
+        ]
+
+    def test_hashmap_find_insert_update(self):
+        handler = [decl("ip", "ip_hdr*", pkt("ip_header"))] + self._find_or_insert()
+        interp = make_interp(
+            handler,
+            state=[hashmap_state("m", "k", "val", 16)],
+            structs=self.MAP_STRUCTS,
+        )
+        for _ in range(3):
+            interp.run_packet(Packet(ip={"src_addr": 7}, tcp={}))
+        interp.run_packet(Packet(ip={"src_addr": 8}, tcp={}))
+        table = interp.hashmap("m")
+        assert len(table) == 2
+        assert table.find((("a", 7),))["n"] == 3
+        assert table.find((("a", 8),))["n"] == 1
+
+    def test_hashmap_erase(self):
+        handler = [
+            decl("ip", "ip_hdr*", pkt("ip_header")),
+            decl("key", "k"),
+            assign(fld(v("key"), "a"), lit(1)),
+            decl("fresh", "val"),
+            assign(fld(v("fresh"), "n"), lit(5)),
+            mcall("m", "insert", v("key"), v("fresh")).as_stmt(),
+            assign(v("gone"), mcall("m", "erase", v("key"))),
+            assign(v("sz"), mcall("m", "size")),
+            pkt("send", 0).as_stmt(),
+        ]
+        interp = make_interp(
+            handler,
+            state=[
+                hashmap_state("m", "k", "val", 16),
+                scalar_state("gone", "u32"),
+                scalar_state("sz", "u32"),
+            ],
+            structs=self.MAP_STRUCTS,
+        )
+        interp.run_packet(Packet(ip={}, tcp={}))
+        assert interp.global_value("gone") == 1
+        assert interp.global_value("sz") == 0
+
+    def test_vector_push_at_remove(self):
+        handler = [
+            decl("ip", "ip_hdr*", pkt("ip_header")),
+            decl("item", "val"),
+            assign(fld(v("item"), "n"), fld(v("ip"), "src_addr")),
+            mcall("vec", "push_back", v("item")).as_stmt(),
+            decl("p", "val*", mcall("vec", "at", 0)),
+            if_(ne(v("p"), 0), [assign(v("first"), fld(v("p"), "n"))]),
+            pkt("send", 0).as_stmt(),
+        ]
+        interp = make_interp(
+            handler,
+            state=[
+                vector_state("vec", "val", 4),
+                scalar_state("first", "u32"),
+            ],
+            structs=self.MAP_STRUCTS,
+        )
+        interp.run_packet(Packet(ip={"src_addr": 42}, tcp={}))
+        interp.run_packet(Packet(ip={"src_addr": 43}, tcp={}))
+        assert interp.global_value("first") == 42
+        assert len(interp.vector("vec").items) == 2
+
+    def test_vector_capacity_bound(self):
+        handler = [
+            decl("ip", "ip_hdr*", pkt("ip_header")),
+            decl("item", "val"),
+            assign(fld(v("item"), "n"), lit(1)),
+            assign(v("ok"), mcall("vec", "push_back", v("item"))),
+            pkt("send", 0).as_stmt(),
+        ]
+        interp = make_interp(
+            handler,
+            state=[vector_state("vec", "val", 2), scalar_state("ok", "u32")],
+            structs=self.MAP_STRUCTS,
+        )
+        for _ in range(2):
+            interp.run_packet(Packet(ip={}, tcp={}))
+            assert interp.global_value("ok") == 1
+        interp.run_packet(Packet(ip={}, tcp={}))
+        assert interp.global_value("ok") == 0
+
+
+class TestProfiling:
+    def test_block_counts_sum(self):
+        interp = make_interp(
+            [
+                decl("i", "u32", lit(0)),
+                while_(C.CmpExpr("<", v("i"), lit(4)), [assign(v("i"), v("i") + 1)]),
+                pkt("send", 0).as_stmt(),
+            ]
+        )
+        interp.run_packet(Packet(ip={}, tcp={}))
+        prof = interp.profile
+        # entry once; loop cond 5x; body 4x; exit once.
+        cond = next(b for b in prof.block_counts if b.startswith("while.cond"))
+        body = next(b for b in prof.block_counts if b.startswith("while.body"))
+        assert prof.block_counts[cond] == 5
+        assert prof.block_counts[body] == 4
+
+    def test_stateful_access_counts(self):
+        interp = make_interp(
+            [
+                assign(v("c"), v("c") + 1),
+                pkt("send", 0).as_stmt(),
+            ],
+            state=[scalar_state("c", "u32")],
+        )
+        for _ in range(10):
+            interp.run_packet(Packet(ip={}, tcp={}))
+        assert interp.profile.global_access["c"]["load"] == 10
+        assert interp.profile.global_access["c"]["store"] == 10
+        assert interp.profile.access_frequency("c") == 2.0
+
+    def test_access_vectors_normalized(self):
+        interp = make_interp(
+            [
+                assign(v("c"), v("c") + 1),
+                pkt("send", 0).as_stmt(),
+            ],
+            state=[scalar_state("c", "u32")],
+        )
+        interp.run_packet(Packet(ip={}, tcp={}))
+        blocks = sorted({b for (_g, b) in interp.profile.global_block_access})
+        vec = interp.profile.access_vector("c", blocks)
+        assert abs(vec.sum() - 1.0) < 1e-9
+
+    def test_sent_dropped_counters(self):
+        interp = make_interp(
+            [
+                decl("ip", "ip_hdr*", pkt("ip_header")),
+                if_(
+                    eq(fld(v("ip"), "ip_ttl"), 0),
+                    [pkt("drop").as_stmt()],
+                    [pkt("send", 0).as_stmt()],
+                ),
+            ]
+        )
+        interp.run_packet(Packet(ip={"ip_ttl": 0}, tcp={}))
+        interp.run_packet(Packet(ip={"ip_ttl": 5}, tcp={}))
+        assert interp.profile.dropped == 1
+        assert interp.profile.sent == 1
+
+    def test_step_limit_catches_runaway(self):
+        interp = make_interp(
+            [
+                decl("i", "u32", lit(0)),
+                while_(C.CmpExpr("<", v("i"), lit(10)), []),  # no increment
+                pkt("send", 0).as_stmt(),
+            ]
+        )
+        interp.max_steps = 1000
+        with pytest.raises(InterpError, match="step limit"):
+            interp.run_packet(Packet(ip={}, tcp={}))

@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+Expensive artifacts (trained models, corpora) are session-scoped and
+sized for seconds-not-minutes; benchmarks use full-size counterparts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.click.elements import all_elements, build_element
+from repro.click.frontend import lower_element
+from repro.core.algorithms import AlgorithmIdentifier, build_algorithm_corpus
+from repro.core.predictor import InstructionPredictor, PredictorDataset
+from repro.workload.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="session")
+def library_elements():
+    return all_elements()
+
+
+@pytest.fixture(scope="session")
+def lowered_library(library_elements):
+    return {el.name: lower_element(el) for el in library_elements}
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small synthesized predictor dataset (shared across tests)."""
+    return PredictorDataset.synthesize(n_programs=12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def trained_predictor(small_dataset):
+    return InstructionPredictor(epochs=10, seed=7).fit(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def algorithm_corpus():
+    return build_algorithm_corpus(seed=3, n_negatives=12)
+
+
+@pytest.fixture(scope="session")
+def trained_identifier(algorithm_corpus):
+    return AlgorithmIdentifier(seed=3).fit(algorithm_corpus)
+
+
+@pytest.fixture()
+def tiny_workload():
+    return WorkloadSpec(name="tiny", n_flows=64, n_packets=120)

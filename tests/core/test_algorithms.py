@@ -1,0 +1,190 @@
+"""Algorithm identification tests (paper Section 4.1 / Figure 9)."""
+
+import numpy as np
+import pytest
+
+from repro.click.elements import build_element
+from repro.core.algorithms import (
+    ACCEL_CLASSES,
+    AlgorithmIdentifier,
+    handcrafted_features,
+    _crc_bitwise_element,
+    _crc_table_element,
+    _hash_negative_element,
+    _lpm_linear_element,
+    _lpm_trie_element,
+)
+from repro.core.prepare import prepare_element
+from repro.ml.metrics import precision_recall
+
+
+class TestCorpus:
+    def test_corpus_has_all_classes(self, algorithm_corpus):
+        labels = set(algorithm_corpus.labels)
+        assert labels == {"crc", "lpm", "crypto", "none"}
+
+    def test_crypto_corpus_diversity(self, algorithm_corpus):
+        crypto_names = [
+            n for n, l in zip(algorithm_corpus.names, algorithm_corpus.labels)
+            if l == "crypto"
+        ]
+        assert any("md5" in n for n in crypto_names)
+        assert any("aes" in n for n in crypto_names)
+
+    def test_corpus_implementation_diversity(self, algorithm_corpus):
+        crc_names = [
+            n for n, l in zip(algorithm_corpus.names, algorithm_corpus.labels)
+            if l == "crc"
+        ]
+        assert any("crctab" in n for n in crc_names)  # table-driven
+        assert any("crc16" in n for n in crc_names)   # narrower width
+        lpm_names = [
+            n for n, l in zip(algorithm_corpus.names, algorithm_corpus.labels)
+            if l == "lpm"
+        ]
+        assert any("lpmtrie" in n for n in lpm_names)
+        assert any("lpmlin" in n for n in lpm_names)
+
+    def test_binary_labels(self, algorithm_corpus):
+        y = algorithm_corpus.binary_labels("crc")
+        assert sum(y) == algorithm_corpus.labels.count("crc")
+
+
+class TestFeatures:
+    def test_handcrafted_features_shape(self):
+        f = handcrafted_features(["xor i32 VAR VAR", "shl i32 VAR INT"])
+        assert f.shape == (12,)
+        assert f[0] == 0.5  # one bitop of two tokens
+        assert f[1] == 0.5  # one shift
+
+    def test_conditional_xor_feature_fires_on_crc_shape(self):
+        crc_like = [
+            "load i32 mem_stateless",
+            "and i32 VAR INT",
+            "icmp ne i32 VAR INT",
+            "br_cond",
+            "lshr i32 VAR INT",
+            "xor i32 VAR INT",
+        ]
+        plain = ["add i32 VAR VAR"] * 6
+        assert handcrafted_features(crc_like)[10] > 0
+        assert handcrafted_features(plain)[10] == 0
+
+    def test_masked_match_feature_fires_on_lpm_shape(self):
+        lpm_like = [
+            "load i32 mem_stateful",
+            "shl i32 INT VAR",
+            "and i32 VAR VAR",
+            "load i32 mem_stateful",
+            "icmp eq i32 VAR VAR",
+            "br_cond",
+        ]
+        assert handcrafted_features(lpm_like)[11] > 0
+
+    def test_crc_has_higher_bitop_density_than_counter(self):
+        crc = prepare_element(_crc_bitwise_element("c", 0xEDB88320, 32, True, 8))
+        counter = prepare_element(build_element("aggcounter"))
+
+        def density(prepared):
+            tokens = [
+                t for b in prepared.module.handler.blocks
+                for t in prepared.tokens[b.name]
+            ]
+            return handcrafted_features(tokens)[0]
+
+        assert density(crc) > density(counter)
+
+
+class TestClassification:
+    def test_training_fits(self, trained_identifier, algorithm_corpus):
+        predictions = trained_identifier.predict(algorithm_corpus.sequences)
+        for accel in ACCEL_CLASSES:
+            y_true = np.array(algorithm_corpus.binary_labels(accel))
+            y_pred = np.array([1 if p == accel else 0 for p in predictions])
+            pr = precision_recall(y_true, y_pred)
+            assert pr["precision"] > 0.75, (accel, pr)
+            assert pr["recall"] > 0.7, (accel, pr)
+
+    def test_unseen_crc_variant_recognized(self, trained_identifier):
+        # A polynomial/rounds combination not in the training corpus.
+        element = _crc_bitwise_element("novel", 0x741B8CD7, 32, True, 24)
+        prepared = prepare_element(element)
+        tokens = [
+            t for b in prepared.module.handler.blocks
+            for t in prepared.tokens[b.name]
+        ]
+        assert trained_identifier.classify_sequence(tokens) == "crc"
+
+    def test_unseen_lpm_variant_recognized(self, trained_identifier):
+        element = _lpm_linear_element("novel_lpm", 48)
+        prepared = prepare_element(element)
+        tokens = [
+            t for b in prepared.module.handler.blocks
+            for t in prepared.tokens[b.name]
+        ]
+        assert trained_identifier.classify_sequence(tokens) == "lpm"
+
+    def test_hash_function_not_misclassified_as_crc(self, trained_identifier):
+        element = _hash_negative_element("fnv_test", "fnv")
+        prepared = prepare_element(element)
+        tokens = [
+            t for b in prepared.module.handler.blocks
+            for t in prepared.tokens[b.name]
+        ]
+        assert trained_identifier.classify_sequence(tokens) != "crc"
+
+
+class TestNFIdentification:
+    def test_cmsketch_crc_helper_found(self, trained_identifier):
+        """The paper's example: CRC opportunities in count-min sketch."""
+        prepared = prepare_element(build_element("cmsketch"))
+        found = trained_identifier.identify(prepared)
+        crc_regions = [r for r, (label, _b) in found.items() if label == "crc"]
+        assert any("crc32_hash" in r for r in crc_regions)
+
+    def test_wepdecap_crc_found(self, trained_identifier):
+        prepared = prepare_element(build_element("wepdecap"))
+        found = trained_identifier.identify(prepared)
+        assert any(label == "crc" for label, _b in found.values())
+
+    def test_iplookup_lpm_found(self, trained_identifier):
+        prepared = prepare_element(build_element("iplookup"))
+        found = trained_identifier.identify(prepared)
+        assert any(label == "lpm" for label, _b in found.values())
+
+    def test_stateless_header_nf_clean(self, trained_identifier):
+        """tcpack has neither CRC nor LPM: no accelerator regions."""
+        prepared = prepare_element(build_element("tcpack"))
+        found = trained_identifier.identify(prepared)
+        assert not found
+
+    def test_identified_blocks_exist(self, trained_identifier):
+        prepared = prepare_element(build_element("cmsketch"))
+        block_names = {b.name for b in prepared.module.handler.blocks}
+        for _region, (_label, blocks) in trained_identifier.identify(
+            prepared
+        ).items():
+            assert set(blocks) <= block_names
+
+    def test_regions_cover_handler(self, trained_identifier):
+        """helper:* and main partition the handler; loop:* regions are
+        overlapping refinements of main."""
+        prepared = prepare_element(build_element("wepdecap"))
+        regions = AlgorithmIdentifier.regions(prepared)
+        base_blocks = [
+            b
+            for name, blocks in regions.items()
+            for b in blocks
+            if not name.startswith("loop:")
+        ]
+        assert sorted(base_blocks) == sorted(
+            b.name for b in prepared.module.handler.blocks
+        )
+        handler_blocks = {b.name for b in prepared.module.handler.blocks}
+        main = set(regions["main"])
+        for name, blocks in regions.items():
+            if name.startswith("loop:"):
+                header = name.split(":", 1)[1]
+                assert header in main  # loops are anchored in main...
+                # ...but may span blocks inlined from helpers they call.
+                assert set(blocks) <= handler_blocks

@@ -1,0 +1,68 @@
+"""ILP placement optimality: on small instances the ILP's solution
+must exactly match brute-force enumeration of all assignments under
+the same objective (frequency-weighted latency subject to capacities).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.placement import PlacementError, PlacementProblem, solve_ilp
+
+
+def _brute_force(problem: PlacementProblem):
+    regions = problem.regions
+    best_cost = float("inf")
+    best = None
+    for combo in itertools.product(regions, repeat=len(problem.names)):
+        used = {}
+        feasible = True
+        for size, region in zip(problem.sizes, combo):
+            used[region.name] = used.get(region.name, 0) + size
+            if used[region.name] > region.capacity_bytes:
+                feasible = False
+                break
+        if not feasible:
+            continue
+        cost = sum(
+            freq * region.latency_cycles
+            for freq, region in zip(problem.frequencies, combo)
+        )
+        if cost < best_cost:
+            best_cost = cost
+            best = combo
+    return best, best_cost
+
+
+@given(
+    k=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=30, deadline=None)
+def test_ilp_matches_brute_force(k, seed):
+    rng = np.random.default_rng(seed)
+    # Sizes spanning "fits anywhere" to "EMEM only".
+    sizes = [
+        int(rng.choice([512, 8 * 1024, 48 * 1024, 600 * 1024, 8 * 2**20]))
+        for _ in range(k)
+    ]
+    freqs = [float(rng.uniform(0.0, 10.0)) for _ in range(k)]
+    problem = PlacementProblem([f"s{i}" for i in range(k)], sizes, freqs)
+    _best, brute_cost = _brute_force(problem)
+    solution = solve_ilp(problem)
+    assert solution.expected_cost == pytest.approx(brute_cost, rel=1e-9)
+
+
+def test_ilp_handles_tight_packing():
+    """Three 30KB structures against a 64KB CLS: exactly two fit."""
+    problem = PlacementProblem(
+        ["a", "b", "c"], [30 * 1024] * 3, [5.0, 4.0, 3.0]
+    )
+    solution = solve_ilp(problem)
+    _best, brute_cost = _brute_force(problem)
+    assert solution.expected_cost == pytest.approx(brute_cost)
+    in_cls = [n for n, r in solution.assignment.items() if r == "cls"]
+    assert len(in_cls) == 2
+    assert "c" not in in_cls  # the coldest one is displaced

@@ -1,0 +1,160 @@
+"""Vocabulary compaction, one-hot encoding, and SPE tests."""
+
+import numpy as np
+import pytest
+
+from repro.click.elements import build_element
+from repro.click.frontend import lower_element
+from repro.ml.encoding import (
+    InstructionVocabulary,
+    PAD_TOKEN,
+    UNK_TOKEN,
+    abstract_instruction,
+    block_tokens,
+    encode_blocks,
+    encode_sequence,
+    histogram_features,
+)
+from repro.ml.spe import Pattern, SequentialPatternExtractor
+from repro.nfir.annotate import annotate_module
+
+
+@pytest.fixture(scope="module")
+def nat_module():
+    module = lower_element(build_element("mininat"))
+    annotate_module(module)  # sets instruction categories for tokens
+    return module
+
+
+class TestAbstraction:
+    def test_variables_collapse_to_var(self, nat_module):
+        import re
+
+        tokens = []
+        for block in nat_module.handler.blocks:
+            tokens.extend(block_tokens(block, compact=True))
+        joined = " ".join(tokens)
+        assert "VAR" in joined
+        # No concrete SSA value names survive ("%struct.x" type
+        # spellings are fine; "%v12"-style names are not).
+        assert not re.search(r"%[a-z]+\d", joined)
+
+    def test_header_field_names_survive(self, nat_module):
+        tokens = []
+        for block in nat_module.handler.blocks:
+            tokens.extend(block_tokens(block, compact=True))
+        joined = " ".join(tokens)
+        # Section 3.2: "with the exception of well-defined header
+        # field names".
+        assert "dst_addr" in joined
+        # NF-private struct fields are anonymized.
+        assert "int_ip" not in joined
+        assert "FIELD" in joined
+
+    def test_non_compact_mode_keeps_operands(self, nat_module):
+        block = nat_module.handler.blocks[0]
+        compact = block_tokens(block, compact=True)
+        raw = block_tokens(block, compact=False)
+        assert len(set(raw)) >= len(set(compact))
+
+    def test_compact_vocabulary_is_small(self, lowered_library):
+        vocab = InstructionVocabulary()
+        for module in lowered_library.values():
+            annotate_module(module)
+            vocab.fit(
+                block_tokens(b, compact=True) for b in module.handler.blocks
+            )
+        # Paper: "a few hundred distinct words".
+        assert vocab.size < 400
+
+    def test_uncompacted_vocabulary_explodes(self, lowered_library):
+        compact = InstructionVocabulary()
+        raw = InstructionVocabulary()
+        for module in lowered_library.values():
+            compact.fit(
+                block_tokens(b, compact=True) for b in module.handler.blocks
+            )
+            raw.fit(
+                block_tokens(b, compact=False) for b in module.handler.blocks
+            )
+        assert raw.size > compact.size * 3
+
+
+class TestVocabularyEncoding:
+    def test_pad_and_unk_reserved(self):
+        vocab = InstructionVocabulary()
+        assert vocab.index(PAD_TOKEN) == 0
+        assert vocab.index("never seen") == vocab.index(UNK_TOKEN) == 1
+
+    def test_encode_sequence_shapes(self):
+        vocab = InstructionVocabulary().fit([["a", "b"], ["c"]])
+        one_hot, mask = encode_sequence(vocab, ["a", "c"], max_len=4)
+        assert one_hot.shape == (4, vocab.size)
+        assert mask.tolist() == [1, 1, 0, 0]
+        assert one_hot[0, vocab.index("a")] == 1
+
+    def test_truncation(self):
+        vocab = InstructionVocabulary().fit([["a"]])
+        one_hot, mask = encode_sequence(vocab, ["a"] * 10, max_len=3)
+        assert mask.sum() == 3
+
+    def test_batch_encoding(self):
+        vocab = InstructionVocabulary().fit([["a", "b"]])
+        X, mask = encode_blocks(vocab, [["a"], ["a", "b"]], max_len=3)
+        assert X.shape == (2, 3, vocab.size)
+        assert mask.sum() == 3
+
+    def test_histogram_features(self):
+        vocab = InstructionVocabulary().fit([["a", "b"]])
+        X = histogram_features(vocab, [["a", "a", "b"], ["b"]])
+        assert X[0, vocab.index("a")] == 2
+        assert X[1, vocab.index("b")] == 1
+
+
+class TestSPE:
+    def test_finds_discriminative_pattern(self):
+        positives = [["xor", "shr", "and"] * 3 for _ in range(10)]
+        negatives = [["add", "load", "store"] * 3 for _ in range(10)]
+        spe = SequentialPatternExtractor(min_support=0.6, min_confidence=0.8)
+        spe.fit(positives + negatives, [1] * 10 + [0] * 10)
+        assert spe.patterns_
+        assert all(p.confidence >= 0.8 for p in spe.patterns_)
+        flat = {t for p in spe.patterns_ for t in p.tokens}
+        assert "xor" in flat and "add" not in flat
+
+    def test_common_patterns_rejected_by_confidence(self):
+        shared = ["add", "add"]
+        positives = [shared + ["xor"] for _ in range(10)]
+        negatives = [shared + ["load"] for _ in range(10)]
+        spe = SequentialPatternExtractor(min_confidence=0.9)
+        spe.fit(positives + negatives, [1] * 10 + [0] * 10)
+        assert ("add", "add") not in [p.tokens for p in spe.patterns_]
+
+    def test_transform_counts_occurrences(self):
+        positives = [["a", "b", "a", "b"] for _ in range(5)]
+        negatives = [["c", "c"] for _ in range(5)]
+        spe = SequentialPatternExtractor(min_support=0.5)
+        X = spe.fit_transform(positives + negatives, [1] * 5 + [0] * 5)
+        ab = [p.tokens for p in spe.patterns_].index(("a", "b"))
+        assert X[0, ab] == 2
+        assert X[5, ab] == 0
+
+    def test_requires_positive_examples(self):
+        spe = SequentialPatternExtractor()
+        with pytest.raises(ValueError):
+            spe.fit([["a"]], [0])
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            SequentialPatternExtractor().transform([["a"]])
+
+    def test_max_patterns_cap(self):
+        rng = np.random.default_rng(0)
+        positives = [
+            [str(x) for x in rng.integers(0, 5, size=20)] for _ in range(20)
+        ]
+        spe = SequentialPatternExtractor(
+            min_support=0.05, min_confidence=0.0, max_patterns=10
+        )
+        spe.fit(positives + [["z"]], [1] * 20 + [0])
+        assert len(spe.patterns_) <= 10

@@ -1,0 +1,360 @@
+"""Model tests: each learner must fit simple structure, be
+deterministic under a seed, and respect its API contract."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AutoMLClassifier,
+    AutoMLRegressor,
+    CNNRegressor,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GBDTClassifier,
+    GBDTRegressor,
+    KMeans,
+    KNNClassifier,
+    KNNRegressor,
+    LambdaRanker,
+    LinearSVM,
+    MLPClassifier,
+    MLPRegressor,
+    PCA,
+    RandomForestRegressor,
+)
+from repro.ml.kmeans import choose_k, silhouette_score
+from repro.ml.metrics import accuracy, wmape
+from repro.ml.ranking import ndcg_at_k
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(250, 6))
+    y = 20 + 5 * X[:, 0] - 3 * X[:, 1] * X[:, 1] + 0.1 * rng.normal(size=250)
+    return X, np.abs(y)
+
+
+@pytest.fixture(scope="module")
+def classification_data():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(200, 5))
+    y = ((X[:, 0] + X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestTrees:
+    def test_regressor_fits_structure(self, regression_data):
+        X, y = regression_data
+        model = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        assert wmape(y, model.predict(X)) < 0.15
+
+    def test_depth_limits_fit(self, regression_data):
+        X, y = regression_data
+        shallow = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        assert wmape(y, deep.predict(X)) < wmape(y, shallow.predict(X))
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        model = DecisionTreeRegressor().fit(X, np.full(30, 7.0))
+        assert np.allclose(model.predict(X), 7.0)
+        assert model.root.is_leaf
+
+    def test_min_samples_leaf_respected(self, regression_data):
+        X, y = regression_data
+        model = DecisionTreeRegressor(max_depth=20, min_samples_leaf=50).fit(X, y)
+
+        def leaf_depths(node, d=0):
+            if node.is_leaf:
+                yield d
+            else:
+                yield from leaf_depths(node.left, d + 1)
+                yield from leaf_depths(node.right, d + 1)
+
+        assert max(leaf_depths(model.root)) <= 4  # 250/50 bounds splits
+
+    def test_classifier(self, classification_data):
+        X, y = classification_data
+        model = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.9
+        proba = model.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestEnsembles:
+    def test_forest_beats_single_tree_on_holdout(self, regression_data):
+        X, y = regression_data
+        X_train, y_train = X[:180], y[:180]
+        X_test, y_test = X[180:], y[180:]
+        tree = DecisionTreeRegressor(max_depth=10).fit(X_train, y_train)
+        forest = RandomForestRegressor(n_trees=20, max_depth=10).fit(
+            X_train, y_train
+        )
+        assert wmape(y_test, forest.predict(X_test)) <= wmape(
+            y_test, tree.predict(X_test)
+        ) * 1.1
+
+    def test_forest_deterministic(self, regression_data):
+        X, y = regression_data
+        a = RandomForestRegressor(n_trees=5, seed=3).fit(X, y).predict(X[:10])
+        b = RandomForestRegressor(n_trees=5, seed=3).fit(X, y).predict(X[:10])
+        assert np.allclose(a, b)
+
+    def test_forest_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((2, 3)))
+
+    def test_gbdt_regression(self, regression_data):
+        X, y = regression_data
+        model = GBDTRegressor(n_rounds=60).fit(X, y)
+        assert wmape(y, model.predict(X)) < 0.1
+
+    def test_gbdt_more_rounds_fit_better(self, regression_data):
+        X, y = regression_data
+        few = GBDTRegressor(n_rounds=5).fit(X, y)
+        many = GBDTRegressor(n_rounds=60).fit(X, y)
+        assert wmape(y, many.predict(X)) < wmape(y, few.predict(X))
+
+    def test_gbdt_classifier(self, classification_data):
+        X, y = classification_data
+        model = GBDTClassifier(n_rounds=30).fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.92
+
+    def test_gbdt_multiclass(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(150, 4))
+        y = np.digitize(X[:, 0], [-0.5, 0.5])
+        model = GBDTClassifier(n_rounds=30).fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.85
+        assert set(model.predict(X)) <= {0, 1, 2}
+
+    def test_gbdt_custom_gradients(self):
+        X = np.linspace(0, 1, 50)[:, None]
+        target = 3 * X.ravel()
+        model = GBDTRegressor(n_rounds=40)
+        model.fit_gradients(X, lambda scores: target - scores)
+        assert np.abs(model.predict(X) - target).mean() < 0.2
+
+
+class TestInstanceAndMarginModels:
+    def test_knn_regressor_exact_on_training_points(self, regression_data):
+        X, y = regression_data
+        model = KNNRegressor(k=1).fit(X, y)
+        assert np.allclose(model.predict(X[:20]), y[:20])
+
+    def test_knn_classifier(self, classification_data):
+        X, y = classification_data
+        model = KNNClassifier(k=3).fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.9
+
+    def test_knn_k_validation(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+
+    def test_svm_separable(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 0.5, (50, 3)), rng.normal(2, 0.5, (50, 3))])
+        y = np.array([0] * 50 + [1] * 50)
+        model = LinearSVM(epochs=60, lam=1e-4).fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.95
+
+    def test_svm_decision_margin_sign(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 0.5, (40, 2)), rng.normal(2, 0.5, (40, 2))])
+        y = np.array([0] * 40 + [1] * 40)
+        model = LinearSVM(epochs=30).fit(X, y)
+        scores = model.decision_function(X)
+        assert scores[:40].mean() < 0 < scores[40:].mean()
+
+    def test_svm_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().decision_function(np.zeros((2, 2)))
+
+
+class TestNeuralModels:
+    def test_mlp_regressor_learns(self, regression_data):
+        X, y = regression_data
+        model = MLPRegressor(X.shape[1], hidden=(32,), lr=3e-3)
+        model.fit(X, y, epochs=80, seed=0)
+        assert wmape(y, model.predict(X)) < 0.35
+        assert model.history[-1] < model.history[0]
+
+    def test_mlp_classifier_learns(self, classification_data):
+        X, y = classification_data
+        model = MLPClassifier(X.shape[1], 2, hidden=(16,), lr=3e-3)
+        model.fit(X, y, epochs=60)
+        assert accuracy(y, model.predict(X)) > 0.9
+        proba = model.predict_proba(X[:5])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def _sequence_task(self, n=200, T=16, V=8, seed=0):
+        rng = np.random.default_rng(seed)
+        seqs = rng.integers(2, V, size=(n, T))
+        lens = rng.integers(4, T, size=n)
+        X = np.zeros((n, T, V), dtype=np.float32)
+        mask = np.zeros((n, T), dtype=np.float32)
+        y = np.zeros(n)
+        for i in range(n):
+            X[i, np.arange(lens[i]), seqs[i, : lens[i]]] = 1
+            mask[i, : lens[i]] = 1
+            y[i] = 3 * np.sum(seqs[i, : lens[i]] == 3) + lens[i]
+        return X, mask, y
+
+    def test_lstm_learns_counting_task(self):
+        from repro.ml import LSTMRegressor
+
+        X, mask, y = self._sequence_task()
+        model = LSTMRegressor(X.shape[2], hidden_dim=24)
+        model.fit(X, mask, y, epochs=25)
+        assert wmape(y, model.predict(X, mask)) < 0.1
+
+    def test_lstm_deterministic(self):
+        from repro.ml import LSTMRegressor
+
+        X, mask, y = self._sequence_task(n=50)
+        a = LSTMRegressor(X.shape[2], seed=4)
+        b = LSTMRegressor(X.shape[2], seed=4)
+        a.fit(X, mask, y, epochs=3)
+        b.fit(X, mask, y, epochs=3)
+        assert np.allclose(a.predict(X, mask), b.predict(X, mask))
+
+    def test_lstm_uses_order_not_just_counts(self):
+        """Sequence models must distinguish permuted sequences when the
+        target depends on order (the paper's motivation for LSTM over
+        bag-of-words baselines)."""
+        from repro.ml import LSTMRegressor
+
+        rng = np.random.default_rng(0)
+        n, T, V = 300, 10, 4
+        X = np.zeros((n, T, V), dtype=np.float32)
+        y = np.zeros(n)
+        for i in range(n):
+            seq = rng.integers(0, V, size=T)
+            X[i, np.arange(T), seq] = 1
+            # Target: count of adjacent (2 -> 3) pairs, an order feature.
+            y[i] = 1 + 4 * sum(
+                1 for a, b in zip(seq, seq[1:]) if (a, b) == (2, 3)
+            )
+        mask = np.ones((n, T), dtype=np.float32)
+        model = LSTMRegressor(V, hidden_dim=24)
+        model.fit(X, mask, y, epochs=40)
+        assert wmape(y, model.predict(X, mask)) < 0.25
+
+    def test_cnn_learns(self):
+        X, mask, y = self._sequence_task()
+        model = CNNRegressor(X.shape[2], n_filters=12)
+        model.fit(X, mask, y, epochs=25)
+        assert wmape(y, model.predict(X, mask)) < 0.35
+
+
+class TestClustering:
+    def test_kmeans_recovers_blobs(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack(
+            [rng.normal(c, 0.3, size=(20, 3)) for c in (-5.0, 0.0, 5.0)]
+        )
+        model = KMeans(3, seed=0).fit(X)
+        sizes = sorted(np.bincount(model.labels_))
+        assert sizes == [20, 20, 20]
+
+    def test_kmeans_inertia_decreases_with_k(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 4))
+        i2 = KMeans(2, seed=0).fit(X).inertia_
+        i6 = KMeans(6, seed=0).fit(X).inertia_
+        assert i6 < i2
+
+    def test_kmeans_validation(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(10).fit(np.zeros((3, 2)))
+
+    def test_choose_k_finds_structure(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack(
+            [rng.normal(c, 0.2, size=(15, 2)) for c in (-4.0, 0.0, 4.0)]
+        )
+        k, model = choose_k(X, k_max=6, seed=0)
+        assert k == 3
+
+    def test_silhouette_range(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 3))
+        labels = KMeans(3, seed=0).fit(X).labels_
+        s = silhouette_score(X, labels)
+        assert -1.0 <= s <= 1.0
+
+    def test_pca_orthonormal_components(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 6))
+        pca = PCA(3).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_pca_explains_variance_in_order(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 5)) * np.array([10, 5, 1, 0.5, 0.1])
+        pca = PCA(5).fit(X)
+        ratios = pca.explained_variance_ratio_
+        assert all(b <= a + 1e-12 for a, b in zip(ratios, ratios[1:]))
+        assert ratios[0] > 0.5
+
+
+class TestRanking:
+    def _ranking_data(self, n_queries=40, items=5, seed=0):
+        rng = np.random.default_rng(seed)
+        X, rel, qid = [], [], []
+        for q in range(n_queries):
+            feats = rng.normal(size=(items, 3))
+            X.append(feats)
+            rel.append(np.argsort(np.argsort(feats[:, 0])))
+            qid.extend([q] * items)
+        return np.vstack(X), np.concatenate(rel).astype(float), np.array(qid)
+
+    def test_ranker_learns_feature_order(self):
+        X, rel, qid = self._ranking_data()
+        ranker = LambdaRanker(n_rounds=30).fit(X, rel, qid)
+        hits = 0
+        for q in range(40):
+            mask = qid == q
+            order = ranker.rank(X[mask])
+            hits += rel[mask][order[0]] == rel[mask].max()
+        assert hits / 40 > 0.8
+
+    def test_ndcg_perfect_ranking(self):
+        assert ndcg_at_k([3, 2, 1, 0]) == pytest.approx(1.0)
+
+    def test_ndcg_worst_below_one(self):
+        assert ndcg_at_k([0, 1, 2, 3]) < 1.0
+
+    def test_rank_returns_permutation(self):
+        X, rel, qid = self._ranking_data(n_queries=5)
+        ranker = LambdaRanker(n_rounds=5).fit(X, rel, qid)
+        order = ranker.rank(X[:5])
+        assert sorted(order) == list(range(5))
+
+
+class TestAutoML:
+    def test_regressor_picks_reasonable_pipeline(self, regression_data):
+        X, y = regression_data
+        automl = AutoMLRegressor(seed=0).fit(X, y)
+        assert automl.best_name_ is not None
+        assert len(automl.leaderboard_) >= 5
+        assert wmape(y, automl.predict(X)) < 0.2
+
+    def test_classifier(self, classification_data):
+        X, y = classification_data
+        automl = AutoMLClassifier(seed=0).fit(X, y)
+        assert accuracy(y, automl.predict(X)) > 0.85
+
+    def test_leaderboard_sorted(self, classification_data):
+        X, y = classification_data
+        automl = AutoMLClassifier(seed=0).fit(X, y)
+        scores = [s for _n, s in automl.leaderboard_]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            AutoMLRegressor().predict(np.zeros((2, 2)))

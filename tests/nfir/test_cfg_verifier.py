@@ -1,0 +1,137 @@
+"""CFG utilities and verifier tests."""
+
+import pytest
+
+from repro.nfir import (
+    Function,
+    IRBuilder,
+    Module,
+    VOID,
+    I32,
+    build_cfg,
+    reverse_postorder,
+    verify_function,
+    verify_module,
+    VerificationError,
+)
+from repro.nfir.cfg import block_depths, loop_headers, reachable_blocks
+from repro.nfir.values import Constant
+
+
+def diamond_function():
+    f = Function("pkt_handler")
+    entry = f.add_block("entry")
+    left = f.add_block("left")
+    right = f.add_block("right")
+    merge = f.add_block("merge")
+    b = IRBuilder(f, entry)
+    cond = b.icmp("ult", b.const(I32, 1), b.const(I32, 2))
+    b.cond_br(cond, left, right)
+    b.position_at_end(left)
+    b.br(merge)
+    b.position_at_end(right)
+    b.br(merge)
+    b.position_at_end(merge)
+    b.ret()
+    return f
+
+
+def loop_function():
+    f = Function("pkt_handler")
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(f, entry)
+    slot = b.alloca(I32)
+    b.store(b.const(I32, 0), slot)
+    b.br(header)
+    b.position_at_end(header)
+    i = b.load(slot)
+    cond = b.icmp("ult", i, b.const(I32, 10))
+    b.cond_br(cond, body, exit_)
+    b.position_at_end(body)
+    i2 = b.load(slot)
+    b.store(b.add(i2, b.const(I32, 1)), slot)
+    b.br(header)
+    b.position_at_end(exit_)
+    b.ret()
+    return f
+
+
+class TestCFG:
+    def test_diamond_edges(self):
+        g = build_cfg(diamond_function())
+        assert set(g.successors("entry")) == {"left", "right"}
+        assert set(g.predecessors("merge")) == {"left", "right"}
+
+    def test_reverse_postorder_starts_at_entry(self):
+        order = reverse_postorder(diamond_function())
+        assert order[0].name == "entry"
+        assert order[-1].name == "merge"
+
+    def test_loop_headers(self):
+        assert loop_headers(loop_function()) == {"header"}
+        assert loop_headers(diamond_function()) == set()
+
+    def test_block_depths(self):
+        depths = block_depths(diamond_function())
+        assert depths["entry"] == 0
+        assert depths["left"] == depths["right"] == 1
+        assert depths["merge"] == 2
+
+    def test_reachable_blocks(self):
+        f = diamond_function()
+        dead = f.add_block("dead")
+        IRBuilder(f, dead).ret()
+        assert "dead" not in reachable_blocks(f)
+
+
+class TestVerifier:
+    def test_valid_functions_pass(self):
+        verify_function(diamond_function())
+        verify_function(loop_function())
+
+    def test_unterminated_block(self):
+        f = Function("f")
+        f.add_block("entry")
+        with pytest.raises(VerificationError, match="not terminated"):
+            verify_function(f)
+
+    def test_no_blocks(self):
+        with pytest.raises(VerificationError, match="no blocks"):
+            verify_function(Function("f"))
+
+    def test_foreign_branch_target(self):
+        f = diamond_function()
+        other = Function("g")
+        foreign = other.add_block("foreign")
+        IRBuilder(other, foreign).ret()
+        # Redirect entry's terminator to a foreign block.
+        term = f.entry.terminator
+        term.if_true = foreign
+        with pytest.raises(VerificationError, match="foreign"):
+            verify_function(f)
+
+    def test_undefined_operand(self):
+        f = Function("f")
+        entry = f.add_block("entry")
+        b = IRBuilder(f, entry)
+        orphan = Constant(I32, 1)
+        ghost_parent = Function("ghost")
+        ghost_block = ghost_parent.add_block("g")
+        gb = IRBuilder(ghost_parent, ghost_block)
+        ghost_value = gb.add(gb.const(I32, 1), gb.const(I32, 2))
+        gb.ret()
+        b.add(ghost_value, orphan)
+        b.ret()
+        with pytest.raises(VerificationError, match="not defined"):
+            verify_function(f)
+
+    def test_module_requires_functions(self):
+        with pytest.raises(VerificationError):
+            verify_module(Module("empty"))
+
+    def test_library_modules_verify(self, lowered_library):
+        for module in lowered_library.values():
+            verify_module(module)

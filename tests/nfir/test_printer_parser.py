@@ -1,0 +1,208 @@
+"""Printer/parser round-trip tests, including a property test over the
+whole element library and synthesized programs."""
+
+import pytest
+
+from repro.click.elements import all_elements
+from repro.click.frontend import lower_element
+from repro.nfir import (
+    Function,
+    GlobalVariable,
+    IRBuilder,
+    Module,
+    PointerType,
+    StructType,
+    VOID,
+    I8,
+    I16,
+    I32,
+    parse_module,
+    print_module,
+    verify_module,
+)
+from repro.nfir.parser import ParseError
+from repro.synthesis.generator import ClickGen
+from repro.synthesis.stats import extract_stats
+
+
+def build_sample_module():
+    st = StructType("flow", (("int_ip", I32), ("int_port", I16)))
+    m = Module("sample")
+    g = m.add_global(GlobalVariable("tbl", st, kind="struct"))
+    f = m.add_function(Function("pkt_handler", [("pkt", PointerType(I8))], VOID))
+    entry = f.add_block("entry")
+    then = f.add_block("then")
+    done = f.add_block("done")
+    b = IRBuilder(f, entry)
+    slot = b.alloca(I32)
+    p = b.gep(g, ["int_ip"])
+    value = b.load(p)
+    bumped = b.add(value, b.const(I32, 1))
+    b.store(bumped, p)
+    cond = b.icmp("ult", bumped, b.const(I32, 100))
+    b.cond_br(cond, then, done)
+    b.position_at_end(then)
+    b.store(b.const(I32, 0), slot)
+    b.br(done)
+    b.position_at_end(done)
+    b.ret()
+    return m
+
+
+class TestRoundTrip:
+    def test_sample_module_roundtrips(self):
+        m = build_sample_module()
+        text = print_module(m)
+        m2 = parse_module(text)
+        assert print_module(m2) == text
+        verify_module(m2)
+
+    def test_globals_preserved(self):
+        m = build_sample_module()
+        m2 = parse_module(print_module(m))
+        assert set(m2.globals) == {"tbl"}
+        assert m2.globals["tbl"].kind == "struct"
+        assert m2.globals["tbl"].size_bytes == m.globals["tbl"].size_bytes
+
+    def test_block_order_preserved(self):
+        m = build_sample_module()
+        m2 = parse_module(print_module(m))
+        assert [b.name for b in m2.handler.blocks] == ["entry", "then", "done"]
+
+    @pytest.mark.parametrize(
+        "name", [el.name for el in all_elements()]
+    )
+    def test_every_library_element_roundtrips(self, name, lowered_library):
+        module = lowered_library[name]
+        text = print_module(module)
+        reparsed = parse_module(text)
+        assert print_module(reparsed) == text
+        verify_module(reparsed)
+
+    def test_synthesized_programs_roundtrip(self):
+        gen = ClickGen(extract_stats(all_elements()), seed=11)
+        for element in gen.elements(8):
+            module = lower_element(element)
+            text = print_module(module)
+            assert print_module(parse_module(text)) == text
+
+
+class TestParserErrors:
+    def test_missing_module_header(self):
+        with pytest.raises(ParseError):
+            parse_module("global @x : i32 kind=scalar entries=1 size=4")
+
+    def test_unknown_opcode(self):
+        text = (
+            'module "m"\n'
+            "define void @pkt_handler() {\n"
+            "entry:\n"
+            "  frobnicate i32 %a\n"
+            "}\n"
+        )
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_undefined_value(self):
+        text = (
+            'module "m"\n'
+            "define void @pkt_handler() {\n"
+            "entry:\n"
+            "  %x = add i32 %missing, 1\n"
+            "  ret void\n"
+            "}\n"
+        )
+        with pytest.raises(ParseError, match="undefined"):
+            parse_module(text)
+
+    def test_operand_type_mismatch(self):
+        text = (
+            'module "m"\n'
+            "define void @pkt_handler() {\n"
+            "entry:\n"
+            "  %x = add i32 1, 2\n"
+            "  %y = add i16 %x, 1\n"
+            "  ret void\n"
+            "}\n"
+        )
+        with pytest.raises(ParseError, match="type"):
+            parse_module(text)
+
+    def test_duplicate_value_name(self):
+        text = (
+            'module "m"\n'
+            "define void @pkt_handler() {\n"
+            "entry:\n"
+            "  %x = add i32 1, 2\n"
+            "  %x = add i32 1, 2\n"
+            "  ret void\n"
+            "}\n"
+        )
+        with pytest.raises(ParseError, match="redefined"):
+            parse_module(text)
+
+    def test_unclosed_function(self):
+        text = 'module "m"\ndefine void @f() {\nentry:\n  ret void\n'
+        with pytest.raises(ParseError, match="not closed"):
+            parse_module(text)
+
+    def test_null_for_non_pointer_rejected(self):
+        text = (
+            'module "m"\n'
+            "define void @pkt_handler() {\n"
+            "entry:\n"
+            "  %x = add i32 null, 2\n"
+            "  ret void\n"
+            "}\n"
+        )
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            'module "m"\n'
+            "\n"
+            "; a comment\n"
+            "define void @pkt_handler() {\n"
+            "entry:\n"
+            "  ; inner comment\n"
+            "  ret void\n"
+            "}\n"
+        )
+        m = parse_module(text)
+        assert len(m.handler.blocks) == 1
+
+
+class TestPhiRoundTrip:
+    def test_phi_prints_and_parses(self):
+        from repro.nfir import Phi
+        from repro.nfir.values import Constant
+
+        m = Module("phis")
+        f = m.add_function(Function("pkt_handler", [], VOID))
+        entry = f.add_block("entry")
+        left = f.add_block("left")
+        right = f.add_block("right")
+        merge = f.add_block("merge")
+        b = IRBuilder(f, entry)
+        cond = b.icmp("ult", b.const(I32, 1), b.const(I32, 2))
+        b.cond_br(cond, left, right)
+        b.position_at_end(left)
+        x = b.add(b.const(I32, 1), b.const(I32, 2))
+        b.br(merge)
+        b.position_at_end(right)
+        b.br(merge)
+        b.position_at_end(merge)
+        phi = b.phi(I32)
+        phi.add_incoming(x, left)
+        phi.add_incoming(Constant(I32, 7), right)
+        b.ret()
+        text = print_module(m)
+        assert "phi i32 [" in text
+        m2 = parse_module(text)
+        assert print_module(m2) == text
+        phi2 = next(
+            i for i in m2.handler.instructions() if i.opcode == "phi"
+        )
+        assert len(phi2.incomings) == 2
+        assert {blk.name for _v, blk in phi2.incomings} == {"left", "right"}

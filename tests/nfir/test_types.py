@@ -1,0 +1,99 @@
+"""Unit tests for the NFIR type system."""
+
+import pytest
+
+from repro.nfir.types import (
+    ArrayType,
+    IntType,
+    PointerType,
+    StructType,
+    VOID,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    int_type,
+)
+
+
+class TestIntType:
+    def test_sizes(self):
+        assert I8.size_bytes() == 1
+        assert I16.size_bytes() == 2
+        assert I32.size_bytes() == 4
+        assert I64.size_bytes() == 8
+
+    def test_i1_occupies_one_byte(self):
+        assert I1.size_bytes() == 1
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(13)
+
+    def test_wrap(self):
+        assert I8.wrap(256) == 0
+        assert I8.wrap(257) == 1
+        assert I8.wrap(-1) == 255
+        assert I32.wrap(2**32 + 5) == 5
+
+    def test_to_signed(self):
+        assert I8.to_signed(255) == -1
+        assert I8.to_signed(127) == 127
+        assert I8.to_signed(128) == -128
+        assert I16.to_signed(0x8000) == -32768
+
+    def test_max_unsigned(self):
+        assert I8.max_unsigned() == 255
+        assert I1.max_unsigned() == 1
+
+    def test_interning(self):
+        assert int_type(32) is I32
+        assert IntType(32) == I32
+
+    def test_str(self):
+        assert str(I32) == "i32"
+
+
+class TestCompositeTypes:
+    def test_pointer(self):
+        p = PointerType(I32)
+        assert p.size_bytes() == 8
+        assert p.is_pointer
+        assert str(p) == "i32*"
+
+    def test_nested_pointer_str(self):
+        assert str(PointerType(PointerType(I8))) == "i8**"
+
+    def test_array(self):
+        a = ArrayType(I32, 16)
+        assert a.size_bytes() == 64
+        assert str(a) == "[16 x i32]"
+
+    def test_struct_layout_is_packed(self):
+        st = StructType("flow", (("a", I32), ("b", I16), ("c", I8)))
+        assert st.size_bytes() == 7
+        assert st.field_offset("a") == 0
+        assert st.field_offset("b") == 4
+        assert st.field_offset("c") == 6
+
+    def test_struct_field_lookup(self):
+        st = StructType("flow", (("a", I32), ("b", I16)))
+        assert st.field_index("b") == 1
+        assert st.field_type("b") == I16
+        with pytest.raises(KeyError):
+            st.field_offset("missing")
+
+    def test_nested_struct_size(self):
+        inner = StructType("k", (("x", I32),))
+        outer = StructType("e", (("tag", I8), ("key", inner)))
+        assert outer.size_bytes() == 5
+
+    def test_void(self):
+        assert VOID.is_void
+        assert VOID.size_bytes() == 0
+
+    def test_aggregate_flags(self):
+        assert StructType("s", ()).is_aggregate
+        assert ArrayType(I8, 4).is_aggregate
+        assert not I32.is_aggregate

@@ -1,0 +1,397 @@
+"""NFCC compiler tests: instruction selection, fusion, register
+allocation, immediates, coalescing, accelerator substitution."""
+
+import pytest
+
+from repro.click import ast as C
+from repro.click.elements import build_element
+from repro.click.elements._dsl import (
+    assign,
+    decl,
+    eq,
+    fld,
+    if_,
+    lit,
+    pkt,
+    scalar_state,
+    v,
+)
+from repro.click.frontend import lower_element
+from repro.nic.compiler import NFCC, N_GPRS, compile_module
+from repro.nic.isa import MEMORY_OPCODES
+from repro.nic.port import CoalescePack, PortConfig
+
+
+def compile_handler(handler, state=(), config=None, structs=()):
+    element = C.ElementDef(
+        "t", state=list(state), structs=list(structs), handler=list(handler)
+    )
+    module = lower_element(element)
+    return compile_module(module, config)
+
+
+def opcodes(program, block_prefix=""):
+    out = []
+    for block in program.handler.blocks:
+        if block.name.startswith(block_prefix):
+            out.extend(i.opcode for i in block.instructions)
+    return out
+
+
+class TestSelection:
+    def test_add_is_single_alu(self):
+        prog = compile_handler(
+            [decl("a", "u32", lit(1)), decl("b", "u32", v("a") + v("a"))]
+        )
+        ops = opcodes(prog)
+        assert ops.count("alu") == 1
+
+    def test_shift_feeding_add_fuses(self):
+        # (a << 2) + b with the shift used once: one alu_shf total.
+        prog = compile_handler(
+            [
+                decl("a", "u32", lit(3)),
+                decl("b", "u32", lit(4)),
+                decl("c", "u32", (v("a") << 2) + v("b")),
+            ]
+        )
+        ops = opcodes(prog)
+        assert ops.count("alu_shf") == 1
+        assert ops.count("alu") == 0
+
+    def test_reused_shift_does_not_fuse(self):
+        prog = compile_handler(
+            [
+                decl("a", "u32", lit(3)),
+                decl("s", "u32", v("a") << 2),
+                decl("c", "u32", v("s") + v("s")),
+            ]
+        )
+        ops = opcodes(prog)
+        # Standalone alu_shf for the shift plus an alu for the add.
+        assert ops.count("alu_shf") == 1
+        assert ops.count("alu") == 1
+
+    def test_cmp_branch_fusion(self):
+        prog = compile_handler(
+            [
+                decl("a", "u32", lit(3)),
+                if_(eq(v("a"), 5), [decl("b", "u32", lit(1))]),
+            ]
+        )
+        ops = opcodes(prog)
+        assert "br_cond" in ops
+        # No standalone flag materialization for the fused compare.
+        entry_ops = opcodes(prog, "entry")
+        assert entry_ops.count("alu") == 0
+
+    def test_mul_by_power_of_two_is_shift(self):
+        prog = compile_handler(
+            [decl("a", "u32", lit(3)), decl("b", "u32", v("a") * 8)]
+        )
+        assert "mul_step" not in opcodes(prog)
+
+    def test_general_mul_is_five_steps(self):
+        prog = compile_handler(
+            [
+                decl("a", "u32", lit(3)),
+                decl("b", "u32", lit(5)),
+                decl("c", "u32", v("a") * v("b")),
+            ]
+        )
+        assert opcodes(prog).count("mul_step") == 5
+
+    def test_u64_mul_doubles_steps(self):
+        prog = compile_handler(
+            [
+                decl("a", "u64", lit(3)),
+                decl("b", "u64", lit(5)),
+                decl("c", "u64", v("a") * v("b")),
+            ]
+        )
+        assert opcodes(prog).count("mul_step") == 10
+
+    def test_division_by_power_of_two_cheap(self):
+        prog = compile_handler(
+            [decl("a", "u32", lit(100)), decl("b", "u32", v("a") // 8)]
+        )
+        ops = opcodes(prog)
+        assert ops.count("alu_shf") == 1
+
+    def test_division_by_variable_expands_soft_divide(self):
+        prog = compile_handler(
+            [
+                decl("a", "u32", lit(100)),
+                decl("b", "u32", lit(7)),
+                decl("c", "u32", v("a") // v("b")),
+            ]
+        )
+        assert len(opcodes(prog)) > 20
+
+    def test_u64_add_uses_register_pair(self):
+        prog = compile_handler(
+            [
+                decl("a", "u64", lit(1)),
+                decl("b", "u64", v("a") + v("a")),
+            ]
+        )
+        assert opcodes(prog).count("alu") == 2  # add + addc
+
+    def test_wide_immediates_need_two_instructions(self):
+        prog = compile_handler(
+            [decl("a", "u32", lit(5) + 0xDEADBEEF)]
+        )
+        ops = opcodes(prog)
+        assert "immed" in ops and "immed_w1" in ops
+
+    def test_small_immediates_are_free(self):
+        prog = compile_handler([decl("a", "u32", lit(5) + 7)])
+        ops = opcodes(prog)
+        assert "immed" not in ops
+
+    def test_constants_materialized_once_per_block(self):
+        big = 0x12345678
+        prog = compile_handler(
+            [
+                decl("a", "u32", lit(1) + big),
+                decl("b", "u32", lit(2) + big),
+            ]
+        )
+        assert opcodes(prog).count("immed") == 1
+
+
+class TestRegisterAllocation:
+    def test_small_functions_have_zero_stack_traffic(self):
+        prog = compile_handler(
+            [decl("a", "u32", lit(1)), decl("b", "u32", v("a") + 1)]
+        )
+        ops = opcodes(prog)
+        assert not any(op.startswith("lmem") for op in ops)
+
+    def test_many_locals_spill_to_lmem(self):
+        handler = [decl(f"x{i}", "u32", lit(i)) for i in range(N_GPRS + 10)]
+        handler.append(decl("y", "u32", v(f"x{N_GPRS + 5}") + 1))
+        prog = compile_handler(handler)
+        ops = opcodes(prog)
+        assert any(op.startswith("lmem") for op in ops)
+
+
+class TestMemorySelection:
+    def test_stateful_access_becomes_mem_op_with_symbolic_region(self):
+        prog = compile_handler(
+            [assign(v("ctr"), v("ctr") + 1)],
+            state=[scalar_state("ctr", "u32")],
+        )
+        mems = [
+            i
+            for b in prog.handler.blocks
+            for i in b.instructions
+            if i.is_memory
+        ]
+        assert len(mems) == 2  # load + store
+        assert all(m.region == "state:ctr" for m in mems)
+
+    def test_packet_field_access_is_ld_field(self):
+        prog = compile_handler(
+            [
+                decl("ip", "ip_hdr*", pkt("ip_header")),
+                decl("a", "u32", fld(v("ip"), "src_addr")),
+            ]
+        )
+        ops = opcodes(prog)
+        assert "ld_field" in ops
+        assert "mem_read" not in ops
+
+    def test_coalesced_pack_fetches_once_per_block(self):
+        state = [scalar_state("a", "u32"), scalar_state("b", "u32")]
+        handler = [
+            decl("x", "u32", v("a") + v("b")),
+            assign(v("a"), v("x")),
+            assign(v("b"), v("x") + 1),
+        ]
+        naive = compile_handler(handler, state=state)
+        packed = compile_handler(
+            handler,
+            state=state,
+            config=PortConfig(packs=[CoalescePack(("a", "b"), 8)]),
+        )
+        n_mem = sum(b.n_memory for b in naive.handler.blocks)
+        p_mem = sum(b.n_memory for b in packed.handler.blocks)
+        assert p_mem < n_mem
+        # One coalesced read + one coalesced write.
+        assert p_mem == 2
+        pack_reads = [
+            i
+            for b in packed.handler.blocks
+            for i in b.instructions
+            if i.opcode == "mem_read"
+        ]
+        assert pack_reads[0].size == 8
+
+    def test_checksum_accel_flag(self):
+        handler = [
+            decl("ip", "ip_hdr*", pkt("ip_header")),
+            C.ExprStmt(C.CallExpr("checksum_update_ip", [v("ip")])),
+        ]
+        soft = compile_handler(handler)
+        hard = compile_handler(handler, config=PortConfig(use_checksum_accel=True))
+        assert "call" in opcodes(soft)
+        assert "csum" in opcodes(hard)
+        assert "csum" not in opcodes(soft)
+
+
+class TestAccelSubstitution:
+    def test_crc_blocks_replaced_by_single_crc_op(self):
+        element = build_element("cmsketch", rows=2, cols=64)
+        module = lower_element(element)
+        crc_blocks = frozenset(
+            b.name for b in module.handler.blocks
+            if b.name.startswith("inl.crc32_hash")
+        )
+        assert crc_blocks
+        naive = compile_module(module, PortConfig())
+        accel = compile_module(module, PortConfig(crc_accel_blocks=crc_blocks))
+        assert accel.total_instructions() < naive.total_instructions()
+        crc_ops = [
+            i for b in accel.handler.blocks for i in b.instructions
+            if i.opcode == "crc"
+        ]
+        # One CRC command per contiguous substituted run: the helper is
+        # inlined once per sketch row (rows=2).
+        assert len(crc_ops) == 2
+
+    def test_lpm_blocks_replaced_by_cam_lookup(self):
+        element = build_element("iplookup")
+        module = lower_element(element)
+        loop_blocks = frozenset(
+            b.name for b in module.handler.blocks
+            if b.name.startswith("while.")
+        )
+        accel = compile_module(module, PortConfig(lpm_accel_blocks=loop_blocks))
+        ops = opcodes(accel)
+        assert ops.count("cam_lookup") == 1
+
+    def test_config_validation(self):
+        module = lower_element(build_element("aggcounter"))
+        with pytest.raises(ValueError, match="unknown global"):
+            compile_module(module, PortConfig(placement={"ghost": "cls"}))
+        with pytest.raises(ValueError, match="multiple packs"):
+            compile_module(
+                module,
+                PortConfig(
+                    packs=[
+                        CoalescePack(("total_pkts", "total_bytes"), 8),
+                        CoalescePack(("total_pkts", "threshold"), 8),
+                    ]
+                ),
+            )
+
+
+class TestGroundTruthShape:
+    def test_per_block_structure_preserved(self, lowered_library):
+        module = lowered_library["firewall"]
+        program = compile_module(module)
+        ir_blocks = [b.name for b in module.handler.blocks]
+        asm_blocks = [b.name for b in program.handler.blocks]
+        assert ir_blocks == asm_blocks
+
+    def test_render_is_textual(self):
+        program = compile_module(lower_element(build_element("mininat")))
+        text = program.render()
+        assert "pkt_handler" in text
+        assert "mem_read" in text or "call" in text
+
+    def test_compute_memory_partition(self, lowered_library):
+        program = compile_module(lowered_library["aggcounter"])
+        for block in program.handler.blocks:
+            assert block.n_compute + block.n_memory == block.n_total
+            for instr in block.memory_accesses():
+                assert instr.opcode in MEMORY_OPCODES
+
+
+class TestRemainingSelection:
+    def test_sext_costs_two_shifts(self):
+        from repro.nfir import Function, IRBuilder, Module, VOID, I8, I32
+
+        m = Module("m")
+        f = m.add_function(Function("pkt_handler", [], VOID))
+        b = IRBuilder(f, f.add_block("entry"))
+        x = b.add(b.const(I8, 1), b.const(I8, 2))
+        b.cast("sext", x, I32)
+        b.ret()
+        program = compile_module(m)
+        ops = [i.opcode for blk in program.handler.blocks
+               for i in blk.instructions]
+        assert ops.count("alu_shf") == 2  # shl + asr pair
+
+    def test_select_compiles(self):
+        from repro.nfir import Function, IRBuilder, Module, VOID, I32
+
+        m = Module("m")
+        f = m.add_function(Function("pkt_handler", [], VOID))
+        b = IRBuilder(f, f.add_block("entry"))
+        c = b.icmp("ult", b.const(I32, 1), b.const(I32, 2))
+        b.select(c, b.const(I32, 5), b.const(I32, 6))
+        b.ret()
+        program = compile_module(m)
+        ops = [i.opcode for blk in program.handler.blocks
+               for i in blk.instructions]
+        assert "br_cond" in ops
+
+    def test_phi_costs_a_move(self):
+        from repro.nfir import Function, IRBuilder, Module, Phi, VOID, I32
+        from repro.nfir.values import Constant
+
+        m = Module("m")
+        f = m.add_function(Function("pkt_handler", [], VOID))
+        entry = f.add_block("entry")
+        merge = f.add_block("merge")
+        b = IRBuilder(f, entry)
+        b.br(merge)
+        b.position_at_end(merge)
+        phi = b.phi(I32)
+        phi.add_incoming(Constant(I32, 1), entry)
+        b.ret()
+        program = compile_module(m)
+        merge_asm = program.handler.block("merge")
+        assert merge_asm.n_total >= 2  # move + ret
+
+
+class TestCryptoAccel:
+    def test_crypto_blocks_replaced(self):
+        from repro.core.algorithms import _md5_round_element
+
+        module = lower_element(_md5_round_element("md5x", 16))
+        loop_blocks = frozenset(
+            b.name for b in module.handler.blocks
+            if b.name.startswith("for.")
+        )
+        assert loop_blocks
+        naive = compile_module(module, PortConfig())
+        accel = compile_module(
+            module, PortConfig(crypto_accel_blocks=loop_blocks)
+        )
+        ops = [i.opcode for blk in accel.handler.blocks
+               for i in blk.instructions]
+        assert ops.count("crypto") == 1
+        assert accel.total_instructions() < naive.total_instructions()
+
+    def test_crypto_engine_charged_once_per_entry(self):
+        from repro.core.algorithms import _md5_round_element
+        from repro.nic.machine import NICModel, WorkloadCharacter
+
+        module = lower_element(_md5_round_element("md5y", 16))
+        loop_blocks = frozenset(
+            b.name for b in module.handler.blocks
+            if b.name.startswith("for.")
+        )
+        program = compile_module(
+            module, PortConfig(crypto_accel_blocks=loop_blocks)
+        )
+        # Host-style frequencies: loop blocks ran 16x per packet.
+        freq = {b.name: (16.0 if b.name in loop_blocks else 1.0)
+                for b in module.handler.blocks}
+        model = NICModel()
+        demand = model.packet_demand(program, freq, WorkloadCharacter())
+        # One engine invocation per packet, not 16.
+        assert demand.accel_cycles < 2 * (90.0 + 0.5 * 256)

@@ -1,0 +1,79 @@
+"""CLI smoke tests (direct invocation, no subprocess)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_args(self):
+        args = build_parser().parse_args(
+            ["analyze", "udpcount", "--flows", "5000", "--udp"]
+        )
+        assert args.command == "analyze"
+        assert args.element == "udpcount"
+        assert args.flows == 5000
+        assert args.udp
+
+
+class TestCommands:
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "mazunat" in out
+        assert "ratelimiter" in out
+
+    def test_render(self, capsys):
+        assert main(["render", "mininat"]) == 0
+        out = capsys.readouterr().out
+        assert "class mininat : public Element" in out
+        assert "simple_action" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "aggcounter", "--packets", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "knee" in out
+        assert "tput(Mpps)" in out
+
+    def test_unknown_element_raises(self):
+        with pytest.raises(KeyError):
+            main(["render", "not_an_element"])
+
+
+class TestTracePersistence:
+    def test_roundtrip(self, tmp_path):
+        from repro.workload import generate_trace
+        from repro.workload.spec import WorkloadSpec
+        from repro.workload.trace import load_trace, save_trace
+
+        spec = WorkloadSpec(name="t", n_flows=10, n_packets=25,
+                            udp_fraction=0.4)
+        original = generate_trace(spec, seed=3)
+        path = tmp_path / "trace.jsonl"
+        save_trace(original, str(path))
+        loaded = load_trace(str(path))
+        assert len(loaded) == len(original)
+        for a, b in zip(original, loaded):
+            assert a.flow_key() == b.flow_key()
+            assert a.payload == b.payload
+            assert a.timestamp_ns == b.timestamp_ns
+            assert (a.udp is None) == (b.udp is None)
+
+    def test_loaded_trace_drives_interpreter(self, tmp_path):
+        from repro.click.elements import build_element
+        from repro.click.frontend import lower_element
+        from repro.click.interp import Interpreter
+        from repro.workload import generate_trace
+        from repro.workload.spec import WorkloadSpec
+        from repro.workload.trace import load_trace, save_trace
+
+        spec = WorkloadSpec(name="t", n_flows=10, n_packets=30)
+        path = tmp_path / "trace.jsonl"
+        save_trace(generate_trace(spec, seed=0), str(path))
+        interp = Interpreter(lower_element(build_element("aggcounter")))
+        profile = interp.run_trace(load_trace(str(path)))
+        assert profile.packets == 30
