@@ -1,0 +1,40 @@
+"""Artifact-cache micro-benchmark: cold training vs cached load.
+
+Times ``Clara.train(TrainConfig.quick(), cache="auto")`` twice against
+an empty cache directory — the first run pays the full learning phases,
+the second must come back from disk at least 10x faster with the same
+trained state.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import Clara, TrainConfig, train_cache_key
+
+
+def test_train_cache_speedup(tmp_path, write_result):
+    config = TrainConfig.quick()
+
+    start = time.perf_counter()
+    cold = Clara(seed=0).train(config, cache="auto", cache_dir=tmp_path)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = Clara(seed=0).train(config, cache="auto", cache_dir=tmp_path)
+    warm_s = time.perf_counter() - start
+
+    key = train_cache_key(config, seed=0, nic=cold.nic)
+    artifact = tmp_path / f"clara-{key}.pkl"
+    lines = [
+        "Training artifact cache (TrainConfig.quick, seed 0)",
+        f"{'cold train':>12s} {cold_s:8.2f} s",
+        f"{'cached load':>12s} {warm_s:8.2f} s",
+        f"{'speedup':>12s} {cold_s / max(warm_s, 1e-9):8.1f} x",
+        f"{'artifact':>12s} {artifact.stat().st_size / 1024:8.1f} KiB",
+    ]
+    write_result("train_cache", "\n".join(lines) + "\n")
+
+    assert warm.trained
+    assert warm.train_config == config
+    assert warm_s < cold_s / 10.0

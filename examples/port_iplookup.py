@@ -16,7 +16,7 @@ Run:  python examples/port_iplookup.py
 """
 
 from repro.click.elements import build_element
-from repro.core import Clara
+from repro.core import Clara, TrainConfig
 from repro.nic.compiler import compile_module
 from repro.nic.machine import WorkloadCharacter
 from repro.nic.port import PortConfig
@@ -42,8 +42,8 @@ def build_rules(n_rules: int) -> dict:
 
 
 def main() -> None:
-    print("Training Clara (quick mode)...")
-    clara = Clara(seed=0).train(quick=True)
+    print("Training Clara (quick mode, cached)...")
+    clara = Clara(seed=0).train(TrainConfig.quick(), cache="auto")
     workload = WorkloadSpec(name="edge", n_flows=20_000, zipf_alpha=1.0,
                             n_packets=400)
     placement = {

@@ -19,15 +19,15 @@ Run:  python examples/quickstart.py
 """
 
 from repro.click.elements import build_element
-from repro.core import Clara
+from repro.core import Clara, TrainConfig
 from repro.nic.compiler import compile_module
 from repro.nic.port import PortConfig
 from repro.workload.spec import WorkloadSpec
 
 
 def main() -> None:
-    print("Training Clara (quick mode)...")
-    clara = Clara(seed=0).train(quick=True)
+    print("Training Clara (quick mode, cached)...")
+    clara = Clara(seed=0).train(TrainConfig.quick(), cache="auto")
 
     # An unported legacy NF and the traffic we expect it to serve.
     element = build_element("udpcount", flow_entries=262_144)

@@ -14,7 +14,7 @@ from dataclasses import replace
 from repro.click.elements import build_element, initial_state, install_state
 from repro.click.frontend import lower_element
 from repro.click.interp import Interpreter
-from repro.core import Clara
+from repro.core import Clara, TrainConfig
 from repro.nic.compiler import compile_module
 from repro.nic.port import PortConfig
 from repro.workload import LARGE_FLOWS, SMALL_FLOWS, characterize, generate_trace
@@ -23,8 +23,8 @@ NF = "mazunat"
 
 
 def main() -> None:
-    print("Training Clara (quick mode)...")
-    clara = Clara(seed=0).train(quick=True)
+    print("Training Clara (quick mode, cached)...")
+    clara = Clara(seed=0).train(TrainConfig.quick(), cache="auto")
 
     element = build_element(NF)
     module = lower_element(element)

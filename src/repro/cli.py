@@ -4,12 +4,19 @@ Commands:
 
 * ``inventory`` — print the Table-2-style element inventory;
 * ``render <element>`` — show an element's Click-style source;
-* ``analyze <element>`` — train Clara (quick mode) and print the
-  offloading-insight report for a workload;
+* ``train`` — run the one-time learning phases (optionally parallel
+  via ``--workers``) and persist the artifact (``--save PATH`` and/or
+  the content-addressed cache);
+* ``analyze <element>`` — print the offloading-insight report for a
+  workload, reusing a cached or ``--load``-ed trained Clara;
 * ``sweep <element>`` — core-count sweep of the naive port on the
-  simulated NIC;
-* ``explain`` — train the identifier/cost model and print the
-  interpretability report.
+  simulated NIC (with ``--load``, also prints Clara's predicted knee);
+* ``explain`` — print the interpretability report for a trained
+  (cached or ``--load``-ed) identifier/cost model.
+
+Training commands consult the artifact cache (``--cache auto`` by
+default where a trained Clara is needed), so repeated invocations stop
+silently retraining from scratch.
 """
 
 from __future__ import annotations
@@ -17,6 +24,35 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+
+def _add_train_source_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every command that needs a trained Clara."""
+    parser.add_argument("--load", metavar="PATH", default=None,
+                        help="load a saved Clara artifact instead of training")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for dataset synthesis"
+                             " (0 = all cores)")
+    parser.add_argument("--cache", choices=("auto", "off", "require"),
+                        default="auto",
+                        help="artifact-cache mode (default auto: load when"
+                             " present, store after training)")
+
+
+def _obtain_clara(args, quick: bool = True) -> "Clara":
+    """A trained Clara per the common flags: ``--load`` wins, else
+    train (cache-backed, quick mode unless the command says otherwise)."""
+    from repro.core import Clara, TrainConfig
+
+    if getattr(args, "load", None):
+        print(f"Loading Clara artifact from {args.load}...", file=sys.stderr)
+        return Clara.load(args.load)
+    config = TrainConfig.quick() if quick else TrainConfig()
+    print("Training Clara (quick mode)..." if quick else "Training Clara...",
+          file=sys.stderr)
+    return Clara(seed=args.seed).train(
+        config, workers=args.workers, cache=args.cache
+    )
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -75,12 +111,38 @@ def cmd_render(args) -> int:
     return 0
 
 
+def cmd_train(args) -> int:
+    from dataclasses import replace
+
+    from repro.core import Clara, TrainConfig, train_cache_key
+
+    config = TrainConfig.quick() if args.quick else TrainConfig()
+    overrides = {
+        key: value
+        for key, value in {
+            "n_predictor_programs": args.predictor_programs,
+            "n_scaleout_programs": args.scaleout_programs,
+            "predictor_epochs": args.epochs,
+        }.items()
+        if value is not None
+    }
+    config = replace(config, **overrides)
+    clara = Clara(seed=args.seed)
+    key = train_cache_key(config, seed=args.seed, nic=clara.nic)
+    print(f"Training Clara (cache key {key})...", file=sys.stderr)
+    clara.train(config, workers=args.workers, cache=args.cache)
+    print(f"trained: predictor vocab={clara.predictor.vocab.size} tokens,"
+          f" scaleout samples={len(clara.scaleout.samples)}")
+    if args.save:
+        path = clara.save(args.save)
+        print(f"artifact saved to {path}")
+    return 0
+
+
 def cmd_analyze(args) -> int:
     from repro.click.elements import build_element
-    from repro.core import Clara
 
-    print("Training Clara (quick mode)...", file=sys.stderr)
-    clara = Clara(seed=args.seed).train(quick=True)
+    clara = _obtain_clara(args)
     analysis = clara.analyze(build_element(args.element),
                              _workload_from_args(args))
     print(analysis.report.render(), end="")
@@ -119,15 +181,20 @@ def cmd_sweep(args) -> int:
         marker = "  <-- knee" if cores == knee else ""
         print(f"{cores:6d} {perf.throughput_mpps:11.2f}"
               f" {perf.latency_us:9.2f}{marker}")
+    if args.load:
+        from repro.core import Clara
+
+        clara = Clara.load(args.load)
+        analysis = clara.analyze(element, spec, trace_seed=args.seed)
+        print(f"\nClara's predicted knee:"
+              f" {analysis.report.suggested_cores} cores")
     return 0
 
 
 def cmd_explain(args) -> int:
-    from repro.core import Clara
     from repro.core.explain import render_explanations
 
-    print("Training Clara (quick mode)...", file=sys.stderr)
-    clara = Clara(seed=args.seed).train(quick=True)
+    clara = _obtain_clara(args)
     print(render_explanations(clara.scaleout.model, clara.identifier), end="")
     return 0
 
@@ -145,15 +212,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_render = sub.add_parser("render", help="print element source")
     p_render.add_argument("element")
 
+    p_train = sub.add_parser(
+        "train", help="run the learning phases, optionally saving the artifact"
+    )
+    p_train.add_argument("--quick", action="store_true",
+                        help="small dataset sizes (fast, lower fidelity)")
+    p_train.add_argument("--save", metavar="PATH", default=None,
+                        help="write the trained artifact to PATH")
+    p_train.add_argument("--predictor-programs", type=int, default=None,
+                        help="override TrainConfig.n_predictor_programs")
+    p_train.add_argument("--scaleout-programs", type=int, default=None,
+                        help="override TrainConfig.n_scaleout_programs")
+    p_train.add_argument("--epochs", type=int, default=None,
+                        help="override TrainConfig.predictor_epochs")
+    p_train.add_argument("--workers", type=int, default=1,
+                        help="worker processes for dataset synthesis"
+                             " (0 = all cores)")
+    p_train.add_argument("--cache", choices=("auto", "off", "require"),
+                        default="auto",
+                        help="artifact-cache mode (default auto)")
+
     p_analyze = sub.add_parser("analyze", help="offloading insights")
     p_analyze.add_argument("element")
     _add_workload_args(p_analyze)
+    _add_train_source_args(p_analyze)
 
     p_sweep = sub.add_parser("sweep", help="core-count sweep")
     p_sweep.add_argument("element")
     _add_workload_args(p_sweep)
+    p_sweep.add_argument("--load", metavar="PATH", default=None,
+                         help="also print the predicted knee from a saved"
+                              " Clara artifact")
 
-    sub.add_parser("explain", help="model interpretability report")
+    p_explain = sub.add_parser("explain", help="model interpretability report")
+    _add_train_source_args(p_explain)
     return parser
 
 
@@ -162,6 +254,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "inventory": cmd_inventory,
         "render": cmd_render,
+        "train": cmd_train,
         "analyze": cmd_analyze,
         "sweep": cmd_sweep,
         "explain": cmd_explain,

@@ -19,9 +19,28 @@ The package mirrors the paper's structure:
 * :mod:`repro.core.pipeline` — the end-to-end ``Clara`` facade that
   produces an :class:`~repro.core.insights.InsightReport` and a
   :class:`~repro.nic.port.PortConfig` for an unported element.
+
+Two infrastructure modules support the learning phases:
+
+* :mod:`repro.core.parallel` — deterministic multiprocessing fan-out
+  for dataset synthesis (parallel == serial, per-program seeding);
+* :mod:`repro.core.artifacts` — :class:`TrainConfig` plus the
+  content-addressed on-disk cache of fitted advisor state, so repeated
+  ``Clara.train()`` calls load in sub-second time.  All advisors share
+  the :class:`~repro.core.advisor.Advisor` protocol (``fit`` /
+  ``advise`` / ``state_dict`` / ``load_state_dict``).
 """
 
+from repro.core.advisor import Advisor
+from repro.core.artifacts import (
+    ArtifactCache,
+    ArtifactCacheMiss,
+    ArtifactError,
+    TrainConfig,
+    train_cache_key,
+)
 from repro.core.insights import Insight, InsightReport
+from repro.core.parallel import parallel_map
 from repro.core.prepare import PreparedNF, prepare_element, prepare_module
 from repro.core.predictor import InstructionPredictor, PredictorDataset
 from repro.core.algorithms import AlgorithmIdentifier, build_algorithm_corpus
@@ -38,6 +57,13 @@ from repro.core.explain import (
 from repro.core.pipeline import Clara
 
 __all__ = [
+    "Advisor",
+    "ArtifactCache",
+    "ArtifactCacheMiss",
+    "ArtifactError",
+    "TrainConfig",
+    "train_cache_key",
+    "parallel_map",
     "Insight",
     "InsightReport",
     "PreparedNF",

@@ -1,0 +1,49 @@
+"""The uniform advisor protocol.
+
+Every trainable analysis in Clara — instruction prediction, algorithm
+identification, scale-out, placement, coalescing, colocation — exposes
+the same four entry points, so :mod:`repro.core.artifacts` can
+serialize them generically and :class:`repro.core.pipeline.Clara` can
+treat them as one family:
+
+* ``fit(...)`` — run the learning phase (a no-op returning ``self``
+  for the advisors that solve rather than learn);
+* ``advise(prepared, profile, workload)`` — produce the insight for
+  one prepared NF, its host execution profile, and the workload
+  character (advisors ignore the inputs they do not need);
+* ``state_dict()`` — the advisor's learned state as a picklable dict;
+* ``load_state_dict(state)`` — restore in place from ``state_dict()``
+  output; the round trip reproduces bit-identical advice.
+
+Pre-existing method names (``analyze``, ``identify``,
+``predict_cores``, ...) remain as the advisor-specific spellings; the
+protocol adds the uniform face on top rather than replacing them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Protocol, runtime_checkable
+
+__all__ = ["Advisor"]
+
+
+@runtime_checkable
+class Advisor(Protocol):
+    """Structural interface shared by Clara's advisors."""
+
+    def fit(self, *args: Any, **kwargs: Any) -> "Advisor":
+        """Run the advisor's learning phase (or no-op) and return self."""
+        ...
+
+    def advise(self, prepared: Any, profile: Any = None,
+               workload: Any = None, **kwargs: Any) -> Any:
+        """The advisor's insight for one (NF, profile, workload)."""
+        ...
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Learned state as a picklable dict."""
+        ...
+
+    def load_state_dict(self, state: Dict[str, Any]) -> "Advisor":
+        """Restore from :meth:`state_dict` output; returns self."""
+        ...

@@ -834,3 +834,26 @@ class AlgorithmIdentifier:
             if label != "none":
                 found[region] = (label, block_names)
         return found
+
+    # -- uniform advisor protocol --------------------------------------
+    def advise(
+        self, prepared: PreparedNF, profile=None, workload=None
+    ) -> Dict[str, Tuple[str, List[str]]]:
+        """Uniform advisor entry point; identification is static, so
+        the profile and workload are unused."""
+        return self.identify(prepared)
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "extractors": self.extractors,
+            "svms": self.svms,
+            "thresholds": dict(self.thresholds),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> "AlgorithmIdentifier":
+        self.seed = int(state["seed"])
+        self.extractors = dict(state["extractors"])
+        self.svms = dict(state["svms"])
+        self.thresholds = dict(state["thresholds"])
+        return self

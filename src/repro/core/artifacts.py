@@ -1,0 +1,259 @@
+"""Trained-model artifacts: the config, the cache, and (de)serialization.
+
+Clara's learning phases are a pure function of the training
+configuration, the seed, and the simulated NIC's constants — so their
+output can be **content-addressed**: the cache key is a SHA-256 over
+exactly those inputs plus a code-version tag, and a second
+``Clara.train()`` with the same :class:`TrainConfig` becomes a
+sub-second load from ``~/.cache/repro-clara/`` instead of minutes of
+synthesis and fitting.
+
+Three pieces live here:
+
+* :class:`TrainConfig` — the typed replacement for the loose
+  ``n_predictor_programs/.../quick`` kwargs of the old ``Clara.train``;
+* :func:`save_state` / :func:`load_state` — pickle an advisor
+  ``state_dict()`` tree to disk with format/version validation;
+* :class:`ArtifactCache` — the content-addressed store.  Corrupt or
+  stale entries are evicted and reported as misses, so callers always
+  fall back to retraining.
+
+Cache busting: bump :data:`ARTIFACT_VERSION` whenever training code or
+learned-state layout changes meaning; delete the cache directory (or
+point ``REPRO_CLARA_CACHE`` elsewhere) to force cold retrains by hand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ArtifactCache",
+    "ArtifactCacheMiss",
+    "ArtifactError",
+    "TrainConfig",
+    "default_cache_dir",
+    "load_state",
+    "save_state",
+    "train_cache_key",
+]
+
+#: On-disk container layout (the outer dict written by ``save_state``).
+ARTIFACT_FORMAT = 1
+
+#: Code-relevant version tag.  Part of every cache key: bump it when
+#: the synthesis pipeline, model architectures, or state_dict layouts
+#: change in a way that invalidates previously trained weights.
+ARTIFACT_VERSION = "clara-artifacts-1"
+
+#: Environment variable overriding the default cache directory.
+ENV_CACHE_DIR = "REPRO_CLARA_CACHE"
+
+
+class ArtifactError(RuntimeError):
+    """A saved artifact is unreadable, corrupt, or from another version."""
+
+
+class ArtifactCacheMiss(RuntimeError):
+    """``cache="require"`` found no stored artifact for the key."""
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Everything ``Clara.train()`` learns from, in one hashable value.
+
+    Replaces the loose ``n_predictor_programs / n_scaleout_programs /
+    predictor_epochs / quick`` kwargs (kept as a deprecated shim).  Two
+    equal configs trained at the same seed on the same NIC produce
+    identical models — which is what makes the artifact cache sound.
+    """
+
+    #: synthesized programs for the instruction predictor (Section 3.2).
+    n_predictor_programs: int = 120
+    #: synthesized programs for the scale-out cost model (Section 4.2).
+    n_scaleout_programs: int = 60
+    #: LSTM training epochs.
+    predictor_epochs: int = 35
+    #: negative examples in the algorithm-identification corpus (4.1).
+    n_negatives: int = 40
+    #: host-profiled trace length per scale-out training deployment.
+    scaleout_trace_packets: int = 400
+
+    @classmethod
+    def quick(cls) -> "TrainConfig":
+        """Shrunken config for tests and CLI smoke runs
+        (minutes -> seconds, at some accuracy cost)."""
+        return cls(
+            n_predictor_programs=12,
+            n_scaleout_programs=6,
+            predictor_epochs=8,
+            n_negatives=10,
+            scaleout_trace_packets=150,
+        )
+
+    @classmethod
+    def from_legacy(
+        cls,
+        n_predictor_programs: Optional[int] = None,
+        n_scaleout_programs: Optional[int] = None,
+        predictor_epochs: Optional[int] = None,
+        quick: Optional[bool] = None,
+    ) -> "TrainConfig":
+        """Map the pre-``TrainConfig`` kwargs onto a config, preserving
+        the old semantics exactly: ``quick=True`` overrides the sizing
+        kwargs, just as the old ``train()`` body reassigned them."""
+        if quick:
+            return cls.quick()
+        overrides = {
+            key: value
+            for key, value in {
+                "n_predictor_programs": n_predictor_programs,
+                "n_scaleout_programs": n_scaleout_programs,
+                "predictor_epochs": predictor_epochs,
+            }.items()
+            if value is not None
+        }
+        return replace(cls(), **overrides)
+
+    def key_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CLARA_CACHE`` if set, else ``~/.cache/repro-clara``."""
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro-clara"
+
+
+def _nic_fingerprint(nic: Any) -> Dict[str, Any]:
+    """The NIC constants the scale-out ground truth depends on."""
+    if nic is None:
+        return {}
+    hierarchy = getattr(nic, "hierarchy", None)
+    regions = []
+    if hierarchy is not None:
+        for name in sorted(hierarchy.regions):
+            region = hierarchy.regions[name]
+            regions.append(
+                [
+                    region.name,
+                    int(region.capacity_bytes),
+                    int(region.latency_cycles),
+                    float(region.bandwidth_ops),
+                ]
+            )
+    return {
+        "n_cores": getattr(nic, "n_cores", None),
+        "threads_per_core": getattr(nic, "threads_per_core", None),
+        "freq_hz": getattr(nic, "freq_hz", None),
+        "line_rate_gbps": getattr(nic, "line_rate_gbps", None),
+        "regions": regions,
+    }
+
+
+def train_cache_key(
+    config: TrainConfig, seed: int = 0, nic: Any = None
+) -> str:
+    """Content address of a training run: hash of (version tag, config,
+    seed, NIC constants).  Worker count is deliberately absent —
+    parallel and serial synthesis produce identical datasets."""
+    payload = json.dumps(
+        {
+            "version": ARTIFACT_VERSION,
+            "config": config.key_dict(),
+            "seed": int(seed),
+            "nic": _nic_fingerprint(nic),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+# ---------------------------------------------------------------------------
+# (De)serialization of state_dict trees.
+# ---------------------------------------------------------------------------
+
+def save_state(state: Dict[str, Any], path: "os.PathLike | str") -> Path:
+    """Atomically write a ``state_dict()`` tree to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    container = {
+        "format": ARTIFACT_FORMAT,
+        "version": ARTIFACT_VERSION,
+        "state": state,
+    }
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            pickle.dump(container, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on write failure
+            tmp.unlink()
+    return path
+
+
+def load_state(path: "os.PathLike | str") -> Dict[str, Any]:
+    """Read a ``state_dict()`` tree written by :func:`save_state`.
+
+    Raises :class:`ArtifactError` on any corruption or version skew —
+    callers that want graceful degradation (the cache) catch it.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            container = pickle.load(handle)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - any unpickling failure
+        raise ArtifactError(f"unreadable artifact {path}: {exc}") from exc
+    if not isinstance(container, dict) or "state" not in container:
+        raise ArtifactError(f"{path} is not a Clara artifact")
+    if container.get("format") != ARTIFACT_FORMAT:
+        raise ArtifactError(
+            f"{path}: unsupported artifact format {container.get('format')!r}"
+        )
+    if container.get("version") != ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"{path}: artifact version {container.get('version')!r} does not"
+            f" match code version {ARTIFACT_VERSION!r}"
+        )
+    return container["state"]
+
+
+class ArtifactCache:
+    """Content-addressed store of trained states under one directory."""
+
+    def __init__(self, root: "os.PathLike | str | None" = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"clara-{key}.pkl"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored state for ``key``, or ``None`` on miss.  Corrupt
+        and version-skewed entries are evicted and count as misses."""
+        path = self.path_for(key)
+        try:
+            return load_state(path)
+        except FileNotFoundError:
+            return None
+        except ArtifactError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
+            return None
+
+    def store(self, key: str, state: Dict[str, Any]) -> Path:
+        return save_state(state, self.path_for(key))

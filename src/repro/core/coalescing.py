@@ -73,7 +73,25 @@ class CoalescingAdvisor:
         ) if names else np.zeros((0, max(len(block_order), 1)))
         return names, vectors
 
-    def advise(self, module: Module, profile: ExecutionProfile) -> CoalescingPlan:
+    # -- uniform advisor protocol --------------------------------------
+    def fit(self, *args, **kwargs) -> "CoalescingAdvisor":
+        """Coalescing clusters per NF; there is nothing to learn."""
+        return self
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"max_clusters": self.max_clusters, "seed": self.seed}
+
+    def load_state_dict(self, state: Dict[str, object]) -> "CoalescingAdvisor":
+        self.max_clusters = int(state["max_clusters"])
+        self.seed = int(state["seed"])
+        return self
+
+    def advise(self, prepared, profile: ExecutionProfile,
+               workload=None) -> CoalescingPlan:
+        """Uniform advisor entry point.  ``prepared`` may be a
+        :class:`~repro.core.prepare.PreparedNF` or a bare lowered
+        module (the historical calling convention)."""
+        module: Module = getattr(prepared, "module", prepared)
         names, vectors = self.access_vectors(module, profile)
         if len(names) < 2:
             return CoalescingPlan(packs=[], clusters={})

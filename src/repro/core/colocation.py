@@ -309,6 +309,33 @@ class ColocationAdvisor:
         self.ranker.fit(np.stack(X), np.asarray(relevance), np.asarray(query_ids))
         return self
 
+    # -- uniform advisor protocol ---------------------------------------
+    def advise(
+        self,
+        prepared: PreparedNF,
+        profile,
+        workload: Optional[WorkloadCharacter] = None,
+    ) -> NFCandidate:
+        """Uniform advisor entry point: the per-NF colocation profile
+        (an :class:`NFCandidate`) ready for :meth:`rank_pairs`."""
+        return make_candidate(prepared, profile)
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "objective": self.objective,
+            "ranker": self.ranker,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> "ColocationAdvisor":
+        objective = str(state["objective"])
+        if objective not in OBJECTIVES:
+            raise ValueError(f"unknown objective {objective!r}")
+        self.seed = int(state["seed"])
+        self.objective = objective
+        self.ranker = state["ranker"]
+        return self
+
     # -- inference -----------------------------------------------------------
     def rank_pairs(
         self, pairs: Sequence[Tuple[NFCandidate, NFCandidate]]

@@ -2,22 +2,40 @@
 
 ``Clara.train()`` performs the one-time learning phases (instruction
 prediction on synthesized pairs, algorithm-identification corpus,
-scale-out cost model); ``Clara.analyze()`` then takes an *unported*
-ClickScript element plus a workload spec and produces the full insight
-report; ``Clara.port_config()`` turns the insights into a
+scale-out cost model).  Training is driven by a
+:class:`~repro.core.artifacts.TrainConfig`, can fan dataset synthesis
+out over worker processes (``workers=N``), and can persist/restore its
+fitted advisors through the content-addressed artifact cache
+(``cache="auto"``) or explicit ``Clara.save()`` / ``Clara.load()``
+calls — a second ``train()`` with the same config is a sub-second load
+instead of a retrain.
+
+``Clara.analyze()`` then takes an *unported* ClickScript element plus
+a workload spec and produces the full insight report;
+``Clara.port_config()`` turns the insights into a
 :class:`~repro.nic.port.PortConfig` — the "Clara porting" strategy the
 evaluation benchmarks against naive porting and expert emulation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.click.ast import ElementDef
 from repro.click.elements import initial_state, install_state
 from repro.click.interp import ExecutionProfile, Interpreter
 from repro.core.algorithms import AlgorithmIdentifier, build_algorithm_corpus
+from repro.core.artifacts import (
+    ArtifactCache,
+    ArtifactCacheMiss,
+    TrainConfig,
+    load_state,
+    save_state,
+    train_cache_key,
+)
 from repro.core.coalescing import CoalescingAdvisor
 from repro.core.insights import InsightReport
 from repro.core.placement import PlacementAdvisor
@@ -28,6 +46,12 @@ from repro.nic.machine import NICModel, WorkloadCharacter
 from repro.nic.port import PortConfig
 from repro.workload import characterize, generate_trace
 from repro.workload.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.colocation import ColocationAdvisor, NFCandidate
+
+#: valid values of ``Clara.train(cache=...)``.
+CACHE_MODES = ("auto", "off", "require")
 
 
 @dataclass
@@ -57,38 +81,100 @@ class Clara:
         self.placement = PlacementAdvisor()
         self.coalescing = CoalescingAdvisor(seed=seed)
         #: trained lazily by :meth:`train_colocation`.
-        self.colocation = None
+        self.colocation: Optional["ColocationAdvisor"] = None
+        #: the config of the last (or loaded) training run.
+        self.train_config: Optional[TrainConfig] = None
         self.trained = False
 
     # -- one-time training phases ---------------------------------------
     def train(
         self,
-        n_predictor_programs: int = 120,
-        n_scaleout_programs: int = 60,
-        predictor_epochs: int = 35,
-        quick: bool = False,
+        config: Optional[TrainConfig] = None,
+        *,
+        workers: int = 1,
+        cache: str = "off",
+        cache_dir: Optional[str] = None,
+        n_predictor_programs: Optional[int] = None,
+        n_scaleout_programs: Optional[int] = None,
+        predictor_epochs: Optional[int] = None,
+        quick: Optional[bool] = None,
     ) -> "Clara":
-        """Run all learning phases.  ``quick=True`` shrinks everything
-        for tests (minutes -> seconds) at some accuracy cost."""
-        if quick:
-            n_predictor_programs = 12
-            n_scaleout_programs = 6
-            predictor_epochs = 8
+        """Run all learning phases for ``config`` (default
+        :class:`TrainConfig`; use ``TrainConfig.quick()`` for tests).
+
+        ``workers`` fans dataset synthesis out over processes —
+        parallel and serial synthesis produce identical datasets, so
+        the choice is invisible to everything downstream.  ``cache``
+        selects artifact-cache behavior: ``"off"`` always retrains,
+        ``"auto"`` loads a previously stored artifact for the same
+        (config, seed, NIC) and stores fresh ones, ``"require"``
+        raises :class:`ArtifactCacheMiss` instead of retraining.
+
+        The ``n_predictor_programs``/``n_scaleout_programs``/
+        ``predictor_epochs``/``quick`` kwargs are a deprecated shim
+        over :class:`TrainConfig`.
+        """
+        legacy = {
+            "n_predictor_programs": n_predictor_programs,
+            "n_scaleout_programs": n_scaleout_programs,
+            "predictor_epochs": predictor_epochs,
+            "quick": quick,
+        }
+        if any(value is not None for value in legacy.values()):
+            if config is not None:
+                raise TypeError(
+                    "pass either a TrainConfig or the legacy kwargs, not both"
+                )
+            warnings.warn(
+                "Clara.train(n_predictor_programs=..., quick=...) is"
+                " deprecated; pass a TrainConfig (e.g."
+                " Clara.train(TrainConfig.quick()))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = TrainConfig.from_legacy(**legacy)
+        if config is None:
+            config = TrainConfig()
+        if cache not in CACHE_MODES:
+            raise ValueError(
+                f"cache must be one of {CACHE_MODES}, got {cache!r}"
+            )
+        self.train_config = config
+
+        store: Optional[ArtifactCache] = None
+        key: Optional[str] = None
+        if cache != "off":
+            store = ArtifactCache(cache_dir)
+            key = train_cache_key(config, seed=self.seed, nic=self.nic)
+            state = store.load(key)
+            if state is not None:
+                return self.load_state_dict(state)
+            if cache == "require":
+                raise ArtifactCacheMiss(
+                    f"no cached Clara artifact for key {key}"
+                    f" under {store.root}"
+                )
+
         dataset = PredictorDataset.synthesize(
-            n_programs=n_predictor_programs, seed=self.seed
+            n_programs=config.n_predictor_programs,
+            seed=self.seed,
+            workers=workers,
         )
-        self.predictor.epochs = predictor_epochs
+        self.predictor.epochs = config.predictor_epochs
         self.predictor.fit(dataset)
         corpus = build_algorithm_corpus(
-            seed=self.seed, n_negatives=10 if quick else 40
+            seed=self.seed, n_negatives=config.n_negatives
         )
         self.identifier.fit(corpus)
         self.scaleout.build_training_set(
-            n_programs=n_scaleout_programs,
-            trace_packets=150 if quick else 400,
+            n_programs=config.n_scaleout_programs,
+            trace_packets=config.scaleout_trace_packets,
+            workers=workers,
         )
         self.scaleout.fit()
         self.trained = True
+        if store is not None and key is not None:
+            store.store(key, self.state_dict())
         return self
 
     def train_colocation(
@@ -110,13 +196,85 @@ class Clara:
         self.colocation = advisor
         return self
 
-    def rank_colocations(self, candidates) -> list:
+    def rank_colocations(
+        self,
+        candidates: Sequence[Tuple["NFCandidate", "NFCandidate"]],
+    ) -> List[Tuple["NFCandidate", "NFCandidate"]]:
         """Rank (a, b) NFCandidate pairs friendliest-first; requires
         :meth:`train_colocation` to have run."""
+        from repro.core.colocation import NFCandidate
+
         if self.colocation is None:
             raise RuntimeError("call Clara.train_colocation() first")
-        order = self.colocation.rank_pairs(candidates)
-        return [candidates[i] for i in order]
+        pairs = list(candidates)
+        for position, pair in enumerate(pairs):
+            if not (
+                isinstance(pair, tuple)
+                and len(pair) == 2
+                and all(isinstance(nf, NFCandidate) for nf in pair)
+            ):
+                raise TypeError(
+                    f"candidates[{position}] is not an (NFCandidate,"
+                    f" NFCandidate) pair: {pair!r}"
+                )
+        if not pairs:
+            return []
+        order = self.colocation.rank_pairs(pairs)
+        return [pairs[i] for i in order]
+
+    # -- artifact persistence -------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """The fitted state of every advisor, picklable, sufficient to
+        reproduce bit-identical analyses via :meth:`load_state_dict`."""
+        return {
+            "seed": self.seed,
+            "trained": self.trained,
+            "train_config": self.train_config,
+            "advisors": {
+                "predictor": self.predictor.state_dict(),
+                "identifier": self.identifier.state_dict(),
+                "scaleout": self.scaleout.state_dict(),
+                "placement": self.placement.state_dict(),
+                "coalescing": self.coalescing.state_dict(),
+                "colocation": (
+                    None if self.colocation is None
+                    else self.colocation.state_dict()
+                ),
+            },
+        }
+
+    def load_state_dict(self, state: Mapping[str, object]) -> "Clara":
+        advisors = state["advisors"]
+        self.predictor.load_state_dict(advisors["predictor"])
+        self.identifier.load_state_dict(advisors["identifier"])
+        self.scaleout.load_state_dict(advisors["scaleout"])
+        self.placement.load_state_dict(advisors["placement"])
+        self.coalescing.load_state_dict(advisors["coalescing"])
+        colocation_state = advisors.get("colocation")
+        if colocation_state is None:
+            self.colocation = None
+        else:
+            from repro.core.colocation import ColocationAdvisor
+
+            advisor = ColocationAdvisor(nic=self.nic, seed=self.seed)
+            advisor.load_state_dict(colocation_state)
+            self.colocation = advisor
+        self.seed = int(state.get("seed", self.seed))
+        self.train_config = state.get("train_config")
+        self.trained = bool(state.get("trained", True))
+        return self
+
+    def save(self, path) -> Path:
+        """Serialize the trained advisors to ``path`` for explicit
+        artifact shipping (``Clara.load(path)`` restores them)."""
+        return save_state(self.state_dict(), path)
+
+    @classmethod
+    def load(cls, path, nic: Optional[NICModel] = None) -> "Clara":
+        """A Clara instance restored from a :meth:`save` artifact."""
+        state = load_state(path)
+        clara = cls(nic=nic, seed=int(state.get("seed", 0)))
+        return clara.load_state_dict(state)
 
     # -- per-NF analysis ---------------------------------------------------
     def profile_on_host(
@@ -147,11 +305,12 @@ class Clara:
         profile = self.profile_on_host(prepared, spec, state, trace_seed)
         workload = characterize(spec)
 
-        report = self.predictor.analyze(prepared)
+        report = self.predictor.advise(prepared, profile, workload)
         report.workload_name = spec.name
 
         # Accelerator opportunities (Section 4.1).
-        for region, (label, blocks) in self.identifier.identify(prepared).items():
+        accelerators = self.identifier.advise(prepared, profile, workload)
+        for region, (label, blocks) in accelerators.items():
             report.add(
                 "accelerator",
                 region,
@@ -162,13 +321,14 @@ class Clara:
             report.insights[-1].value = {"accel": label, "blocks": blocks}
 
         # Scale-out suggestion (Section 4.2).
-        cores = self.scaleout.predict_cores(
-            prepared, report.predicted_compute, profile, workload
+        cores = self.scaleout.advise(
+            prepared, profile, workload,
+            block_compute=report.predicted_compute,
         )
         report.add("scaleout", "cores", cores, detail="GBDT cost model")
 
         # State placement (Section 4.3).
-        solution = self.placement.advise(prepared.module, profile)
+        solution = self.placement.advise(prepared, profile, workload)
         for name, region in solution.assignment.items():
             report.add(
                 "placement", name, region,
@@ -176,7 +336,7 @@ class Clara:
             )
 
         # Coalescing (Section 4.4).
-        plan = self.coalescing.advise(prepared.module, profile)
+        plan = self.coalescing.advise(prepared, profile, workload)
         for pack in plan.packs:
             report.add(
                 "coalescing",

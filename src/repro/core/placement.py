@@ -186,7 +186,11 @@ class PlacementAdvisor:
             freqs.append(profile.access_frequency(name))
         return PlacementProblem(names, sizes, freqs, self.hierarchy)
 
-    def advise(self, module, profile) -> PlacementSolution:
+    def advise(self, prepared, profile, workload=None) -> PlacementSolution:
+        """Uniform advisor entry point.  ``prepared`` may be a
+        :class:`~repro.core.prepare.PreparedNF` or a bare lowered
+        module (the historical calling convention)."""
+        module = getattr(prepared, "module", prepared)
         problem = self.problem_from_profile(module, profile)
         if not problem.names:
             return PlacementSolution({}, 0.0, "ilp")
@@ -194,3 +198,15 @@ class PlacementAdvisor:
             return solve_ilp(problem)
         except PlacementError:
             return solve_greedy(problem)
+
+    # -- uniform advisor protocol --------------------------------------
+    def fit(self, *args, **kwargs) -> "PlacementAdvisor":
+        """Placement solves an ILP per NF; there is nothing to learn."""
+        return self
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"hierarchy": self.hierarchy}
+
+    def load_state_dict(self, state: Dict[str, object]) -> "PlacementAdvisor":
+        self.hierarchy = state["hierarchy"]
+        return self

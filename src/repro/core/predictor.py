@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.click.elements import all_elements
 from repro.core.insights import InsightReport
+from repro.core.parallel import synthesize_predictor_rows
 from repro.core.prepare import PreparedNF, prepare_element
 from repro.ml.encoding import (
     InstructionVocabulary,
@@ -30,11 +31,22 @@ from repro.nic.compiler import compile_module
 from repro.nic.isa import NICProgram
 from repro.nic.libnfp import api_cost
 from repro.nic.port import PortConfig
-from repro.synthesis.generator import ClickGen
 from repro.synthesis.stats import extract_stats
 
 #: Sequence length cap for block encodings (longer blocks truncate).
 MAX_BLOCK_LEN = 112
+
+
+def iter_block_samples(prepared: PreparedNF, program: NICProgram):
+    """Yield ``(tokens, compute_count, group)`` for every handler block
+    of a prepared NF with its compiled ground-truth instruction count —
+    the unit of dataset construction, shared by the serial path and the
+    parallel synthesis workers."""
+    for block_asm in program.handler.blocks:
+        tokens = prepared.tokens.get(block_asm.name)
+        if tokens is None or not tokens:
+            continue
+        yield tokens, float(block_asm.n_compute), prepared.name
 
 
 @dataclass
@@ -60,14 +72,10 @@ class PredictorDataset:
         ground-truth compute-instruction count."""
         if program is None:
             program = compile_module(prepared.module, PortConfig())
-        handler_asm = program.handler
-        for block_asm in handler_asm.blocks:
-            tokens = prepared.tokens.get(block_asm.name)
-            if tokens is None or not tokens:
-                continue
+        for tokens, target, group in iter_block_samples(prepared, program):
             self.sequences.append(tokens)
-            self.targets.append(float(block_asm.n_compute))
-            self.groups.append(prepared.name)
+            self.targets.append(target)
+            self.groups.append(group)
 
     @classmethod
     def synthesize(
@@ -75,17 +83,26 @@ class PredictorDataset:
         n_programs: int = 80,
         seed: int = 0,
         corpus=None,
+        workers: int = 1,
     ) -> "PredictorDataset":
         """The data-synthesis pipeline of Section 3.2: generate guided
         Click programs, compile each with both toolchains, and pair
-        per-block IR sequences with NIC instruction counts."""
+        per-block IR sequences with NIC instruction counts.
+
+        Each program is generated from a child seed of ``(seed,
+        index)``, so the dataset is identical for every ``workers``
+        count (see :mod:`repro.core.parallel`).
+        """
         corpus = corpus if corpus is not None else all_elements()
         stats = extract_stats(corpus)
-        gen = ClickGen(stats, seed=seed)
         dataset = cls()
-        for element in gen.elements(n_programs):
-            prepared = prepare_element(element)
-            dataset.extend_from_prepared(prepared)
+        rows = synthesize_predictor_rows(
+            stats, n_programs=n_programs, seed=seed, workers=workers
+        )
+        for tokens, target, group in rows:
+            dataset.sequences.append(tokens)
+            dataset.targets.append(target)
+            dataset.groups.append(group)
         return dataset
 
     def split_by_group(
@@ -132,6 +149,33 @@ class InstructionPredictor:
             seed=self.seed,
         )
         self.model.fit(X, mask, y, epochs=self.epochs, seed=self.seed)
+        return self
+
+    # -- uniform advisor protocol --------------------------------------
+    def advise(
+        self, prepared: PreparedNF, profile=None, workload=None
+    ) -> InsightReport:
+        """Uniform advisor entry point; prediction is static, so the
+        profile and workload are unused."""
+        return self.analyze(prepared)
+
+    def state_dict(self) -> dict:
+        return {
+            "hidden_dim": self.hidden_dim,
+            "max_len": self.max_len,
+            "epochs": self.epochs,
+            "seed": self.seed,
+            "vocab": self.vocab,
+            "model": self.model,
+        }
+
+    def load_state_dict(self, state: dict) -> "InstructionPredictor":
+        self.hidden_dim = int(state["hidden_dim"])
+        self.max_len = int(state["max_len"])
+        self.epochs = int(state["epochs"])
+        self.seed = int(state["seed"])
+        self.vocab = state["vocab"]
+        self.model = state["model"]
         return self
 
     def predict_sequences(self, sequences: Sequence[Sequence[str]]) -> np.ndarray:

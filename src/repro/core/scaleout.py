@@ -15,15 +15,14 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.click.elements import all_elements
-from repro.click.interp import ExecutionProfile, Interpreter
-from repro.core.prepare import PreparedNF, prepare_element
+from repro.click.interp import ExecutionProfile
+from repro.core.prepare import PreparedNF
 from repro.ml.gbdt import GBDTRegressor
 from repro.nic.compiler import compile_module
 from repro.nic.machine import NICModel, WorkloadCharacter
 from repro.nic.port import PortConfig
-from repro.synthesis.generator import ClickGen
 from repro.synthesis.stats import extract_stats
-from repro.workload import STANDARD_WORKLOADS, characterize, generate_trace
+from repro.workload import STANDARD_WORKLOADS
 from repro.workload.spec import WorkloadSpec
 
 
@@ -139,38 +138,31 @@ class ScaleoutAdvisor:
         workloads: Sequence[WorkloadSpec] = STANDARD_WORKLOADS,
         trace_packets: int = 400,
         seed: Optional[int] = None,
+        workers: int = 1,
     ) -> List[ScaleoutSample]:
         """Synthesize programs spanning arithmetic intensities, deploy
         each on the simulated NIC under each workload, and record the
-        measured optimum (the paper's automated training pipeline)."""
+        measured optimum (the paper's automated training pipeline).
+
+        Per-program work — generation, compilation, trace profiling,
+        the exhaustive core sweep — fans out over ``workers``
+        processes; per-program child seeding keeps the sample list
+        identical for every worker count.
+        """
+        from repro.core.parallel import build_scaleout_samples
+
         seed = self.seed if seed is None else seed
         stats = extract_stats(all_elements())
-        gen = ClickGen(stats, seed=seed)
-        samples: List[ScaleoutSample] = []
-        for element in gen.elements(n_programs, prefix="scale"):
-            prepared = prepare_element(element)
-            program = compile_module(prepared.module, PortConfig())
-            # Ground-truth per-block compute from the compiled program
-            # (training programs ARE deployed, Section 4.2).
-            block_compute = {
-                b.name: float(b.n_compute) for b in program.handler.blocks
-            }
-            for spec in workloads:
-                from dataclasses import replace
-
-                spec_small = replace(spec, n_packets=trace_packets)
-                interp = Interpreter(prepared.module, seed=seed)
-                profile = interp.run_trace(generate_trace(spec_small, seed=seed))
-                workload = characterize(spec_small)
-                features = scaleout_features(
-                    prepared, block_compute, profile, workload
-                )
-                optimal = self.measure_optimal(prepared, profile, workload)
-                samples.append(
-                    ScaleoutSample(features, optimal, element.name, spec.name)
-                )
-        self.samples = samples
-        return samples
+        self.samples = build_scaleout_samples(
+            stats,
+            self.nic,
+            n_programs=n_programs,
+            workloads=workloads,
+            trace_packets=trace_packets,
+            seed=seed,
+            workers=workers,
+        )
+        return self.samples
 
     def fit(self, samples: Optional[List[ScaleoutSample]] = None) -> "ScaleoutAdvisor":
         samples = samples if samples is not None else self.samples
@@ -192,3 +184,37 @@ class ScaleoutAdvisor:
         features = scaleout_features(prepared, block_compute, profile, workload)
         raw = float(self.model.predict(features[None, :])[0])
         return int(np.clip(round(raw), 1, max_cores))
+
+    # -- uniform advisor protocol --------------------------------------
+    def advise(
+        self,
+        prepared: PreparedNF,
+        profile: ExecutionProfile,
+        workload: WorkloadCharacter,
+        block_compute: Optional[Mapping[str, float]] = None,
+        max_cores: int = 60,
+    ) -> int:
+        """Uniform advisor entry point.  ``block_compute`` is the
+        LSTM-predicted per-block compute for an unported NF; when
+        omitted, ground truth is taken from a compile of the module
+        (the training-program path)."""
+        if block_compute is None:
+            program = compile_module(prepared.module, PortConfig())
+            block_compute = {
+                b.name: float(b.n_compute) for b in program.handler.blocks
+            }
+        return self.predict_cores(prepared, block_compute, profile, workload,
+                                  max_cores=max_cores)
+
+    def state_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "model": self.model,
+            "samples": self.samples,
+        }
+
+    def load_state_dict(self, state: dict) -> "ScaleoutAdvisor":
+        self.seed = int(state["seed"])
+        self.model = state["model"]
+        self.samples = list(state.get("samples", ()))
+        return self

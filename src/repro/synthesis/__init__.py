@@ -15,6 +15,12 @@ statistical properties of the target program corpus."
 """
 
 from repro.synthesis.stats import CorpusStats, extract_stats
-from repro.synthesis.generator import ClickGen, baseline_stats
+from repro.synthesis.generator import ClickGen, baseline_stats, program_seed
 
-__all__ = ["CorpusStats", "extract_stats", "ClickGen", "baseline_stats"]
+__all__ = [
+    "CorpusStats",
+    "extract_stats",
+    "ClickGen",
+    "baseline_stats",
+    "program_seed",
+]

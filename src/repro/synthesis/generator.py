@@ -46,6 +46,14 @@ _LITERALS = {
 }
 
 
+def program_seed(seed: int, index: int) -> int:
+    """Child seed for the ``index``-th program of a run seeded
+    ``seed`` — independent of worker count and of every other
+    program's generation (see :meth:`ClickGen.for_program`)."""
+    sequence = np.random.SeedSequence([int(seed) & 0xFFFFFFFF, int(index)])
+    return int(sequence.generate_state(1, dtype=np.uint32)[0])
+
+
 def baseline_stats() -> CorpusStats:
     """Uniform statistics: the Table-1 baseline synthesizer that does
     not account for Click's AST distribution."""
@@ -123,6 +131,20 @@ class ClickGen:
         self._leaf_prob = float(
             np.clip((ops_per_stmt + 1.0) / (2.0 * ops_per_stmt + 1.0), 0.52, 0.92)
         )
+
+    @classmethod
+    def for_program(
+        cls, stats: CorpusStats, seed: int, index: int
+    ) -> "ClickGen":
+        """A generator deterministically seeded for the ``index``-th
+        program of a synthesis run seeded ``seed``.
+
+        This is the unit of parallel synthesis: because each program
+        gets its own child seed (rather than sharing one serial RNG
+        stream), programs can be generated on any worker in any order
+        and the resulting dataset is identical to the serial one.
+        """
+        return cls(stats, seed=program_seed(seed, index))
 
     @staticmethod
     def _dist(

@@ -18,6 +18,29 @@ class TestParser:
         assert args.element == "udpcount"
         assert args.flows == 5000
         assert args.udp
+        assert args.load is None
+        assert args.cache == "auto"
+        assert args.workers == 1
+
+    def test_train_args(self):
+        args = build_parser().parse_args(
+            ["train", "--quick", "--workers", "4", "--save", "clara.pkl"]
+        )
+        assert args.command == "train"
+        assert args.quick
+        assert args.workers == 4
+        assert args.save == "clara.pkl"
+        assert args.cache == "auto"
+
+    def test_sweep_load_flag(self):
+        args = build_parser().parse_args(
+            ["sweep", "aggcounter", "--load", "clara.pkl"]
+        )
+        assert args.load == "clara.pkl"
+
+    def test_bad_cache_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--cache", "sometimes"])
 
 
 class TestCommands:
@@ -42,6 +65,16 @@ class TestCommands:
     def test_unknown_element_raises(self):
         with pytest.raises(KeyError):
             main(["render", "not_an_element"])
+
+    def test_train_save_then_analyze_load(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CLARA_CACHE", str(tmp_path / "cache"))
+        artifact = tmp_path / "clara.pkl"
+        assert main(["train", "--quick", "--save", str(artifact)]) == 0
+        assert artifact.exists()
+        assert main(["analyze", "aggcounter", "--packets", "60",
+                     "--load", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "Suggested port configuration" in out
 
 
 class TestTracePersistence:
