@@ -11,7 +11,6 @@ models", plus DESIGN.md's ablation inventory).
 """
 
 import numpy as np
-import pytest
 
 from repro.click.elements import build_element
 from repro.click.frontend import lower_element

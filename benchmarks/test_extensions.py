@@ -1,7 +1,6 @@
 """Extension experiments beyond the paper's evaluation (DESIGN.md §6):
 partial offloading and model interpretability."""
 
-import pytest
 
 from repro.click.elements import build_element, install_state
 from repro.click.interp import Interpreter

@@ -8,7 +8,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.core.algorithms import ACCEL_CLASSES, build_algorithm_corpus
 from repro.ml.pca import PCA

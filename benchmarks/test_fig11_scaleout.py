@@ -20,16 +20,13 @@ import pytest
 
 from repro.click.elements import build_element
 from repro.core.prepare import prepare_element
-from repro.core.scaleout import scaleout_features
 from repro.ml.automl import AutoMLRegressor
 from repro.ml.knn import KNNRegressor
 from repro.ml.metrics import mae
 from repro.ml.mlp import MLPRegressor
 from repro.nic.compiler import compile_module
 from repro.nic.port import PortConfig
-from repro.nic.regions import REGION_IMEM
 from repro.workload import LARGE_FLOWS, SMALL_FLOWS, characterize
-from repro.workload.spec import WorkloadSpec
 
 COMPLEX_NFS = ("mazunat", "dnsproxy", "webgen", "udpcount")
 

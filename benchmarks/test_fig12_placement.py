@@ -10,7 +10,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.core.placement import PlacementAdvisor, solve_baseline
+from repro.core.placement import PlacementAdvisor
 from repro.nic.compiler import compile_module
 from repro.nic.port import PortConfig
 from repro.workload import SMALL_FLOWS, characterize

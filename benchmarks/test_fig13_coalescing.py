@@ -7,7 +7,6 @@ latency cut 42%-68%, core counts reduced 25%-55% on aggcounter,
 timefilter, webtcp, tcpgen.
 """
 
-from dataclasses import replace
 
 import pytest
 

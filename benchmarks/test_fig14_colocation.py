@@ -19,13 +19,11 @@ from repro.core.colocation import (
     ColocationAdvisor,
     OBJECTIVES,
     make_candidate,
-    pair_features,
     ranking_accuracy,
 )
 from repro.core.prepare import prepare_element
 from repro.click.elements import build_element
-from repro.click.interp import Interpreter
-from repro.workload import characterize, generate_trace
+from repro.workload import characterize
 from repro.workload.spec import WorkloadSpec
 
 REAL_NFS = ("mazunat", "dnsproxy", "udpcount", "webgen")

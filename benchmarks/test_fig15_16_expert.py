@@ -12,7 +12,6 @@ Expert = exhaustive parameter sweep of one porting decision.  Paper:
 
 from dataclasses import replace
 
-import pytest
 
 from repro.core.coalescing import CoalescingAdvisor
 from repro.core.placement import PlacementAdvisor, expert_search

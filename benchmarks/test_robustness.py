@@ -8,7 +8,6 @@ predictor's held-out WMAPE must stay in band.
 """
 
 import numpy as np
-import pytest
 
 from repro.click.elements import build_element
 from repro.core.algorithms import AlgorithmIdentifier, build_algorithm_corpus

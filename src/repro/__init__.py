@@ -12,7 +12,11 @@ Package map:
 * :mod:`repro.ml` — the numpy-only machine-learning library;
 * :mod:`repro.synthesis` — the distribution-guided program generator;
 * :mod:`repro.core` — Clara itself (prediction, identification,
-  scale-out, placement, coalescing, colocation, partial offloading).
+  scale-out, placement, coalescing, colocation, partial offloading);
+* :mod:`repro.obs` — observability (stage tracing, metrics registry,
+  run reports, log configuration);
+* :mod:`repro.errors` — the typed :class:`~repro.errors.ClaraError`
+  exception hierarchy with per-class CLI exit codes.
 
 Entry points: ``from repro.core import Clara`` for the library API,
 ``python -m repro`` for the CLI, and ``examples/`` for walkthroughs.

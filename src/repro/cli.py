@@ -8,11 +8,23 @@ Commands:
   via ``--workers``) and persist the artifact (``--save PATH`` and/or
   the content-addressed cache);
 * ``analyze <element>`` — print the offloading-insight report for a
-  workload, reusing a cached or ``--load``-ed trained Clara;
+  workload, reusing a cached or ``--load``-ed trained Clara
+  (``--json`` for the stable machine-readable schema);
 * ``sweep <element>`` — core-count sweep of the naive port on the
-  simulated NIC (with ``--load``, also prints Clara's predicted knee);
+  simulated NIC (with ``--load``, also prints Clara's predicted knee;
+  ``--json`` for machine-readable output);
 * ``explain`` — print the interpretability report for a trained
   (cached or ``--load``-ed) identifier/cost model.
+
+Observability (every command): ``--profile`` prints a per-stage
+wall-clock table after the command, ``--json-report PATH`` writes the
+full :class:`~repro.obs.RunReport` (span tree, metrics, cache
+hits/misses) as JSON, and ``-v``/``-q`` adjust ``repro.*`` log
+verbosity via :func:`repro.obs.configure`.
+
+Errors derived from :class:`repro.errors.ClaraError` exit with a
+distinct status per class (see ``EXIT_CODES`` in docs/API.md) and a
+one-line ``error:`` message instead of a traceback.
 
 Training commands consult the artifact cache (``--cache auto`` by
 default where a trained Clara is needed), so repeated invocations stop
@@ -22,8 +34,25 @@ silently retraining from scratch.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
+
+from repro.errors import ArtifactError, ClaraError
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Observability flags every subcommand accepts."""
+    group = parser.add_argument_group("observability")
+    group.add_argument("--profile", action="store_true",
+                       help="print a per-stage wall-clock table after"
+                            " the command")
+    group.add_argument("--json-report", metavar="PATH", default=None,
+                       help="write the full RunReport JSON to PATH")
+    group.add_argument("-v", "--verbose", action="count", default=0,
+                       help="log more (-v info, -vv debug)")
+    group.add_argument("-q", "--quiet", action="store_true",
+                       help="log errors only")
 
 
 def _add_train_source_args(parser: argparse.ArgumentParser) -> None:
@@ -46,7 +75,10 @@ def _obtain_clara(args, quick: bool = True) -> "Clara":
 
     if getattr(args, "load", None):
         print(f"Loading Clara artifact from {args.load}...", file=sys.stderr)
-        return Clara.load(args.load)
+        try:
+            return Clara.load(args.load)
+        except FileNotFoundError:
+            raise ArtifactError(f"no artifact at {args.load}") from None
     config = TrainConfig.quick() if quick else TrainConfig()
     print("Training Clara (quick mode)..." if quick else "Training Clara...",
           file=sys.stderr)
@@ -139,14 +171,33 @@ def cmd_train(args) -> int:
     return 0
 
 
-def cmd_analyze(args) -> int:
-    from repro.click.elements import build_element
+def _port_config_dict(config) -> dict:
+    return {
+        "use_checksum_accel": config.use_checksum_accel,
+        "crc_accel_blocks": sorted(config.crc_accel_blocks),
+        "crypto_accel_blocks": sorted(config.crypto_accel_blocks),
+        "lpm_accel_blocks": sorted(config.lpm_accel_blocks),
+        "placement": dict(sorted(config.placement.items())),
+        "packs": [
+            {"variables": list(pack.variables),
+             "access_bytes": pack.access_bytes}
+            for pack in config.packs
+        ],
+        "cores": config.cores,
+    }
 
+
+def cmd_analyze(args) -> int:
+    spec = _workload_from_args(args)
     clara = _obtain_clara(args)
-    analysis = clara.analyze(build_element(args.element),
-                             _workload_from_args(args))
-    print(analysis.report.render(), end="")
+    analysis = clara.analyze(args.element, spec)
     config = clara.port_config(analysis)
+    if args.json:
+        payload = analysis.to_dict()
+        payload["port_config"] = _port_config_dict(config)
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(analysis.report.render(), end="")
     print("\nSuggested port configuration:")
     print(f"  checksum engine : {config.use_checksum_accel}")
     print(f"  CRC-substituted : {len(config.crc_accel_blocks)} blocks")
@@ -161,33 +212,60 @@ def cmd_sweep(args) -> int:
     from repro.click.interp import Interpreter
     from repro.nic.compiler import compile_module
     from repro.nic.machine import NICModel
+    from repro.obs import span
     from repro.workload import characterize, generate_trace
 
+    spec = _workload_from_args(args)
     element = build_element(args.element)
     module = lower_element(element)
     interp = Interpreter(module)
     install_state(interp, initial_state(element))
-    spec = _workload_from_args(args)
-    profile = interp.run_trace(generate_trace(spec, seed=args.seed))
+    with span("profile_on_host", nf=element.name):
+        profile = interp.run_trace(generate_trace(spec, seed=args.seed))
     freq = {b: c / profile.packets for b, c in profile.block_counts.items()}
     model = NICModel()
-    sweep = model.sweep_cores(
-        compile_module(module), freq, characterize(spec)
-    )
+    with span("sweep_cores", nf=element.name):
+        sweep = model.sweep_cores(
+            compile_module(module), freq, characterize(spec)
+        )
     knee = model.optimal_cores(sweep)
+    core_counts = (1, 2, 4, 8, 16, 24, 32, 40, 48, 60)
+    predicted_knee = None
+    if args.load:
+        from repro.core import Clara
+
+        try:
+            clara = Clara.load(args.load)
+        except FileNotFoundError:
+            raise ArtifactError(f"no artifact at {args.load}") from None
+        analysis = clara.analyze(element, spec, trace_seed=args.seed)
+        predicted_knee = analysis.report.suggested_cores
+    if args.json:
+        payload = {
+            "schema": 1,
+            "kind": "core_sweep",
+            "element": element.name,
+            "knee": knee,
+            "predicted_knee": predicted_knee,
+            "points": [
+                {
+                    "cores": cores,
+                    "throughput_mpps": round(sweep[cores].throughput_mpps, 4),
+                    "latency_us": round(sweep[cores].latency_us, 4),
+                }
+                for cores in core_counts
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"{'cores':>6s} {'tput(Mpps)':>11s} {'lat(us)':>9s}")
-    for cores in (1, 2, 4, 8, 16, 24, 32, 40, 48, 60):
+    for cores in core_counts:
         perf = sweep[cores]
         marker = "  <-- knee" if cores == knee else ""
         print(f"{cores:6d} {perf.throughput_mpps:11.2f}"
               f" {perf.latency_us:9.2f}{marker}")
-    if args.load:
-        from repro.core import Clara
-
-        clara = Clara.load(args.load)
-        analysis = clara.analyze(element, spec, trace_seed=args.seed)
-        print(f"\nClara's predicted knee:"
-              f" {analysis.report.suggested_cores} cores")
+    if predicted_knee is not None:
+        print(f"\nClara's predicted knee: {predicted_knee} cores")
     return 0
 
 
@@ -207,10 +285,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("inventory", help="element inventory (Table 2)")
+    p_inventory = sub.add_parser("inventory",
+                                 help="element inventory (Table 2)")
+    _add_obs_args(p_inventory)
 
     p_render = sub.add_parser("render", help="print element source")
     p_render.add_argument("element")
+    _add_obs_args(p_render)
 
     p_train = sub.add_parser(
         "train", help="run the learning phases, optionally saving the artifact"
@@ -231,21 +312,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--cache", choices=("auto", "off", "require"),
                         default="auto",
                         help="artifact-cache mode (default auto)")
+    _add_obs_args(p_train)
 
     p_analyze = sub.add_parser("analyze", help="offloading insights")
     p_analyze.add_argument("element")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="emit the stable JSON schema instead of"
+                                " the human report")
     _add_workload_args(p_analyze)
     _add_train_source_args(p_analyze)
+    _add_obs_args(p_analyze)
 
     p_sweep = sub.add_parser("sweep", help="core-count sweep")
     p_sweep.add_argument("element")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of the"
+                              " table")
     _add_workload_args(p_sweep)
     p_sweep.add_argument("--load", metavar="PATH", default=None,
                          help="also print the predicted knee from a saved"
                               " Clara artifact")
+    _add_obs_args(p_sweep)
 
     p_explain = sub.add_parser("explain", help="model interpretability report")
     _add_train_source_args(p_explain)
+    _add_obs_args(p_explain)
     return parser
 
 
@@ -259,7 +350,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": cmd_sweep,
         "explain": cmd_explain,
     }
-    return handlers[args.command](args)
+
+    from repro import obs
+
+    obs.configure(verbosity=-1 if getattr(args, "quiet", False)
+                  else getattr(args, "verbose", 0))
+    want_report = bool(
+        getattr(args, "profile", False) or getattr(args, "json_report", None)
+    )
+    tracer = obs.Tracer() if want_report else None
+    previous = obs.set_tracer(tracer) if tracer is not None else None
+
+    status, code = "ok", 0
+    try:
+        with obs.span(f"cli.{args.command}"):
+            code = handlers[args.command](args)
+    except ClaraError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        status = type(exc).__name__
+        code = exc.exit_code
+    finally:
+        if tracer is not None:
+            obs.set_tracer(previous)
+
+    if tracer is not None:
+        report = obs.RunReport.collect(
+            command=args.command,
+            tracer=tracer,
+            metrics=obs.get_metrics(),
+            status=status,
+            exit_code=code,
+        )
+        if args.profile:
+            print()
+            print(report.render_profile(), end="")
+        if args.json_report:
+            with open(args.json_report, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+            print(f"run report written to {args.json_report}",
+                  file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.click.ast import ElementDef
+from repro.errors import UnknownElementError
 from repro.click.elements.counters import aggcounter, timefilter, udpcount
 from repro.click.elements.crypto import wepdecap
 from repro.click.elements.dpi import dpi, firewall
@@ -84,7 +85,7 @@ def build_element(name: str, **params) -> ElementDef:
     try:
         builder = ELEMENT_BUILDERS[name]
     except KeyError:
-        raise KeyError(
+        raise UnknownElementError(
             f"unknown element {name!r}; available: {sorted(ELEMENT_BUILDERS)}"
         ) from None
     return builder(**params)

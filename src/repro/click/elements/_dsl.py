@@ -6,7 +6,7 @@ helpers; they are pure sugar over :mod:`repro.click.ast`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from repro.click import ast as C
 

@@ -21,7 +21,6 @@ from repro.click.elements._dsl import (
     lit,
     lt,
     mcall,
-    ne,
     pkt,
     ret,
     scalar_state,

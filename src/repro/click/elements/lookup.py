@@ -20,14 +20,12 @@ from repro.click.elements._dsl import (
     eq,
     fld,
     ge,
-    gt,
     idx,
     if_,
     lit,
     lt,
     ne,
     pkt,
-    ret,
     scalar_state,
     v,
     while_,

@@ -22,7 +22,6 @@ from repro.click.elements._dsl import (
     idx,
     if_,
     lit,
-    lt,
     mcall,
     ne,
     pkt,

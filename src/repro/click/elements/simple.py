@@ -16,8 +16,6 @@ from repro.click.elements._dsl import (
     eq,
     fcall,
     fld,
-    for_,
-    ge,
     gt,
     if_,
     lit,

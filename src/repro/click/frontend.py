@@ -37,13 +37,7 @@ from repro.nfir.block import BasicBlock
 from repro.nfir.builder import IRBuilder
 from repro.nfir.function import Function, GlobalVariable, Module
 from repro.nfir.inliner import inline_internal_calls
-from repro.nfir.instructions import (
-    Alloca,
-    Call,
-    Instruction,
-    CALL_KIND_API,
-    CALL_KIND_INTERNAL,
-)
+from repro.nfir.instructions import Alloca, CALL_KIND_API, CALL_KIND_INTERNAL
 from repro.nfir.types import (
     ArrayType,
     IntType,

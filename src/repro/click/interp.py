@@ -45,7 +45,7 @@ from repro.nfir.instructions import (
     evaluate_icmp,
 )
 from repro.nfir.types import ArrayType, IntType, IRType, PointerType, StructType
-from repro.nfir.values import Argument, Constant, Value
+from repro.nfir.values import Constant, Value
 
 
 class InterpError(RuntimeError):

@@ -9,7 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, FrozenSet, Optional, Tuple
 
-from repro.nfir.types import IntType, StructType, int_type
+from repro.nfir.types import StructType, int_type
 
 # Header layouts: (field name, bit width).  Field names follow the
 # classic BSD naming Click uses (th_sport, ip_hl, ...).

@@ -18,8 +18,7 @@ directly instead of using learning-based inference" (Section 3.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.click.ast import ElementDef, FuncDef, Stmt
 from repro.click.elements._dsl import (
@@ -28,7 +27,6 @@ from repro.click.elements._dsl import (
     brk,
     decl,
     eq,
-    fld,
     for_,
     ge,
     idx,

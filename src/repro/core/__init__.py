@@ -31,15 +31,25 @@ Two infrastructure modules support the learning phases:
   ``advise`` / ``state_dict`` / ``load_state_dict``).
 """
 
+from repro.errors import (
+    ArtifactCacheMiss,
+    ArtifactError,
+    ClaraError,
+    InvalidWorkloadError,
+    NotTrainedError,
+    UnknownElementError,
+)
 from repro.core.advisor import Advisor
 from repro.core.artifacts import (
     ArtifactCache,
-    ArtifactCacheMiss,
-    ArtifactError,
     TrainConfig,
     train_cache_key,
 )
-from repro.core.insights import Insight, InsightReport
+from repro.core.insights import (
+    INSIGHT_REPORT_SCHEMA,
+    Insight,
+    InsightReport,
+)
 from repro.core.parallel import parallel_map
 from repro.core.prepare import PreparedNF, prepare_element, prepare_module
 from repro.core.predictor import InstructionPredictor, PredictorDataset
@@ -47,25 +57,32 @@ from repro.core.algorithms import AlgorithmIdentifier, build_algorithm_corpus
 from repro.core.scaleout import ScaleoutAdvisor
 from repro.core.placement import PlacementAdvisor, PlacementProblem
 from repro.core.coalescing import CoalescingAdvisor
-from repro.core.colocation import ColocationAdvisor
+from repro.core.colocation import ColocationAdvisor, ranking_to_dict
 from repro.core.partition import Partition, PartitionAdvisor
 from repro.core.explain import (
     gbdt_feature_importance,
     render_explanations,
     svm_top_patterns,
 )
-from repro.core.pipeline import Clara
+from repro.core.pipeline import AnalysisResult, Clara
 
 __all__ = [
     "Advisor",
+    "AnalysisResult",
     "ArtifactCache",
     "ArtifactCacheMiss",
     "ArtifactError",
+    "ClaraError",
+    "InvalidWorkloadError",
+    "NotTrainedError",
+    "UnknownElementError",
     "TrainConfig",
     "train_cache_key",
     "parallel_map",
+    "INSIGHT_REPORT_SCHEMA",
     "Insight",
     "InsightReport",
+    "ranking_to_dict",
     "PreparedNF",
     "prepare_element",
     "prepare_module",

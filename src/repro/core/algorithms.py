@@ -13,12 +13,12 @@ by different developers".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.click import ast as C
-from repro.click.ast import ElementDef, FuncDef, Stmt
+from repro.click.ast import ElementDef, Stmt
 from repro.click.elements._dsl import (
     array_state,
     assign,
@@ -27,14 +27,12 @@ from repro.click.elements._dsl import (
     eq,
     fld,
     for_,
-    helper,
     idx,
     if_,
     lit,
     lt,
     ne,
     pkt,
-    ret,
     scalar_state,
     v,
     while_,

@@ -33,6 +33,11 @@ from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.errors import ArtifactCacheMiss, ArtifactError
+from repro.obs import get_logger, get_metrics, span
+
+log = get_logger(__name__)
+
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
@@ -58,12 +63,9 @@ ARTIFACT_VERSION = "clara-artifacts-1"
 ENV_CACHE_DIR = "REPRO_CLARA_CACHE"
 
 
-class ArtifactError(RuntimeError):
-    """A saved artifact is unreadable, corrupt, or from another version."""
-
-
-class ArtifactCacheMiss(RuntimeError):
-    """``cache="require"`` found no stored artifact for the key."""
+# ArtifactError / ArtifactCacheMiss moved to repro.errors (the typed
+# exception hierarchy); imported above and re-exported here for
+# backwards compatibility.
 
 
 @dataclass(frozen=True)
@@ -244,16 +246,30 @@ class ArtifactCache:
         """The stored state for ``key``, or ``None`` on miss.  Corrupt
         and version-skewed entries are evicted and count as misses."""
         path = self.path_for(key)
-        try:
-            return load_state(path)
-        except FileNotFoundError:
-            return None
-        except ArtifactError:
+        with span("artifact_cache.load", key=key) as sp:
             try:
-                path.unlink()
-            except OSError:  # pragma: no cover - concurrent eviction
-                pass
-            return None
+                state = load_state(path)
+            except FileNotFoundError:
+                result = "miss"
+                state = None
+            except ArtifactError as exc:
+                log.warning("evicting bad cache entry %s: %s", path, exc)
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - concurrent eviction
+                    pass
+                result = "evicted"
+                state = None
+            else:
+                result = "hit"
+            sp.set("result", result)
+        get_metrics().counter("artifact_cache_requests", result=result).inc()
+        log.info("artifact cache %s for key %s", result, key)
+        return state
 
     def store(self, key: str, state: Dict[str, Any]) -> Path:
-        return save_state(state, self.path_for(key))
+        with span("artifact_cache.store", key=key):
+            path = save_state(state, self.path_for(key))
+        get_metrics().counter("artifact_cache_stores").inc()
+        log.info("artifact stored at %s", path)
+        return path

@@ -10,8 +10,8 @@ throughput loss works best (Figure 14a).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +35,25 @@ OBJECTIVES = (
     "total_latency_loss",
     "average_latency_loss",
 )
+
+#: version of :func:`ranking_to_dict`'s layout (documented in
+#: docs/API.md; bump on incompatible changes).
+COLOCATION_RANKING_SCHEMA = 1
+
+
+def ranking_to_dict(
+    pairs: Sequence[Tuple["NFCandidate", "NFCandidate"]],
+) -> Dict[str, object]:
+    """The stable JSON layout for a friendliest-first colocation
+    ranking (the output of :meth:`Clara.rank_colocations`)."""
+    return {
+        "schema": COLOCATION_RANKING_SCHEMA,
+        "kind": "colocation_ranking",
+        "pairs": [
+            {"rank": rank, "a": a.to_dict(), "b": b.to_dict()}
+            for rank, (a, b) in enumerate(pairs)
+        ],
+    }
 
 
 @dataclass
@@ -67,6 +86,16 @@ class NFCandidate:
         """Offered load on the shared state memory (accesses/sec) —
         the quantity whose pairwise sum drives interference."""
         return self.est_solo_pps(cores) * self.memory_per_pkt
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable JSON summary (the compiled program is omitted)."""
+        return {
+            "name": self.name,
+            "compute_per_pkt": round(self.compute_per_pkt, 6),
+            "memory_per_pkt": round(self.memory_per_pkt, 6),
+            "ctm_per_pkt": round(self.ctm_per_pkt, 6),
+            "arithmetic_intensity": round(self.arithmetic_intensity, 6),
+        }
 
 
 def make_candidate(

@@ -21,8 +21,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.algorithms import AlgorithmIdentifier
+from repro.errors import NotTrainedError
 from repro.ml.gbdt import GBDTRegressor
-from repro.ml.tree import DecisionTreeRegressor
 
 
 def _walk_tree(node, counts: Dict[int, float]) -> None:
@@ -96,7 +96,7 @@ def svm_top_patterns(
     svm = identifier.svms[accel]
     extractor = identifier.extractors[accel]
     if svm.w is None:
-        raise RuntimeError("identifier is not fitted")
+        raise NotTrainedError("identifier is not fitted")
     n_patterns = len(extractor.patterns_)
     weights = svm.w[:n_patterns]
     order = np.argsort(-weights)[:top]

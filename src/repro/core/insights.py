@@ -3,8 +3,14 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
+
+#: version of the ``to_dict()``/``to_json()`` layout emitted by
+#: :class:`Insight` and :class:`InsightReport` (documented in
+#: docs/API.md; bump on incompatible changes).
+INSIGHT_REPORT_SCHEMA = 1
 
 INSIGHT_TYPES = (
     "compute",      # predicted compute instructions for a block
@@ -34,6 +40,26 @@ class Insight:
     def __post_init__(self) -> None:
         if self.type not in INSIGHT_TYPES:
             raise ValueError(f"unknown insight type {self.type!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        value = self.value
+        if isinstance(value, (set, frozenset, tuple)):
+            value = list(value)
+        return {
+            "type": self.type,
+            "subject": self.subject,
+            "value": value,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Insight":
+        return cls(
+            type=str(data["type"]),
+            subject=str(data["subject"]),
+            value=data.get("value"),
+            detail=str(data.get("detail", "")),
+        )
 
 
 @dataclass
@@ -70,6 +96,41 @@ class InsightReport:
     @property
     def placement(self) -> Dict[str, str]:
         return {i.subject: str(i.value) for i in self.of_type("placement")}
+
+    # -- stable serialization (schema versioned, documented) -----------
+    def to_dict(self) -> Dict[str, Any]:
+        """The stable JSON layout: ``{"schema": 1, "kind":
+        "insight_report", "nf_name", "workload_name", "insights"}``."""
+        return {
+            "schema": INSIGHT_REPORT_SCHEMA,
+            "kind": "insight_report",
+            "nf_name": self.nf_name,
+            "workload_name": self.workload_name,
+            "insights": [insight.to_dict() for insight in self.insights],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "InsightReport":
+        schema = data.get("schema")
+        if schema != INSIGHT_REPORT_SCHEMA:
+            raise ValueError(
+                f"unsupported insight-report schema {schema!r}"
+                f" (expected {INSIGHT_REPORT_SCHEMA})"
+            )
+        report = cls(
+            nf_name=str(data.get("nf_name", "")),
+            workload_name=str(data.get("workload_name", "")),
+        )
+        for entry in data.get("insights", []):
+            report.insights.append(Insight.from_dict(entry))
+        return report
+
+    @classmethod
+    def from_json(cls, text: str) -> "InsightReport":
+        return cls.from_dict(json.loads(text))
 
     def render(self) -> str:
         """Human-readable report."""

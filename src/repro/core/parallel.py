@@ -24,6 +24,10 @@ import multiprocessing
 import os
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.obs import get_logger, get_metrics, span
+
+log = get_logger(__name__)
+
 __all__ = [
     "child_seed",
     "parallel_map",
@@ -62,20 +66,31 @@ def parallel_map(
     the reference stream the determinism tests compare against.
     """
     workers = resolve_workers(workers)
-    if workers <= 1 or len(jobs) <= 1:
-        return [fn(job) for job in jobs]
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context(
-        "fork" if "fork" in methods else methods[0]
-    )
-    n_procs = min(workers, len(jobs))
-    try:
-        with ctx.Pool(processes=n_procs) as pool:
-            return pool.map(fn, jobs, chunksize=1)
-    except (OSError, PermissionError):
-        # Restricted environments (no /dev/shm, seccomp'd clone):
-        # degrade to the serial reference stream rather than failing.
-        return [fn(job) for job in jobs]
+    name = getattr(fn, "__name__", repr(fn))
+    with span("parallel_map", fn=name, jobs=len(jobs)) as sp:
+        get_metrics().counter("parallel_map_jobs").inc(len(jobs))
+        if workers <= 1 or len(jobs) <= 1:
+            sp.set("mode", "inline")
+            return [fn(job) for job in jobs]
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        n_procs = min(workers, len(jobs))
+        sp.set("workers", n_procs)
+        try:
+            with ctx.Pool(processes=n_procs) as pool:
+                sp.set("mode", "pool")
+                return pool.map(fn, jobs, chunksize=1)
+        except (OSError, PermissionError) as exc:
+            # Restricted environments (no /dev/shm, seccomp'd clone):
+            # degrade to the serial reference stream rather than failing.
+            log.warning(
+                "process pool unavailable (%s); running %d jobs serially",
+                exc, len(jobs),
+            )
+            sp.set("mode", "serial_fallback")
+            return [fn(job) for job in jobs]
 
 
 # ---------------------------------------------------------------------------

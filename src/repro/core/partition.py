@@ -19,8 +19,8 @@ splitting does not pay.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.click.interp import ExecutionProfile
 from repro.core.prepare import PreparedNF

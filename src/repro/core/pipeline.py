@@ -19,13 +19,24 @@ evaluation benchmarks against naive porting and expert emulation.
 
 from __future__ import annotations
 
+import json
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.click.ast import ElementDef
-from repro.click.elements import initial_state, install_state
+from repro.click.elements import build_element, initial_state, install_state
 from repro.click.interp import ExecutionProfile, Interpreter
 from repro.core.algorithms import AlgorithmIdentifier, build_algorithm_corpus
 from repro.core.artifacts import (
@@ -37,21 +48,34 @@ from repro.core.artifacts import (
     train_cache_key,
 )
 from repro.core.coalescing import CoalescingAdvisor
-from repro.core.insights import InsightReport
+from repro.core.insights import INSIGHT_REPORT_SCHEMA, InsightReport
 from repro.core.placement import PlacementAdvisor
 from repro.core.predictor import InstructionPredictor, PredictorDataset
 from repro.core.prepare import PreparedNF, prepare_element
 from repro.core.scaleout import ScaleoutAdvisor
+from repro.errors import NotTrainedError
 from repro.nic.machine import NICModel, WorkloadCharacter
 from repro.nic.port import PortConfig
+from repro.obs import get_logger, get_metrics, span
 from repro.workload import characterize, generate_trace
 from repro.workload.spec import WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.colocation import ColocationAdvisor, NFCandidate
 
+log = get_logger(__name__)
+
 #: valid values of ``Clara.train(cache=...)``.
 CACHE_MODES = ("auto", "off", "require")
+
+#: the exact TrainConfig replacement for each deprecated ``train()``
+#: kwarg (quoted verbatim in the DeprecationWarning).
+_LEGACY_REPLACEMENTS = {
+    "n_predictor_programs": "TrainConfig.n_predictor_programs",
+    "n_scaleout_programs": "TrainConfig.n_scaleout_programs",
+    "predictor_epochs": "TrainConfig.predictor_epochs",
+    "quick": "TrainConfig.quick()",
+}
 
 
 @dataclass
@@ -67,6 +91,41 @@ class AnalysisResult:
         return {
             b: c / packets for b, c in self.profile.block_counts.items()
         }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable JSON layout (``"schema": 1``): the insight report
+        plus the host-profile and workload facts it was derived from."""
+        return {
+            "schema": INSIGHT_REPORT_SCHEMA,
+            "kind": "analysis_result",
+            "report": self.report.to_dict(),
+            "block_freq": {
+                name: round(freq, 6)
+                for name, freq in sorted(self.block_freq.items())
+            },
+            "profile": {
+                "packets": int(self.profile.packets),
+                "sent": int(self.profile.sent),
+                "dropped": int(self.profile.dropped),
+                "api_counts": {
+                    api: int(count)
+                    for api, count in sorted(self.profile.api_counts.items())
+                },
+            },
+            "workload": {
+                "name": self.workload.name,
+                "packet_bytes": int(self.workload.packet_bytes),
+                "emem_cache_hit_rate": float(
+                    self.workload.emem_cache_hit_rate
+                ),
+                "flow_cache_hit_rate": float(
+                    self.workload.flow_cache_hit_rate
+                ),
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
 
 
 class Clara:
@@ -120,15 +179,18 @@ class Clara:
             "predictor_epochs": predictor_epochs,
             "quick": quick,
         }
-        if any(value is not None for value in legacy.values()):
+        passed = [name for name, value in legacy.items() if value is not None]
+        if passed:
             if config is not None:
                 raise TypeError(
                     "pass either a TrainConfig or the legacy kwargs, not both"
                 )
             warnings.warn(
-                "Clara.train(n_predictor_programs=..., quick=...) is"
-                " deprecated; pass a TrainConfig (e.g."
-                " Clara.train(TrainConfig.quick()))",
+                "Clara.train() legacy kwargs are deprecated; "
+                + "; ".join(
+                    f"replace {name}= with {_LEGACY_REPLACEMENTS[name]}"
+                    for name in passed
+                ),
                 DeprecationWarning,
                 stacklevel=2,
             )
@@ -141,40 +203,57 @@ class Clara:
             )
         self.train_config = config
 
-        store: Optional[ArtifactCache] = None
-        key: Optional[str] = None
-        if cache != "off":
-            store = ArtifactCache(cache_dir)
-            key = train_cache_key(config, seed=self.seed, nic=self.nic)
-            state = store.load(key)
-            if state is not None:
-                return self.load_state_dict(state)
-            if cache == "require":
-                raise ArtifactCacheMiss(
-                    f"no cached Clara artifact for key {key}"
-                    f" under {store.root}"
-                )
+        with span("train", cache_mode=cache, workers=workers) as train_sp:
+            get_metrics().counter("train_runs").inc()
+            store: Optional[ArtifactCache] = None
+            key: Optional[str] = None
+            if cache != "off":
+                store = ArtifactCache(cache_dir)
+                key = train_cache_key(config, seed=self.seed, nic=self.nic)
+                state = store.load(key)
+                if state is not None:
+                    train_sp.set("cache", "hit")
+                    log.info("train: cache hit for key %s", key)
+                    return self.load_state_dict(state)
+                train_sp.set("cache", "miss")
+                if cache == "require":
+                    raise ArtifactCacheMiss(
+                        f"no cached Clara artifact for key {key}"
+                        f" under {store.root}"
+                    )
+            log.info("train: learning phases for config %s", config)
 
-        dataset = PredictorDataset.synthesize(
-            n_programs=config.n_predictor_programs,
-            seed=self.seed,
-            workers=workers,
-        )
-        self.predictor.epochs = config.predictor_epochs
-        self.predictor.fit(dataset)
-        corpus = build_algorithm_corpus(
-            seed=self.seed, n_negatives=config.n_negatives
-        )
-        self.identifier.fit(corpus)
-        self.scaleout.build_training_set(
-            n_programs=config.n_scaleout_programs,
-            trace_packets=config.scaleout_trace_packets,
-            workers=workers,
-        )
-        self.scaleout.fit()
-        self.trained = True
-        if store is not None and key is not None:
-            store.store(key, self.state_dict())
+            with span("synthesize_predictor") as sp:
+                dataset = PredictorDataset.synthesize(
+                    n_programs=config.n_predictor_programs,
+                    seed=self.seed,
+                    workers=workers,
+                )
+                sp.set("n_samples", len(dataset))
+            with span("fit_predictor") as sp:
+                self.predictor.epochs = config.predictor_epochs
+                self.predictor.fit(dataset)
+                sp.set("vocab_size", self.predictor.vocab.size)
+                sp.set("epochs", config.predictor_epochs)
+            with span("build_algorithm_corpus") as sp:
+                corpus = build_algorithm_corpus(
+                    seed=self.seed, n_negatives=config.n_negatives
+                )
+                sp.set("n_samples", len(corpus.sequences))
+            with span("fit_identifier"):
+                self.identifier.fit(corpus)
+            with span("build_scaleout_set") as sp:
+                self.scaleout.build_training_set(
+                    n_programs=config.n_scaleout_programs,
+                    trace_packets=config.scaleout_trace_packets,
+                    workers=workers,
+                )
+                sp.set("n_samples", len(self.scaleout.samples))
+            with span("fit_scaleout"):
+                self.scaleout.fit()
+            self.trained = True
+            if store is not None and key is not None:
+                store.store(key, self.state_dict())
         return self
 
     def train_colocation(
@@ -188,11 +267,17 @@ class Clara:
         several NFs compete for one NIC."""
         from repro.core.colocation import ColocationAdvisor
 
-        advisor = ColocationAdvisor(
-            nic=self.nic, objective=objective, seed=self.seed
-        )
-        pool, workload = advisor.build_candidate_pool(n_programs=n_programs)
-        advisor.fit(pool, workload, n_groups=n_groups)
+        with span("train_colocation", n_programs=n_programs,
+                  n_groups=n_groups, objective=objective):
+            advisor = ColocationAdvisor(
+                nic=self.nic, objective=objective, seed=self.seed
+            )
+            with span("build_candidate_pool"):
+                pool, workload = advisor.build_candidate_pool(
+                    n_programs=n_programs
+                )
+            with span("fit_colocation"):
+                advisor.fit(pool, workload, n_groups=n_groups)
         self.colocation = advisor
         return self
 
@@ -205,7 +290,7 @@ class Clara:
         from repro.core.colocation import NFCandidate
 
         if self.colocation is None:
-            raise RuntimeError("call Clara.train_colocation() first")
+            raise NotTrainedError("call Clara.train_colocation() first")
         pairs = list(candidates)
         for position, pair in enumerate(pairs):
             if not (
@@ -219,8 +304,10 @@ class Clara:
                 )
         if not pairs:
             return []
-        order = self.colocation.rank_pairs(pairs)
-        return [pairs[i] for i in order]
+        with span("rank_colocations", n_pairs=len(pairs)):
+            get_metrics().counter("colocation_rankings").inc()
+            order = self.colocation.rank_pairs(pairs)
+            return [pairs[i] for i in order]
 
     # -- artifact persistence -------------------------------------------
     def state_dict(self) -> Dict[str, object]:
@@ -285,66 +372,99 @@ class Clara:
         trace_seed: int = 0,
     ) -> ExecutionProfile:
         """Run the NF on the host against the workload (Section 4.3)."""
-        interp = Interpreter(prepared.module, seed=trace_seed)
-        if prepared.element is not None:
-            install_state(interp, initial_state(prepared.element))
-        if state:
-            install_state(interp, state)
-        return interp.run_trace(generate_trace(spec, seed=trace_seed))
+        with span("profile_on_host", nf=prepared.name,
+                  workload=spec.name) as sp:
+            interp = Interpreter(prepared.module, seed=trace_seed)
+            if prepared.element is not None:
+                install_state(interp, initial_state(prepared.element))
+            if state:
+                install_state(interp, state)
+            profile = interp.run_trace(generate_trace(spec, seed=trace_seed))
+            sp.set("packets", profile.packets)
+        return profile
 
     def analyze(
         self,
-        element: ElementDef,
+        element: Union[ElementDef, str],
         spec: WorkloadSpec,
         state: Optional[Mapping[str, object]] = None,
         trace_seed: int = 0,
     ) -> AnalysisResult:
+        """The full insight pipeline for one NF under one workload.
+
+        ``element`` is either an :class:`~repro.click.ast.ElementDef`
+        or a library element *name* (resolved via
+        :func:`~repro.click.elements.build_element`).
+        """
         if not self.trained:
-            raise RuntimeError("call Clara.train() before analyze()")
-        prepared = prepare_element(element)
-        profile = self.profile_on_host(prepared, spec, state, trace_seed)
-        workload = characterize(spec)
+            raise NotTrainedError("call Clara.train() before analyze()")
+        if isinstance(element, str):
+            element = build_element(element)
+        with span("analyze", nf=element.name, workload=spec.name):
+            get_metrics().counter("analyze_runs").inc()
+            with span("prepare") as sp:
+                prepared = prepare_element(element)
+                sp.set("n_blocks", len(prepared.blocks))
+            profile = self.profile_on_host(prepared, spec, state, trace_seed)
+            with span("characterize"):
+                workload = characterize(spec)
 
-        report = self.predictor.advise(prepared, profile, workload)
-        report.workload_name = spec.name
+            with span("predict") as sp:
+                report = self.predictor.advise(prepared, profile, workload)
+                report.workload_name = spec.name
+                sp.set("n_insights", len(report.insights))
 
-        # Accelerator opportunities (Section 4.1).
-        accelerators = self.identifier.advise(prepared, profile, workload)
-        for region, (label, blocks) in accelerators.items():
-            report.add(
-                "accelerator",
-                region,
-                label,
-                detail=f"blocks: {','.join(blocks[:4])}"
-                + ("..." if len(blocks) > 4 else ""),
-            )
-            report.insights[-1].value = {"accel": label, "blocks": blocks}
+            # Accelerator opportunities (Section 4.1).
+            with span("identify") as sp:
+                accelerators = self.identifier.advise(
+                    prepared, profile, workload
+                )
+                sp.set("n_regions", len(accelerators))
+            for region, (label, blocks) in accelerators.items():
+                report.add(
+                    "accelerator",
+                    region,
+                    label,
+                    detail=f"blocks: {','.join(blocks[:4])}"
+                    + ("..." if len(blocks) > 4 else ""),
+                )
+                report.insights[-1].value = {"accel": label, "blocks": blocks}
 
-        # Scale-out suggestion (Section 4.2).
-        cores = self.scaleout.advise(
-            prepared, profile, workload,
-            block_compute=report.predicted_compute,
+            # Scale-out suggestion (Section 4.2).
+            with span("scaleout") as sp:
+                cores = self.scaleout.advise(
+                    prepared, profile, workload,
+                    block_compute=report.predicted_compute,
+                )
+                sp.set("cores", cores)
+            report.add("scaleout", "cores", cores, detail="GBDT cost model")
+
+            # State placement (Section 4.3).
+            with span("placement") as sp:
+                solution = self.placement.advise(prepared, profile, workload)
+                sp.set("method", solution.method)
+            for name, region in solution.assignment.items():
+                report.add(
+                    "placement", name, region,
+                    detail=f"ILP ({solution.method})",
+                )
+
+            # Coalescing (Section 4.4).
+            with span("coalescing") as sp:
+                plan = self.coalescing.advise(prepared, profile, workload)
+                sp.set("n_packs", len(plan.packs))
+            for pack in plan.packs:
+                report.add(
+                    "coalescing",
+                    "+".join(pack.variables),
+                    pack.access_bytes,
+                    detail="K-means access-vector cluster",
+                )
+
+        log.info(
+            "analyze: %s under %s -> %d insights",
+            element.name, spec.name, len(report.insights),
         )
-        report.add("scaleout", "cores", cores, detail="GBDT cost model")
-
-        # State placement (Section 4.3).
-        solution = self.placement.advise(prepared, profile, workload)
-        for name, region in solution.assignment.items():
-            report.add(
-                "placement", name, region,
-                detail=f"ILP ({solution.method})",
-            )
-
-        # Coalescing (Section 4.4).
-        plan = self.coalescing.advise(prepared, profile, workload)
-        for pack in plan.packs:
-            report.add(
-                "coalescing",
-                "+".join(pack.variables),
-                pack.access_bytes,
-                detail="K-means access-vector cluster",
-            )
-
         return AnalysisResult(report, prepared, profile, workload)
 
     # -- turning insights into a port ---------------------------------------

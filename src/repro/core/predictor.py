@@ -11,17 +11,17 @@ porting instead of prediction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.click.elements import all_elements
 from repro.core.insights import InsightReport
+from repro.errors import NotTrainedError
 from repro.core.parallel import synthesize_predictor_rows
-from repro.core.prepare import PreparedNF, prepare_element
+from repro.core.prepare import PreparedNF
 from repro.ml.encoding import (
     InstructionVocabulary,
-    block_tokens,
     encode_blocks,
     histogram_features,
 )
@@ -184,7 +184,7 @@ class InstructionPredictor:
         selection is local, so a long straight-line block compiles to
         roughly the concatenation of its windows."""
         if self.model is None:
-            raise RuntimeError("predictor is not fitted")
+            raise NotTrainedError("predictor is not fitted")
         chunks: List[List[str]] = []
         owners: List[int] = []
         for i, seq in enumerate(sequences):

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import networkx as nx
 
 from repro.click.ast import ElementDef
 from repro.click.frontend import lower_element

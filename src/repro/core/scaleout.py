@@ -9,14 +9,15 @@ predictable features.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.click.elements import all_elements
 from repro.click.interp import ExecutionProfile
 from repro.core.prepare import PreparedNF
+from repro.errors import NotTrainedError
 from repro.ml.gbdt import GBDTRegressor
 from repro.nic.compiler import compile_module
 from repro.nic.machine import NICModel, WorkloadCharacter
@@ -167,7 +168,9 @@ class ScaleoutAdvisor:
     def fit(self, samples: Optional[List[ScaleoutSample]] = None) -> "ScaleoutAdvisor":
         samples = samples if samples is not None else self.samples
         if not samples:
-            raise RuntimeError("no training samples; call build_training_set")
+            raise NotTrainedError(
+                "no training samples; call build_training_set"
+            )
         X = np.stack([s.features for s in samples])
         y = np.array([float(s.optimal_cores) for s in samples])
         self.model.fit(X, y)

@@ -1,0 +1,87 @@
+"""The typed Clara exception hierarchy.
+
+Every error the library raises on *user-facing* misuse — unknown
+element names, invalid workload specs, analysis before training,
+unreadable artifacts — derives from :class:`ClaraError`, so callers
+can catch one base class, and the CLI can map each subclass to a
+distinct non-zero exit code (the ``exit_code`` attribute) with a clean
+one-line message instead of a traceback.
+
+Each subclass also inherits the builtin exception it historically was
+(``KeyError``, ``ValueError``, ``RuntimeError``), so pre-hierarchy
+callers that caught builtins keep working unchanged.
+
+This module lives at the top of the package and imports nothing from
+it, so :mod:`repro.workload` and :mod:`repro.click` can raise typed
+errors without importing :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ArtifactCacheMiss",
+    "ArtifactError",
+    "ClaraError",
+    "EXIT_CODES",
+    "InvalidWorkloadError",
+    "NotTrainedError",
+    "UnknownElementError",
+]
+
+
+class ClaraError(Exception):
+    """Base class of every typed Clara error.
+
+    ``exit_code`` is the process exit status the CLI uses for the
+    class; subclasses override it with distinct values (see
+    :data:`EXIT_CODES`).
+    """
+
+    exit_code = 2
+
+    def __str__(self) -> str:  # KeyError subclasses repr() their arg
+        return str(self.args[0]) if self.args else self.__class__.__name__
+
+
+class UnknownElementError(ClaraError, KeyError):
+    """An element name is not in the element library."""
+
+    exit_code = 3
+
+
+class InvalidWorkloadError(ClaraError, ValueError):
+    """A workload specification fails validation."""
+
+    exit_code = 4
+
+
+class NotTrainedError(ClaraError, RuntimeError):
+    """An advisor (or Clara itself) was used before its learning phase."""
+
+    exit_code = 5
+
+
+class ArtifactError(ClaraError, RuntimeError):
+    """A saved artifact is unreadable, corrupt, or from another version."""
+
+    exit_code = 6
+
+
+class ArtifactCacheMiss(ArtifactError):
+    """``cache="require"`` found no stored artifact for the key."""
+
+    exit_code = 7
+
+
+#: exception class name -> CLI exit status (documented in docs/API.md).
+EXIT_CODES = {
+    cls.__name__: cls.exit_code
+    for cls in (
+        ClaraError,
+        UnknownElementError,
+        InvalidWorkloadError,
+        NotTrainedError,
+        ArtifactError,
+        ArtifactCacheMiss,
+    )
+}

@@ -5,7 +5,7 @@ several widths over the one-hot sequence, global max pooling, FC head).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -14,7 +14,7 @@ reports.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -36,7 +36,7 @@ from repro.nfir.instructions import (
     Select,
     Store,
 )
-from repro.nfir.values import Argument, Constant, Value
+from repro.nfir.values import Constant, Value
 
 PAD_TOKEN = "<pad>"
 UNK_TOKEN = "<unk>"

@@ -5,7 +5,7 @@ a random forest regression model", Section 5.2)."""
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -13,7 +13,7 @@ positive and heavy-tailed); predictions are clamped at zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
 import numpy as np
 

@@ -9,7 +9,7 @@ the classic RankNet gradients scaled by the NDCG swap delta.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

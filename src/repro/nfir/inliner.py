@@ -30,7 +30,7 @@ from repro.nfir.instructions import (
     Store,
     CALL_KIND_INTERNAL,
 )
-from repro.nfir.values import Argument, Value
+from repro.nfir.values import Value
 
 
 class InlineError(ValueError):

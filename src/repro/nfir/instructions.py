@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.nfir.types import IntType, IRType, PointerType, StructType, VOID, I1
-from repro.nfir.values import Constant, Value
+from repro.nfir.values import Value
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.nfir.block import BasicBlock

@@ -8,7 +8,7 @@ property.  Printed modules are also what the ML encoding layer consumes
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List
 
 from repro.nfir.block import BasicBlock
 from repro.nfir.function import Function, GlobalVariable, Module

@@ -15,8 +15,8 @@ from __future__ import annotations
 from typing import Set
 
 from repro.nfir.function import Function, Module
-from repro.nfir.instructions import Instruction, Phi
-from repro.nfir.values import Argument, Constant, Value
+from repro.nfir.instructions import Phi
+from repro.nfir.values import Argument, Constant
 
 
 class VerificationError(ValueError):

@@ -9,7 +9,7 @@ below couples the two NFs through the region-utilization terms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Mapping, Optional
 
 from repro.nic.isa import NICProgram
 from repro.nic.machine import (

@@ -64,7 +64,7 @@ from repro.nfir.instructions import (
     Select,
     Store,
 )
-from repro.nfir.types import ArrayType, IntType
+from repro.nfir.types import IntType
 from repro.nfir.values import Constant, Value
 from repro.nic.isa import BlockAsm, FunctionAsm, NICInstruction, NICProgram
 from repro.nic.port import PortConfig

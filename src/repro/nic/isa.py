@@ -14,7 +14,7 @@ occupancy and contention.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 # Issue cost (cycles spent occupying the micro-engine pipeline) per
 # opcode.  Memory/accelerator ops additionally incur engine latency,

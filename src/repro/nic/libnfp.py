@@ -14,7 +14,7 @@ test suite asserts the static table stays consistent with it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 #: (kind, size_bytes, expected_count_per_call); kind "state" resolves
 #: to the backing global's placed region.

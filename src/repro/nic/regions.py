@@ -12,7 +12,7 @@ placement ILP's decisions.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 REGION_CLS = "cls"
 REGION_CTM = "ctm"

@@ -1,0 +1,73 @@
+"""Observability: stage tracing, metrics, run reports, log config.
+
+The paper's evaluation is entirely about *measured* per-stage behavior
+(prediction error, stage costs, placement latency); this package gives
+the reproduction the same visibility over itself:
+
+* :mod:`repro.obs.trace` — nested :func:`span` context managers over
+  every pipeline stage, recording wall time, call counts, and
+  arbitrary attributes.  Disabled by default via a no-op tracer, so
+  instrumentation stays permanently in library code at negligible
+  cost; enable with :func:`set_tracer`/:func:`use_tracer`.
+* :mod:`repro.obs.metrics` — a process-local
+  :class:`MetricsRegistry` (counters, gauges, histograms) with
+  ``to_dict()`` and Prometheus-text export; :func:`get_metrics` is the
+  default registry the library updates (artifact-cache hits/misses,
+  training and analysis run counts).
+* :mod:`repro.obs.report` — :class:`RunReport`, the versioned
+  JSON-serializable record of one traced invocation (stage timings,
+  span attributes, metric snapshot).  The CLI's ``--profile`` and
+  ``--json-report`` render it.
+* :mod:`repro.obs.logconfig` — :func:`configure` wires ``repro.*``
+  loggers to stderr at a verbosity; :func:`get_logger` is what library
+  modules use.
+
+Typical enablement::
+
+    from repro import obs
+
+    with obs.use_tracer(obs.Tracer()) as tracer:
+        clara.train(TrainConfig.quick(), cache="auto")
+    report = obs.RunReport.collect("train", tracer, obs.get_metrics())
+    print(report.render_profile())
+"""
+
+from repro.obs.logconfig import configure, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.report import RUN_REPORT_SCHEMA, RunReport
+from repro.obs.trace import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "RUN_REPORT_SCHEMA",
+    "RunReport",
+    "Span",
+    "Tracer",
+    "configure",
+    "get_logger",
+    "get_metrics",
+    "get_tracer",
+    "set_metrics",
+    "set_tracer",
+    "span",
+    "use_tracer",
+]

@@ -1,0 +1,55 @@
+"""``logging`` wiring for the whole package.
+
+All repro modules log through children of the ``repro`` logger
+(:func:`get_logger`).  Nothing is emitted until :func:`configure`
+installs a handler — importing the library never touches global
+logging state, and the root ``repro`` logger carries a
+``NullHandler`` so unconfigured use stays silent.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["configure", "get_logger"]
+
+ROOT_LOGGER = "repro"
+
+#: verbosity -> level: -1 errors only, 0 warnings, 1 info, 2+ debug.
+_LEVELS = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO}
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.  Pass ``__name__`` from
+    library modules; already-qualified ``repro.*`` names pass through."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if not name.startswith(ROOT_LOGGER):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def configure(
+    verbosity: int = 0, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Route ``repro.*`` logs to ``stream`` (default stderr) at a level
+    chosen by ``verbosity`` (-1 quiet, 0 warnings, 1 ``-v`` info,
+    2 ``-vv`` debug).  Idempotent: reconfiguring replaces the handler
+    installed by the previous call instead of stacking another."""
+    level = _LEVELS.get(min(int(verbosity), 1), logging.DEBUG)
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

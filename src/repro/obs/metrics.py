@@ -1,0 +1,203 @@
+"""Process-local metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` hands out named instruments (optionally
+labelled) and exports them as a plain dict (:meth:`~MetricsRegistry.to_dict`,
+for :class:`~repro.obs.report.RunReport`) or in the Prometheus text
+exposition format (:meth:`~MetricsRegistry.to_prometheus`, for
+scraping once this grows a service endpoint).
+
+Unlike the tracer there is no disabled variant — updating a counter is
+one dict lookup and an integer add, cheap enough to leave on — but the
+library only touches metrics on coarse events (cache hits, training
+runs, analyses), never per packet or per block.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+]
+
+#: default histogram bucket upper bounds (seconds-flavoured).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_str(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_value(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def to_value(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram of observed values."""
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(sorted(buckets))
+        #: per-bucket counts; index len(bounds) is the +Inf bucket.
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def to_value(self) -> Dict[str, Any]:
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            running += bucket_count
+            cumulative[f"le_{bound:g}"] = running
+        cumulative["le_inf"] = self.count
+        return {"count": self.count, "sum": self.sum, "buckets": cumulative}
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, exportable as a dict
+    or Prometheus text."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, _LabelKey], Any] = {}
+
+    def _get(self, factory, name: str, labels: Optional[Mapping[str, Any]]):
+        key = (name, _label_key(labels or {}))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory()
+                self._metrics[key] = metric
+            return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        return self._get(lambda: Histogram(buckets), name, labels)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """``{"name{label=...}": value}`` — counters/gauges as numbers,
+        histograms as ``{count, sum, buckets}`` dicts."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {
+            name + _label_str(label_key): metric.to_value()
+            for (name, label_key), metric in items
+        }
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (one sample per line,
+        ``# TYPE`` headers per metric family)."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        lines: List[str] = []
+        seen_types: Dict[str, str] = {}
+        for (name, label_key), metric in items:
+            if name not in seen_types:
+                seen_types[name] = metric.kind
+                lines.append(f"# TYPE {name} {metric.kind}")
+            labels = _label_str(label_key)
+            if isinstance(metric, Histogram):
+                running = 0
+                for bound, bucket_count in zip(metric.bounds, metric.counts):
+                    running += bucket_count
+                    le = _label_key({"le": f"{bound:g}"})
+                    lines.append(
+                        f"{name}_bucket{_label_str(label_key + le)} {running}"
+                    )
+                inf = _label_key({"le": "+Inf"})
+                lines.append(
+                    f"{name}_bucket{_label_str(label_key + inf)} {metric.count}"
+                )
+                lines.append(f"{name}_sum{labels} {metric.sum:g}")
+                lines.append(f"{name}_count{labels} {metric.count}")
+            else:
+                lines.append(f"{name}{labels} {metric.to_value():g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+_registry = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-local default registry instrumented code uses."""
+    return _registry
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests); returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous

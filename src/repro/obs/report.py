@@ -1,0 +1,146 @@
+"""Structured per-invocation run reports.
+
+A :class:`RunReport` is the JSON-serializable record of one traced
+invocation — ``clara analyze --json-report out.json``, a
+``Clara.train()`` call under :func:`repro.obs.use_tracer`, a benchmark
+run.  It captures:
+
+* per-stage wall-clock totals and call counts (from the tracer);
+* the full nested span tree with attributes (cache hit/miss, dataset
+  sizes, model scores — whatever the stages recorded);
+* a snapshot of the metrics registry;
+* command name, status, and total duration.
+
+``to_dict()`` emits a versioned schema (``"schema": 1``) and
+``from_dict()``/``from_json()`` round-trip it, so reports can be
+archived and diffed across code versions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["RUN_REPORT_SCHEMA", "RunReport"]
+
+#: bump when the report layout changes incompatibly.
+RUN_REPORT_SCHEMA = 1
+
+
+def _json_safe(value: Any) -> Any:
+    """Best-effort conversion of span/metric payloads to JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+@dataclass
+class RunReport:
+    """One invocation's observability record (see module docstring)."""
+
+    command: str
+    status: str = "ok"
+    duration_s: float = 0.0
+    started_at: float = 0.0
+    stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        command: str,
+        tracer: Any,
+        metrics: Any = None,
+        status: str = "ok",
+        **attributes: Any,
+    ) -> "RunReport":
+        """Assemble a report from a finished :class:`~repro.obs.Tracer`
+        (and optionally a :class:`~repro.obs.MetricsRegistry`)."""
+        spans = [span.to_dict() for span in getattr(tracer, "roots", ())]
+        duration = sum(span.get("duration_s", 0.0) for span in spans)
+        return cls(
+            command=command,
+            status=status,
+            duration_s=round(duration, 6),
+            started_at=time.time(),
+            stages=tracer.stage_totals(),
+            spans=spans,
+            metrics=metrics.to_dict() if metrics is not None else {},
+            attributes=dict(attributes),
+        )
+
+    # -- (de)serialization ----------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": RUN_REPORT_SCHEMA,
+            "kind": "run_report",
+            "command": self.command,
+            "status": self.status,
+            "duration_s": self.duration_s,
+            "started_at": self.started_at,
+            "stages": _json_safe(self.stages),
+            "spans": _json_safe(self.spans),
+            "metrics": _json_safe(self.metrics),
+            "attributes": _json_safe(self.attributes),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunReport":
+        schema = data.get("schema")
+        if schema != RUN_REPORT_SCHEMA:
+            raise ValueError(
+                f"unsupported run-report schema {schema!r}"
+                f" (expected {RUN_REPORT_SCHEMA})"
+            )
+        return cls(
+            command=str(data.get("command", "")),
+            status=str(data.get("status", "ok")),
+            duration_s=float(data.get("duration_s", 0.0)),
+            started_at=float(data.get("started_at", 0.0)),
+            stages={k: dict(v) for k, v in dict(data.get("stages", {})).items()},
+            spans=list(data.get("spans", [])),
+            metrics=dict(data.get("metrics", {})),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    # -- human rendering -------------------------------------------------
+    def render_profile(self) -> str:
+        """The ``--profile`` table: stages by total wall time."""
+        lines = [
+            f"Run profile: {self.command}"
+            f" ({self.status}, {self.duration_s:.3f} s total)",
+            f"{'stage':28s} {'calls':>6s} {'total(s)':>10s} {'share':>7s}",
+        ]
+        total = max(self.duration_s, 1e-12)
+        ordered = sorted(
+            self.stages.items(), key=lambda kv: -kv[1]["total_s"]
+        )
+        for name, stat in ordered:
+            share = 100.0 * stat["total_s"] / total
+            lines.append(
+                f"{name:28s} {int(stat['calls']):6d}"
+                f" {stat['total_s']:10.4f} {share:6.1f}%"
+            )
+        if self.metrics:
+            lines.append("")
+            lines.append("Metrics:")
+            for name, value in sorted(self.metrics.items()):
+                if isinstance(value, dict):
+                    value = f"count={value.get('count')} sum={value.get('sum')}"
+                lines.append(f"  {name} = {value}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,224 @@
+"""Stage tracing: nested spans with wall time, counts, and attributes.
+
+Instrumented code opens spans around pipeline stages::
+
+    from repro.obs import span
+
+    with span("prepare") as sp:
+        prepared = prepare_element(element)
+        sp.set("n_blocks", len(prepared.blocks))
+
+``span()`` delegates to the *ambient* tracer.  By default that is the
+:class:`NullTracer`, whose spans are a shared no-op singleton — the
+disabled path costs one attribute lookup and an empty ``with`` block,
+so instrumentation can stay on permanently in library code.  The CLI
+(or a test) installs a recording :class:`Tracer` with
+:func:`set_tracer`/:func:`use_tracer`, runs the workload, and reads
+back the span tree and per-stage totals.
+
+Tracers are deliberately process-local: :mod:`repro.core.parallel`
+workers run in child processes and report timing through the parent's
+``parallel_map`` span instead of shipping spans across the boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "use_tracer",
+]
+
+
+class Span:
+    """One timed stage: a name, wall-clock bounds, attributes, children."""
+
+    __slots__ = ("name", "start_s", "end_s", "attrs", "children")
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        self.name = name
+        self.start_s: float = 0.0
+        self.end_s: Optional[float] = None
+        self.attrs: Dict[str, Any] = dict(attrs)
+        self.children: List["Span"] = []
+
+    @property
+    def duration_s(self) -> float:
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return max(end - self.start_s, 0.0)
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach an arbitrary key/value attribute (dataset sizes,
+        cache results, model scores, ...)."""
+        self.attrs[key] = value
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "duration_s": round(self.duration_s, 6),
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_s:.6f}s)"
+
+
+class _SpanContext:
+    """Context manager binding one :class:`Span` to its tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span_: Span) -> None:
+        self._tracer = tracer
+        self._span = span_
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Records a forest of nested spans plus per-stage call counts."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        return _SpanContext(self, Span(name, **attrs))
+
+    def _push(self, span_: Span) -> None:
+        span_.start_s = time.perf_counter()
+        self._stack.append(span_)
+
+    def _pop(self, span_: Span) -> None:
+        span_.end_s = time.perf_counter()
+        popped = self._stack.pop()
+        assert popped is span_, "span stack corrupted"
+        if self._stack:
+            self._stack[-1].children.append(span_)
+        else:
+            self.roots.append(span_)
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Every finished span, depth-first in start order."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span_ = stack.pop()
+            yield span_
+            stack.extend(reversed(span_.children))
+
+    def stage_totals(self) -> Dict[str, Dict[str, float]]:
+        """Aggregated ``{stage: {"calls": n, "total_s": seconds}}``
+        across the whole forest (same-named spans accumulate)."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for span_ in self.iter_spans():
+            entry = totals.setdefault(
+                span_.name, {"calls": 0, "total_s": 0.0}
+            )
+            entry["calls"] += 1
+            entry["total_s"] += span_.duration_s
+        for entry in totals.values():
+            entry["total_s"] = round(entry["total_s"], 6)
+        return totals
+
+    def clear(self) -> None:
+        self.roots = []
+        self._stack = []
+
+
+class _NullSpan:
+    """Shared do-nothing span; also its own context manager."""
+
+    __slots__ = ()
+    name = ""
+    attrs: Dict[str, Any] = {}
+    children: List[Span] = []
+    duration_s = 0.0
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": "", "duration_s": 0.0}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every ``span()`` is the same no-op object."""
+
+    enabled = False
+    roots: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def iter_spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def stage_totals(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+
+_current: "Tracer | NullTracer" = NullTracer()
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The ambient tracer instrumented code reports to."""
+    return _current
+
+
+def set_tracer(tracer: "Tracer | NullTracer") -> "Tracer | NullTracer":
+    """Install ``tracer`` as ambient; returns the previous one so
+    callers can restore it."""
+    global _current
+    previous = _current
+    _current = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer | NullTracer") -> Iterator["Tracer | NullTracer"]:
+    """Scoped :func:`set_tracer`: restores the previous tracer on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the ambient tracer (no-op when tracing is off)."""
+    return _current.span(name, **attrs)

@@ -9,7 +9,6 @@ with SmartNIC support are emitted.
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,14 +18,12 @@ from repro.click.elements._dsl import (
     array_state,
     assign,
     decl,
-    eq,
     fcall,
     fld,
     for_,
     idx,
     if_,
     lit,
-    lt,
     ne,
     pkt,
     scalar_state,

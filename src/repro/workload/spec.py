@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
+
+from repro.errors import InvalidWorkloadError
 
 
 @dataclass(frozen=True)
@@ -34,13 +36,15 @@ class WorkloadSpec:
 
     def __post_init__(self) -> None:
         if self.n_flows < 1:
-            raise ValueError("n_flows must be >= 1")
+            raise InvalidWorkloadError("n_flows must be >= 1")
         if not 0.0 <= self.syn_fraction <= 1.0:
-            raise ValueError("syn_fraction out of range")
+            raise InvalidWorkloadError("syn_fraction out of range")
         if not 0.0 <= self.udp_fraction <= 1.0:
-            raise ValueError("udp_fraction out of range")
+            raise InvalidWorkloadError("udp_fraction out of range")
         if self.packet_bytes < 64:
-            raise ValueError("packet_bytes must be >= 64")
+            raise InvalidWorkloadError("packet_bytes must be >= 64")
+        if self.n_packets < 1:
+            raise InvalidWorkloadError("n_packets must be >= 1")
 
 
 #: Few long-lived flows: state fits in caches, compute-bound NICs.

@@ -4,13 +4,11 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.click import ast as C
-from repro.click.elements._dsl import assign, decl, eq, fld, if_, lit, v
+from repro.click.elements._dsl import assign, decl, eq, if_, lit, v
 from repro.click.packet import (
     FIELD_TO_HEADER,
     HEADER_FIELD_NAMES,
-    IP_HEADER,
     Packet,
-    TCP_HEADER,
     header_struct,
 )
 

@@ -4,8 +4,6 @@ same ClickScript expression, including wrapping, promotions, shifts,
 and division-by-zero conventions.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.click import ast as C

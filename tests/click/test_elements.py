@@ -8,7 +8,6 @@ import pytest
 from repro.click.elements import (
     ELEMENT_BUILDERS,
     TABLE2_ELEMENTS,
-    all_elements,
     build_element,
     initial_state,
     install_state,

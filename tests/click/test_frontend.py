@@ -27,8 +27,8 @@ from repro.click.elements._dsl import (
     while_,
 )
 from repro.click.frontend import LoweringError, lower_element
-from repro.nfir import Category, annotate_module, verify_module
-from repro.nfir.instructions import Alloca, Call, CondBr, Load, Store
+from repro.nfir import annotate_module, verify_module
+from repro.nfir.instructions import Alloca, Call, CondBr, Store
 
 
 def lower(handler, state=(), structs=(), helpers=(), inline=True):

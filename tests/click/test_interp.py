@@ -15,7 +15,6 @@ from repro.click.elements._dsl import (
     mcall,
     ne,
     pkt,
-    ret,
     scalar_state,
     struct,
     v,

@@ -1,6 +1,5 @@
 """Behavioural tests for the shaping/load-balancing elements."""
 
-import pytest
 
 from repro.click.elements import build_element, install_state
 from repro.click.frontend import lower_element

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.click.elements import all_elements, build_element
+from repro.click.elements import all_elements
 from repro.click.frontend import lower_element
 from repro.core.algorithms import AlgorithmIdentifier, build_algorithm_corpus
 from repro.core.predictor import InstructionPredictor, PredictorDataset
@@ -49,3 +49,22 @@ def trained_identifier(algorithm_corpus):
 @pytest.fixture()
 def tiny_workload():
     return WorkloadSpec(name="tiny", n_flows=64, n_packets=120)
+
+
+@pytest.fixture(scope="session")
+def clara_artifacts(tmp_path_factory):
+    """A warm artifact cache plus a saved artifact for CLI tests.
+
+    The cache entry matches what ``_obtain_clara`` computes for
+    ``TrainConfig.quick()`` at seed 0, so CLI commands pointed at the
+    directory (via ``REPRO_CLARA_CACHE``) load instead of retraining.
+    """
+    from repro.core import Clara, TrainConfig
+
+    cache_dir = tmp_path_factory.mktemp("clara-cache")
+    clara = Clara(seed=0).train(
+        TrainConfig.quick(), cache="auto", cache_dir=cache_dir
+    )
+    artifact = cache_dir / "clara-saved.pkl"
+    clara.save(artifact)
+    return {"cache_dir": cache_dir, "artifact": artifact}

@@ -1,7 +1,6 @@
 """Algorithm identification tests (paper Section 4.1 / Figure 9)."""
 
 import numpy as np
-import pytest
 
 from repro.click.elements import build_element
 from repro.core.algorithms import (
@@ -9,10 +8,8 @@ from repro.core.algorithms import (
     AlgorithmIdentifier,
     handcrafted_features,
     _crc_bitwise_element,
-    _crc_table_element,
     _hash_negative_element,
     _lpm_linear_element,
-    _lpm_trie_element,
 )
 from repro.core.prepare import prepare_element
 from repro.ml.metrics import precision_recall

@@ -14,8 +14,7 @@ from repro.core.colocation import (
 from repro.core.pipeline import Clara
 from repro.core.prepare import prepare_element
 from repro.click.interp import Interpreter
-from repro.ml.metrics import top_k_accuracy  # noqa: F401 (historic)
-from repro.workload import characterize, generate_trace
+from repro.workload import generate_trace
 from repro.workload.spec import WorkloadSpec
 
 

@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.placement import PlacementError, PlacementProblem, solve_ilp
+from repro.core.placement import PlacementProblem, solve_ilp
 
 
 def _brute_force(problem: PlacementProblem):

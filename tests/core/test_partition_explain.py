@@ -13,12 +13,7 @@ from repro.core.explain import (
     render_explanations,
     svm_top_patterns,
 )
-from repro.core.partition import (
-    HOST_CORES,
-    Partition,
-    PartitionAdvisor,
-    PCIE_CROSSING_CYCLES,
-)
+from repro.core.partition import PartitionAdvisor, PCIE_CROSSING_CYCLES
 from repro.core.prepare import prepare_element
 from repro.ml.gbdt import GBDTRegressor
 from repro.nic.machine import WorkloadCharacter

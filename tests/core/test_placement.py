@@ -12,7 +12,6 @@ from repro.core.placement import (
     solve_greedy,
     solve_ilp,
 )
-from repro.nic.regions import default_hierarchy
 
 
 def problem(names, sizes, freqs):

@@ -2,7 +2,6 @@
 the frontend, printer/parser, compiler, interpreter, and machine model.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

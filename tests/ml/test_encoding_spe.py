@@ -9,13 +9,12 @@ from repro.ml.encoding import (
     InstructionVocabulary,
     PAD_TOKEN,
     UNK_TOKEN,
-    abstract_instruction,
     block_tokens,
     encode_blocks,
     encode_sequence,
     histogram_features,
 )
-from repro.ml.spe import Pattern, SequentialPatternExtractor
+from repro.ml.spe import SequentialPatternExtractor
 from repro.nfir.annotate import annotate_module
 
 

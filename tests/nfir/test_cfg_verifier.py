@@ -6,7 +6,6 @@ from repro.nfir import (
     Function,
     IRBuilder,
     Module,
-    VOID,
     I32,
     build_cfg,
     reverse_postorder,

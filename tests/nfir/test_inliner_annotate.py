@@ -5,19 +5,16 @@ import pytest
 from repro.click.elements import build_element
 from repro.click.frontend import lower_element
 from repro.nfir import (
-    Category,
     Function,
-    GlobalVariable,
     IRBuilder,
     Module,
-    PointerType,
     VOID,
     I32,
     annotate_module,
     inline_internal_calls,
     verify_module,
 )
-from repro.nfir.annotate import build_alloca_points_to, pointer_target
+from repro.nfir.annotate import build_alloca_points_to
 from repro.nfir.inliner import InlineError
 from repro.nfir.instructions import Call
 

@@ -175,7 +175,6 @@ class TestParserErrors:
 
 class TestPhiRoundTrip:
     def test_phi_prints_and_parses(self):
-        from repro.nfir import Phi
         from repro.nfir.values import Constant
 
         m = Module("phis")

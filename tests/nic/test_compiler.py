@@ -17,7 +17,7 @@ from repro.click.elements._dsl import (
     v,
 )
 from repro.click.frontend import lower_element
-from repro.nic.compiler import NFCC, N_GPRS, compile_module
+from repro.nic.compiler import N_GPRS, compile_module
 from repro.nic.isa import MEMORY_OPCODES
 from repro.nic.port import CoalescePack, PortConfig
 
@@ -339,7 +339,7 @@ class TestRemainingSelection:
         assert "br_cond" in ops
 
     def test_phi_costs_a_move(self):
-        from repro.nfir import Function, IRBuilder, Module, Phi, VOID, I32
+        from repro.nfir import Function, IRBuilder, Module, VOID, I32
         from repro.nfir.values import Constant
 
         m = Module("m")

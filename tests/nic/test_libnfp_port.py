@@ -11,7 +11,6 @@ from repro.click.reverse_port import (
     reverse_port_element,
 )
 from repro.nic.libnfp import (
-    API_COSTS,
     api_cost,
     derive_from_reverse_port,
     sw_checksum_cycles,

@@ -1,0 +1,93 @@
+"""MetricsRegistry: counters, gauges, histograms, exports."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_metrics, set_metrics
+
+
+class TestCounters:
+    def test_inc_and_to_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("requests").inc()
+        reg.counter("requests").inc(2)
+        assert reg.to_dict()["requests"] == 3
+
+    def test_labels_are_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter("cache", result="hit").inc()
+        reg.counter("cache", result="miss").inc(4)
+        exported = reg.to_dict()
+        assert exported['cache{result="hit"}'] == 1
+        assert exported['cache{result="miss"}'] == 4
+
+    def test_counters_only_go_up(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert reg.to_dict()["depth"] == 12
+
+
+class TestHistograms:
+    def test_observe_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        exported = reg.to_dict()["latency"]
+        assert exported["count"] == 4
+        assert exported["sum"] == pytest.approx(6.05)
+        assert exported["buckets"]["le_0.1"] == 1
+        assert exported["buckets"]["le_1"] == 3
+        assert exported["buckets"]["le_inf"] == 4
+
+
+class TestPrometheusExport:
+    def test_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("train_runs").inc(2)
+        reg.gauge("workers").set(4)
+        reg.histogram("dur", buckets=(1.0,)).observe(0.5)
+        text = reg.to_prometheus()
+        assert "# TYPE train_runs counter" in text
+        assert "train_runs 2" in text
+        assert "# TYPE workers gauge" in text
+        assert "workers 4" in text
+        assert 'dur_bucket{le="1"} 1' in text
+        assert 'dur_bucket{le="+Inf"} 1' in text
+        assert "dur_sum 0.5" in text
+        assert "dur_count 1" in text
+        assert text.endswith("\n")
+
+    def test_labelled_counter_line(self):
+        reg = MetricsRegistry()
+        reg.counter("cache", result="hit").inc()
+        assert 'cache{result="hit"} 1' in reg.to_prometheus()
+
+    def test_empty_registry(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestDefaultRegistry:
+    def test_get_set_roundtrip(self):
+        fresh = MetricsRegistry()
+        previous = set_metrics(fresh)
+        try:
+            assert get_metrics() is fresh
+        finally:
+            set_metrics(previous)
+        assert get_metrics() is previous
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.to_dict() == {}

@@ -1,0 +1,78 @@
+"""RunReport: collection from a tracer, JSON round-trip, rendering."""
+
+import pytest
+
+from repro import obs
+from repro.obs import RUN_REPORT_SCHEMA, RunReport
+
+
+def _traced_run():
+    tracer = obs.Tracer()
+    metrics = obs.MetricsRegistry()
+    with obs.use_tracer(tracer):
+        with obs.span("train", cache_mode="auto") as sp:
+            sp.set("cache", "miss")
+            with obs.span("fit_predictor"):
+                pass
+            with obs.span("fit_predictor"):
+                pass
+    metrics.counter("train_runs").inc()
+    metrics.histogram("dur", buckets=(1.0,)).observe(0.2)
+    return tracer, metrics
+
+
+class TestCollect:
+    def test_stages_and_metrics_captured(self):
+        tracer, metrics = _traced_run()
+        report = RunReport.collect("train", tracer, metrics, extra="x")
+        assert report.command == "train"
+        assert report.status == "ok"
+        assert report.stages["train"]["calls"] == 1
+        assert report.stages["fit_predictor"]["calls"] == 2
+        assert report.metrics["train_runs"] == 1
+        assert report.attributes == {"extra": "x"}
+        assert report.spans[0]["attrs"]["cache"] == "miss"
+        assert report.duration_s >= 0.0
+
+    def test_collect_without_metrics(self):
+        tracer, _ = _traced_run()
+        assert RunReport.collect("t", tracer).metrics == {}
+
+
+class TestRoundTrip:
+    def test_json_roundtrip_preserves_to_dict(self):
+        tracer, metrics = _traced_run()
+        report = RunReport.collect("train", tracer, metrics)
+        restored = RunReport.from_json(report.to_json())
+        assert restored.to_dict() == report.to_dict()
+
+    def test_schema_key_present(self):
+        tracer, metrics = _traced_run()
+        data = RunReport.collect("train", tracer, metrics).to_dict()
+        assert data["schema"] == RUN_REPORT_SCHEMA
+        assert data["kind"] == "run_report"
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            RunReport.from_dict({"schema": 999, "command": "x"})
+
+    def test_non_json_attrs_stringified(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("s") as sp:
+                sp.set("blocks", frozenset({"a"}))
+                sp.set("path", object())
+        report = RunReport.collect("t", tracer)
+        import json
+
+        json.loads(report.to_json())  # must not raise
+
+
+class TestRenderProfile:
+    def test_table_contains_stages(self):
+        tracer, metrics = _traced_run()
+        text = RunReport.collect("train", tracer, metrics).render_profile()
+        assert "Run profile: train" in text
+        assert "fit_predictor" in text
+        assert "calls" in text
+        assert "train_runs" in text

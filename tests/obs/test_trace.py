@@ -1,0 +1,130 @@
+"""Tracer: span nesting, timing, attributes, and the disabled path."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NullTracer, _NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("outer"):
+                with obs.span("inner_a"):
+                    pass
+                with obs.span("inner_b"):
+                    with obs.span("leaf"):
+                        pass
+        assert [s.name for s in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sibling_roots(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("first"):
+                pass
+            with obs.span("second"):
+                pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+    def test_iter_spans_depth_first(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("a"):
+                with obs.span("b"):
+                    pass
+            with obs.span("c"):
+                pass
+        assert [s.name for s in tracer.iter_spans()] == ["a", "b", "c"]
+
+
+class TestSpanTiming:
+    def test_duration_positive_and_nested_bound(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    time.sleep(0.01)
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert inner.duration_s >= 0.01
+        assert outer.duration_s >= inner.duration_s
+
+    def test_stage_totals_aggregate_calls(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            for _ in range(3):
+                with obs.span("stage"):
+                    pass
+        totals = tracer.stage_totals()
+        assert totals["stage"]["calls"] == 3
+        assert totals["stage"]["total_s"] >= 0.0
+
+
+class TestSpanAttributes:
+    def test_set_and_kwargs(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("s", mode="auto") as sp:
+                sp.set("n_samples", 42)
+        span = tracer.roots[0]
+        assert span.attrs == {"mode": "auto", "n_samples": 42}
+
+    def test_exception_records_error_and_propagates(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with pytest.raises(ValueError):
+                with obs.span("boom"):
+                    raise ValueError("nope")
+        assert tracer.roots[0].attrs["error"] == "ValueError"
+
+    def test_to_dict_tree(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("outer", k="v"):
+                with obs.span("inner"):
+                    pass
+        tree = tracer.roots[0].to_dict()
+        assert tree["name"] == "outer"
+        assert tree["attrs"] == {"k": "v"}
+        assert tree["children"][0]["name"] == "inner"
+        assert tree["duration_s"] >= 0.0
+
+
+class TestDisabledTracer:
+    def test_default_tracer_is_null(self):
+        assert isinstance(obs.get_tracer(), NullTracer)
+
+    def test_null_span_is_shared_noop(self):
+        with obs.span("anything", k=1) as sp:
+            assert sp is _NULL_SPAN
+            sp.set("ignored", True)
+        assert list(obs.get_tracer().iter_spans()) == []
+        assert obs.get_tracer().stage_totals() == {}
+
+    def test_use_tracer_restores_previous(self):
+        before = obs.get_tracer()
+        with obs.use_tracer(obs.Tracer()) as tracer:
+            assert obs.get_tracer() is tracer
+        assert obs.get_tracer() is before
+
+    def test_set_tracer_returns_previous(self):
+        tracer = obs.Tracer()
+        previous = obs.set_tracer(tracer)
+        try:
+            assert obs.get_tracer() is tracer
+        finally:
+            obs.set_tracer(previous)
+
+    def test_clear(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("s"):
+                pass
+        tracer.clear()
+        assert tracer.roots == []

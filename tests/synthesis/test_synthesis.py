@@ -7,7 +7,6 @@ import numpy as np
 import pytest
 
 from repro.click.ast import walk_element
-from repro.click.elements import all_elements
 from repro.click.frontend import lower_element
 from repro.click.interp import Interpreter
 from repro.ml.encoding import block_tokens

@@ -1,8 +1,16 @@
 """CLI smoke tests (direct invocation, no subprocess)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.errors import (
+    ArtifactCacheMiss,
+    ArtifactError,
+    InvalidWorkloadError,
+    UnknownElementError,
+)
 
 
 class TestParser:
@@ -42,6 +50,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--cache", "sometimes"])
 
+    def test_obs_flags_on_every_command(self):
+        for command in ("inventory", "train", "explain"):
+            args = build_parser().parse_args(
+                [command, "--profile", "--json-report", "rr.json", "-vv"]
+            )
+            assert args.profile
+            assert args.json_report == "rr.json"
+            assert args.verbose == 2
+            assert not args.quiet
+
+    def test_json_flags(self):
+        assert build_parser().parse_args(["analyze", "udpcount", "--json"]).json
+        assert build_parser().parse_args(["sweep", "udpcount", "--json"]).json
+
 
 class TestCommands:
     def test_inventory(self, capsys):
@@ -62,19 +84,129 @@ class TestCommands:
         assert "knee" in out
         assert "tput(Mpps)" in out
 
-    def test_unknown_element_raises(self):
-        with pytest.raises(KeyError):
-            main(["render", "not_an_element"])
-
-    def test_train_save_then_analyze_load(self, tmp_path, capsys, monkeypatch):
-        monkeypatch.setenv("REPRO_CLARA_CACHE", str(tmp_path / "cache"))
-        artifact = tmp_path / "clara.pkl"
-        assert main(["train", "--quick", "--save", str(artifact)]) == 0
-        assert artifact.exists()
+    def test_train_save_then_analyze_load(self, clara_artifacts, capsys,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CLARA_CACHE",
+                           str(clara_artifacts["cache_dir"]))
         assert main(["analyze", "aggcounter", "--packets", "60",
-                     "--load", str(artifact)]) == 0
+                     "--load", str(clara_artifacts["artifact"])]) == 0
         out = capsys.readouterr().out
         assert "Suggested port configuration" in out
+
+
+class TestExitCodes:
+    """Each ClaraError subclass maps to its own exit status, with a
+    one-line ``error:`` message instead of a traceback."""
+
+    def test_unknown_element(self, capsys):
+        assert main(["render", "not_an_element"]) == \
+            UnknownElementError.exit_code
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown element")
+
+    def test_invalid_workload(self, capsys):
+        # validation happens before any training starts
+        assert main(["analyze", "aggcounter", "--flows", "0"]) == \
+            InvalidWorkloadError.exit_code
+        assert "n_flows" in capsys.readouterr().err
+
+    def test_artifact_error(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.pkl")
+        assert main(["analyze", "aggcounter", "--load", missing]) == \
+            ArtifactError.exit_code
+        assert "no artifact at" in capsys.readouterr().err
+
+    def test_cache_require_miss(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CLARA_CACHE", str(tmp_path / "empty"))
+        assert main(["train", "--quick", "--cache", "require"]) == \
+            ArtifactCacheMiss.exit_code
+        assert "no cached Clara artifact" in capsys.readouterr().err
+
+
+class TestJsonOutputs:
+    def test_analyze_json_schema(self, clara_artifacts, capsys):
+        assert main(["analyze", "aggcounter", "--packets", "60", "--json",
+                     "--load", str(clara_artifacts["artifact"])]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["kind"] == "analysis_result"
+        report = payload["report"]
+        assert report["schema"] == 1
+        assert report["nf_name"] == "aggcounter"
+        types = {entry["type"] for entry in report["insights"]}
+        assert {"compute", "memory", "scaleout", "placement"} <= types
+        assert payload["port_config"]["cores"] >= 1
+        assert payload["profile"]["packets"] == 60
+
+    def test_sweep_json_schema(self, capsys):
+        assert main(["sweep", "aggcounter", "--packets", "60",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["kind"] == "core_sweep"
+        assert payload["knee"] in [p["cores"] for p in payload["points"]]
+        assert all(p["throughput_mpps"] > 0 for p in payload["points"])
+
+    def test_insight_report_json_roundtrip(self, clara_artifacts):
+        from repro.core import Clara, InsightReport
+        from repro.workload.spec import WorkloadSpec
+
+        clara = Clara.load(clara_artifacts["artifact"])
+        analysis = clara.analyze(
+            "udpcount", WorkloadSpec(name="t", n_flows=64, n_packets=60)
+        )
+        restored = InsightReport.from_json(analysis.report.to_json())
+        assert restored.to_dict() == analysis.report.to_dict()
+
+
+class TestObservabilityFlags:
+    def test_analyze_profile_prints_stage_table(self, clara_artifacts,
+                                                capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CLARA_CACHE",
+                           str(clara_artifacts["cache_dir"]))
+        assert main(["analyze", "aggcounter", "--packets", "60",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Run profile: analyze" in out
+        for stage in ("prepare", "profile_on_host", "predict",
+                      "placement", "coalescing", "artifact_cache.load"):
+            assert stage in out
+
+    def test_analyze_json_report_file(self, clara_artifacts, tmp_path,
+                                      capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CLARA_CACHE",
+                           str(clara_artifacts["cache_dir"]))
+        path = tmp_path / "rr.json"
+        assert main(["analyze", "aggcounter", "--packets", "60",
+                     "--json-report", str(path)]) == 0
+        capsys.readouterr()
+        from repro.obs import RunReport
+
+        report = RunReport.from_json(path.read_text())
+        assert report.command == "analyze"
+        assert report.status == "ok"
+        assert report.attributes["exit_code"] == 0
+        # artifact-cache activity and every advisor stage are visible
+        assert "artifact_cache.load" in report.stages
+        for stage in ("prepare", "profile_on_host", "predict", "identify",
+                      "scaleout", "placement", "coalescing"):
+            assert stage in report.stages, stage
+        cache_hits = [
+            name for name in report.metrics
+            if name.startswith("artifact_cache_requests")
+        ]
+        assert cache_hits
+
+    def test_failed_run_report_records_status(self, tmp_path, capsys):
+        path = tmp_path / "rr.json"
+        code = main(["render", "not_an_element", "--json-report", str(path)])
+        assert code == UnknownElementError.exit_code
+        capsys.readouterr()
+        from repro.obs import RunReport
+
+        report = RunReport.from_json(path.read_text())
+        assert report.status == "UnknownElementError"
+        assert report.attributes["exit_code"] == UnknownElementError.exit_code
 
 
 class TestTracePersistence:

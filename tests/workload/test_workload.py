@@ -1,6 +1,5 @@
 """Workload spec, trace generation, and cache-character tests."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
