@@ -14,7 +14,15 @@ Commands:
   simulated NIC (with ``--load``, also prints Clara's predicted knee;
   ``--json`` for machine-readable output);
 * ``explain`` — print the interpretability report for a trained
-  (cached or ``--load``-ed) identifier/cost model.
+  (cached or ``--load``-ed) identifier/cost model;
+* ``lint [elements...]`` — run the static offload linter over library
+  elements (all of them by default): ``--json`` for the schema-stable
+  lint reports, ``--sarif`` for SARIF 2.1.0, ``--only``/``--disable``
+  to select rules, ``--list-rules`` to print the rule table.  Exits 0
+  when clean (or notes only), ``LINT_EXIT_WARNING`` (8) on warnings,
+  ``LINT_EXIT_ERROR`` (9) on error-severity findings — distinct from
+  the ClaraError exit codes so scripts can tell NF portability
+  problems from tool failures.
 
 Observability (every command): ``--profile`` prints a per-stage
 wall-clock table after the command, ``--json-report PATH`` writes the
@@ -38,7 +46,12 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.errors import ArtifactError, ClaraError
+from repro.errors import (
+    ArtifactError,
+    ClaraError,
+    LINT_EXIT_ERROR,
+    LINT_EXIT_WARNING,
+)
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -269,6 +282,66 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.click.elements import ELEMENT_BUILDERS, build_element
+    from repro.core.prepare import prepare_element
+    from repro.nfir.analysis import (
+        default_registry,
+        sarif_report,
+    )
+    from repro.obs import span
+
+    registry = default_registry()
+    if args.list_rules:
+        print(f"{'code':6s} {'name':24s} description")
+        for pass_ in sorted(registry, key=lambda p: p.code):
+            print(f"{pass_.code:6s} {pass_.name:24s} {pass_.description}")
+        return 0
+
+    only = args.only.split(",") if args.only else None
+    disable = args.disable.split(",") if args.disable else None
+    try:
+        registry.select(only=only, disable=disable)
+    except KeyError as exc:
+        raise ClaraError(
+            f"{exc.args[0]} (known: {', '.join(registry.codes)})"
+        ) from None
+
+    names = args.elements or sorted(ELEMENT_BUILDERS)
+    reports = []
+    with span("lint_corpus", n_elements=len(names)) as sp:
+        for name in names:
+            prepared = prepare_element(build_element(name))
+            reports.append(
+                registry.run(prepared.module, only=only, disable=disable)
+            )
+        sp.set("n_diagnostics", sum(len(r.diagnostics) for r in reports))
+
+    n_errors = sum(r.n_errors for r in reports)
+    n_warnings = sum(r.n_warnings for r in reports)
+    if args.sarif:
+        print(json.dumps(sarif_report(reports, registry), indent=2))
+    elif args.json:
+        payload = {
+            "schema": 1,
+            "kind": "lint_run",
+            "reports": [report.to_dict() for report in reports],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            print(report.render(), end="")
+        print(
+            f"{len(reports)} element(s): {n_errors} error(s),"
+            f" {n_warnings} warning(s)"
+        )
+    if n_errors:
+        return LINT_EXIT_ERROR
+    if n_warnings:
+        return LINT_EXIT_WARNING
+    return 0
+
+
 def cmd_explain(args) -> int:
     from repro.core.explain import render_explanations
 
@@ -337,6 +410,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain = sub.add_parser("explain", help="model interpretability report")
     _add_train_source_args(p_explain)
     _add_obs_args(p_explain)
+
+    p_lint = sub.add_parser(
+        "lint", help="static offload-portability diagnostics"
+    )
+    p_lint.add_argument("elements", nargs="*",
+                        help="library element names (default: all)")
+    output = p_lint.add_mutually_exclusive_group()
+    output.add_argument("--json", action="store_true",
+                        help="emit the schema-stable lint reports as JSON")
+    output.add_argument("--sarif", action="store_true",
+                        help="emit a SARIF 2.1.0 document")
+    p_lint.add_argument("--only", metavar="RULES", default=None,
+                        help="comma-separated rule codes/names to run"
+                             " exclusively")
+    p_lint.add_argument("--disable", metavar="RULES", default=None,
+                        help="comma-separated rule codes/names to skip")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    _add_obs_args(p_lint)
     return parser
 
 
@@ -349,6 +441,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": cmd_analyze,
         "sweep": cmd_sweep,
         "explain": cmd_explain,
+        "lint": cmd_lint,
     }
 
     from repro import obs

@@ -7,10 +7,15 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.nfir.analysis import Diagnostic
+
 #: version of the ``to_dict()``/``to_json()`` layout emitted by
 #: :class:`Insight` and :class:`InsightReport` (documented in
-#: docs/API.md; bump on incompatible changes).
-INSIGHT_REPORT_SCHEMA = 1
+#: docs/API.md; bump on incompatible changes).  Schema 2 adds the
+#: ``diagnostics`` list (offload-lint findings); schema-1 payloads are
+#: still accepted by :meth:`InsightReport.from_dict` and read back with
+#: an empty diagnostics list.
+INSIGHT_REPORT_SCHEMA = 2
 
 INSIGHT_TYPES = (
     "compute",      # predicted compute instructions for a block
@@ -69,6 +74,7 @@ class InsightReport:
     nf_name: str
     workload_name: str = ""
     insights: List[Insight] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
     def add(self, type: str, subject: str, value: Any, detail: str = "") -> Insight:
         insight = Insight(type, subject, value, detail)
@@ -97,16 +103,26 @@ class InsightReport:
     def placement(self) -> Dict[str, str]:
         return {i.subject: str(i.value) for i in self.of_type("placement")}
 
+    @property
+    def lint_errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def lint_warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
     # -- stable serialization (schema versioned, documented) -----------
     def to_dict(self) -> Dict[str, Any]:
-        """The stable JSON layout: ``{"schema": 1, "kind":
-        "insight_report", "nf_name", "workload_name", "insights"}``."""
+        """The stable JSON layout: ``{"schema": 2, "kind":
+        "insight_report", "nf_name", "workload_name", "insights",
+        "diagnostics"}``."""
         return {
             "schema": INSIGHT_REPORT_SCHEMA,
             "kind": "insight_report",
             "nf_name": self.nf_name,
             "workload_name": self.workload_name,
             "insights": [insight.to_dict() for insight in self.insights],
+            "diagnostics": [diag.to_dict() for diag in self.diagnostics],
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -115,7 +131,7 @@ class InsightReport:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "InsightReport":
         schema = data.get("schema")
-        if schema != INSIGHT_REPORT_SCHEMA:
+        if schema not in (1, INSIGHT_REPORT_SCHEMA):
             raise ValueError(
                 f"unsupported insight-report schema {schema!r}"
                 f" (expected {INSIGHT_REPORT_SCHEMA})"
@@ -126,6 +142,8 @@ class InsightReport:
         )
         for entry in data.get("insights", []):
             report.insights.append(Insight.from_dict(entry))
+        for entry in data.get("diagnostics", []):
+            report.diagnostics.append(Diagnostic.from_dict(entry))
         return report
 
     @classmethod
@@ -148,4 +166,8 @@ class InsightReport:
             for insight in by_type[type_]:
                 suffix = f"  ({insight.detail})" if insight.detail else ""
                 lines.append(f"  {insight.subject}: {insight.value}{suffix}")
+        if self.diagnostics:
+            lines.append("\n[diagnostics]")
+            for diag in self.diagnostics:
+                lines.append(f"  {diag.render()}")
         return "\n".join(lines) + "\n"

@@ -54,6 +54,7 @@ from repro.core.predictor import InstructionPredictor, PredictorDataset
 from repro.core.prepare import PreparedNF, prepare_element
 from repro.core.scaleout import ScaleoutAdvisor
 from repro.errors import NotTrainedError
+from repro.nfir.analysis import lint_module
 from repro.nic.machine import NICModel, WorkloadCharacter
 from repro.nic.port import PortConfig
 from repro.obs import get_logger, get_metrics, span
@@ -93,7 +94,7 @@ class AnalysisResult:
         }
 
     def to_dict(self) -> Dict[str, Any]:
-        """Stable JSON layout (``"schema": 1``): the insight report
+        """Stable JSON layout (``"schema": 2``): the insight report
         plus the host-profile and workload facts it was derived from."""
         return {
             "schema": INSIGHT_REPORT_SCHEMA,
@@ -460,6 +461,20 @@ class Clara:
                     pack.access_bytes,
                     detail="K-means access-vector cluster",
                 )
+
+            # Offload lint (static portability diagnostics).
+            with span("lint") as sp:
+                lint = lint_module(prepared.module)
+                report.diagnostics = list(lint.diagnostics)
+                sp.set("n_diagnostics", len(lint.diagnostics))
+                sp.set("n_errors", lint.n_errors)
+                metrics = get_metrics()
+                for diag in lint.diagnostics:
+                    metrics.counter(
+                        "lint_diagnostics",
+                        severity=diag.severity,
+                        rule=diag.rule,
+                    ).inc()
 
         log.info(
             "analyze: %s under %s -> %d insights",

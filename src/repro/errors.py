@@ -24,6 +24,8 @@ __all__ = [
     "ClaraError",
     "EXIT_CODES",
     "InvalidWorkloadError",
+    "LINT_EXIT_ERROR",
+    "LINT_EXIT_WARNING",
     "NotTrainedError",
     "UnknownElementError",
 ]
@@ -72,6 +74,15 @@ class ArtifactCacheMiss(ArtifactError):
 
     exit_code = 7
 
+
+#: ``clara lint`` exit statuses (not exceptions — lint findings are a
+#: result, not a failure): 0 means clean or notes only,
+#: :data:`LINT_EXIT_WARNING` means warnings but no errors, and
+#: :data:`LINT_EXIT_ERROR` means at least one error-severity
+#: diagnostic.  Distinct from the exception codes below so scripts can
+#: tell "the NF has portability problems" from "the tool failed".
+LINT_EXIT_WARNING = 8
+LINT_EXIT_ERROR = 9
 
 #: exception class name -> CLI exit status (documented in docs/API.md).
 EXIT_CODES = {

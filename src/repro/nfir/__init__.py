@@ -57,6 +57,14 @@ from repro.nfir.annotate import (
     annotate_module,
     classify_instruction,
 )
+from repro.nfir.analysis import (
+    Diagnostic,
+    DominatorTree,
+    LintReport,
+    PassRegistry,
+    default_registry,
+    lint_module,
+)
 
 __all__ = [
     "ArrayType",
@@ -111,4 +119,10 @@ __all__ = [
     "annotate_function",
     "annotate_module",
     "classify_instruction",
+    "Diagnostic",
+    "DominatorTree",
+    "LintReport",
+    "PassRegistry",
+    "default_registry",
+    "lint_module",
 ]

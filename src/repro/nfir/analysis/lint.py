@@ -1,0 +1,333 @@
+"""The offload-lint framework: diagnostics, passes, and reports.
+
+Every check the static analyzer performs is a :class:`LintPass` with a
+stable rule code (``CL001``...), registered in a :class:`PassRegistry`
+so callers can enable/disable rules individually and third parties can
+plug in their own.  Running a registry over a module produces a
+:class:`LintReport` — a schema-versioned collection of
+:class:`Diagnostic` s with human, JSON, and SARIF renderings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.nfir.analysis.dominance import DominatorTree
+from repro.nfir.function import Function, Module
+
+#: version of the ``LintReport.to_dict()`` layout (bump on
+#: incompatible changes; documented in docs/API.md).
+LINT_REPORT_SCHEMA = 1
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_NOTE = "note"
+
+#: ordered weakest-first, so ``max(..., key=severity_rank)`` works.
+SEVERITIES = (SEVERITY_NOTE, SEVERITY_WARNING, SEVERITY_ERROR)
+
+
+def severity_rank(severity: str) -> int:
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValueError(f"unknown severity {severity!r}") from None
+
+
+@dataclass
+class Diagnostic:
+    """One finding: a rule code, a severity, and a location.
+
+    ``function``/``block``/``instruction`` narrow the location as far
+    as the rule can (module-scope findings, e.g. about a global, leave
+    them ``None``; ``instruction`` is the value ref or opcode).
+    """
+
+    rule: str
+    severity: str
+    message: str
+    function: Optional[str] = None
+    block: Optional[str] = None
+    instruction: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)  # validate
+
+    def location(self) -> str:
+        parts = [p for p in (
+            f"@{self.function}" if self.function else None,
+            f"%{self.block}" if self.block else None,
+            self.instruction,
+        ) if p]
+        return ":".join(parts) if parts else "<module>"
+
+    def render(self) -> str:
+        return f"{self.severity}[{self.rule}] {self.location()}: {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "function": self.function,
+            "block": self.block,
+            "instruction": self.instruction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Diagnostic":
+        return cls(
+            rule=str(data["rule"]),
+            severity=str(data["severity"]),
+            message=str(data["message"]),
+            function=data.get("function"),
+            block=data.get("block"),
+            instruction=data.get("instruction"),
+        )
+
+
+class LintContext:
+    """Shared per-module analysis state, built lazily so passes that
+    need the same dominator tree or annotation do not recompute it."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self._domtrees: Dict[str, DominatorTree] = {}
+
+    def domtree(self, function: Function) -> DominatorTree:
+        tree = self._domtrees.get(function.name)
+        if tree is None:
+            tree = DominatorTree(function)
+            self._domtrees[function.name] = tree
+        return tree
+
+
+class LintPass:
+    """Base class of every lint rule.
+
+    Subclasses set :attr:`code` (stable ``CL###`` identifier),
+    :attr:`name` (kebab-case slug used in output and docs), and
+    :attr:`description`, and implement :meth:`run` yielding
+    :class:`Diagnostic` s.
+    """
+
+    code: str = "CL000"
+    name: str = "unnamed"
+    description: str = ""
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, severity: str, message: str, **loc: Optional[str]) -> Diagnostic:
+        return Diagnostic(self.code, severity, message, **loc)
+
+
+class PassRegistry:
+    """An ordered collection of lint passes, addressable by code or
+    name, with per-run enable/disable."""
+
+    def __init__(self, passes: Sequence[LintPass] = ()) -> None:
+        self._passes: Dict[str, LintPass] = {}
+        for p in passes:
+            self.register(p)
+
+    def register(self, pass_: LintPass) -> LintPass:
+        if isinstance(pass_, type):
+            pass_ = pass_()
+        if not pass_.code.startswith("CL") or pass_.code == "CL000":
+            raise ValueError(
+                f"lint pass {type(pass_).__name__} needs a stable CL### code"
+            )
+        if pass_.code in self._passes:
+            raise ValueError(f"duplicate lint rule code {pass_.code}")
+        self._passes[pass_.code] = pass_
+        return pass_
+
+    def get(self, code_or_name: str) -> LintPass:
+        if code_or_name in self._passes:
+            return self._passes[code_or_name]
+        for p in self._passes.values():
+            if p.name == code_or_name:
+                return p
+        raise KeyError(f"no lint rule {code_or_name!r}")
+
+    def __iter__(self):
+        return iter(self._passes.values())
+
+    def __len__(self) -> int:
+        return len(self._passes)
+
+    @property
+    def codes(self) -> List[str]:
+        return sorted(self._passes)
+
+    def select(
+        self,
+        only: Optional[Sequence[str]] = None,
+        disable: Optional[Sequence[str]] = None,
+    ) -> List[LintPass]:
+        """The passes a run should execute: ``only`` whitelists rule
+        codes/names, ``disable`` removes them; both validate."""
+        chosen = (
+            [self.get(c) for c in only]
+            if only is not None
+            else [self._passes[c] for c in self.codes]
+        )
+        if disable:
+            dropped = {id(self.get(c)) for c in disable}
+            chosen = [p for p in chosen if id(p) not in dropped]
+        return chosen
+
+    def run(
+        self,
+        module: Module,
+        only: Optional[Sequence[str]] = None,
+        disable: Optional[Sequence[str]] = None,
+    ) -> "LintReport":
+        ctx = LintContext(module)
+        diagnostics: List[Diagnostic] = []
+        for pass_ in self.select(only=only, disable=disable):
+            diagnostics.extend(pass_.run(module, ctx))
+        return LintReport(module_name=module.name, diagnostics=diagnostics)
+
+
+@dataclass
+class LintReport:
+    """Every diagnostic one lint run produced for one module."""
+
+    module_name: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def by_severity(self, severity: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def n_errors(self) -> int:
+        return len(self.by_severity(SEVERITY_ERROR))
+
+    @property
+    def n_warnings(self) -> int:
+        return len(self.by_severity(SEVERITY_WARNING))
+
+    @property
+    def max_severity(self) -> Optional[str]:
+        if not self.diagnostics:
+            return None
+        return max((d.severity for d in self.diagnostics), key=severity_rank)
+
+    @property
+    def clean(self) -> bool:
+        """No diagnostics above note severity."""
+        return self.n_errors == 0 and self.n_warnings == 0
+
+    def counts(self) -> Dict[str, int]:
+        out = {s: 0 for s in SEVERITIES}
+        for d in self.diagnostics:
+            out[d.severity] += 1
+        return out
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": LINT_REPORT_SCHEMA,
+            "kind": "lint_report",
+            "module": self.module_name,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LintReport":
+        schema = data.get("schema")
+        if schema != LINT_REPORT_SCHEMA:
+            raise ValueError(
+                f"unsupported lint-report schema {schema!r}"
+                f" (expected {LINT_REPORT_SCHEMA})"
+            )
+        return cls(
+            module_name=str(data.get("module", "")),
+            diagnostics=[
+                Diagnostic.from_dict(d) for d in data.get("diagnostics", [])
+            ],
+        )
+
+    def render(self) -> str:
+        lines = [f"lint: module {self.module_name}"]
+        for d in self.diagnostics:
+            lines.append("  " + d.render())
+        counts = self.counts()
+        lines.append(
+            f"  {counts[SEVERITY_ERROR]} error(s),"
+            f" {counts[SEVERITY_WARNING]} warning(s),"
+            f" {counts[SEVERITY_NOTE]} note(s)"
+        )
+        return "\n".join(lines) + "\n"
+
+
+def sarif_report(
+    reports: Sequence[LintReport], registry: Optional[PassRegistry] = None
+) -> Dict[str, Any]:
+    """A SARIF 2.1.0 document for one or more lint runs (one SARIF run
+    total; module/function/block locations map to logicalLocations)."""
+    rules: List[Dict[str, Any]] = []
+    if registry is not None:
+        rules = [
+            {
+                "id": p.code,
+                "name": p.name,
+                "shortDescription": {"text": p.description or p.name},
+            }
+            for p in sorted(registry, key=lambda p: p.code)
+        ]
+    results: List[Dict[str, Any]] = []
+    for report in reports:
+        for d in report.diagnostics:
+            qualified = ".".join(
+                part for part in (
+                    report.module_name, d.function, d.block, d.instruction
+                ) if part
+            )
+            results.append({
+                "ruleId": d.rule,
+                "level": d.severity,  # SARIF levels: error/warning/note
+                "message": {"text": d.message},
+                "locations": [{
+                    "logicalLocations": [{"fullyQualifiedName": qualified}]
+                }],
+            })
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "clara-lint",
+                    "informationUri": "https://example.invalid/clara",
+                    "rules": rules,
+                }
+            },
+            "results": results,
+        }],
+    }
+
+
+def lint_module(
+    module: Module,
+    registry: Optional[PassRegistry] = None,
+    only: Optional[Sequence[str]] = None,
+    disable: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the (default) lint suite over one module."""
+    if registry is None:
+        from repro.nfir.analysis.passes import default_registry
+
+        registry = default_registry()
+    return registry.run(module, only=only, disable=disable)

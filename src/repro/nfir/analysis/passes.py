@@ -1,0 +1,546 @@
+"""The built-in offload-lint rules (``CL001``-``CL008``).
+
+Each rule flags one class of construct the paper identifies as an
+offload hazard: opcodes the NFP micro-engines have no native support
+for, loops the NIC compiler cannot bound, calls the inliner cannot
+remove, state that is dead or races under scale-out, and state the
+memory hierarchy cannot hold.  Severities follow one convention:
+
+* ``error`` — the module cannot be ported at all (recursion, state
+  larger than every region);
+* ``warning`` — portable but with a known performance or correctness
+  hazard the developer should resolve;
+* ``note`` — advisory (constructs the compiler silently expands).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.nfir.analysis.dataflow import maybe_uninitialized_loads
+from repro.nfir.analysis.lint import (
+    Diagnostic,
+    LintContext,
+    LintPass,
+    PassRegistry,
+    SEVERITY_ERROR,
+    SEVERITY_NOTE,
+    SEVERITY_WARNING,
+)
+from repro.nfir.function import Function, GlobalVariable, Module
+from repro.nfir.instructions import (
+    BinaryOp,
+    Call,
+    CondBr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Store,
+    CALL_KIND_INTERNAL,
+)
+from repro.nfir.types import IntType
+from repro.nfir.values import Argument, Constant, Value
+
+#: Framework APIs that only *read* / only *write* their backing global
+#: (mirrors repro.click.framework; kept local so repro.nfir stays
+#: independent of the frontend package).
+_API_READS = frozenset({
+    "hashmap_find", "hashmap_size", "vector_at", "vector_size",
+})
+_API_WRITES = frozenset({
+    "hashmap_insert", "hashmap_erase", "vector_push", "vector_remove",
+})
+
+
+def _instr_ref(instr: Instruction) -> str:
+    return instr.ref() if instr.name is not None else instr.opcode
+
+
+def _loc(instr: Instruction, function: Function) -> Dict[str, Optional[str]]:
+    return {
+        "function": function.name,
+        "block": instr.parent.name if instr.parent is not None else None,
+        "instruction": _instr_ref(instr),
+    }
+
+
+class NicUnsupportedOpPass(LintPass):
+    """Opcodes with no native NFP micro-engine support (the construct
+    class the DPU study catalogs as a silent port killer): signed
+    divide/modulo, 64-bit multiplies, and software-divide expansions."""
+
+    code = "CL001"
+    name = "nic-unsupported-op"
+    description = (
+        "signed division, wide multiply, or software-divide expansion"
+    )
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        for function in module.functions.values():
+            for instr in function.instructions():
+                if not isinstance(instr, BinaryOp):
+                    continue
+                wide = (
+                    isinstance(instr.type, IntType) and instr.type.bits > 32
+                )
+                if instr.opcode in ("sdiv", "srem"):
+                    yield self.diag(
+                        SEVERITY_WARNING,
+                        f"{instr.opcode} has no NFP equivalent; the NIC"
+                        " compiler substitutes an unsigned software"
+                        " divide with different semantics for negative"
+                        " operands",
+                        **_loc(instr, function),
+                    )
+                elif instr.opcode == "mul" and wide:
+                    yield self.diag(
+                        SEVERITY_WARNING,
+                        "64-bit multiply expands to a 10-step mul_step"
+                        " sequence on the micro-engine",
+                        **_loc(instr, function),
+                    )
+                elif instr.opcode in ("udiv", "urem"):
+                    rhs = instr.rhs
+                    by_pow2 = (
+                        isinstance(rhs, Constant)
+                        and rhs.value > 0
+                        and rhs.value & (rhs.value - 1) == 0
+                    )
+                    if not by_pow2:
+                        yield self.diag(
+                            SEVERITY_NOTE,
+                            f"{instr.opcode} by a non-power-of-two"
+                            " expands to a ~22-instruction software"
+                            " divide",
+                            **_loc(instr, function),
+                        )
+
+
+class UnboundedLoopPass(LintPass):
+    """Loops the NIC compiler cannot statically bound.  Recognizes the
+    counted-loop idiom the frontend emits (counter slot or phi stepped
+    by a loop-constant, compared against a loop-invariant bound); any
+    other loop is flagged, and a loop with no exiting edge at all is an
+    error (it can never terminate)."""
+
+    code = "CL002"
+    name = "unbounded-loop"
+    description = "loop without a statically bounded induction variable"
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        from repro.nfir.cfg import natural_loops
+
+        for function in module.functions.values():
+            tree = ctx.domtree(function)
+            for header, body in natural_loops(function).items():
+                exits = self._exit_conditions(function, body)
+                if not exits:
+                    yield self.diag(
+                        SEVERITY_ERROR,
+                        "loop has no exiting edge; it can never"
+                        " terminate",
+                        function=function.name,
+                        block=header,
+                    )
+                    continue
+                if not any(
+                    self._is_counted_exit(cond, body, tree)
+                    for cond in exits
+                ):
+                    yield self.diag(
+                        SEVERITY_WARNING,
+                        "no exit condition compares a stepped counter"
+                        " against a loop-invariant bound; trip count"
+                        " is statically unbounded",
+                        function=function.name,
+                        block=header,
+                    )
+
+    @staticmethod
+    def _exit_conditions(
+        function: Function, body: Set[str]
+    ) -> List[Tuple[Instruction, Value]]:
+        """(terminator, condition) of every loop block that can leave
+        the loop."""
+        out = []
+        for block in function.blocks:
+            if block.name not in body:
+                continue
+            term = block.terminator
+            if not isinstance(term, CondBr):
+                continue
+            if any(s.name not in body for s in term.successors()):
+                out.append((term, term.cond))
+        return out
+
+    def _is_counted_exit(
+        self,
+        exit_: Tuple[Instruction, Value],
+        body: Set[str],
+        tree,
+    ) -> bool:
+        _, cond = exit_
+        if not isinstance(cond, ICmp):
+            return False
+        for counter, bound in (
+            (cond.lhs, cond.rhs), (cond.rhs, cond.lhs)
+        ):
+            if self._loop_invariant(bound, body) and self._is_stepped(
+                counter, body
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _loop_invariant(value: Value, body: Set[str]) -> bool:
+        if isinstance(value, (Constant, Argument)):
+            return True
+        if isinstance(value, Instruction):
+            return (
+                value.parent is not None
+                and value.parent.name not in body
+            )
+        return True  # globals and other non-instruction values
+
+    @staticmethod
+    def _is_stepped(counter: Value, body: Set[str]) -> bool:
+        """Whether ``counter`` advances by a constant each iteration:
+        either a load of a slot whose in-loop stores are
+        ``slot <- load(slot) +/- const``, or a header phi whose in-loop
+        incoming is ``phi +/- const``."""
+        from repro.nfir.analysis.dataflow import slot_of
+
+        def is_step(value: Value, base_load_slot=None, base_phi=None) -> bool:
+            if not isinstance(value, BinaryOp):
+                return False
+            if value.opcode not in ("add", "sub"):
+                return False
+            operands = [value.lhs, value.rhs]
+            if not any(isinstance(op, Constant) for op in operands):
+                return False
+            other = value.rhs if isinstance(value.lhs, Constant) else value.lhs
+            if base_phi is not None:
+                return other is base_phi
+            if isinstance(other, Load):
+                return slot_of(other.ptr) is base_load_slot
+            return False
+
+        if isinstance(counter, Load):
+            slot = slot_of(counter.ptr)
+            if slot is None or slot.parent is None:
+                return False
+            function = slot.parent.parent
+            if function is None:
+                return False
+            in_loop_stores = [
+                i
+                for i in function.instructions()
+                if isinstance(i, Store)
+                and slot_of(i.ptr) is slot
+                and i.parent is not None
+                and i.parent.name in body
+            ]
+            return bool(in_loop_stores) and all(
+                is_step(s.value, base_load_slot=slot) for s in in_loop_stores
+            )
+        if isinstance(counter, Phi):
+            steps = [
+                value
+                for value, pred in counter.incomings
+                if pred.name in body
+            ]
+            return bool(steps) and all(
+                is_step(v, base_phi=counter) for v in steps
+            )
+        return False
+
+
+class InternalCallPass(LintPass):
+    """Internal calls that survive (or defeat) inlining: recursion and
+    calls to functions the module does not define are errors; other
+    internal calls are advisory (the inliner removes them before
+    porting)."""
+
+    code = "CL003"
+    name = "non-inlinable-call"
+    description = "recursive or unresolvable internal call"
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        edges: Dict[str, Set[str]] = {name: set() for name in module.functions}
+        for function in module.functions.values():
+            for instr in function.instructions():
+                if not isinstance(instr, Call):
+                    continue
+                if instr.kind != CALL_KIND_INTERNAL:
+                    continue
+                if instr.callee not in module.functions:
+                    yield self.diag(
+                        SEVERITY_ERROR,
+                        f"internal call to undefined function"
+                        f" @{instr.callee}; the inliner cannot resolve"
+                        " it",
+                        **_loc(instr, function),
+                    )
+                    continue
+                edges[function.name].add(instr.callee)
+                yield self.diag(
+                    SEVERITY_NOTE,
+                    f"internal call to @{instr.callee} must be inlined"
+                    " before porting",
+                    **_loc(instr, function),
+                )
+        for cycle_fn in sorted(self._on_cycle(edges)):
+            yield self.diag(
+                SEVERITY_ERROR,
+                f"@{cycle_fn} participates in a recursive call cycle;"
+                " the inliner cannot eliminate it and the NIC has no"
+                " call stack",
+                function=cycle_fn,
+            )
+
+    @staticmethod
+    def _on_cycle(edges: Dict[str, Set[str]]) -> Set[str]:
+        """Functions on a cycle of the internal call graph (iterative
+        color DFS)."""
+        on_cycle: Set[str] = set()
+        color: Dict[str, int] = {}  # 1 = in progress, 2 = done
+        for root in edges:
+            if color.get(root):
+                continue
+            stack: List[Tuple[str, Iterable[str]]] = [(root, iter(edges[root]))]
+            color[root] = 1
+            path = [root]
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if color.get(succ) == 1:
+                        # Everything from succ to the top of the path.
+                        idx = path.index(succ)
+                        on_cycle.update(path[idx:])
+                    elif not color.get(succ):
+                        color[succ] = 1
+                        stack.append((succ, iter(edges[succ])))
+                        path.append(succ)
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = 2
+                    stack.pop()
+                    path.pop()
+        return on_cycle
+
+
+class DeadStatePass(LintPass):
+    """Stateful globals the NF never uses — or writes but never reads.
+    Dead state wastes the scarce fast regions the placement ILP
+    allocates; write-only state is usually a porting bug."""
+
+    code = "CL004"
+    name = "dead-state"
+    description = "stateful global that is dead or write-only"
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        from repro.nfir.annotate import trace_pointer_root
+
+        reads: Set[str] = set()
+        writes: Set[str] = set()
+        for function in module.functions.values():
+            for instr in function.instructions():
+                if isinstance(instr, Load):
+                    root = trace_pointer_root(instr.ptr)
+                    if isinstance(root, GlobalVariable):
+                        reads.add(root.name)
+                elif isinstance(instr, Store):
+                    root = trace_pointer_root(instr.ptr)
+                    if isinstance(root, GlobalVariable):
+                        writes.add(root.name)
+                elif isinstance(instr, Call):
+                    for arg in instr.args:
+                        root = trace_pointer_root(arg)
+                        if not isinstance(root, GlobalVariable):
+                            continue
+                        if instr.callee in _API_READS:
+                            reads.add(root.name)
+                        elif instr.callee in _API_WRITES:
+                            writes.add(root.name)
+                        else:
+                            reads.add(root.name)
+                            writes.add(root.name)
+        for name in module.globals:
+            if name not in reads and name not in writes:
+                yield self.diag(
+                    SEVERITY_WARNING,
+                    f"stateful global @{name} is never accessed; it"
+                    " still consumes NIC memory capacity",
+                )
+            elif name not in reads:
+                yield self.diag(
+                    SEVERITY_WARNING,
+                    f"stateful global @{name} is written but never"
+                    " read (write-only state)",
+                )
+
+
+class UninitializedLoadPass(LintPass):
+    """Loads of stack slots some entry path never stored — undefined
+    values on the host, stale transfer registers on the NIC."""
+
+    code = "CL005"
+    name = "uninitialized-load"
+    description = "load of a stack slot with an uninitialized path"
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        for function in module.functions.values():
+            for load, slot in maybe_uninitialized_loads(function):
+                yield self.diag(
+                    SEVERITY_WARNING,
+                    f"load of {slot.ref()} may execute before any"
+                    " store to it",
+                    **_loc(load, function),
+                )
+
+
+class UnreachableBlockPass(LintPass):
+    """Blocks no path from the entry reaches.  Dead code inflates the
+    NIC instruction store and skews per-block prediction."""
+
+    code = "CL006"
+    name = "unreachable-block"
+    description = "basic block unreachable from the entry"
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        for function in module.functions.values():
+            tree = ctx.domtree(function)
+            for block in function.blocks:
+                if block.name not in tree.reachable:
+                    yield self.diag(
+                        SEVERITY_WARNING,
+                        "block is unreachable from the entry",
+                        function=function.name,
+                        block=block.name,
+                    )
+
+
+class RaceCandidatePass(LintPass):
+    """Stateful read-modify-write sequences with no framework
+    mediation: under the scale-out insight (Section 4.2) the NF runs
+    on tens of cores, and a load -> compute -> store on shared state
+    loses updates unless the framework arbitrates it."""
+
+    code = "CL007"
+    name = "race-candidate"
+    description = "non-atomic read-modify-write of shared state"
+
+    #: operand-DAG nodes examined per store before giving up.
+    MAX_WALK = 200
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        from repro.nfir.annotate import build_alloca_points_to, pointer_target
+
+        for function in module.functions.values():
+            alloca_map = build_alloca_points_to(function)
+            for instr in function.instructions():
+                if not isinstance(instr, Store):
+                    continue
+                target = pointer_target(instr.ptr, alloca_map)
+                if not target.startswith("stateful"):
+                    continue
+                if self._depends_on_load_of(
+                    instr.value, target, alloca_map
+                ):
+                    state = target.partition(":")[2] or "<indirect>"
+                    yield self.diag(
+                        SEVERITY_WARNING,
+                        f"read-modify-write of shared state @{state} is"
+                        " not atomic; concurrent cores (scale-out,"
+                        " Section 4.2) can lose updates",
+                        **_loc(instr, function),
+                    )
+
+    def _depends_on_load_of(
+        self, value: Value, target: str, alloca_map
+    ) -> bool:
+        from repro.nfir.annotate import pointer_target
+
+        seen: Set[int] = set()
+        stack = [value]
+        while stack and len(seen) < self.MAX_WALK:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, Load):
+                if pointer_target(node.ptr, alloca_map) == target:
+                    return True
+                continue  # don't walk through memory
+            if isinstance(node, Instruction):
+                stack.extend(node.operands)
+        return False
+
+
+class StateCapacityPass(LintPass):
+    """State the memory hierarchy cannot hold or coalesce: a global
+    larger than every placeable region is unportable; one larger than
+    the on-chip SRAM tiers is stuck in DRAM; sizes that break 4-byte
+    alignment defeat the Section 4.4 coalescing packs."""
+
+    code = "CL008"
+    name = "state-capacity"
+    description = "global state too large or misaligned for the NIC"
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        from repro.nic.regions import default_hierarchy
+
+        hierarchy = default_hierarchy()
+        regions = hierarchy.placeable
+        largest = max(r.capacity_bytes for r in regions)
+        sram = max(r.capacity_bytes for r in regions[:-1])
+        total_capacity = sum(r.capacity_bytes for r in regions)
+        for name, g in module.globals.items():
+            if g.size_bytes > largest:
+                yield self.diag(
+                    SEVERITY_ERROR,
+                    f"@{name} is {g.size_bytes} bytes; no NIC memory"
+                    f" region can hold it (largest is {largest})",
+                )
+            elif g.size_bytes > sram:
+                yield self.diag(
+                    SEVERITY_WARNING,
+                    f"@{name} is {g.size_bytes} bytes; it exceeds every"
+                    " on-chip SRAM tier and is pinned to EMEM (DRAM"
+                    " latency on every access)",
+                )
+            if g.size_bytes % 4 != 0:
+                yield self.diag(
+                    SEVERITY_NOTE,
+                    f"@{name} is {g.size_bytes} bytes (not 4-byte"
+                    " aligned); adjacent packing for coalescing"
+                    " (Section 4.4) needs padding",
+                )
+        total = module.total_state_bytes()
+        if total > total_capacity:
+            yield self.diag(
+                SEVERITY_ERROR,
+                f"total state ({total} bytes) exceeds the combined"
+                f" placeable capacity ({total_capacity} bytes); the"
+                " placement ILP is infeasible",
+            )
+
+
+BUILTIN_PASSES = (
+    NicUnsupportedOpPass,
+    UnboundedLoopPass,
+    InternalCallPass,
+    DeadStatePass,
+    UninitializedLoadPass,
+    UnreachableBlockPass,
+    RaceCandidatePass,
+    StateCapacityPass,
+)
+
+
+def default_registry() -> PassRegistry:
+    """A fresh registry holding every built-in rule."""
+    return PassRegistry([cls() for cls in BUILTIN_PASSES])

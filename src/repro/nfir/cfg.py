@@ -12,6 +12,7 @@ from typing import Dict, List, Set
 
 import networkx as nx
 
+from repro.nfir.analysis.dominance import DominatorTree
 from repro.nfir.block import BasicBlock
 from repro.nfir.function import Function
 
@@ -49,26 +50,10 @@ def reachable_blocks(function: Function) -> Set[str]:
 def loop_headers(function: Function) -> Set[str]:
     """Names of blocks that head a natural loop (targets of back edges)."""
     graph = build_cfg(function)
-    headers: Set[str] = set()
-    try:
-        dominators = nx.immediate_dominators(graph, function.entry.name)
-    except nx.NetworkXError:
-        return headers
-
-    def dominates(a: str, b: str) -> bool:
-        node = b
-        while True:
-            if node == a:
-                return True
-            parent = dominators.get(node)
-            if parent is None or parent == node:
-                return False
-            node = parent
-
-    for src, dst in graph.edges:
-        if dominates(dst, src):
-            headers.add(dst)
-    return headers
+    tree = DominatorTree(function)
+    return {
+        dst for src, dst in graph.edges if tree.dominates(dst, src)
+    }
 
 
 def natural_loops(function: Function) -> Dict[str, Set[str]]:
@@ -76,25 +61,10 @@ def natural_loops(function: Function) -> Dict[str, Set[str]]:
     names in the loop (header included).  Loops sharing a header are
     merged, nested loops appear under their own headers too."""
     graph = build_cfg(function)
-    entry = function.entry.name
-    try:
-        dominators = nx.immediate_dominators(graph, entry)
-    except nx.NetworkXError:
-        return {}
-
-    def dominates(a: str, b: str) -> bool:
-        node = b
-        while True:
-            if node == a:
-                return True
-            parent = dominators.get(node)
-            if parent is None or parent == node:
-                return False
-            node = parent
-
+    tree = DominatorTree(function)
     loops: Dict[str, Set[str]] = {}
     for src, dst in graph.edges:
-        if not dominates(dst, src):
+        if not tree.dominates(dst, src):
             continue
         body = loops.setdefault(dst, {dst})
         stack = [src]

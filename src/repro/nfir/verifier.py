@@ -1,21 +1,28 @@
-"""Structural verifier for NFIR.
+"""Structural and SSA verifier for NFIR.
 
 Checks the invariants the rest of the system depends on: every block is
 terminated exactly once at its end, branch targets belong to the same
-function, operands are defined in the function (arguments, constants,
-globals, or instructions of this function), and value names are unique.
-A full SSA dominance check is intentionally out of scope — the frontend
-lowers locals through allocas, so cross-block value flow is rare — but
-we do verify that non-phi operands defined by instructions appear in a
-block that can reach the use.
+function, value names are unique, and — via the dominator tree from
+:mod:`repro.nfir.analysis` — true SSA dominance: every non-phi use of an
+instruction-defined value must be dominated by its definition, and phi
+nodes must carry exactly one incoming value per CFG predecessor, each
+dominating the end of that predecessor.  Load/store/GEP operand types
+are re-checked structurally, so IR mutated after construction (e.g. by
+``replace_operands``) cannot smuggle in type mismatches.
+
+Uses inside unreachable blocks are exempt from dominance checks
+(dominance is undefined there); unreachable blocks themselves are
+reported by the lint suite (rule ``CL006``), not the verifier.
 """
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Dict, Set
 
+from repro.nfir.analysis.dominance import DominatorTree, block_predecessors
 from repro.nfir.function import Function, Module
-from repro.nfir.instructions import Phi
+from repro.nfir.instructions import GEP, Instruction, Load, Phi, Store
+from repro.nfir.types import ArrayType, StructType
 from repro.nfir.values import Argument, Constant
 
 
@@ -23,18 +30,11 @@ class VerificationError(ValueError):
     pass
 
 
-def verify_function(function: Function, module: Module | None = None) -> None:
-    if not function.blocks:
-        raise VerificationError(f"function @{function.name} has no blocks")
-
+def _check_structure(function: Function) -> Set[int]:
+    """The pre-SSA structural checks; returns the ids of every value
+    defined in the function (arguments + instructions)."""
     names: Set[str] = set()
-    defined: Set[int] = set()
-    for arg in function.args:
-        defined.add(id(arg))
-
-    global_ids: Set[int] = set()
-    if module is not None:
-        global_ids = {id(g) for g in module.globals.values()}
+    defined: Set[int] = {id(arg) for arg in function.args}
 
     block_names: Set[str] = set()
     for block in function.blocks:
@@ -71,22 +71,176 @@ def verify_function(function: Function, module: Module | None = None) -> None:
                     f"branch from {block.name} to foreign block"
                     f" {successor.name} in @{function.name}"
                 )
+    return defined
 
-    # Operand definedness (phis may reference forward definitions).
+
+def _def_position(
+    function: Function,
+) -> Dict[int, tuple]:
+    """id(instr) -> (block name, index within the block)."""
+    position: Dict[int, tuple] = {}
+    for block in function.blocks:
+        for i, instr in enumerate(block.instructions):
+            position[id(instr)] = (block.name, i)
+    return position
+
+
+def _check_types(function: Function) -> None:
+    """Re-check memory/addressing operand types structurally.
+
+    Instruction constructors enforce these at build time, but
+    ``replace_operands`` (used by the inliner and peephole rewrites)
+    swaps operands without re-validation.
+    """
     for block in function.blocks:
         for instr in block.instructions:
-            if isinstance(instr, Phi):
-                continue
-            for op in instr.operands:
-                if isinstance(op, (Constant, Argument)):
-                    continue
-                if id(op) in defined or id(op) in global_ids:
-                    continue
+            where = f"in block {block.name} of @{function.name}"
+            if isinstance(instr, Load):
+                if not instr.ptr.type.is_pointer:
+                    raise VerificationError(
+                        f"load from non-pointer {instr.ptr.ref()} {where}"
+                    )
+                if instr.ptr.type.pointee != instr.type:
+                    raise VerificationError(
+                        f"load type {instr.type} does not match pointee"
+                        f" {instr.ptr.type.pointee} {where}"
+                    )
+            elif isinstance(instr, Store):
+                if not instr.ptr.type.is_pointer:
+                    raise VerificationError(
+                        f"store to non-pointer {instr.ptr.ref()} {where}"
+                    )
+                if instr.ptr.type.pointee != instr.value.type:
+                    raise VerificationError(
+                        f"store of {instr.value.type} into"
+                        f" {instr.ptr.type} {where}"
+                    )
+            elif isinstance(instr, GEP):
+                if not instr.base.type.is_pointer:
+                    raise VerificationError(
+                        f"GEP base {instr.base.ref()} is not a pointer {where}"
+                    )
+                pointee = instr.base.type.pointee
+                for index in instr.indices:
+                    if isinstance(index, str):
+                        if not isinstance(pointee, StructType):
+                            raise VerificationError(
+                                f"GEP field index {index!r} into"
+                                f" non-struct {pointee} {where}"
+                            )
+                        try:
+                            pointee = pointee.field_type(index)
+                        except KeyError:
+                            raise VerificationError(
+                                f"GEP names missing field {index!r} of"
+                                f" {pointee} {where}"
+                            ) from None
+                    else:
+                        if not isinstance(pointee, ArrayType):
+                            raise VerificationError(
+                                f"GEP array index into non-array"
+                                f" {pointee} {where}"
+                            )
+                        pointee = pointee.element
+                if instr.type.pointee != pointee:
+                    raise VerificationError(
+                        f"GEP result type {instr.type} does not match"
+                        f" walked type {pointee}* {where}"
+                    )
+
+
+def verify_function(function: Function, module: Module | None = None) -> None:
+    if not function.blocks:
+        raise VerificationError(f"function @{function.name} has no blocks")
+
+    defined = _check_structure(function)
+    _check_types(function)
+
+    global_ids: Set[int] = set()
+    if module is not None:
+        global_ids = {id(g) for g in module.globals.values()}
+
+    tree = DominatorTree(function)
+    position = _def_position(function)
+    preds = block_predecessors(function)
+
+    def check_use(instr: Instruction, op, use_block: str, where: str) -> None:
+        if isinstance(op, (Constant, Argument)):
+            return
+        if id(op) not in defined:
+            if id(op) in global_ids:
+                return
+            raise VerificationError(
+                f"operand {op.ref()} of {where} is not defined in this"
+                " function"
+            )
+        def_block, def_index = position[id(op)]
+        if use_block not in tree.reachable:
+            return  # dominance is undefined in unreachable code
+        if def_block == use_block:
+            use_index = position[id(instr)][1]
+            if def_index >= use_index:
                 raise VerificationError(
-                    f"operand {op.ref()} of {instr.opcode} in block"
-                    f" {block.name} of @{function.name} is not defined"
-                    " in this function"
+                    f"operand {op.ref()} of {where} is defined after its use"
                 )
+        elif not tree.dominates(def_block, use_block):
+            raise VerificationError(
+                f"operand {op.ref()} of {where} is defined in"
+                f" {def_block}, which does not dominate {use_block}"
+            )
+
+    for block in function.blocks:
+        for instr in block.instructions:
+            where = (
+                f"{instr.opcode} in block {block.name} of @{function.name}"
+            )
+            if isinstance(instr, Phi):
+                incoming_preds = [p.name for p in preds[block.name]]
+                seen_preds: Set[str] = set()
+                for value, pred in instr.incomings:
+                    if pred.name not in incoming_preds:
+                        raise VerificationError(
+                            f"phi {where} has an incoming from"
+                            f" {pred.name}, which is not a predecessor"
+                        )
+                    if pred.name in seen_preds:
+                        raise VerificationError(
+                            f"phi {where} has duplicate incomings for"
+                            f" predecessor {pred.name}"
+                        )
+                    seen_preds.add(pred.name)
+                    # A phi use happens at the end of the predecessor:
+                    # the incoming value must dominate the pred's exit.
+                    if isinstance(value, (Constant, Argument)):
+                        continue
+                    if id(value) not in defined:
+                        if id(value) in global_ids:
+                            continue
+                        raise VerificationError(
+                            f"phi incoming {value.ref()} of {where} is"
+                            " not defined in this function"
+                        )
+                    if (
+                        block.name in tree.reachable
+                        and pred.name in tree.reachable
+                    ):
+                        def_block, _ = position[id(value)]
+                        if not tree.dominates(def_block, pred.name):
+                            raise VerificationError(
+                                f"phi incoming {value.ref()} of {where}"
+                                f" does not dominate predecessor"
+                                f" {pred.name}"
+                            )
+                if block.name in tree.reachable:
+                    missing = set(incoming_preds) - seen_preds
+                    if missing:
+                        raise VerificationError(
+                            f"phi {where} is missing incomings for"
+                            f" predecessor(s) {', '.join(sorted(missing))}"
+                        )
+            else:
+                for op in instr.operands:
+                    check_use(instr, op, block.name, f"{where}")
 
 
 def verify_module(module: Module) -> None:

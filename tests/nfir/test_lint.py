@@ -1,0 +1,373 @@
+"""Offload-lint tests: one golden fixture per built-in rule, plus the
+framework pieces (diagnostics, registry, report serialization)."""
+
+import pytest
+
+from repro.nfir import (
+    Function,
+    GlobalVariable,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    VOID,
+)
+from repro.nfir.analysis import (
+    Diagnostic,
+    LintPass,
+    LintReport,
+    PassRegistry,
+    default_registry,
+    lint_module,
+    sarif_report,
+)
+
+
+def _module_with(function, *globals_):
+    module = Module("fixture")
+    module.add_function(function)
+    for g in globals_:
+        module.add_global(g)
+    return module
+
+
+def _empty_handler(name="pkt_handler"):
+    f = Function(name)
+    entry = f.add_block("entry")
+    b = IRBuilder(f, entry)
+    return f, b
+
+
+def _rules_fired(report, code):
+    return [d for d in report.diagnostics if d.rule == code]
+
+
+class TestGoldenRules:
+    """Each rule has a minimal IR fixture that triggers exactly it."""
+
+    def test_cl001_signed_divide(self):
+        f, b = _empty_handler()
+        b.binop("sdiv", b.const(I32, 8), b.const(I32, 3))
+        b.ret()
+        report = lint_module(_module_with(f), only=["CL001"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "warning"
+        assert "sdiv" in diag.message
+        assert diag.function == "pkt_handler"
+
+    def test_cl001_wide_multiply(self):
+        f, b = _empty_handler()
+        b.mul(b.const(I64, 2), b.const(I64, 3))
+        b.ret()
+        report = lint_module(_module_with(f), only=["CL001"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "warning"
+        assert "mul_step" in diag.message
+
+    def test_cl001_non_pow2_divide_is_note(self):
+        f, b = _empty_handler()
+        b.binop("udiv", b.const(I32, 100), b.const(I32, 10))
+        b.ret()
+        report = lint_module(_module_with(f), only=["CL001"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "note"
+
+    def test_cl001_pow2_divide_is_clean(self):
+        f, b = _empty_handler()
+        b.binop("udiv", b.const(I32, 100), b.const(I32, 8))
+        b.ret()
+        assert not lint_module(_module_with(f), only=["CL001"]).diagnostics
+
+    def test_cl002_no_exit_is_error(self):
+        f, b = _empty_handler()
+        header = f.add_block("header")
+        b.br(header)
+        b.position_at_end(header)
+        b.br(header)
+        report = lint_module(_module_with(f), only=["CL002"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "error"
+        assert "never" in diag.message
+        assert diag.block == "header"
+
+    def test_cl002_uncounted_exit_is_warning(self):
+        f, b = _empty_handler()
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        slot = b.alloca(I32)
+        b.store(b.const(I32, 1), slot)
+        b.br(header)
+        b.position_at_end(header)
+        x = b.load(slot)
+        b.cond_br(b.icmp("ne", x, b.const(I32, 0)), body, exit_)
+        b.position_at_end(body)
+        # x <- x * 2 is not a constant step; trip count is unknowable.
+        b.store(b.mul(b.load(slot), b.const(I32, 2)), slot)
+        b.br(header)
+        b.position_at_end(exit_)
+        b.ret()
+        report = lint_module(_module_with(f), only=["CL002"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "warning"
+        assert "unbounded" in diag.message
+
+    def test_cl002_counted_loop_is_clean(self):
+        f, b = _empty_handler()
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        slot = b.alloca(I32)
+        b.store(b.const(I32, 0), slot)
+        b.br(header)
+        b.position_at_end(header)
+        i = b.load(slot)
+        b.cond_br(b.icmp("ult", i, b.const(I32, 16)), body, exit_)
+        b.position_at_end(body)
+        b.store(b.add(b.load(slot), b.const(I32, 1)), slot)
+        b.br(header)
+        b.position_at_end(exit_)
+        b.ret()
+        assert not lint_module(_module_with(f), only=["CL002"]).diagnostics
+
+    def test_cl003_undefined_callee_is_error(self):
+        f, b = _empty_handler()
+        b.call("missing_helper", [], VOID)
+        b.ret()
+        report = lint_module(_module_with(f), only=["CL003"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "error"
+        assert "@missing_helper" in diag.message
+
+    def test_cl003_recursion_is_error(self):
+        f, b = _empty_handler()
+        b.call("pkt_handler", [], VOID)
+        b.ret()
+        report = lint_module(_module_with(f), only=["CL003"])
+        severities = sorted(d.severity for d in report.diagnostics)
+        assert severities == ["error", "note"]
+        (err,) = report.by_severity("error")
+        assert "recursive" in err.message
+
+    def test_cl003_inlinable_call_is_note(self):
+        helper, hb = _empty_handler("helper")
+        hb.ret()
+        f, b = _empty_handler()
+        b.call("helper", [], VOID)
+        b.ret()
+        module = _module_with(f)
+        module.add_function(helper)
+        report = lint_module(module, only=["CL003"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "note"
+
+    def test_cl004_never_accessed(self):
+        f, b = _empty_handler()
+        b.ret()
+        unused = GlobalVariable("unused_ctr", I32)
+        report = lint_module(_module_with(f, unused), only=["CL004"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "warning"
+        assert "never accessed" in diag.message
+
+    def test_cl004_write_only(self):
+        f, b = _empty_handler()
+        g = GlobalVariable("wo_ctr", I32)
+        b.store(b.const(I32, 1), g)
+        b.ret()
+        report = lint_module(_module_with(f, g), only=["CL004"])
+        (diag,) = report.diagnostics
+        assert "write-only" in diag.message
+
+    def test_cl004_read_and_written_is_clean(self):
+        f, b = _empty_handler()
+        g = GlobalVariable("ctr", I32)
+        b.store(b.add(b.load(g), b.const(I32, 1)), g)
+        b.ret()
+        assert not lint_module(_module_with(f, g), only=["CL004"]).diagnostics
+
+    def test_cl005_one_armed_init(self):
+        f, b = _empty_handler()
+        then = f.add_block("then")
+        merge = f.add_block("merge")
+        slot = b.alloca(I32)
+        b.cond_br(b.icmp("ult", b.const(I32, 1), b.const(I32, 2)), then, merge)
+        b.position_at_end(then)
+        b.store(b.const(I32, 7), slot)
+        b.br(merge)
+        b.position_at_end(merge)
+        b.load(slot)
+        b.ret()
+        report = lint_module(_module_with(f), only=["CL005"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "warning"
+        assert diag.block == "merge"
+
+    def test_cl006_unreachable_block(self):
+        f, b = _empty_handler()
+        b.ret()
+        dead = f.add_block("dead")
+        IRBuilder(f, dead).ret()
+        report = lint_module(_module_with(f), only=["CL006"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "warning"
+        assert diag.block == "dead"
+
+    def test_cl007_stateful_rmw(self):
+        f, b = _empty_handler()
+        g = GlobalVariable("pkt_count", I32)
+        b.store(b.add(b.load(g), b.const(I32, 1)), g)
+        b.ret()
+        report = lint_module(_module_with(f, g), only=["CL007"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "warning"
+        assert "@pkt_count" in diag.message
+
+    def test_cl007_blind_write_is_clean(self):
+        f, b = _empty_handler()
+        g = GlobalVariable("last_seen", I32)
+        b.store(b.const(I32, 1), g)
+        b.ret()
+        assert not lint_module(_module_with(f, g), only=["CL007"]).diagnostics
+
+    def test_cl008_oversized_global_is_error(self):
+        f, b = _empty_handler()
+        b.ret()
+        huge = GlobalVariable("huge", I32, size_bytes=4 * 2**30)
+        report = lint_module(_module_with(f, huge), only=["CL008"])
+        assert report.n_errors >= 1
+        assert any("no NIC memory region" in d.message
+                   for d in report.by_severity("error"))
+
+    def test_cl008_dram_only_is_warning(self):
+        f, b = _empty_handler()
+        b.ret()
+        big = GlobalVariable("big", I32, size_bytes=8 * 2**20)
+        report = lint_module(_module_with(f, big), only=["CL008"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "warning"
+        assert "EMEM" in diag.message
+
+    def test_cl008_misaligned_is_note(self):
+        f, b = _empty_handler()
+        b.ret()
+        odd = GlobalVariable("odd", I32, size_bytes=6)
+        report = lint_module(_module_with(f, odd), only=["CL008"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "note"
+        assert "4-byte" in diag.message
+
+
+class TestDiagnostic:
+    def test_render_and_location(self):
+        diag = Diagnostic("CL001", "warning", "msg", function="f",
+                          block="entry", instruction="%v1")
+        assert diag.render() == "warning[CL001] @f:%entry:%v1: msg"
+        assert Diagnostic("CL008", "note", "m").location() == "<module>"
+
+    def test_roundtrip(self):
+        diag = Diagnostic("CL005", "warning", "msg", function="f")
+        assert Diagnostic.from_dict(diag.to_dict()) == diag
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Diagnostic("CL001", "fatal", "msg")
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        registry = default_registry()
+        assert len(registry) == 8
+        assert registry.codes == [f"CL00{i}" for i in range(1, 9)]
+
+    def test_get_by_code_or_name(self):
+        registry = default_registry()
+        assert registry.get("CL007") is registry.get("race-candidate")
+        with pytest.raises(KeyError):
+            registry.get("CL999")
+
+    def test_duplicate_code_rejected(self):
+        registry = default_registry()
+        class Dup(LintPass):
+            code = "CL001"
+            name = "dup"
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.register(Dup())
+
+    def test_unstable_code_rejected(self):
+        class NoCode(LintPass):
+            pass
+        with pytest.raises(ValueError, match="CL###"):
+            PassRegistry().register(NoCode())
+
+    def test_custom_pass_extension(self):
+        # The documented extension point: register a third-party rule
+        # and run it alongside (or instead of) the built-ins.
+        class NamingPass(LintPass):
+            code = "CL900"
+            name = "handler-naming"
+            description = "handler functions must be named pkt_handler"
+
+            def run(self, module, ctx):
+                for function in module.functions.values():
+                    if function.name != "pkt_handler":
+                        yield self.diag(
+                            "note",
+                            f"@{function.name} is not named pkt_handler",
+                            function=function.name,
+                        )
+
+        f, b = _empty_handler("weird_name")
+        b.ret()
+        registry = default_registry()
+        registry.register(NamingPass)
+        report = registry.run(_module_with(f), only=["CL900"])
+        (diag,) = report.diagnostics
+        assert diag.rule == "CL900"
+
+    def test_disable(self):
+        f, b = _empty_handler()
+        g = GlobalVariable("ctr", I32)
+        b.store(b.add(b.load(g), b.const(I32, 1)), g)
+        b.ret()
+        module = _module_with(f, g)
+        assert lint_module(module).n_warnings >= 1
+        assert lint_module(module, disable=["CL007"]).n_warnings == 0
+
+
+class TestReport:
+    def _report(self):
+        return LintReport("m", [
+            Diagnostic("CL001", "warning", "w"),
+            Diagnostic("CL002", "error", "e"),
+            Diagnostic("CL008", "note", "n"),
+        ])
+
+    def test_counts_and_severity(self):
+        report = self._report()
+        assert report.counts() == {"note": 1, "warning": 1, "error": 1}
+        assert report.max_severity == "error"
+        assert not report.clean
+        assert LintReport("m").clean
+        assert LintReport("m").max_severity is None
+
+    def test_json_roundtrip(self):
+        report = self._report()
+        restored = LintReport.from_dict(report.to_dict())
+        assert restored == report
+
+    def test_schema_mismatch_rejected(self):
+        bad = self._report().to_dict()
+        bad["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            LintReport.from_dict(bad)
+
+    def test_sarif_shape(self):
+        registry = default_registry()
+        sarif = sarif_report([self._report()], registry)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert len(run["tool"]["driver"]["rules"]) == len(registry)
+        assert len(run["results"]) == 3
+        levels = {r["level"] for r in run["results"]}
+        assert levels == {"error", "warning", "note"}

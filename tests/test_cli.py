@@ -9,6 +9,8 @@ from repro.errors import (
     ArtifactCacheMiss,
     ArtifactError,
     InvalidWorkloadError,
+    LINT_EXIT_ERROR,
+    LINT_EXIT_WARNING,
     UnknownElementError,
 )
 
@@ -128,11 +130,14 @@ class TestJsonOutputs:
         assert main(["analyze", "aggcounter", "--packets", "60", "--json",
                      "--load", str(clara_artifacts["artifact"])]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["kind"] == "analysis_result"
         report = payload["report"]
-        assert report["schema"] == 1
+        assert report["schema"] == 2
         assert report["nf_name"] == "aggcounter"
+        # schema 2 carries the offload-lint diagnostics
+        assert isinstance(report["diagnostics"], list)
+        assert all(d["rule"].startswith("CL") for d in report["diagnostics"])
         types = {entry["type"] for entry in report["insights"]}
         assert {"compute", "memory", "scaleout", "placement"} <= types
         assert payload["port_config"]["cores"] >= 1
@@ -157,6 +162,66 @@ class TestJsonOutputs:
         )
         restored = InsightReport.from_json(analysis.report.to_json())
         assert restored.to_dict() == analysis.report.to_dict()
+
+
+class TestLintCommand:
+    """``clara lint``: human/JSON/SARIF output and the 0/8/9 exit
+    protocol (clean / warnings / error-severity findings)."""
+
+    def test_warnings_exit_code(self, capsys):
+        # aggcounter's counter updates are CL007 race candidates.
+        assert main(["lint", "aggcounter"]) == LINT_EXIT_WARNING
+        out = capsys.readouterr().out
+        assert "warning[CL007]" in out
+        assert "lint: module aggcounter" in out
+
+    def test_clean_element_exits_zero(self, capsys):
+        assert main(["lint", "mininat"]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_whole_corpus_has_no_errors(self, capsys):
+        code = main(["lint"])
+        assert code in (0, LINT_EXIT_WARNING)
+        assert code != LINT_EXIT_ERROR
+        capsys.readouterr()
+
+    def test_json_output(self, capsys):
+        code = main(["lint", "aggcounter", "--json"])
+        assert code == LINT_EXIT_WARNING
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "lint_run"
+        (report,) = payload["reports"]
+        assert report["module"] == "aggcounter"
+        assert report["counts"]["error"] == 0
+        assert report["counts"]["warning"] > 0
+
+    def test_sarif_output(self, capsys):
+        assert main(["lint", "aggcounter", "--sarif"]) == LINT_EXIT_WARNING
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "clara-lint"
+        assert any(r["ruleId"] == "CL007" for r in run["results"])
+
+    def test_rule_selection(self, capsys):
+        # Disabling the only firing rule turns warnings into clean.
+        assert main(["lint", "aggcounter", "--disable", "CL007"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "aggcounter", "--only",
+                     "race-candidate"]) == LINT_EXIT_WARNING
+        capsys.readouterr()
+
+    def test_unknown_rule_is_clara_error(self, capsys):
+        from repro.errors import ClaraError
+
+        assert main(["lint", "--only", "CL999"]) == ClaraError.exit_code
+        assert "no lint rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("CL001", "CL008"):
+            assert code in out
 
 
 class TestObservabilityFlags:
