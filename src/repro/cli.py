@@ -22,13 +22,22 @@ Commands:
   when clean (or notes only), ``LINT_EXIT_WARNING`` (8) on warnings,
   ``LINT_EXIT_ERROR`` (9) on error-severity findings — distinct from
   the ClaraError exit codes so scripts can tell NF portability
-  problems from tool failures.
+  problems from tool failures;
+* ``bench [cases...]`` — time the declared suite of pipeline
+  workloads (median-of-N + MAD) and write a schema-versioned
+  ``BENCH_<git-sha>.json`` trajectory artifact; ``--compare
+  BASELINE.json`` grades regressions and exits
+  ``BENCH_EXIT_WARNING`` (10) on warn-grade or ``BENCH_EXIT_ERROR``
+  (11) on error-grade slowdowns, for CI gating.  ``--flame-out``
+  samples the suite with the signal profiler.
 
 Observability (every command): ``--profile`` prints a per-stage
 wall-clock table after the command, ``--json-report PATH`` writes the
 full :class:`~repro.obs.RunReport` (span tree, metrics, cache
-hits/misses) as JSON, and ``-v``/``-q`` adjust ``repro.*`` log
-verbosity via :func:`repro.obs.configure`.
+hits/misses) as JSON, ``--trace-out PATH`` exports the span forest as
+Chrome trace-event JSON for Perfetto, ``--metrics PATH`` dumps the
+metrics registry in Prometheus text format, and ``-v``/``-q`` adjust
+``repro.*`` log verbosity via :func:`repro.obs.configure`.
 
 Errors derived from :class:`repro.errors.ClaraError` exit with a
 distinct status per class (see ``EXIT_CODES`` in docs/API.md) and a
@@ -62,6 +71,12 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                             " the command")
     group.add_argument("--json-report", metavar="PATH", default=None,
                        help="write the full RunReport JSON to PATH")
+    group.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write the span forest as Chrome trace-event"
+                            " JSON (view in https://ui.perfetto.dev)")
+    group.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write the metrics registry in Prometheus"
+                            " text format after the run")
     group.add_argument("-v", "--verbose", action="count", default=0,
                        help="log more (-v info, -vv debug)")
     group.add_argument("-q", "--quiet", action="store_true",
@@ -350,6 +365,62 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from contextlib import nullcontext
+
+    from repro.obs import bench as bench_mod
+
+    if args.list_cases:
+        print(f"{'case':20s} description")
+        for name in bench_mod.default_case_names():
+            case = bench_mod.get_case(name)
+            print(f"{case.name:20s} {case.description}")
+        return 0
+
+    profiler = nullcontext()
+    if args.flame_out:
+        from repro.obs.sampling import SamplingProfiler
+
+        profiler = SamplingProfiler(interval_s=0.002)
+    with profiler:
+        run = bench_mod.run_suite(
+            names=args.cases or None,
+            repeats=args.repeats,
+            quick=args.quick,
+            seed=args.seed,
+        )
+    if args.flame_out:
+        profiler.write(args.flame_out)
+        print(f"collapsed stacks written to {args.flame_out}",
+              file=sys.stderr)
+
+    if not args.no_out:
+        out_path = args.out or run.default_artifact_name()
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(run.to_json() + "\n")
+        print(f"bench artifact written to {out_path}", file=sys.stderr)
+
+    if args.json:
+        print(run.to_json())
+    else:
+        print(run.render(), end="")
+
+    if args.compare:
+        baseline = bench_mod.BenchRun.load(args.compare)
+        comparison = bench_mod.compare_runs(
+            baseline, run,
+            rel_threshold=(bench_mod.DEFAULT_REL_THRESHOLD
+                           if args.rel_threshold is None
+                           else args.rel_threshold),
+            mad_k=(bench_mod.DEFAULT_MAD_K
+                   if args.mad_k is None else args.mad_k),
+        )
+        print()
+        print(comparison.render(), end="")
+        return comparison.exit_code
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -429,6 +500,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
     _add_obs_args(p_lint)
+
+    p_bench = sub.add_parser(
+        "bench", help="continuous benchmarking of Clara's own hot paths"
+    )
+    p_bench.add_argument("cases", nargs="*",
+                         help="bench case names (default: the whole"
+                              " declared suite)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="shrunken workload sizes (CI smoke profile)")
+    p_bench.add_argument("--repeats", type=int, default=None,
+                         help="timed repetitions per case (default: 5,"
+                              " or 3 with --quick)")
+    p_bench.add_argument("--out", metavar="PATH", default=None,
+                         help="artifact path (default BENCH_<git-sha>.json)")
+    p_bench.add_argument("--no-out", action="store_true",
+                         help="skip writing the BENCH_*.json artifact")
+    p_bench.add_argument("--json", action="store_true",
+                         help="print the bench run as JSON instead of the"
+                              " human table")
+    p_bench.add_argument("--compare", metavar="BASELINE", default=None,
+                         help="grade this run against a BENCH_*.json"
+                              " baseline; exit 10 on warn-grade and 11 on"
+                              " error-grade regressions")
+    p_bench.add_argument("--rel-threshold", type=float, default=None,
+                         help="relative slowdown that counts as a"
+                              " regression (default 0.25)")
+    p_bench.add_argument("--mad-k", type=float, default=None,
+                         help="noise guard: slowdown must also exceed"
+                              " K*MAD (default 4.0)")
+    p_bench.add_argument("--flame-out", metavar="PATH", default=None,
+                         help="sample the suite with the signal profiler"
+                              " and write collapsed stacks to PATH")
+    p_bench.add_argument("--list-cases", action="store_true",
+                         help="print the declared case table and exit")
+    _add_obs_args(p_bench)
     return parser
 
 
@@ -442,6 +548,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": cmd_sweep,
         "explain": cmd_explain,
         "lint": cmd_lint,
+        "bench": cmd_bench,
     }
 
     from repro import obs
@@ -449,12 +556,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     obs.configure(verbosity=-1 if getattr(args, "quiet", False)
                   else getattr(args, "verbose", 0))
     want_report = bool(
-        getattr(args, "profile", False) or getattr(args, "json_report", None)
+        getattr(args, "profile", False)
+        or getattr(args, "json_report", None)
+        or getattr(args, "trace_out", None)
     )
     tracer = obs.Tracer() if want_report else None
     previous = obs.set_tracer(tracer) if tracer is not None else None
 
     status, code = "ok", 0
+    obs.get_metrics().counter("cli_invocations", command=args.command).inc()
     try:
         with obs.span(f"cli.{args.command}"):
             code = handlers[args.command](args)
@@ -482,6 +592,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 handle.write(report.to_json() + "\n")
             print(f"run report written to {args.json_report}",
                   file=sys.stderr)
+        if args.trace_out:
+            obs.write_chrome_trace(tracer, args.trace_out)
+            print(f"chrome trace written to {args.trace_out}"
+                  " (view in https://ui.perfetto.dev)", file=sys.stderr)
+    if getattr(args, "metrics", None):
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(obs.get_metrics().to_prometheus())
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
     return code
 
 

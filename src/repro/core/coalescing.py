@@ -17,6 +17,7 @@ from repro.click.interp import ExecutionProfile
 from repro.ml.kmeans import choose_k_by_cutoff
 from repro.nfir.function import Module
 from repro.nic.port import CoalescePack
+from repro.obs.metrics import get_metrics, observe_latency
 
 #: Largest coalesced access the NIC's DMA engines issue in one command.
 MAX_PACK_BYTES = 64
@@ -94,10 +95,15 @@ class CoalescingAdvisor:
         names, vectors = self.access_vectors(module, profile)
         if len(names) < 2:
             return CoalescingPlan(packs=[], clusters={})
-        _k, model = choose_k_by_cutoff(
-            vectors, k_max=self.max_clusters, cutoff=CLUSTER_CUTOFF,
-            seed=self.seed,
-        )
+        with observe_latency("kmeans_fit_latency_seconds"):
+            _k, model = choose_k_by_cutoff(
+                vectors, k_max=self.max_clusters, cutoff=CLUSTER_CUTOFF,
+                seed=self.seed,
+            )
+        get_metrics().histogram(
+            "kmeans_iterations",
+            buckets=(1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0),
+        ).observe(float(model.n_iter_))
         labels = model.labels_
         clusters: Dict[str, int] = {n: int(l) for n, l in zip(names, labels)}
         packs: List[CoalescePack] = []

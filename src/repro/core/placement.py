@@ -16,6 +16,7 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.nic.regions import MemoryHierarchy, default_hierarchy
+from repro.obs.metrics import observe_latency
 
 
 @dataclass
@@ -195,9 +196,13 @@ class PlacementAdvisor:
         if not problem.names:
             return PlacementSolution({}, 0.0, "ilp")
         try:
-            return solve_ilp(problem)
+            with observe_latency("placement_solve_latency_seconds",
+                                 method="ilp"):
+                return solve_ilp(problem)
         except PlacementError:
-            return solve_greedy(problem)
+            with observe_latency("placement_solve_latency_seconds",
+                                 method="greedy"):
+                return solve_greedy(problem)
 
     # -- uniform advisor protocol --------------------------------------
     def fit(self, *args, **kwargs) -> "PlacementAdvisor":

@@ -31,6 +31,7 @@ from repro.nic.compiler import compile_module
 from repro.nic.isa import NICProgram
 from repro.nic.libnfp import api_cost
 from repro.nic.port import PortConfig
+from repro.obs.metrics import observe_latency
 from repro.synthesis.stats import extract_stats
 
 #: Sequence length cap for block encodings (longer blocks truncate).
@@ -185,23 +186,24 @@ class InstructionPredictor:
         roughly the concatenation of its windows."""
         if self.model is None:
             raise NotTrainedError("predictor is not fitted")
-        chunks: List[List[str]] = []
-        owners: List[int] = []
-        for i, seq in enumerate(sequences):
-            seq = list(seq)
-            if not seq:
-                chunks.append(seq)
-                owners.append(i)
-                continue
-            for start in range(0, len(seq), self.max_len):
-                chunks.append(seq[start : start + self.max_len])
-                owners.append(i)
-        X, mask = encode_blocks(self.vocab, chunks, self.max_len)
-        chunk_preds = self.model.predict(X, mask)
-        out = np.zeros(len(list(sequences)))
-        for owner, value in zip(owners, chunk_preds):
-            out[owner] += value
-        return out
+        with observe_latency("predict_latency_seconds"):
+            chunks: List[List[str]] = []
+            owners: List[int] = []
+            for i, seq in enumerate(sequences):
+                seq = list(seq)
+                if not seq:
+                    chunks.append(seq)
+                    owners.append(i)
+                    continue
+                for start in range(0, len(seq), self.max_len):
+                    chunks.append(seq[start : start + self.max_len])
+                    owners.append(i)
+            X, mask = encode_blocks(self.vocab, chunks, self.max_len)
+            chunk_preds = self.model.predict(X, mask)
+            out = np.zeros(len(list(sequences)))
+            for owner, value in zip(owners, chunk_preds):
+                out[owner] += value
+            return out
 
     def evaluate(self, dataset: PredictorDataset) -> float:
         """WMAPE against ground truth (the paper's Section 5.2 metric)."""

@@ -21,6 +21,8 @@ from __future__ import annotations
 __all__ = [
     "ArtifactCacheMiss",
     "ArtifactError",
+    "BENCH_EXIT_ERROR",
+    "BENCH_EXIT_WARNING",
     "ClaraError",
     "EXIT_CODES",
     "InvalidWorkloadError",
@@ -83,6 +85,16 @@ class ArtifactCacheMiss(ArtifactError):
 #: tell "the NF has portability problems" from "the tool failed".
 LINT_EXIT_WARNING = 8
 LINT_EXIT_ERROR = 9
+
+#: ``clara bench --compare`` exit statuses (like lint: a detected
+#: regression is a *finding*, not a tool failure).  0 means no
+#: regression beyond threshold, :data:`BENCH_EXIT_WARNING` means
+#: warn-grade slowdowns only (CI tolerates these — machines differ),
+#: and :data:`BENCH_EXIT_ERROR` means at least one error-grade
+#: slowdown (more than twice the regression threshold), which gates
+#: merges.
+BENCH_EXIT_WARNING = 10
+BENCH_EXIT_ERROR = 11
 
 #: exception class name -> CLI exit status (documented in docs/API.md).
 EXIT_CODES = {

@@ -28,6 +28,8 @@ class KMeans:
         self.centers_: Optional[np.ndarray] = None
         self.labels_: Optional[np.ndarray] = None
         self.inertia_: float = 0.0
+        #: Lloyd iterations the last :meth:`fit` actually ran.
+        self.n_iter_: int = 0
 
     def _init_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """k-means++ seeding."""
@@ -53,7 +55,9 @@ class KMeans:
         rng = np.random.default_rng(self.seed)
         centers = self._init_centers(X, rng)
         labels = np.zeros(len(X), dtype=int)
+        self.n_iter_ = 0
         for _ in range(self.max_iter):
+            self.n_iter_ += 1
             d2 = ((X[:, None, :] - centers[None]) ** 2).sum(axis=2)
             new_labels = np.argmin(d2, axis=1)
             if np.array_equal(new_labels, labels) and _ > 0:

@@ -21,6 +21,17 @@ the reproduction the same visibility over itself:
 * :mod:`repro.obs.logconfig` — :func:`configure` wires ``repro.*``
   loggers to stderr at a verbosity; :func:`get_logger` is what library
   modules use.
+* :mod:`repro.obs.traceexport` — :func:`write_chrome_trace` turns a
+  recorded span forest into Chrome trace-event JSON for Perfetto /
+  ``chrome://tracing`` (the CLI's ``--trace-out``).
+* :mod:`repro.obs.sampling` — :class:`SamplingProfiler`, a
+  signal-based sampling profiler emitting flamegraph-ready collapsed
+  stacks.
+* :mod:`repro.obs.bench` — the continuous-benchmarking harness behind
+  ``clara bench``: :func:`run_suite` times the declared pipeline
+  workloads (median-of-N + MAD) into a schema-versioned
+  :class:`BenchRun`, and :func:`compare_runs` grades regressions
+  against a baseline artifact.
 
 Typical enablement::
 
@@ -32,16 +43,25 @@ Typical enablement::
     print(report.render_profile())
 """
 
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BenchRun,
+    compare_runs,
+    run_suite,
+)
 from repro.obs.logconfig import configure, get_logger
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LATENCY_BUCKETS,
     MetricsRegistry,
     get_metrics,
+    observe_latency,
     set_metrics,
 )
 from repro.obs.report import RUN_REPORT_SCHEMA, RunReport
+from repro.obs.sampling import SamplingProfiler
 from repro.obs.trace import (
     NullTracer,
     Span,
@@ -51,23 +71,38 @@ from repro.obs.trace import (
     span,
     use_tracer,
 )
+from repro.obs.traceexport import (
+    chrome_trace_events,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "BenchRun",
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NullTracer",
     "RUN_REPORT_SCHEMA",
     "RunReport",
+    "SamplingProfiler",
     "Span",
     "Tracer",
+    "chrome_trace_events",
+    "compare_runs",
     "configure",
     "get_logger",
     "get_metrics",
     "get_tracer",
+    "observe_latency",
+    "run_suite",
     "set_metrics",
     "set_tracer",
     "span",
+    "to_chrome_trace",
     "use_tracer",
+    "write_chrome_trace",
 ]

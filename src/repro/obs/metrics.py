@@ -16,20 +16,31 @@ from __future__ import annotations
 
 import bisect
 import threading
+import time
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "get_metrics",
+    "observe_latency",
     "set_metrics",
 ]
 
 #: default histogram bucket upper bounds (seconds-flavoured).
 DEFAULT_BUCKETS = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+#: finer-grained bounds for per-call hot paths (``predictor.predict``,
+#: one ILP solve, a K-means fit): these complete in micro- to
+#: milliseconds, below the resolution of :data:`DEFAULT_BUCKETS`.
+LATENCY_BUCKETS = (
+    0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005,
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
 )
 
 _LabelKey = Tuple[Tuple[str, str], ...]
@@ -84,6 +95,26 @@ class Gauge:
         return self.value
 
 
+class _HistogramTimer:
+    """Context manager observing a wall-clock duration into a
+    histogram on exit (including the exceptional path — a slow failure
+    is still a latency sample)."""
+
+    __slots__ = ("_histogram", "_start_s")
+
+    def __init__(self, histogram: "Histogram") -> None:
+        self._histogram = histogram
+        self._start_s = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._histogram.observe(time.perf_counter() - self._start_s)
+        return False
+
+
 class Histogram:
     """Cumulative-bucket histogram of observed values."""
 
@@ -100,6 +131,11 @@ class Histogram:
         self.counts[bisect.bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.sum += value
+
+    def time(self) -> _HistogramTimer:
+        """``with histogram.time(): ...`` records the block's duration
+        in seconds as one observation."""
+        return _HistogramTimer(self)
 
     def to_value(self) -> Dict[str, Any]:
         cumulative: Dict[str, int] = {}
@@ -201,3 +237,21 @@ def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
     previous = _registry
     _registry = registry
     return previous
+
+
+def observe_latency(
+    name: str,
+    buckets: Tuple[float, ...] = LATENCY_BUCKETS,
+    **labels: Any,
+) -> _HistogramTimer:
+    """Time a hot-path call into a latency histogram on the default
+    registry::
+
+        with observe_latency("predict_latency_seconds"):
+            model.predict(...)
+
+    The disabled-path cost matches the rest of the metrics layer — one
+    dict lookup plus two ``perf_counter`` reads — so call sites stay
+    instrumented permanently.
+    """
+    return _registry.histogram(name, buckets=buckets, **labels).time()

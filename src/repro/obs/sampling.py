@@ -1,0 +1,139 @@
+"""Signal-based sampling profiler emitting collapsed stacks.
+
+A :class:`SamplingProfiler` arms an interval timer
+(``signal.setitimer``) and, on every tick, records the Python call
+stack of the interrupted frame.  Aggregated samples come out in the
+*collapsed stack* format flamegraph tooling consumes (one
+``outer;inner;leaf count`` line per distinct stack — feed the file to
+``flamegraph.pl`` or https://www.speedscope.app)::
+
+    with SamplingProfiler(interval_s=0.002) as prof:
+        clara.analyze("aggcounter", spec)
+    print(prof.collapsed())
+
+Two modes: ``"cpu"`` (default, ``ITIMER_PROF``/``SIGPROF``) samples
+CPU time and ignores blocking waits; ``"wall"``
+(``ITIMER_REAL``/``SIGALRM``) samples wall-clock time.  CPython only
+delivers signals to the main thread, so the profiler sees the main
+thread's stacks; started from any other thread it degrades to an
+inert no-op (``active`` stays False) rather than failing the
+workload.  The disabled path costs nothing: no timer is armed unless
+``start()`` runs.
+
+``clara bench --flame-out stacks.txt`` wraps the whole benchmark
+suite in one profiler and writes the collapsed stacks for the hottest
+stages.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Dict, List, Tuple
+
+__all__ = ["SamplingProfiler"]
+
+#: mode name -> (itimer constant, signal number).
+_MODES = {
+    "cpu": (signal.ITIMER_PROF, signal.SIGPROF),
+    "wall": (signal.ITIMER_REAL, signal.SIGALRM),
+}
+
+
+class SamplingProfiler:
+    """Collect collapsed call stacks at a fixed sampling interval."""
+
+    def __init__(
+        self,
+        interval_s: float = 0.005,
+        mode: str = "cpu",
+        max_depth: int = 64,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {tuple(_MODES)}")
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = interval_s
+        self.mode = mode
+        self.max_depth = max_depth
+        #: distinct root-to-leaf stacks -> sample count.
+        self.counts: Dict[Tuple[str, ...], int] = {}
+        self.n_samples = 0
+        self.active = False
+        self._previous_handler = None
+        self._previous_timer: Tuple[float, float] = (0.0, 0.0)
+
+    # -- sampling ---------------------------------------------------------
+    def _frames(self, frame) -> Tuple[str, ...]:
+        """Root-to-leaf ``module:function`` names of one stack."""
+        names: List[str] = []
+        while frame is not None and len(names) < self.max_depth:
+            module = frame.f_globals.get("__name__", "?")
+            names.append(f"{module}:{frame.f_code.co_name}")
+            frame = frame.f_back
+        names.reverse()
+        return tuple(names)
+
+    def _handle(self, signum, frame) -> None:
+        if frame is not None:
+            stack = self._frames(frame)
+            self.counts[stack] = self.counts.get(stack, 0) + 1
+            self.n_samples += 1
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        """Arm the timer.  Off the main thread (where CPython cannot
+        install signal handlers) this leaves the profiler inert."""
+        if self.active:
+            return self
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        itimer, signum = _MODES[self.mode]
+        try:
+            self._previous_handler = signal.signal(signum, self._handle)
+            self._previous_timer = signal.setitimer(
+                itimer, self.interval_s, self.interval_s
+            )
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            return self
+        self.active = True
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Disarm the timer and restore the previous handler."""
+        if not self.active:
+            return self
+        itimer, signum = _MODES[self.mode]
+        signal.setitimer(itimer, *self._previous_timer)
+        if self._previous_handler is not None:
+            signal.signal(signum, self._previous_handler)
+        self._previous_handler = None
+        self.active = False
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # -- output -----------------------------------------------------------
+    def top(self, n: int = 10) -> List[Tuple[Tuple[str, ...], int]]:
+        """The ``n`` hottest stacks, most-sampled first."""
+        ranked = sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+    def collapsed(self) -> str:
+        """All samples in collapsed-stack format, hottest first."""
+        lines = [
+            ";".join(stack) + f" {count}"
+            for stack, count in self.top(len(self.counts))
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str) -> str:
+        """Write :meth:`collapsed` output to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.collapsed())
+        return path

@@ -19,10 +19,18 @@ back the span tree and per-stage totals.
 Tracers are deliberately process-local: :mod:`repro.core.parallel`
 workers run in child processes and report timing through the parent's
 ``parallel_map`` span instead of shipping spans across the boundary.
+Within a process, though, a recording :class:`Tracer` is thread-safe:
+each thread nests spans on its own stack (``threading.local``), and
+a span whose thread-level stack empties becomes a root of the shared
+forest.  Spans also record an absolute wall-clock start
+(:attr:`Span.start_ts`) and the opening thread id (:attr:`Span.tid`),
+which is what lets :mod:`repro.obs.traceexport` emit Chrome
+trace-event JSON with real ``ts``/``tid`` values.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
@@ -41,12 +49,19 @@ __all__ = [
 class Span:
     """One timed stage: a name, wall-clock bounds, attributes, children."""
 
-    __slots__ = ("name", "start_s", "end_s", "attrs", "children")
+    __slots__ = ("name", "start_s", "end_s", "start_ts", "tid", "attrs",
+                 "children")
 
     def __init__(self, name: str, **attrs: Any) -> None:
         self.name = name
         self.start_s: float = 0.0
         self.end_s: Optional[float] = None
+        #: absolute wall-clock start (``time.time()`` epoch seconds) —
+        #: ``start_s`` is a perf_counter reading, good for durations
+        #: but meaningless as a timestamp.
+        self.start_ts: float = 0.0
+        #: identity of the thread that opened the span.
+        self.tid: int = 0
         self.attrs: Dict[str, Any] = dict(attrs)
         self.children: List["Span"] = []
 
@@ -97,29 +112,48 @@ class _SpanContext:
 
 
 class Tracer:
-    """Records a forest of nested spans plus per-stage call counts."""
+    """Records a forest of nested spans plus per-stage call counts.
+
+    Span nesting is tracked **per thread**: concurrent callers each
+    stack their own spans (no cross-thread corruption), and finished
+    top-level spans from every thread land in the shared ``roots``
+    forest, ordered by completion.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._roots_lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[Span]:
+        """The calling thread's open-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **attrs: Any) -> _SpanContext:
         return _SpanContext(self, Span(name, **attrs))
 
     def _push(self, span_: Span) -> None:
         span_.start_s = time.perf_counter()
+        span_.start_ts = time.time()
+        span_.tid = threading.get_ident()
         self._stack.append(span_)
 
     def _pop(self, span_: Span) -> None:
         span_.end_s = time.perf_counter()
-        popped = self._stack.pop()
+        stack = self._stack
+        popped = stack.pop()
         assert popped is span_, "span stack corrupted"
-        if self._stack:
-            self._stack[-1].children.append(span_)
+        if stack:
+            stack[-1].children.append(span_)
         else:
-            self.roots.append(span_)
+            with self._roots_lock:
+                self.roots.append(span_)
 
     def iter_spans(self) -> Iterator[Span]:
         """Every finished span, depth-first in start order."""
@@ -144,8 +178,9 @@ class Tracer:
         return totals
 
     def clear(self) -> None:
-        self.roots = []
-        self._stack = []
+        with self._roots_lock:
+            self.roots = []
+        self._local.stack = []
 
 
 class _NullSpan:
@@ -156,6 +191,8 @@ class _NullSpan:
     attrs: Dict[str, Any] = {}
     children: List[Span] = []
     duration_s = 0.0
+    start_ts = 0.0
+    tid = 0
 
     def set(self, key: str, value: Any) -> "_NullSpan":
         return self

@@ -1,0 +1,308 @@
+"""The continuous-benchmarking harness: stats, comparison grading,
+schema round-trip, and the regression exit-code protocol."""
+
+import json
+
+import pytest
+
+from repro.errors import BENCH_EXIT_ERROR, BENCH_EXIT_WARNING, ClaraError
+from repro.obs import bench
+
+
+def make_run(cases, git_sha="test", repeats=5, quick=True):
+    """A synthetic BenchRun from ``{name: (median_s, mad_s)}``."""
+    results = [
+        bench.BenchCaseResult(
+            name=name, repeats=repeats, median_s=median, mad_s=mad,
+            mean_s=median, min_s=median, max_s=median,
+            samples_s=[median] * repeats,
+        )
+        for name, (median, mad) in cases.items()
+    ]
+    return bench.BenchRun(
+        git_sha=git_sha, quick=quick, repeats=repeats, seed=0,
+        created_unix=1700000000.0, host={"python": "3.x"}, results=results,
+    )
+
+
+class TestCaseResultStats:
+    def test_median_and_mad(self):
+        entry = bench.BenchCaseResult.from_samples(
+            "c", [0.010, 0.012, 0.011, 0.013, 0.050]
+        )
+        assert entry.median_s == pytest.approx(0.012)
+        # MAD of [2, 0, 1, 1, 38] ms deviations -> 1 ms: the outlier
+        # does not blow up the dispersion estimate.
+        assert entry.mad_s == pytest.approx(0.001)
+        assert entry.min_s == pytest.approx(0.010)
+        assert entry.max_s == pytest.approx(0.050)
+        assert entry.repeats == 5
+
+    def test_dict_roundtrip(self):
+        entry = bench.BenchCaseResult.from_samples("c", [0.5, 0.6, 0.7])
+        again = bench.BenchCaseResult.from_dict(entry.to_dict())
+        assert again == entry
+
+
+class TestBenchRunSchema:
+    def test_json_roundtrip(self):
+        run = make_run({"a": (0.01, 0.001), "b": (0.5, 0.0)})
+        again = bench.BenchRun.from_json(run.to_json())
+        assert again == run
+        assert again.result("a").median_s == pytest.approx(0.01)
+        assert again.result("nope") is None
+
+    def test_schema_mismatch_rejected(self):
+        payload = make_run({"a": (0.01, 0.0)}).to_dict()
+        payload["schema"] = 99
+        with pytest.raises(ClaraError, match="schema"):
+            bench.BenchRun.from_dict(payload)
+
+    def test_load_missing_file_is_clara_error(self, tmp_path):
+        with pytest.raises(ClaraError, match="no bench baseline"):
+            bench.BenchRun.load(tmp_path / "absent.json")
+
+    def test_load_garbage_is_clara_error(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(ClaraError, match="unreadable"):
+            bench.BenchRun.load(path)
+
+    def test_artifact_name_embeds_sha(self):
+        assert make_run({}, git_sha="abc1234").default_artifact_name() \
+            == "BENCH_abc1234.json"
+
+    def test_unknown_case_is_clara_error(self):
+        with pytest.raises(ClaraError, match="unknown bench case"):
+            bench.get_case("definitely_not_a_case")
+
+    def test_declared_suite_is_nonempty_and_resolvable(self):
+        names = bench.default_case_names()
+        assert "placement_ilp" in names
+        assert "predictor_train" in names
+        for name in names:
+            assert bench.get_case(name).name == name
+
+
+class TestCompareGrading:
+    """threshold = max(rel * base_median, mad_k * max(MADs));
+    warn above it, error above twice it, improved below minus it."""
+
+    def compare(self, base, cur, **kwargs):
+        comparison = bench.compare_runs(
+            make_run(base, git_sha="old"),
+            make_run(cur, git_sha="new"),
+            **kwargs,
+        )
+        return comparison
+
+    def grade(self, base, cur, **kwargs):
+        (entry,) = self.compare(base, cur, **kwargs).entries
+        return entry.grade
+
+    def test_small_drift_is_ok(self):
+        assert self.grade({"c": (1.0, 0.0)}, {"c": (1.1, 0.0)}) == "ok"
+
+    def test_warn_between_one_and_two_thresholds(self):
+        assert self.grade({"c": (1.0, 0.0)}, {"c": (1.4, 0.0)}) == "warn"
+
+    def test_error_above_twice_threshold(self):
+        assert self.grade({"c": (1.0, 0.0)}, {"c": (2.0, 0.0)}) == "error"
+
+    def test_speedup_is_improved(self):
+        assert self.grade({"c": (1.0, 0.0)}, {"c": (0.5, 0.0)}) == "improved"
+
+    def test_mad_guard_suppresses_noise(self):
+        # A 30% slowdown would warn, but either run's dispersion says
+        # the measurement is that noisy -> ok, not a regression.
+        assert self.grade({"c": (1.0, 0.2)}, {"c": (1.3, 0.0)}) == "ok"
+        assert self.grade({"c": (1.0, 0.0)}, {"c": (1.3, 0.2)}) == "ok"
+
+    def test_mad_guard_does_not_mask_big_regressions(self):
+        assert self.grade({"c": (1.0, 0.1)}, {"c": (3.0, 0.1)}) == "error"
+
+    def test_missing_and_new_do_not_affect_exit(self):
+        comparison = self.compare(
+            {"gone": (1.0, 0.0), "kept": (1.0, 0.0)},
+            {"kept": (1.0, 0.0), "added": (1.0, 0.0)},
+        )
+        grades = {e.name: e.grade for e in comparison.entries}
+        assert grades == {"gone": "missing", "kept": "ok", "added": "new"}
+        assert comparison.exit_code == 0
+
+    def test_exit_codes(self):
+        assert self.compare(
+            {"c": (1.0, 0.0)}, {"c": (1.0, 0.0)}
+        ).exit_code == 0
+        assert self.compare(
+            {"c": (1.0, 0.0)}, {"c": (1.4, 0.0)}
+        ).exit_code == BENCH_EXIT_WARNING
+        assert self.compare(
+            {"c": (1.0, 0.0)}, {"c": (2.5, 0.0)}
+        ).exit_code == BENCH_EXIT_ERROR
+
+    def test_error_beats_warning_in_exit(self):
+        comparison = self.compare(
+            {"w": (1.0, 0.0), "e": (1.0, 0.0)},
+            {"w": (1.4, 0.0), "e": (3.0, 0.0)},
+        )
+        assert comparison.n_warnings == 1
+        assert comparison.n_errors == 1
+        assert comparison.exit_code == BENCH_EXIT_ERROR
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ClaraError, match="rel_threshold"):
+            self.compare({"c": (1.0, 0.0)}, {"c": (1.0, 0.0)},
+                         rel_threshold=0.0)
+
+    def test_render_mentions_verdicts(self):
+        comparison = self.compare({"c": (1.0, 0.0)}, {"c": (3.0, 0.0)})
+        text = comparison.render()
+        assert "old -> new" in text
+        assert "error" in text
+        assert "1 error-grade" in text
+
+    def test_comparison_to_dict(self):
+        payload = self.compare(
+            {"c": (1.0, 0.0)}, {"c": (1.4, 0.0)}
+        ).to_dict()
+        assert payload["kind"] == "bench_comparison"
+        (entry,) = payload["entries"]
+        assert entry["grade"] == "warn"
+        assert entry["ratio"] == pytest.approx(1.4)
+
+
+class TestInjectedSlowdown:
+    """The acceptance check: a deliberately slowed stage is flagged as
+    a regression via the real run_suite -> compare_runs path."""
+
+    @pytest.fixture
+    def sleepy_case(self):
+        delay = {"s": 0.0}
+
+        @bench.register_case("sleepy", "test-only injected-sleep case")
+        def _sleepy(ctx):
+            import time
+
+            def run():
+                if delay["s"]:
+                    time.sleep(delay["s"])
+                return sum(range(200))
+
+            return run
+
+        try:
+            yield delay
+        finally:
+            bench._CASES.pop("sleepy", None)
+
+    def test_injected_sleep_flags_error(self, sleepy_case):
+        fast = bench.run_suite(names=["sleepy"], repeats=3, quick=True)
+        sleepy_case["s"] = 0.02  # ~100x the no-op timing
+        slow = bench.run_suite(names=["sleepy"], repeats=3, quick=True)
+        comparison = bench.compare_runs(fast, slow)
+        (entry,) = comparison.entries
+        assert entry.grade == "error"
+        assert comparison.exit_code == BENCH_EXIT_ERROR
+
+    def test_same_workload_twice_is_clean(self, sleepy_case):
+        # Identical sleep-bound work in both runs: the detector must
+        # not cry wolf (sleep dominates, so timing is stable).
+        sleepy_case["s"] = 0.005
+        first = bench.run_suite(names=["sleepy"], repeats=3, quick=True)
+        second = bench.run_suite(names=["sleepy"], repeats=3, quick=True)
+        comparison = bench.compare_runs(first, second)
+        assert comparison.exit_code == 0
+
+
+class TestBenchCli:
+    """``clara bench`` end to end on the cheapest real case."""
+
+    def test_parser_args(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "placement_ilp", "--quick", "--repeats", "2",
+             "--no-out", "--compare", "base.json", "--rel-threshold",
+             "0.5", "--mad-k", "2.0"]
+        )
+        assert args.command == "bench"
+        assert args.cases == ["placement_ilp"]
+        assert args.quick and args.no_out
+        assert args.repeats == 2
+        assert args.compare == "base.json"
+        assert args.rel_threshold == pytest.approx(0.5)
+        assert args.mad_k == pytest.approx(2.0)
+
+    def test_list_cases(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--list-cases"]) == 0
+        out = capsys.readouterr().out
+        for name in bench.default_case_names():
+            assert name in out
+
+    def test_run_writes_artifact_and_table(self, tmp_path, capsys,
+                                           monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("CLARA_BENCH_SHA", "feedf00d")
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "coalescing_kmeans", "--quick",
+                     "--repeats", "2", "--out", str(out_path)]) == 0
+        table = capsys.readouterr().out
+        assert "coalescing_kmeans" in table
+        run = bench.BenchRun.load(out_path)
+        assert run.git_sha == "feedf00d"
+        assert run.result("coalescing_kmeans").repeats == 2
+
+    def test_compare_flags_regression_with_exit_code(self, tmp_path,
+                                                     capsys):
+        from repro.cli import main
+
+        # A baseline claiming the case once took ~nothing: any real
+        # timing is then an error-grade regression.  mad_k=0 removes
+        # the noise guard so the verdict is deterministic.
+        baseline = make_run({"coalescing_kmeans": (1e-9, 0.0)})
+        path = tmp_path / "baseline.json"
+        path.write_text(baseline.to_json())
+        code = main(["bench", "coalescing_kmeans", "--quick",
+                     "--repeats", "2", "--no-out",
+                     "--compare", str(path), "--mad-k", "0"])
+        assert code == BENCH_EXIT_ERROR
+        assert "error" in capsys.readouterr().out
+
+    def test_compare_clean_against_generous_baseline(self, tmp_path,
+                                                     capsys):
+        from repro.cli import main
+
+        # A huge baseline median: the real timing reads as improved,
+        # which never affects the exit code.
+        baseline = make_run({"coalescing_kmeans": (1000.0, 0.0)})
+        path = tmp_path / "baseline.json"
+        path.write_text(baseline.to_json())
+        code = main(["bench", "coalescing_kmeans", "--quick",
+                     "--repeats", "2", "--no-out", "--compare",
+                     str(path)])
+        assert code == 0
+        assert "improved" in capsys.readouterr().out
+
+    def test_missing_baseline_is_clara_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["bench", "coalescing_kmeans", "--quick",
+                     "--repeats", "2", "--no-out", "--compare",
+                     str(tmp_path / "absent.json")])
+        assert code == ClaraError.exit_code
+        assert "no bench baseline" in capsys.readouterr().err
+
+    def test_json_output_parses(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "coalescing_kmeans", "--quick",
+                     "--repeats", "2", "--no-out", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "bench_run"
+        assert payload["schema"] == bench.BENCH_SCHEMA
+        (entry,) = payload["results"]
+        assert entry["name"] == "coalescing_kmeans"

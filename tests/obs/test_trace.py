@@ -1,5 +1,6 @@
 """Tracer: span nesting, timing, attributes, and the disabled path."""
 
+import threading
 import time
 
 import pytest
@@ -64,6 +65,69 @@ class TestSpanTiming:
         totals = tracer.stage_totals()
         assert totals["stage"]["calls"] == 3
         assert totals["stage"]["total_s"] >= 0.0
+
+
+class TestSpanTimestamps:
+    def test_start_ts_is_wall_clock(self):
+        tracer = obs.Tracer()
+        before = time.time()
+        with obs.use_tracer(tracer):
+            with obs.span("s"):
+                pass
+        after = time.time()
+        span = tracer.roots[0]
+        assert before <= span.start_ts <= after
+        assert span.tid == threading.get_ident()
+
+    def test_null_span_has_zero_timestamp(self):
+        assert _NULL_SPAN.start_ts == 0.0
+        assert _NULL_SPAN.tid == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_threads_keep_separate_stacks(self):
+        tracer = obs.Tracer()
+        barrier = threading.Barrier(3)
+        errors = []
+
+        def work(name):
+            try:
+                with tracer.span(name):
+                    barrier.wait(timeout=5)
+                    # Both threads have a span open here; nesting must
+                    # stay per-thread.
+                    with tracer.span(f"{name}.child"):
+                        time.sleep(0.001)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert sorted(s.name for s in tracer.roots) == ["t0", "t1", "t2"]
+        for root in tracer.roots:
+            assert [c.name for c in root.children] == [f"{root.name}.child"]
+            assert root.tid == root.children[0].tid
+
+    def test_roots_from_worker_threads_join_main_forest(self):
+        tracer = obs.Tracer()
+        with tracer.span("main_side"):
+            pass
+        def worker():
+            with tracer.span("worker_side"):
+                pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        names = {s.name for s in tracer.roots}
+        assert names == {"main_side", "worker_side"}
+        tids = {s.name: s.tid for s in tracer.roots}
+        assert tids["main_side"] != tids["worker_side"]
 
 
 class TestSpanAttributes:

@@ -274,6 +274,42 @@ class TestObservabilityFlags:
         assert report.attributes["exit_code"] == UnknownElementError.exit_code
 
 
+class TestTelemetryFlags:
+    """``--trace-out`` / ``--metrics`` are available on every
+    subcommand (exercised here on the cheap ``lint``)."""
+
+    def test_flags_parse_on_every_command(self):
+        for command in ("inventory", "train", "analyze", "lint", "bench"):
+            argv = [command, "--trace-out", "t.json", "--metrics", "m.prom"]
+            if command == "analyze":
+                argv.insert(1, "aggcounter")
+            args = build_parser().parse_args(argv)
+            assert args.trace_out == "t.json"
+            assert args.metrics == "m.prom"
+
+    def test_lint_trace_out_is_chrome_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main(["lint", "mininat", "--trace-out", str(path)])
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        events = payload["traceEvents"]
+        assert events, "lint run produced no spans"
+        assert {e["ph"] for e in events} == {"B", "E"}
+        names = {e["name"] for e in events}
+        assert "cli.lint" in names
+        assert "lint_corpus" in names
+
+    def test_lint_metrics_file_is_prometheus_text(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        code = main(["lint", "mininat", "--metrics", str(path)])
+        assert code == 0
+        capsys.readouterr()
+        text = path.read_text(encoding="utf-8")
+        assert "# TYPE" in text
+        assert 'cli_invocations{command="lint"}' in text
+
+
 class TestTracePersistence:
     def test_roundtrip(self, tmp_path):
         from repro.workload import generate_trace
