@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Smoke-drive the ``clara serve`` daemon end to end, out of process.
+
+This is what CI's ``serve-smoke`` job runs: it exercises the daemon
+exactly as an operator would —
+
+1. launch ``python -m repro serve`` as a subprocess on a free port
+   (pass a saved artifact path as ``argv[1]`` to skip training;
+   otherwise the daemon trains quick-mode through the artifact cache);
+2. poll ``GET /healthz`` until the daemon reports ready;
+3. drive one request through every endpoint — analyze, lint,
+   colocation — and check each response envelope;
+4. confirm the error mapping (an unknown element must be a 404 with a
+   typed error body, not a 500);
+5. scrape ``GET /metrics`` and check the request counters moved;
+6. SIGTERM the daemon and require a clean exit status 0.
+
+Any failed check raises, which exits non-zero and fails the job.
+
+Run:  python examples/serve_smoke.py [artifact.pkl]
+"""
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+#: generous deadline: a cold cache means the daemon trains first.
+READY_DEADLINE_S = 600
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def request(url, payload=None, timeout=120):
+    """``(status, parsed_body)``; HTTP error statuses are returned."""
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read()
+
+
+def envelope_of(body, expected_kind):
+    env = json.loads(body.decode("utf-8"))
+    assert env["schema"] == 1, env
+    assert env["kind"] == expected_kind, env
+    assert env["error"] is None, env
+    return env["result"]
+
+
+def wait_ready(base, proc):
+    deadline = time.monotonic() + READY_DEADLINE_S
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(
+                f"daemon exited early with status {proc.returncode}"
+            )
+        try:
+            status, body = request(f"{base}/healthz", timeout=5)
+        except (urllib.error.URLError, ConnectionError, TimeoutError):
+            time.sleep(0.5)
+            continue
+        if status == 200:
+            return envelope_of(body, "health")
+        time.sleep(0.5)
+    raise SystemExit(f"daemon not ready after {READY_DEADLINE_S}s")
+
+
+def main() -> None:
+    port = free_port()
+    base = f"http://127.0.0.1:{port}"
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", str(port),
+        "--colocation-programs", "6", "--colocation-groups", "4",
+    ]
+    if len(sys.argv) > 1:
+        cmd += ["--load", sys.argv[1]]
+    print(f"launching: {' '.join(cmd)}")
+    proc = subprocess.Popen(cmd)
+    try:
+        health = wait_ready(base, proc)
+        assert health["ready"] is True, health
+        print(f"ready: wire schema {health['wire_schema']},"
+              f" kinds {health['request_kinds']}")
+
+        status, body = request(f"{base}/v1/analyze", {
+            "element": "aggcounter",
+            "workload": {"name": "smoke", "n_flows": 4096,
+                         "n_packets": 60},
+        })
+        assert status == 200, (status, body)
+        result = envelope_of(body, "analysis_result")
+        assert result["report"]["nf_name"] == "aggcounter", result
+        assert result["port_config"]["cores"] >= 1, result
+        print("analyze: ok")
+
+        status, body = request(f"{base}/v1/lint",
+                               {"elements": ["aggcounter"]})
+        assert status == 200, (status, body)
+        result = envelope_of(body, "lint_run")
+        assert result["reports"][0]["module"] == "aggcounter", result
+        print(f"lint: ok ({result['n_warnings']} warning(s))")
+
+        status, body = request(f"{base}/v1/colocation", {
+            "elements": ["aggcounter", "udpcount", "iplookup"],
+            "workload": {"name": "smoke", "n_packets": 50},
+        })
+        assert status == 200, (status, body)
+        result = envelope_of(body, "colocation_ranking")
+        assert len(result["pairs"]) == 3, result
+        print("colocation: ok (3 ranked pairs)")
+
+        status, body = request(f"{base}/v1/analyze", {"element": "nope"})
+        assert status == 404, (status, body)
+        error = json.loads(body.decode("utf-8"))["error"]
+        assert error["type"] == "UnknownElementError", error
+        print("error mapping: ok (unknown element -> 404)")
+
+        status, body = request(f"{base}/metrics")
+        assert status == 200, status
+        text = body.decode("utf-8")
+        assert "http_requests_total" in text, text[:400]
+        assert 'endpoint="/v1/analyze"' in text, text[:400]
+        print("metrics: ok")
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        returncode = proc.wait(timeout=30)
+    assert returncode == 0, f"daemon exited {returncode}, expected 0"
+    print("serve smoke: all checks passed, clean shutdown")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,14 @@ Commands:
   ``--json`` for machine-readable output);
 * ``explain`` — print the interpretability report for a trained
   (cached or ``--load``-ed) identifier/cost model;
+* ``serve`` — the warm analysis daemon: load (or train) the advisors
+  once, then answer ``analyze``/``lint``/``colocation`` requests over
+  a JSON-over-HTTP API (``POST /v1/<kind>``), batching predictor
+  inference across concurrent requests; ``GET /healthz`` is the
+  readiness probe and ``GET /metrics`` the Prometheus endpoint.
+  Responses use the same versioned envelope the CLI's ``--json``
+  flags print (see :mod:`repro.serve.schemas`); SIGINT/SIGTERM shut
+  it down cleanly with exit status 0;
 * ``lint [elements...]`` — run the static offload linter over library
   elements (all of them by default): ``--json`` for the schema-stable
   lint reports, ``--sarif`` for SARIF 2.1.0, ``--only``/``--disable``
@@ -63,9 +71,13 @@ from repro.errors import (
 )
 
 
-def _add_obs_args(parser: argparse.ArgumentParser) -> None:
-    """Observability flags every subcommand accepts."""
-    group = parser.add_argument_group("observability")
+def _obs_parent() -> argparse.ArgumentParser:
+    """The observability flags every subcommand inherits (one shared
+    parent parser instead of per-subcommand copies — new subcommands
+    get ``--profile``/``--json-report``/``--trace-out``/``--metrics``/
+    ``-v``/``-q`` by listing this in ``parents``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
     group.add_argument("--profile", action="store_true",
                        help="print a per-stage wall-clock table after"
                             " the command")
@@ -81,19 +93,40 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                        help="log more (-v info, -vv debug)")
     group.add_argument("-q", "--quiet", action="store_true",
                        help="log errors only")
+    return parent
 
 
-def _add_train_source_args(parser: argparse.ArgumentParser) -> None:
+def _train_source_parent() -> argparse.ArgumentParser:
     """Flags shared by every command that needs a trained Clara."""
-    parser.add_argument("--load", metavar="PATH", default=None,
-                        help="load a saved Clara artifact instead of training")
-    parser.add_argument("--workers", type=int, default=1,
-                        help="worker processes for dataset synthesis"
-                             " (0 = all cores)")
-    parser.add_argument("--cache", choices=("auto", "off", "require"),
-                        default="auto",
-                        help="artifact-cache mode (default auto: load when"
-                             " present, store after training)")
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("training source")
+    group.add_argument("--load", metavar="PATH", default=None,
+                       help="load a saved Clara artifact instead of training")
+    group.add_argument("--workers", type=int, default=1,
+                       help="worker processes for dataset synthesis"
+                            " (0 = all cores)")
+    group.add_argument("--cache", choices=("auto", "off", "require"),
+                       default="auto",
+                       help="artifact-cache mode (default auto: load when"
+                            " present, store after training)")
+    return parent
+
+
+def _workload_parent() -> argparse.ArgumentParser:
+    """Flags describing the analyzed traffic profile."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("workload")
+    group.add_argument("--flows", type=int, default=10_000,
+                       help="concurrent flows (default 10000)")
+    group.add_argument("--packet-bytes", type=int, default=256,
+                       help="packet size in bytes (default 256)")
+    group.add_argument("--zipf", type=float, default=1.0,
+                       help="flow popularity skew (default 1.0)")
+    group.add_argument("--udp", action="store_true",
+                       help="UDP traffic instead of TCP")
+    group.add_argument("--packets", type=int, default=300,
+                       help="profiled trace length (default 300)")
+    return parent
 
 
 def _obtain_clara(args, quick: bool = True) -> "Clara":
@@ -113,19 +146,6 @@ def _obtain_clara(args, quick: bool = True) -> "Clara":
     return Clara(seed=args.seed).train(
         config, workers=args.workers, cache=args.cache
     )
-
-
-def _add_workload_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--flows", type=int, default=10_000,
-                        help="concurrent flows (default 10000)")
-    parser.add_argument("--packet-bytes", type=int, default=256,
-                        help="packet size in bytes (default 256)")
-    parser.add_argument("--zipf", type=float, default=1.0,
-                        help="flow popularity skew (default 1.0)")
-    parser.add_argument("--udp", action="store_true",
-                        help="UDP traffic instead of TCP")
-    parser.add_argument("--packets", type=int, default=300,
-                        help="profiled trace length (default 300)")
 
 
 def _workload_from_args(args) -> "WorkloadSpec":
@@ -199,31 +219,21 @@ def cmd_train(args) -> int:
     return 0
 
 
-def _port_config_dict(config) -> dict:
-    return {
-        "use_checksum_accel": config.use_checksum_accel,
-        "crc_accel_blocks": sorted(config.crc_accel_blocks),
-        "crypto_accel_blocks": sorted(config.crypto_accel_blocks),
-        "lpm_accel_blocks": sorted(config.lpm_accel_blocks),
-        "placement": dict(sorted(config.placement.items())),
-        "packs": [
-            {"variables": list(pack.variables),
-             "access_bytes": pack.access_bytes}
-            for pack in config.packs
-        ],
-        "cores": config.cores,
-    }
-
-
 def cmd_analyze(args) -> int:
     spec = _workload_from_args(args)
     clara = _obtain_clara(args)
     analysis = clara.analyze(args.element, spec)
     config = clara.port_config(analysis)
     if args.json:
-        payload = analysis.to_dict()
-        payload["port_config"] = _port_config_dict(config)
-        print(json.dumps(payload, indent=2))
+        from repro.serve.schemas import (
+            analysis_result_payload,
+            dump_envelope,
+            envelope,
+        )
+
+        print(dump_envelope(envelope(
+            "analysis_result", analysis_result_payload(analysis, config)
+        )))
         return 0
     print(analysis.report.render(), end="")
     print("\nSuggested port configuration:")
@@ -269,9 +279,9 @@ def cmd_sweep(args) -> int:
         analysis = clara.analyze(element, spec, trace_seed=args.seed)
         predicted_knee = analysis.report.suggested_cores
     if args.json:
-        payload = {
-            "schema": 1,
-            "kind": "core_sweep",
+        from repro.serve.schemas import dump_envelope, envelope
+
+        result = {
             "element": element.name,
             "knee": knee,
             "predicted_knee": predicted_knee,
@@ -284,7 +294,7 @@ def cmd_sweep(args) -> int:
                 for cores in core_counts
             ],
         }
-        print(json.dumps(payload, indent=2))
+        print(dump_envelope(envelope("core_sweep", result)))
         return 0
     print(f"{'cores':>6s} {'tput(Mpps)':>11s} {'lat(us)':>9s}")
     for cores in core_counts:
@@ -298,16 +308,16 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.click.elements import ELEMENT_BUILDERS, build_element
-    from repro.core.prepare import prepare_element
-    from repro.nfir.analysis import (
-        default_registry,
-        sarif_report,
+    from repro.nfir.analysis import default_registry, sarif_report
+    from repro.serve.handlers import run_lint_reports
+    from repro.serve.schemas import (
+        dump_envelope,
+        envelope,
+        lint_run_payload,
     )
-    from repro.obs import span
 
-    registry = default_registry()
     if args.list_rules:
+        registry = default_registry()
         print(f"{'code':6s} {'name':24s} description")
         for pass_ in sorted(registry, key=lambda p: p.code):
             print(f"{pass_.code:6s} {pass_.name:24s} {pass_.description}")
@@ -315,34 +325,16 @@ def cmd_lint(args) -> int:
 
     only = args.only.split(",") if args.only else None
     disable = args.disable.split(",") if args.disable else None
-    try:
-        registry.select(only=only, disable=disable)
-    except KeyError as exc:
-        raise ClaraError(
-            f"{exc.args[0]} (known: {', '.join(registry.codes)})"
-        ) from None
-
-    names = args.elements or sorted(ELEMENT_BUILDERS)
-    reports = []
-    with span("lint_corpus", n_elements=len(names)) as sp:
-        for name in names:
-            prepared = prepare_element(build_element(name))
-            reports.append(
-                registry.run(prepared.module, only=only, disable=disable)
-            )
-        sp.set("n_diagnostics", sum(len(r.diagnostics) for r in reports))
+    registry, reports = run_lint_reports(
+        elements=args.elements or None, only=only, disable=disable
+    )
 
     n_errors = sum(r.n_errors for r in reports)
     n_warnings = sum(r.n_warnings for r in reports)
     if args.sarif:
         print(json.dumps(sarif_report(reports, registry), indent=2))
     elif args.json:
-        payload = {
-            "schema": 1,
-            "kind": "lint_run",
-            "reports": [report.to_dict() for report in reports],
-        }
-        print(json.dumps(payload, indent=2))
+        print(dump_envelope(envelope("lint_run", lint_run_payload(reports))))
     else:
         for report in reports:
             print(report.render(), end="")
@@ -362,6 +354,45 @@ def cmd_explain(args) -> int:
 
     clara = _obtain_clara(args)
     print(render_explanations(clara.scaleout.model, clara.identifier), end="")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.serve import ServeConfig, build_server
+
+    clara = _obtain_clara(args)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        colocation_programs=args.colocation_programs,
+        colocation_groups=args.colocation_groups,
+    )
+    server = build_server(clara, config)
+    print(f"clara serve listening on {server.url()}"
+          f" (batch window {config.batch_window_ms:g}ms,"
+          f" max batch {config.max_batch})", file=sys.stderr)
+
+    def request_stop(signum, _frame):
+        # shutdown() must not run on the serving thread; hand it off.
+        print(f"clara serve: caught signal {signum}, shutting down...",
+              file=sys.stderr)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, request_stop)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        server.serve_forever()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("clara serve: clean shutdown", file=sys.stderr)
     return 0
 
 
@@ -429,16 +460,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_inventory = sub.add_parser("inventory",
-                                 help="element inventory (Table 2)")
-    _add_obs_args(p_inventory)
+    # Shared flag groups: every subcommand inherits observability; the
+    # training-source and workload groups attach where they apply.
+    obs = _obs_parent()
+    train_source = _train_source_parent()
+    workload = _workload_parent()
 
-    p_render = sub.add_parser("render", help="print element source")
+    sub.add_parser("inventory", help="element inventory (Table 2)",
+                   parents=[obs])
+
+    p_render = sub.add_parser("render", help="print element source",
+                              parents=[obs])
     p_render.add_argument("element")
-    _add_obs_args(p_render)
 
     p_train = sub.add_parser(
-        "train", help="run the learning phases, optionally saving the artifact"
+        "train",
+        help="run the learning phases, optionally saving the artifact",
+        parents=[obs],
     )
     p_train.add_argument("--quick", action="store_true",
                         help="small dataset sizes (fast, lower fidelity)")
@@ -456,34 +494,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--cache", choices=("auto", "off", "require"),
                         default="auto",
                         help="artifact-cache mode (default auto)")
-    _add_obs_args(p_train)
 
-    p_analyze = sub.add_parser("analyze", help="offloading insights")
+    p_analyze = sub.add_parser("analyze", help="offloading insights",
+                               parents=[workload, train_source, obs])
     p_analyze.add_argument("element")
     p_analyze.add_argument("--json", action="store_true",
-                           help="emit the stable JSON schema instead of"
-                                " the human report")
-    _add_workload_args(p_analyze)
-    _add_train_source_args(p_analyze)
-    _add_obs_args(p_analyze)
+                           help="emit the versioned JSON envelope instead"
+                                " of the human report")
 
-    p_sweep = sub.add_parser("sweep", help="core-count sweep")
+    p_sweep = sub.add_parser("sweep", help="core-count sweep",
+                             parents=[workload, obs])
     p_sweep.add_argument("element")
     p_sweep.add_argument("--json", action="store_true",
-                         help="emit machine-readable JSON instead of the"
-                              " table")
-    _add_workload_args(p_sweep)
+                         help="emit the versioned JSON envelope instead of"
+                              " the table")
     p_sweep.add_argument("--load", metavar="PATH", default=None,
                          help="also print the predicted knee from a saved"
                               " Clara artifact")
-    _add_obs_args(p_sweep)
 
-    p_explain = sub.add_parser("explain", help="model interpretability report")
-    _add_train_source_args(p_explain)
-    _add_obs_args(p_explain)
+    sub.add_parser("explain", help="model interpretability report",
+                   parents=[train_source, obs])
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running analysis daemon (JSON-over-HTTP API)",
+        parents=[train_source, obs],
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="TCP port, 0 for ephemeral (default 8787)")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         help="how long the inference broker waits for"
+                              " concurrent requests to batch (default 2.0)")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="max inference calls merged into one model"
+                              " invocation (default 64)")
+    p_serve.add_argument("--colocation-programs", type=int, default=12,
+                         help="candidate-pool size for the lazily trained"
+                              " colocation ranker (default 12)")
+    p_serve.add_argument("--colocation-groups", type=int, default=12,
+                         help="ranking groups for the lazily trained"
+                              " colocation ranker (default 12)")
 
     p_lint = sub.add_parser(
-        "lint", help="static offload-portability diagnostics"
+        "lint", help="static offload-portability diagnostics",
+        parents=[obs],
     )
     p_lint.add_argument("elements", nargs="*",
                         help="library element names (default: all)")
@@ -499,10 +555,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated rule codes/names to skip")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
-    _add_obs_args(p_lint)
 
     p_bench = sub.add_parser(
-        "bench", help="continuous benchmarking of Clara's own hot paths"
+        "bench", help="continuous benchmarking of Clara's own hot paths",
+        parents=[obs],
     )
     p_bench.add_argument("cases", nargs="*",
                          help="bench case names (default: the whole"
@@ -534,7 +590,6 @@ def build_parser() -> argparse.ArgumentParser:
                               " and write collapsed stacks to PATH")
     p_bench.add_argument("--list-cases", action="store_true",
                          help="print the declared case table and exit")
-    _add_obs_args(p_bench)
     return parser
 
 
@@ -547,6 +602,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": cmd_analyze,
         "sweep": cmd_sweep,
         "explain": cmd_explain,
+        "serve": cmd_serve,
         "lint": cmd_lint,
         "bench": cmd_bench,
     }

@@ -10,8 +10,9 @@ synthesis and fitting.
 
 Three pieces live here:
 
-* :class:`TrainConfig` — the typed replacement for the loose
-  ``n_predictor_programs/.../quick`` kwargs of the old ``Clara.train``;
+* :class:`TrainConfig` — the one typed description of a training run
+  (the loose ``n_predictor_programs/.../quick`` kwargs it replaced
+  were removed after their deprecation cycle);
 * :func:`save_state` / :func:`load_state` — pickle an advisor
   ``state_dict()`` tree to disk with format/version validation;
 * :class:`ArtifactCache` — the content-addressed store.  Corrupt or
@@ -29,7 +30,7 @@ import hashlib
 import json
 import os
 import pickle
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -72,10 +73,12 @@ ENV_CACHE_DIR = "REPRO_CLARA_CACHE"
 class TrainConfig:
     """Everything ``Clara.train()`` learns from, in one hashable value.
 
-    Replaces the loose ``n_predictor_programs / n_scaleout_programs /
-    predictor_epochs / quick`` kwargs (kept as a deprecated shim).  Two
-    equal configs trained at the same seed on the same NIC produce
-    identical models — which is what makes the artifact cache sound.
+    The only way to size a training run (the loose
+    ``n_predictor_programs / n_scaleout_programs / predictor_epochs /
+    quick`` kwargs completed their deprecation cycle and were
+    removed).  Two equal configs trained at the same seed on the same
+    NIC produce identical models — which is what makes the artifact
+    cache sound.
     """
 
     #: synthesized programs for the instruction predictor (Section 3.2).
@@ -100,30 +103,6 @@ class TrainConfig:
             n_negatives=10,
             scaleout_trace_packets=150,
         )
-
-    @classmethod
-    def from_legacy(
-        cls,
-        n_predictor_programs: Optional[int] = None,
-        n_scaleout_programs: Optional[int] = None,
-        predictor_epochs: Optional[int] = None,
-        quick: Optional[bool] = None,
-    ) -> "TrainConfig":
-        """Map the pre-``TrainConfig`` kwargs onto a config, preserving
-        the old semantics exactly: ``quick=True`` overrides the sizing
-        kwargs, just as the old ``train()`` body reassigned them."""
-        if quick:
-            return cls.quick()
-        overrides = {
-            key: value
-            for key, value in {
-                "n_predictor_programs": n_predictor_programs,
-                "n_scaleout_programs": n_scaleout_programs,
-                "predictor_epochs": predictor_epochs,
-            }.items()
-            if value is not None
-        }
-        return replace(cls(), **overrides)
 
     def key_dict(self) -> Dict[str, Any]:
         return asdict(self)

@@ -20,7 +20,6 @@ evaluation benchmarks against naive porting and expert emulation.
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -69,15 +68,6 @@ log = get_logger(__name__)
 
 #: valid values of ``Clara.train(cache=...)``.
 CACHE_MODES = ("auto", "off", "require")
-
-#: the exact TrainConfig replacement for each deprecated ``train()``
-#: kwarg (quoted verbatim in the DeprecationWarning).
-_LEGACY_REPLACEMENTS = {
-    "n_predictor_programs": "TrainConfig.n_predictor_programs",
-    "n_scaleout_programs": "TrainConfig.n_scaleout_programs",
-    "predictor_epochs": "TrainConfig.predictor_epochs",
-    "quick": "TrainConfig.quick()",
-}
 
 
 @dataclass
@@ -155,10 +145,6 @@ class Clara:
         workers: int = 1,
         cache: str = "off",
         cache_dir: Optional[str] = None,
-        n_predictor_programs: Optional[int] = None,
-        n_scaleout_programs: Optional[int] = None,
-        predictor_epochs: Optional[int] = None,
-        quick: Optional[bool] = None,
     ) -> "Clara":
         """Run all learning phases for ``config`` (default
         :class:`TrainConfig`; use ``TrainConfig.quick()`` for tests).
@@ -171,32 +157,11 @@ class Clara:
         (config, seed, NIC) and stores fresh ones, ``"require"``
         raises :class:`ArtifactCacheMiss` instead of retraining.
 
-        The ``n_predictor_programs``/``n_scaleout_programs``/
-        ``predictor_epochs``/``quick`` kwargs are a deprecated shim
-        over :class:`TrainConfig`.
+        :class:`TrainConfig` is the only way to size a run — the
+        pre-1.0 ``n_predictor_programs``/``n_scaleout_programs``/
+        ``predictor_epochs``/``quick`` kwargs (deprecated since the
+        artifact-cache release) are gone.
         """
-        legacy = {
-            "n_predictor_programs": n_predictor_programs,
-            "n_scaleout_programs": n_scaleout_programs,
-            "predictor_epochs": predictor_epochs,
-            "quick": quick,
-        }
-        passed = [name for name, value in legacy.items() if value is not None]
-        if passed:
-            if config is not None:
-                raise TypeError(
-                    "pass either a TrainConfig or the legacy kwargs, not both"
-                )
-            warnings.warn(
-                "Clara.train() legacy kwargs are deprecated; "
-                + "; ".join(
-                    f"replace {name}= with {_LEGACY_REPLACEMENTS[name]}"
-                    for name in passed
-                ),
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = TrainConfig.from_legacy(**legacy)
         if config is None:
             config = TrainConfig()
         if cache not in CACHE_MODES:
@@ -397,6 +362,13 @@ class Clara:
         ``element`` is either an :class:`~repro.click.ast.ElementDef`
         or a library element *name* (resolved via
         :func:`~repro.click.elements.build_element`).
+
+        Re-entrant: every call builds its own interpreter, profile,
+        and report, and the fitted advisors are only *read* — so
+        ``clara serve`` calls this concurrently from its request
+        threads (with predictor inference batched across them by the
+        serve broker).  Only :meth:`train`/:meth:`load_state_dict`
+        mutate advisor state and must not overlap with analyses.
         """
         if not self.trained:
             raise NotTrainedError("call Clara.train() before analyze()")

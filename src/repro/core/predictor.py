@@ -11,7 +11,7 @@ porting instead of prediction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -139,6 +139,14 @@ class InstructionPredictor:
         self.seed = seed
         self.vocab = InstructionVocabulary()
         self.model: Optional[LSTMRegressor] = None
+        #: optional serving-time indirection: when set, every
+        #: :meth:`predict_sequences` call routes through it instead of
+        #: running the model directly (the serve broker installs one to
+        #: batch inference across concurrent requests).  Not part of
+        #: :meth:`state_dict` — it is deployment wiring, not learning.
+        self._infer_hook: Optional[
+            Callable[[Sequence[Sequence[str]]], np.ndarray]
+        ] = None
 
     def fit(self, dataset: PredictorDataset) -> "InstructionPredictor":
         self.vocab.fit(dataset.sequences)
@@ -179,11 +187,40 @@ class InstructionPredictor:
         self.model = state["model"]
         return self
 
+    def set_infer_hook(
+        self,
+        hook: Optional[Callable[[Sequence[Sequence[str]]], np.ndarray]],
+    ) -> Optional[Callable[[Sequence[Sequence[str]]], np.ndarray]]:
+        """Install (or clear, with ``None``) the serving-time inference
+        hook and return the previous one.  The hook receives the exact
+        ``sequences`` argument of a :meth:`predict_sequences` call and
+        must return the matching prediction array; it must *not*
+        re-enter :meth:`predict_sequences` — use
+        :meth:`predict_direct`, the unhooked path."""
+        previous = self._infer_hook
+        self._infer_hook = hook
+        return previous
+
     def predict_sequences(self, sequences: Sequence[Sequence[str]]) -> np.ndarray:
-        """Predict per-sequence counts.  Blocks longer than ``max_len``
-        are chunked and their chunk predictions summed — instruction
-        selection is local, so a long straight-line block compiles to
-        roughly the concatenation of its windows."""
+        """Predict per-sequence counts (the hot serving entry point).
+
+        When an inference hook is installed (``clara serve``'s batching
+        broker), the call is delegated to it so concurrent requests
+        share one model invocation; otherwise this is
+        :meth:`predict_direct`.
+        """
+        if self._infer_hook is not None:
+            return self._infer_hook(sequences)
+        return self.predict_direct(sequences)
+
+    def predict_direct(self, sequences: Sequence[Sequence[str]]) -> np.ndarray:
+        """Run the model on ``sequences`` in this thread, bypassing any
+        installed hook — re-entrant and thread-safe (the fitted weights
+        are only read), so a broker can batch many callers into one
+        call here.  Blocks longer than ``max_len`` are chunked and
+        their chunk predictions summed — instruction selection is
+        local, so a long straight-line block compiles to roughly the
+        concatenation of its windows."""
         if self.model is None:
             raise NotTrainedError("predictor is not fitted")
         with observe_latency("predict_latency_seconds"):

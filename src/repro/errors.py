@@ -25,11 +25,13 @@ __all__ = [
     "BENCH_EXIT_WARNING",
     "ClaraError",
     "EXIT_CODES",
+    "HTTP_STATUSES",
     "InvalidWorkloadError",
     "LINT_EXIT_ERROR",
     "LINT_EXIT_WARNING",
     "NotTrainedError",
     "UnknownElementError",
+    "http_status_for",
 ]
 
 
@@ -37,11 +39,13 @@ class ClaraError(Exception):
     """Base class of every typed Clara error.
 
     ``exit_code`` is the process exit status the CLI uses for the
-    class; subclasses override it with distinct values (see
-    :data:`EXIT_CODES`).
+    class; ``http_status`` is the response status ``clara serve`` maps
+    the class to.  Subclasses override both with distinct values (see
+    :data:`EXIT_CODES` and :data:`HTTP_STATUSES`).
     """
 
     exit_code = 2
+    http_status = 400
 
     def __str__(self) -> str:  # KeyError subclasses repr() their arg
         return str(self.args[0]) if self.args else self.__class__.__name__
@@ -51,30 +55,35 @@ class UnknownElementError(ClaraError, KeyError):
     """An element name is not in the element library."""
 
     exit_code = 3
+    http_status = 404
 
 
 class InvalidWorkloadError(ClaraError, ValueError):
     """A workload specification fails validation."""
 
     exit_code = 4
+    http_status = 400
 
 
 class NotTrainedError(ClaraError, RuntimeError):
     """An advisor (or Clara itself) was used before its learning phase."""
 
     exit_code = 5
+    http_status = 503
 
 
 class ArtifactError(ClaraError, RuntimeError):
     """A saved artifact is unreadable, corrupt, or from another version."""
 
     exit_code = 6
+    http_status = 500
 
 
 class ArtifactCacheMiss(ArtifactError):
     """``cache="require"`` found no stored artifact for the key."""
 
     exit_code = 7
+    http_status = 503
 
 
 #: ``clara lint`` exit statuses (not exceptions — lint findings are a
@@ -108,3 +117,28 @@ EXIT_CODES = {
         ArtifactCacheMiss,
     )
 }
+
+#: exception class name -> ``clara serve`` HTTP response status
+#: (documented in docs/API.md).  Client mistakes are 4xx (bad request
+#: payloads, unknown elements); server-side conditions are 5xx (a
+#: not-yet-warm or mis-deployed daemon).
+HTTP_STATUSES = {
+    cls.__name__: cls.http_status
+    for cls in (
+        ClaraError,
+        UnknownElementError,
+        InvalidWorkloadError,
+        NotTrainedError,
+        ArtifactError,
+        ArtifactCacheMiss,
+    )
+}
+
+
+def http_status_for(exc: BaseException) -> int:
+    """The HTTP status the serving layer uses for ``exc``:
+    the class's ``http_status`` for :class:`ClaraError` subclasses,
+    500 for anything else."""
+    return getattr(exc, "http_status", 500) if isinstance(
+        exc, ClaraError
+    ) else 500

@@ -59,6 +59,7 @@ from repro.obs.metrics import (
     get_metrics,
     observe_latency,
     set_metrics,
+    track_inflight,
 )
 from repro.obs.report import RUN_REPORT_SCHEMA, RunReport
 from repro.obs.sampling import SamplingProfiler
@@ -103,6 +104,7 @@ __all__ = [
     "set_tracer",
     "span",
     "to_chrome_trace",
+    "track_inflight",
     "use_tracer",
     "write_chrome_trace",
 ]

@@ -4,7 +4,8 @@ Clara's pitch is that offloading decisions must rest on *measured*
 performance, not intuition — this module holds the repo to the same
 standard.  A declared suite of pipeline workloads (dataset synthesis,
 predictor train/infer, algorithm identification, scale-out GBDT,
-placement ILP, coalescing K-means, colocation ranking, corpus lint)
+placement ILP, coalescing K-means, colocation ranking, corpus lint,
+warm-daemon analyze over HTTP)
 is timed as **median-of-N with MAD dispersion** and written to a
 schema-versioned ``BENCH_<git-sha>.json`` trajectory artifact, so PR N
 can be compared against PR N-1::
@@ -147,6 +148,39 @@ class BenchContext:
             )
             return predictor.fit(self.predictor_dataset())
         return self.memo("fitted_predictor", build)
+
+    def trained_clara(self):
+        """A fully trained Clara sized for the mode (no cache: bench
+        measures this process, not the artifact store)."""
+        def build():
+            from repro.core import Clara, TrainConfig
+
+            config = TrainConfig(
+                n_predictor_programs=6,
+                n_scaleout_programs=3,
+                predictor_epochs=4,
+                n_negatives=6,
+                scaleout_trace_packets=80,
+            ) if self.quick else TrainConfig.quick()
+            return Clara(seed=self.seed).train(config)
+        return self.memo("trained_clara", build)
+
+    def warm_server(self):
+        """An in-process ``clara serve`` daemon on an ephemeral port.
+
+        The straggler window is zeroed so sequential bench requests
+        measure the request path, not the batching wait.  The server
+        thread is daemonic and lives for the rest of the process.
+        """
+        def build():
+            from repro.serve import ServeConfig, build_server
+
+            server = build_server(
+                self.trained_clara(),
+                ServeConfig(port=0, batch_window_ms=0.0),
+            )
+            return server.start()
+        return self.memo("warm_server", build)
 
 
 @dataclass(frozen=True)
@@ -331,6 +365,31 @@ def _case_colocation_rank(ctx: BenchContext) -> Callable[[], Any]:
         return ColocationAdvisor(seed=ctx.seed).fit(
             pool, workload, n_groups=n_groups, group_size=3
         )
+    return run
+
+
+@register_case("serve_analyze", "warm-daemon analyze request over HTTP")
+def _case_serve_analyze(ctx: BenchContext) -> Callable[[], Any]:
+    import urllib.request
+
+    server = ctx.warm_server()
+    url = server.url("/v1/analyze")
+    body = json.dumps({
+        "element": "aggcounter",
+        "workload": {"name": "bench", "n_flows": 4096, "n_packets": 60},
+    }).encode("utf-8")
+
+    def run():
+        request = urllib.request.Request(
+            url, data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=120) as resp:
+            if resp.status != 200:
+                raise ClaraError(
+                    f"serve_analyze got HTTP {resp.status}"
+                )
+            return resp.read()
     return run
 
 

@@ -28,6 +28,7 @@ __all__ = [
     "get_metrics",
     "observe_latency",
     "set_metrics",
+    "track_inflight",
 ]
 
 #: default histogram bucket upper bounds (seconds-flavoured).
@@ -237,6 +238,37 @@ def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
     previous = _registry
     _registry = registry
     return previous
+
+
+class _InflightTracker:
+    """Context manager holding a gauge up for the duration of a block
+    (request handlers use one per endpoint so scrapes see concurrent
+    load, not just completed counts)."""
+
+    __slots__ = ("_gauge",)
+
+    def __init__(self, gauge: Gauge) -> None:
+        self._gauge = gauge
+
+    def __enter__(self) -> "_InflightTracker":
+        self._gauge.inc()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._gauge.dec()
+        return False
+
+
+def track_inflight(name: str, **labels: Any) -> _InflightTracker:
+    """Count a block as in-flight on a gauge of the default registry::
+
+        with track_inflight("http_inflight_requests", endpoint="/v1/analyze"):
+            handle(request)
+
+    The gauge goes up on entry and back down on every exit path, so its
+    instantaneous value is the number of blocks currently executing.
+    """
+    return _InflightTracker(_registry.gauge(name, **labels))
 
 
 def observe_latency(

@@ -1,0 +1,200 @@
+"""Request execution, independent of transport.
+
+:class:`ClaraService` owns one warm :class:`~repro.core.Clara` and
+turns validated wire requests into response envelopes.  The HTTP
+server calls it from its worker threads; the CLI's ``--json`` paths
+call the same serializers — one implementation, two transports, so the
+payloads cannot drift apart.
+
+Thread model: analyze/lint/colocation only *read* the fitted advisors
+(each call builds its own interpreter and profile), so concurrent
+execution is safe.  The two mutating operations are serialized: the
+lazily trained colocation ranker behind a lock, and predictor
+inference behind the :class:`~repro.serve.broker.PredictBroker` (which
+is exactly what makes concurrency profitable rather than just safe).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ClaraError
+from repro.obs import get_logger, span
+from repro.serve.broker import PredictBroker
+from repro.serve.schemas import (
+    REQUEST_KINDS,
+    WIRE_SCHEMA,
+    AnalyzeRequest,
+    ColocationRequest,
+    LintRequest,
+    analysis_result_payload,
+    envelope,
+    lint_run_payload,
+)
+
+__all__ = ["ClaraService", "run_lint_reports"]
+
+log = get_logger(__name__)
+
+
+def run_lint_reports(
+    elements: Optional[Sequence[str]] = None,
+    only: Optional[Sequence[str]] = None,
+    disable: Optional[Sequence[str]] = None,
+):
+    """Run the offload linter over library elements and return
+    ``(registry, reports)`` — the one lint execution path behind both
+    ``clara lint`` and ``POST /v1/lint``."""
+    from repro.click.elements import ELEMENT_BUILDERS, build_element
+    from repro.core.prepare import prepare_element
+    from repro.nfir.analysis import default_registry
+
+    registry = default_registry()
+    only = list(only) if only else None
+    disable = list(disable) if disable else None
+    try:
+        registry.select(only=only, disable=disable)
+    except KeyError as exc:
+        raise ClaraError(
+            f"{exc.args[0]} (known: {', '.join(registry.codes)})"
+        ) from None
+    names = list(elements) if elements else sorted(ELEMENT_BUILDERS)
+    reports = []
+    with span("lint_corpus", n_elements=len(names)) as sp:
+        for name in names:
+            prepared = prepare_element(build_element(name))
+            reports.append(
+                registry.run(prepared.module, only=only, disable=disable)
+            )
+        sp.set("n_diagnostics", sum(len(r.diagnostics) for r in reports))
+    return registry, reports
+
+
+class ClaraService:
+    """One warm Clara answering analyze/lint/colocation requests.
+
+    ``batch_window_s``/``max_batch`` configure the inference broker
+    (``max_batch=1`` with a zero window still serializes inference but
+    effectively disables batching).  The colocation ranker is trained
+    lazily — on the first ``colocation`` request — with
+    ``colocation_programs``/``colocation_groups`` sized deployments,
+    behind a lock so concurrent first requests train once.
+    """
+
+    def __init__(
+        self,
+        clara,
+        batch_window_s: float = 0.002,
+        max_batch: int = 64,
+        colocation_programs: int = 12,
+        colocation_groups: int = 12,
+    ) -> None:
+        self.clara = clara
+        self.colocation_programs = int(colocation_programs)
+        self.colocation_groups = int(colocation_groups)
+        self._colocation_lock = threading.Lock()
+        self.broker = PredictBroker.for_predictor(
+            clara.predictor, window_s=batch_window_s, max_batch=max_batch
+        )
+
+    # -- endpoints ------------------------------------------------------
+    def analyze(self, request: AnalyzeRequest) -> Dict[str, Any]:
+        analysis = self.clara.analyze(
+            request.element, request.workload, trace_seed=request.trace_seed
+        )
+        config = self.clara.port_config(analysis)
+        return envelope(
+            "analysis_result", analysis_result_payload(analysis, config)
+        )
+
+    def lint(self, request: LintRequest) -> Dict[str, Any]:
+        _registry, reports = run_lint_reports(
+            elements=request.elements,
+            only=request.only,
+            disable=request.disable,
+        )
+        return envelope("lint_run", lint_run_payload(reports))
+
+    def colocation(self, request: ColocationRequest) -> Dict[str, Any]:
+        from repro.core.colocation import ranking_to_dict
+
+        self._ensure_colocation()
+        candidates = self._build_candidates(
+            request.elements, request.workload, request.trace_seed
+        )
+        pairs = list(itertools.combinations(candidates, 2))
+        ranked = self.clara.rank_colocations(pairs)
+        return envelope("colocation_ranking", ranking_to_dict(ranked))
+
+    def health(self) -> Tuple[int, Dict[str, Any]]:
+        """``(http_status, envelope)`` for the readiness probe: 200
+        once the advisors are warm, 503 while they are not."""
+        from repro.click.elements import ELEMENT_BUILDERS
+
+        trained = bool(getattr(self.clara, "trained", False))
+        result = {
+            "ready": trained,
+            "trained": trained,
+            "colocation_trained": self.clara.colocation is not None,
+            "n_elements": len(ELEMENT_BUILDERS),
+            "wire_schema": WIRE_SCHEMA,
+            "request_kinds": list(REQUEST_KINDS),
+            "batching": {
+                "window_s": self.broker.window_s,
+                "max_batch": self.broker.max_batch,
+                "batches": self.broker.n_batches,
+                "batched_requests": self.broker.n_jobs,
+            },
+        }
+        return (200 if trained else 503), envelope("health", result)
+
+    # -- internals ------------------------------------------------------
+    def _ensure_colocation(self) -> None:
+        if self.clara.colocation is not None:
+            return
+        with self._colocation_lock:
+            if self.clara.colocation is None:
+                log.info(
+                    "colocation ranker cold: training (%d programs,"
+                    " %d groups)",
+                    self.colocation_programs, self.colocation_groups,
+                )
+                self.clara.train_colocation(
+                    n_programs=self.colocation_programs,
+                    n_groups=self.colocation_groups,
+                )
+
+    def _build_candidates(
+        self,
+        names: Sequence[str],
+        spec,
+        trace_seed: int,
+    ) -> List[Any]:
+        from repro.click.elements import (
+            build_element,
+            initial_state,
+            install_state,
+        )
+        from repro.click.interp import Interpreter
+        from repro.core.colocation import make_candidate
+        from repro.core.prepare import prepare_element
+        from repro.workload import generate_trace
+
+        trace = generate_trace(spec, seed=trace_seed)
+        candidates = []
+        with span("build_colocation_candidates", n_elements=len(names)):
+            for name in names:
+                element = build_element(name)
+                prepared = prepare_element(element)
+                interp = Interpreter(prepared.module, seed=trace_seed)
+                install_state(interp, initial_state(element))
+                candidates.append(
+                    make_candidate(prepared, interp.run_trace(trace))
+                )
+        return candidates
+
+    def close(self) -> None:
+        """Detach the broker (restores direct inference)."""
+        self.broker.close()

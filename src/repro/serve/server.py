@@ -1,0 +1,252 @@
+"""``clara serve``: the warm analysis daemon.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` (one thread per
+connection, daemonic) in front of a :class:`~repro.serve.handlers.
+ClaraService`.  Endpoints:
+
+* ``POST /v1/analyze``    — :class:`AnalyzeRequest` -> ``analysis_result``
+* ``POST /v1/lint``       — :class:`LintRequest` -> ``lint_run``
+* ``POST /v1/colocation`` — :class:`ColocationRequest` -> ``colocation_ranking``
+* ``GET  /healthz``       — readiness probe (200 warm / 503 cold)
+* ``GET  /metrics``       — the process metrics registry, Prometheus text
+
+Every response body is the versioned envelope of
+:mod:`repro.serve.schemas`; :class:`~repro.errors.ClaraError`
+subclasses map to their documented ``http_status``.  Per-endpoint
+latency histograms (``http_request_seconds``), request counters
+(``http_requests_total``), and in-flight gauges
+(``http_inflight_requests``) feed the same registry ``/metrics``
+exposes, so the daemon observes itself.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ClaraError, http_status_for
+from repro.obs import get_logger, get_metrics, track_inflight
+from repro.obs.metrics import DEFAULT_BUCKETS
+from repro.serve.handlers import ClaraService
+from repro.serve.schemas import (
+    AnalyzeRequest,
+    ColocationRequest,
+    LintRequest,
+    dump_envelope,
+    error_envelope,
+)
+
+__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "ClaraServer", "ServeConfig"]
+
+log = get_logger(__name__)
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8787
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``clara serve`` needs beyond a trained Clara."""
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+    #: broker straggler window, milliseconds (0 disables the wait).
+    batch_window_ms: float = 2.0
+    #: max inference calls merged into one model invocation.
+    max_batch: int = 64
+    #: lazy colocation-ranker training sizes.
+    colocation_programs: int = 12
+    colocation_groups: int = 12
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ClaraServer`'s service."""
+
+    server_version = "clara-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # set by ClaraServer on the *server* object; typed here for clarity.
+    @property
+    def service(self) -> ClaraService:
+        return self.server.clara_service  # type: ignore[attr-defined]
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, fmt: str, *args: Any) -> None:
+        log.debug("%s %s", self.address_string(), fmt % args)
+
+    def _send(self, status: int, body: bytes,
+              content_type: str = "application/json") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_envelope(self, status: int, env: Dict[str, Any]) -> None:
+        self._send(status, (dump_envelope(env) + "\n").encode("utf-8"))
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ClaraError("empty request body (expected JSON)")
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ClaraError(f"request body is not valid JSON: {exc}") \
+                from None
+        if not isinstance(payload, dict):
+            raise ClaraError("request body must be a JSON object")
+        return payload
+
+    def _instrumented(self, endpoint: str, fn) -> None:
+        """Run ``fn() -> (status, envelope)`` with the endpoint's
+        latency histogram, in-flight gauge, and request counter."""
+        metrics = get_metrics()
+        status = 500
+        try:
+            with track_inflight("http_inflight_requests",
+                                endpoint=endpoint), \
+                    metrics.histogram("http_request_seconds",
+                                      buckets=DEFAULT_BUCKETS,
+                                      endpoint=endpoint).time():
+                status, env = fn()
+                self._send_envelope(status, env)
+        except ClaraError as exc:
+            status = http_status_for(exc)
+            log.info("%s -> %d %s: %s", endpoint, status,
+                     type(exc).__name__, exc)
+            self._send_envelope(status, error_envelope(exc))
+        except BrokenPipeError:  # client went away mid-response
+            status = 499
+        except Exception as exc:  # noqa: BLE001 - daemon must not die
+            status = 500
+            log.exception("%s: unhandled error", endpoint)
+            self._send_envelope(status, error_envelope(exc))
+        finally:
+            metrics.counter("http_requests_total", endpoint=endpoint,
+                            status=str(status)).inc()
+
+    # -- routes ---------------------------------------------------------
+    _POST_ROUTES = {
+        "/v1/analyze": (AnalyzeRequest, "analyze"),
+        "/v1/lint": (LintRequest, "lint"),
+        "/v1/colocation": (ColocationRequest, "colocation"),
+    }
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            self._instrumented("/healthz", self.service.health)
+        elif self.path == "/metrics":
+            # Prometheus text, not an envelope (scrapers expect the
+            # exposition format verbatim).
+            with track_inflight("http_inflight_requests",
+                                endpoint="/metrics"):
+                body = get_metrics().to_prometheus().encode("utf-8")
+                self._send(200, body,
+                           content_type="text/plain; version=0.0.4")
+            get_metrics().counter("http_requests_total",
+                                  endpoint="/metrics", status="200").inc()
+        else:
+            self._send_envelope(
+                404,
+                error_envelope(ClaraError(f"no such endpoint {self.path}")),
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        route = self._POST_ROUTES.get(self.path)
+        if route is None:
+            self._send_envelope(
+                404,
+                error_envelope(ClaraError(f"no such endpoint {self.path}")),
+            )
+            return
+        request_cls, method = route
+
+        def run() -> Tuple[int, Dict[str, Any]]:
+            request = request_cls.from_dict(self._read_json())
+            return 200, getattr(self.service, method)(request)
+
+        self._instrumented(self.path, run)
+
+
+class ClaraServer:
+    """The daemon: a threading HTTP server bound to a service.
+
+    ``port=0`` binds an ephemeral port (tests, bench); read it back
+    from :attr:`port`.  :meth:`start` serves from a background thread
+    (in-process embedding); :meth:`serve_forever` serves from the
+    calling thread (the CLI) until :meth:`shutdown` — which is safe to
+    call from any *other* thread, e.g. a signal-triggered one.
+    """
+
+    def __init__(
+        self,
+        service: ClaraService,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.clara_service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def url(self, path: str = "/") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def start(self) -> "ClaraServer":
+        """Serve from a daemon thread and return immediately."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="clara-serve", daemon=True,
+        )
+        self._thread.start()
+        log.info("clara serve listening on %s", self.url())
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve from the calling thread until :meth:`shutdown`."""
+        log.info("clara serve listening on %s", self.url())
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting, close the socket, detach the broker."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.service.close()
+
+    def __enter__(self) -> "ClaraServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
+
+def build_server(clara, config: ServeConfig) -> ClaraServer:
+    """Wire a trained Clara into a ready-to-start server per
+    ``config`` (the one construction path the CLI, tests, and bench
+    share)."""
+    service = ClaraService(
+        clara,
+        batch_window_s=config.batch_window_ms / 1000.0,
+        max_batch=config.max_batch,
+        colocation_programs=config.colocation_programs,
+        colocation_groups=config.colocation_groups,
+    )
+    return ClaraServer(service, host=config.host, port=config.port)

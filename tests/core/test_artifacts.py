@@ -155,28 +155,27 @@ class TestParallelDeterminism:
         assert len(dataset) > 0
 
 
-class TestLegacyShim:
-    def test_legacy_kwargs_warn_and_map_to_config(self, tmp_path):
+class TestTrainConfigIsTheOnlyEntryPoint:
+    """The pre-TrainConfig ``train(**kwargs)`` shim finished its
+    deprecation cycle: the kwargs are gone, not just warned about."""
+
+    def test_legacy_kwargs_are_rejected(self, tmp_path):
         clara = Clara(seed=SEED)
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ArtifactCacheMiss):
-                clara.train(quick=True, cache="require", cache_dir=tmp_path)
-        assert clara.train_config == TrainConfig.quick()
-
-    def test_from_legacy_quick_matches_quick(self):
-        assert TrainConfig.from_legacy(quick=True) == TrainConfig.quick()
-
-    def test_from_legacy_sizing_kwargs(self):
-        config = TrainConfig.from_legacy(
-            n_predictor_programs=33, predictor_epochs=7
-        )
-        assert config.n_predictor_programs == 33
-        assert config.predictor_epochs == 7
-        assert config.n_scaleout_programs == TrainConfig().n_scaleout_programs
-
-    def test_config_and_legacy_kwargs_conflict(self):
         with pytest.raises(TypeError):
-            Clara(seed=SEED).train(TINY, quick=True)
+            clara.train(quick=True, cache="require", cache_dir=tmp_path)
+
+    def test_legacy_sizing_kwargs_are_rejected(self):
+        with pytest.raises(TypeError):
+            Clara(seed=SEED).train(n_predictor_programs=33)
+
+    def test_from_legacy_is_gone(self):
+        assert not hasattr(TrainConfig, "from_legacy")
+
+    def test_train_config_still_accepted(self, tmp_path):
+        clara = Clara(seed=SEED)
+        with pytest.raises(ArtifactCacheMiss):
+            clara.train(TINY, cache="require", cache_dir=tmp_path)
+        assert clara.train_config == TINY
 
 
 class TestRankColocations:

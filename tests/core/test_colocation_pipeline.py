@@ -11,7 +11,7 @@ from repro.core.colocation import (
     make_candidate,
     pair_features,
 )
-from repro.core.pipeline import Clara
+from repro.core.pipeline import Clara, TrainConfig
 from repro.core.prepare import prepare_element
 from repro.click.interp import Interpreter
 from repro.workload import generate_trace
@@ -109,7 +109,7 @@ class TestRanking:
 class TestClaraPipeline:
     @pytest.fixture(scope="class")
     def clara(self):
-        return Clara(seed=0).train(quick=True)
+        return Clara(seed=0).train(TrainConfig.quick())
 
     def test_requires_training(self):
         untrained = Clara(seed=0)

@@ -1,0 +1,177 @@
+"""The batching inference broker: concurrent calls merge into single
+model invocations without changing any caller's result."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ClaraError
+from repro.serve.broker import PredictBroker
+
+
+def row_lengths(sequences):
+    """A deterministic stand-in for the model: one row per sequence."""
+    return np.array([float(len(seq)) for seq in sequences])
+
+
+class CountingPredict:
+    def __init__(self, fn=row_lengths, fail=False):
+        self.fn = fn
+        self.fail = fail
+        self.calls = 0
+        self.rows = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, sequences):
+        with self._lock:
+            self.calls += 1
+            self.rows += len(sequences)
+        if self.fail:
+            raise RuntimeError("model exploded")
+        return self.fn(sequences)
+
+
+class TestBatching:
+    def test_single_submit_round_trips(self):
+        predict = CountingPredict()
+        with PredictBroker(predict, window_s=0.0) as broker:
+            out = broker.submit([["a", "b"], ["c"]])
+        np.testing.assert_array_equal(out, [2.0, 1.0])
+        assert predict.calls == 1
+
+    def test_concurrent_submits_merge_into_fewer_calls(self):
+        predict = CountingPredict()
+        n_threads = 6
+        barrier = threading.Barrier(n_threads)
+        results = {}
+
+        def worker(i):
+            barrier.wait()
+            results[i] = broker.submit([["tok"] * (i + 1)])
+
+        with PredictBroker(predict, window_s=0.1) as broker:
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        # Every caller got exactly its own row back...
+        for i in range(n_threads):
+            np.testing.assert_array_equal(results[i], [float(i + 1)])
+        # ...and the model ran far fewer times than it was called.
+        assert predict.rows == n_threads
+        assert predict.calls < n_threads
+        assert broker.n_jobs == n_threads
+        assert broker.n_batches == predict.calls
+        assert broker.n_batches < broker.n_jobs
+
+    def test_batched_results_equal_direct(self):
+        rng = np.random.default_rng(5)
+        sequences = [
+            [f"op{rng.integers(8)}" for _ in range(int(rng.integers(1, 6)))]
+            for _ in range(10)
+        ]
+        direct = row_lengths(sequences)
+        barrier = threading.Barrier(len(sequences))
+        out = [None] * len(sequences)
+
+        def worker(i):
+            barrier.wait()
+            out[i] = broker.submit([sequences[i]])
+
+        with PredictBroker(CountingPredict(), window_s=0.05) as broker:
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(len(sequences))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        merged = np.concatenate(out)
+        np.testing.assert_array_equal(merged, direct)
+
+    def test_max_batch_bounds_merge_size(self):
+        predict = CountingPredict()
+        barrier = threading.Barrier(8)
+        with PredictBroker(predict, window_s=0.1, max_batch=2) as broker:
+            threads = [
+                threading.Thread(
+                    target=lambda: (barrier.wait(),
+                                    broker.submit([["x"]]))
+                )
+                for _ in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert broker.n_jobs == 8
+            assert broker.n_batches >= 4  # no batch merged more than 2
+
+
+class TestErrors:
+    def test_model_error_propagates_to_every_caller(self):
+        predict = CountingPredict(fail=True)
+        barrier = threading.Barrier(3)
+        errors = []
+
+        def worker():
+            barrier.wait()
+            try:
+                broker.submit([["x"]])
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        with PredictBroker(predict, window_s=0.05) as broker:
+            threads = [threading.Thread(target=worker) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert errors == ["model exploded"] * 3
+
+    def test_row_count_mismatch_is_a_clara_error(self):
+        with PredictBroker(lambda seqs: np.zeros(1), window_s=0.0) as broker:
+            with pytest.raises(ClaraError, match="rows"):
+                broker.submit([["a"], ["b"]])
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ClaraError, match="max_batch"):
+            PredictBroker(row_lengths, max_batch=0)
+        with pytest.raises(ClaraError, match="window_s"):
+            PredictBroker(row_lengths, window_s=-1)
+
+    def test_submit_after_close_raises(self):
+        broker = PredictBroker(row_lengths, window_s=0.0)
+        broker.close()
+        with pytest.raises(ClaraError, match="closed"):
+            broker.submit([["x"]])
+        broker.close()  # idempotent
+
+
+class TestPredictorWiring:
+    def test_hook_routes_predict_sequences_and_close_restores(
+        self, trained_predictor
+    ):
+        sequences = [["i32.add", "i32.load"], ["i32.store"]]
+        direct = trained_predictor.predict_direct(sequences)
+
+        broker = PredictBroker.for_predictor(
+            trained_predictor, window_s=0.0
+        )
+        try:
+            hooked = trained_predictor.predict_sequences(sequences)
+            np.testing.assert_array_equal(hooked, direct)
+            assert broker.n_jobs == 1
+        finally:
+            broker.close()
+        # The hook is gone: predict_sequences no longer feeds the broker.
+        after = trained_predictor.predict_sequences(sequences)
+        np.testing.assert_array_equal(after, direct)
+        assert broker.n_jobs == 1

@@ -1,0 +1,170 @@
+"""Wire schemas: strict request parsing, round-trips, and the one
+response envelope both transports share."""
+
+import json
+
+import pytest
+
+from repro.errors import ClaraError, InvalidWorkloadError, UnknownElementError
+from repro.serve.schemas import (
+    REQUEST_KINDS,
+    WIRE_SCHEMA,
+    AnalyzeRequest,
+    ColocationRequest,
+    LintRequest,
+    dump_envelope,
+    envelope,
+    error_envelope,
+    request_from_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workload.spec import WorkloadSpec
+
+
+class TestWorkloadWire:
+    def test_round_trip(self):
+        spec = WorkloadSpec(name="w", n_flows=64, packet_bytes=128,
+                            zipf_alpha=1.2, udp_fraction=1.0, n_packets=50)
+        assert workload_from_dict(workload_to_dict(spec)) == spec
+
+    def test_empty_dict_is_default_spec(self):
+        assert workload_from_dict({}) == WorkloadSpec()
+
+    def test_unknown_field_rejected_with_known_list(self):
+        with pytest.raises(InvalidWorkloadError, match="n_flowz"):
+            workload_from_dict({"n_flowz": 10})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(InvalidWorkloadError, match="JSON object"):
+            workload_from_dict([1, 2])
+
+    def test_spec_validation_still_applies(self):
+        with pytest.raises(InvalidWorkloadError):
+            workload_from_dict({"n_flows": 0})
+
+
+class TestAnalyzeRequest:
+    def test_round_trip(self):
+        req = AnalyzeRequest(
+            element="aggcounter",
+            workload=WorkloadSpec(name="w", n_packets=40),
+            trace_seed=7,
+        )
+        wire = req.to_dict()
+        assert wire["schema"] == WIRE_SCHEMA
+        assert wire["kind"] == "analyze_request"
+        assert AnalyzeRequest.from_dict(wire) == req
+        assert AnalyzeRequest.from_dict(json.loads(json.dumps(wire))) == req
+
+    def test_header_is_optional(self):
+        req = AnalyzeRequest.from_dict({"element": "aggcounter"})
+        assert req.element == "aggcounter"
+        assert req.workload == WorkloadSpec()
+        assert req.trace_seed == 0
+
+    def test_missing_element_rejected(self):
+        with pytest.raises(ClaraError, match="element"):
+            AnalyzeRequest.from_dict({})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ClaraError, match="wlrkload"):
+            AnalyzeRequest.from_dict(
+                {"element": "aggcounter", "wlrkload": {}}
+            )
+
+    def test_future_schema_rejected(self):
+        with pytest.raises(ClaraError, match="wire schema"):
+            AnalyzeRequest.from_dict(
+                {"schema": WIRE_SCHEMA + 1, "element": "aggcounter"}
+            )
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ClaraError, match="expected kind"):
+            AnalyzeRequest.from_dict(
+                {"kind": "lint_request", "element": "aggcounter"}
+            )
+
+
+class TestLintRequest:
+    def test_round_trip(self):
+        req = LintRequest(elements=("aggcounter",), only=("CL007",),
+                          disable=None)
+        assert LintRequest.from_dict(req.to_dict()) == req
+
+    def test_defaults_mean_whole_corpus(self):
+        req = LintRequest.from_dict({})
+        assert req.elements is None and req.only is None \
+            and req.disable is None
+
+    def test_non_string_lists_rejected(self):
+        with pytest.raises(ClaraError, match="list of strings"):
+            LintRequest.from_dict({"elements": "aggcounter"})
+        with pytest.raises(ClaraError, match="list of strings"):
+            LintRequest.from_dict({"only": [7]})
+
+
+class TestColocationRequest:
+    def test_round_trip(self):
+        req = ColocationRequest(
+            elements=("aggcounter", "udpcount"),
+            workload=WorkloadSpec(name="w", n_packets=40),
+        )
+        assert ColocationRequest.from_dict(req.to_dict()) == req
+
+    def test_fewer_than_two_elements_rejected(self):
+        with pytest.raises(ClaraError, match="at least two"):
+            ColocationRequest(elements=("solo",))
+        with pytest.raises(ClaraError, match="at least two"):
+            ColocationRequest.from_dict({"elements": ["solo"]})
+
+    def test_missing_elements_rejected(self):
+        with pytest.raises(ClaraError, match="elements"):
+            ColocationRequest.from_dict({})
+
+
+class TestDispatch:
+    def test_kind_routes_to_the_right_class(self):
+        req = request_from_dict(
+            {"kind": "analyze_request", "element": "aggcounter"}
+        )
+        assert isinstance(req, AnalyzeRequest)
+        req = request_from_dict({"kind": "lint_request"})
+        assert isinstance(req, LintRequest)
+
+    def test_unknown_kind_lists_known_ones(self):
+        with pytest.raises(ClaraError, match="analyze_request"):
+            request_from_dict({"kind": "mystery"})
+
+    def test_request_kinds_cover_all_classes(self):
+        assert sorted(REQUEST_KINDS) == [
+            "analyze_request", "colocation_request", "lint_request",
+        ]
+
+
+class TestEnvelope:
+    def test_success_shape(self):
+        env = envelope("analysis_result", {"x": 1})
+        assert env == {
+            "schema": WIRE_SCHEMA,
+            "kind": "analysis_result",
+            "result": {"x": 1},
+            "error": None,
+        }
+
+    def test_error_shape_carries_typed_facts(self):
+        env = error_envelope(UnknownElementError("unknown element 'nope'"))
+        assert env["result"] is None
+        assert env["error"] == {
+            "type": "UnknownElementError",
+            "message": "unknown element 'nope'",
+            "exit_code": UnknownElementError.exit_code,
+            "http_status": 404,
+        }
+
+    def test_dump_is_parseable_and_stable(self):
+        env = envelope("health", {"ready": True})
+        text = dump_envelope(env)
+        assert json.loads(text) == env
+        assert text == dump_envelope(env)
+        assert not text.endswith("\n")

@@ -1,0 +1,276 @@
+"""End-to-end daemon tests: an in-process ``ClaraServer`` on an
+ephemeral port, driven over real HTTP with urllib.
+
+The load-bearing assertions: CLI ``--json`` output and server response
+bodies are byte-identical (one serializer, two transports), concurrent
+batched inference returns exactly the sequential answers, and every
+``ClaraError`` maps to its documented HTTP status.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.serve import ServeConfig, build_server
+from repro.serve.schemas import WIRE_SCHEMA
+
+#: the wire form of the CLI's default workload at ``--packets 60``
+#: (see ``_workload_from_args``), for byte-parity tests.
+CLI_WORKLOAD_60 = {
+    "name": "cli",
+    "n_flows": 10_000,
+    "packet_bytes": 256,
+    "zipf_alpha": 1.0,
+    "udp_fraction": 0.0,
+    "n_packets": 60,
+}
+
+
+def http(server, path, payload=None, raw=None, method=None):
+    """``(status, headers, body_bytes)`` for one request; HTTP errors
+    are returned, not raised."""
+    if raw is None and payload is not None:
+        raw = json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        server.url(path), data=raw, method=method,
+        headers={"Content-Type": "application/json"} if raw else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+def body_json(body):
+    return json.loads(body.decode("utf-8"))
+
+
+@pytest.fixture(scope="module")
+def server(clara_artifacts):
+    from repro.core import Clara
+
+    clara = Clara.load(clara_artifacts["artifact"])
+    config = ServeConfig(
+        port=0,  # ephemeral
+        batch_window_ms=5.0,
+        colocation_programs=6,
+        colocation_groups=4,
+    )
+    srv = build_server(clara, config)
+    srv.start()
+    yield srv
+    srv.shutdown()
+
+
+class TestHealthAndMetrics:
+    def test_healthz_reports_ready(self, server):
+        status, _headers, body = http(server, "/healthz")
+        assert status == 200
+        env = body_json(body)
+        assert env["schema"] == WIRE_SCHEMA
+        assert env["kind"] == "health"
+        result = env["result"]
+        assert result["ready"] is True and result["trained"] is True
+        assert result["wire_schema"] == WIRE_SCHEMA
+        assert "analyze_request" in result["request_kinds"]
+        assert result["batching"]["max_batch"] >= 1
+
+    def test_healthz_cold_clara_is_503(self):
+        from repro.core import Clara
+
+        srv = build_server(Clara(seed=0), ServeConfig(port=0))
+        srv.start()
+        try:
+            status, _headers, body = http(srv, "/healthz")
+            assert status == 503
+            assert body_json(body)["result"]["ready"] is False
+        finally:
+            srv.shutdown()
+
+    def test_metrics_is_prometheus_text(self, server):
+        # Generate at least one instrumented request first.
+        http(server, "/healthz")
+        status, headers, body = http(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode("utf-8")
+        assert "http_requests_total" in text
+        assert "http_request_seconds" in text
+        assert "http_inflight_requests" in text
+
+
+class TestCliParity:
+    def test_analyze_body_matches_cli_json_bytes(
+        self, server, clara_artifacts, capsys
+    ):
+        assert main(["analyze", "aggcounter", "--packets", "60", "--json",
+                     "--load", str(clara_artifacts["artifact"])]) == 0
+        cli_bytes = capsys.readouterr().out.encode("utf-8")
+
+        status, _headers, body = http(server, "/v1/analyze", payload={
+            "schema": WIRE_SCHEMA,
+            "kind": "analyze_request",
+            "element": "aggcounter",
+            "workload": CLI_WORKLOAD_60,
+        })
+        assert status == 200
+        assert body == cli_bytes
+
+    def test_lint_body_matches_cli_json_bytes(self, server, capsys):
+        main(["lint", "aggcounter", "--json"])
+        cli_bytes = capsys.readouterr().out.encode("utf-8")
+
+        status, _headers, body = http(
+            server, "/v1/lint", payload={"elements": ["aggcounter"]}
+        )
+        assert status == 200
+        assert body == cli_bytes
+        env = body_json(body)
+        assert env["kind"] == "lint_run"
+        assert env["result"]["reports"][0]["module"] == "aggcounter"
+
+
+class TestAnalyze:
+    def test_concurrent_analyzes_equal_sequential(self, server):
+        elements = ["aggcounter", "udpcount", "iplookup"]
+        payloads = [
+            {"element": name, "workload": {"name": "t", "n_packets": 50}}
+            for name in elements
+        ]
+        sequential = [
+            body_json(http(server, "/v1/analyze", payload=p)[2])
+            for p in payloads
+        ]
+
+        before = server.service.broker.n_jobs
+        barrier = threading.Barrier(len(payloads))
+        concurrent = [None] * len(payloads)
+
+        def worker(i):
+            barrier.wait()
+            concurrent[i] = body_json(
+                http(server, "/v1/analyze", payload=payloads[i])[2]
+            )
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(payloads))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Batch composition must not change any answer.
+        assert concurrent == sequential
+        # All three went through the broker.
+        assert server.service.broker.n_jobs >= before + len(payloads)
+
+    def test_trace_seed_is_honored(self, server):
+        def ask(seed):
+            return body_json(http(server, "/v1/analyze", payload={
+                "element": "aggcounter",
+                "workload": {"name": "t", "n_packets": 50},
+                "trace_seed": seed,
+            })[2])
+
+        assert ask(3) == ask(3)  # deterministic per seed
+
+
+class TestColocation:
+    def test_ranking_covers_all_pairs(self, server):
+        elements = ["aggcounter", "udpcount", "iplookup"]
+        status, _headers, body = http(server, "/v1/colocation", payload={
+            "elements": elements,
+            "workload": {"name": "t", "n_packets": 50},
+        })
+        assert status == 200
+        env = body_json(body)
+        assert env["kind"] == "colocation_ranking"
+        pairs = env["result"]["pairs"]
+        assert len(pairs) == 3  # C(3, 2)
+        names = {(p["a"]["name"], p["b"]["name"]) for p in pairs}
+        assert len(names) == 3
+        assert [p["rank"] for p in pairs] == [0, 1, 2]
+
+    def test_lazy_ranker_trains_once(self, server):
+        status, _headers, body = http(server, "/healthz")
+        assert status == 200
+        assert body_json(body)["result"]["colocation_trained"] is True
+        ranker = server.service.clara.colocation
+        http(server, "/v1/colocation", payload={
+            "elements": ["aggcounter", "udpcount"],
+            "workload": {"name": "t", "n_packets": 50},
+        })
+        assert server.service.clara.colocation is ranker
+
+
+class TestErrorMapping:
+    def test_unknown_element_is_404(self, server):
+        status, _headers, body = http(
+            server, "/v1/analyze", payload={"element": "nope"}
+        )
+        assert status == 404
+        error = body_json(body)["error"]
+        assert error["type"] == "UnknownElementError"
+        assert error["http_status"] == 404
+
+    def test_invalid_workload_is_400(self, server):
+        status, _headers, body = http(server, "/v1/analyze", payload={
+            "element": "aggcounter", "workload": {"n_flows": 0},
+        })
+        assert status == 400
+        assert body_json(body)["error"]["type"] == "InvalidWorkloadError"
+
+    def test_unknown_workload_field_is_400(self, server):
+        status, _headers, body = http(server, "/v1/analyze", payload={
+            "element": "aggcounter", "workload": {"n_flowz": 7},
+        })
+        assert status == 400
+        assert "n_flowz" in body_json(body)["error"]["message"]
+
+    def test_bad_json_is_400(self, server):
+        status, _headers, body = http(
+            server, "/v1/analyze", raw=b"this is not json"
+        )
+        assert status == 400
+        assert "JSON" in body_json(body)["error"]["message"]
+
+    def test_empty_body_is_400(self, server):
+        status, _headers, body = http(
+            server, "/v1/analyze", raw=b"", method="POST"
+        )
+        assert status == 400
+        assert "empty" in body_json(body)["error"]["message"]
+
+    def test_unknown_request_field_is_400(self, server):
+        status, _headers, body = http(server, "/v1/analyze", payload={
+            "element": "aggcounter", "elemnt_typo": 1,
+        })
+        assert status == 400
+        assert "elemnt_typo" in body_json(body)["error"]["message"]
+
+    def test_mismatched_kind_is_400(self, server):
+        status, _headers, body = http(server, "/v1/analyze", payload={
+            "kind": "lint_request", "element": "aggcounter",
+        })
+        assert status == 400
+        assert "expected kind" in body_json(body)["error"]["message"]
+
+    def test_unknown_paths_are_404(self, server):
+        for path, raw in (("/nope", None), ("/v1/nope", b"{}")):
+            status, _headers, body = http(server, path, raw=raw)
+            assert status == 404
+            assert body_json(body)["error"]["type"] == "ClaraError"
+
+    def test_bad_lint_rule_is_400_with_known_codes(self, server):
+        status, _headers, body = http(
+            server, "/v1/lint", payload={"only": ["CL999"]}
+        )
+        assert status == 400
+        assert "CL001" in body_json(body)["error"]["message"]

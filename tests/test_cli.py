@@ -130,9 +130,11 @@ class TestJsonOutputs:
         assert main(["analyze", "aggcounter", "--packets", "60", "--json",
                      "--load", str(clara_artifacts["artifact"])]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == 2
+        assert payload["schema"] == 1
         assert payload["kind"] == "analysis_result"
-        report = payload["report"]
+        assert payload["error"] is None
+        result = payload["result"]
+        report = result["report"]
         assert report["schema"] == 2
         assert report["nf_name"] == "aggcounter"
         # schema 2 carries the offload-lint diagnostics
@@ -140,8 +142,8 @@ class TestJsonOutputs:
         assert all(d["rule"].startswith("CL") for d in report["diagnostics"])
         types = {entry["type"] for entry in report["insights"]}
         assert {"compute", "memory", "scaleout", "placement"} <= types
-        assert payload["port_config"]["cores"] >= 1
-        assert payload["profile"]["packets"] == 60
+        assert result["port_config"]["cores"] >= 1
+        assert result["profile"]["packets"] == 60
 
     def test_sweep_json_schema(self, capsys):
         assert main(["sweep", "aggcounter", "--packets", "60",
@@ -149,8 +151,9 @@ class TestJsonOutputs:
         payload = json.loads(capsys.readouterr().out)
         assert payload["schema"] == 1
         assert payload["kind"] == "core_sweep"
-        assert payload["knee"] in [p["cores"] for p in payload["points"]]
-        assert all(p["throughput_mpps"] > 0 for p in payload["points"])
+        result = payload["result"]
+        assert result["knee"] in [p["cores"] for p in result["points"]]
+        assert all(p["throughput_mpps"] > 0 for p in result["points"])
 
     def test_insight_report_json_roundtrip(self, clara_artifacts):
         from repro.core import Clara, InsightReport
@@ -189,8 +192,9 @@ class TestLintCommand:
         code = main(["lint", "aggcounter", "--json"])
         assert code == LINT_EXIT_WARNING
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
         assert payload["kind"] == "lint_run"
-        (report,) = payload["reports"]
+        (report,) = payload["result"]["reports"]
         assert report["module"] == "aggcounter"
         assert report["counts"]["error"] == 0
         assert report["counts"]["warning"] > 0

@@ -127,22 +127,29 @@ class TestAnalyzeAcceptsNameOrElement:
             clara.analyze("nope", WorkloadSpec(name="t"))
 
 
-class TestLegacyShimMessages:
-    def test_quick_names_exact_replacement(self):
-        from repro.core import Clara
+class TestHttpStatusMapping:
+    """Every ClaraError maps to a meaningful HTTP status for the serve
+    transport; anything else is an opaque 500."""
 
-        with pytest.warns(DeprecationWarning,
-                          match=r"replace quick= with TrainConfig\.quick\(\)"):
-            with pytest.raises(ArtifactCacheMiss):
-                Clara(seed=0).train(quick=True, cache="require",
-                                    cache_dir="/nonexistent-cache")
+    def test_every_error_has_a_status(self):
+        from repro.errors import HTTP_STATUSES, http_status_for
 
-    def test_sizing_kwarg_names_exact_field(self):
-        from repro.core import Clara
+        assert HTTP_STATUSES["UnknownElementError"] == 404
+        assert HTTP_STATUSES["InvalidWorkloadError"] == 400
+        assert HTTP_STATUSES["NotTrainedError"] == 503
+        assert HTTP_STATUSES["ArtifactError"] == 500
+        assert HTTP_STATUSES["ArtifactCacheMiss"] == 503
+        for cls in (UnknownElementError, InvalidWorkloadError,
+                    NotTrainedError, ArtifactError, ArtifactCacheMiss):
+            assert http_status_for(cls("x")) == HTTP_STATUSES[cls.__name__]
 
-        pattern = (r"replace n_predictor_programs= with"
-                   r" TrainConfig\.n_predictor_programs")
-        with pytest.warns(DeprecationWarning, match=pattern):
-            with pytest.raises(ArtifactCacheMiss):
-                Clara(seed=0).train(n_predictor_programs=5, cache="require",
-                                    cache_dir="/nonexistent-cache")
+    def test_base_clara_error_is_client_fault(self):
+        from repro.errors import http_status_for
+
+        assert http_status_for(ClaraError("bad request")) == 400
+
+    def test_non_clara_errors_are_opaque_500(self):
+        from repro.errors import http_status_for
+
+        assert http_status_for(ValueError("boom")) == 500
+        assert http_status_for(KeyError("boom")) == 500
