@@ -54,9 +54,13 @@ def request(url, payload=None, timeout=120):
         return err.code, err.read()
 
 
+#: wire schema this client speaks (see repro.serve.schemas.WIRE_SCHEMA)
+WIRE_SCHEMA = 2
+
+
 def envelope_of(body, expected_kind):
     env = json.loads(body.decode("utf-8"))
-    assert env["schema"] == 1, env
+    assert env["schema"] == WIRE_SCHEMA, env
     assert env["kind"] == expected_kind, env
     assert env["error"] is None, env
     return env["result"]
@@ -116,6 +120,14 @@ def main() -> None:
         assert result["reports"][0]["module"] == "aggcounter", result
         print(f"lint: ok ({result['n_warnings']} warning(s))")
 
+        status, body = request(f"{base}/v1/lint", {
+            "elements": ["aggcounter"], "target": "dpu-offpath",
+        })
+        assert status == 200, (status, body)
+        result = envelope_of(body, "lint_run")
+        assert result["target"] == "dpu-offpath", result
+        print("lint (dpu-offpath): ok")
+
         status, body = request(f"{base}/v1/colocation", {
             "elements": ["aggcounter", "udpcount", "iplookup"],
             "workload": {"name": "smoke", "n_packets": 50},
@@ -130,6 +142,14 @@ def main() -> None:
         error = json.loads(body.decode("utf-8"))["error"]
         assert error["type"] == "UnknownElementError", error
         print("error mapping: ok (unknown element -> 404)")
+
+        status, body = request(f"{base}/v1/analyze", {
+            "element": "aggcounter", "target": "no-such-nic",
+        })
+        assert status == 404, (status, body)
+        error = json.loads(body.decode("utf-8"))["error"]
+        assert error["type"] == "UnknownTargetError", error
+        print("error mapping: ok (unknown target -> 404)")
 
         status, body = request(f"{base}/metrics")
         assert status == 200, status

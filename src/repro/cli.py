@@ -39,6 +39,14 @@ Commands:
   (11) on error-grade slowdowns, for CI gating.  ``--flame-out``
   samples the suite with the signal profiler.
 
+NIC targets: ``train``/``analyze``/``sweep``/``explain``/``serve``/
+``lint``/``bench`` accept ``--target NAME`` to model a registered NIC
+backend other than the default ``nfp-4000`` (see
+:mod:`repro.nic.targets`); ``analyze --target all`` trains one advisor
+per registered target and emits the cross-target comparison ranking
+("which NIC should this NF be offloaded to?").  Unknown target names
+exit with the :class:`~repro.errors.UnknownTargetError` status.
+
 Observability (every command): ``--profile`` prints a per-stage
 wall-clock table after the command, ``--json-report PATH`` writes the
 full :class:`~repro.obs.RunReport` (span tree, metrics, cache
@@ -112,6 +120,18 @@ def _train_source_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _target_parent(allow_all: bool = False) -> argparse.ArgumentParser:
+    """The ``--target`` flag selecting a registered NIC backend."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("NIC target")
+    extra = ", or 'all' for a cross-target comparison" if allow_all else ""
+    group.add_argument("--target", metavar="NAME", default=None,
+                       help="registered NIC target to model (default:"
+                            f" nfp-4000{extra}; see docs/API.md"
+                            " 'Targets')")
+    return parent
+
+
 def _workload_parent() -> argparse.ArgumentParser:
     """Flags describing the analyzed traffic profile."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -134,16 +154,23 @@ def _obtain_clara(args, quick: bool = True) -> "Clara":
     train (cache-backed, quick mode unless the command says otherwise)."""
     from repro.core import Clara, TrainConfig
 
+    target = getattr(args, "target", None)
     if getattr(args, "load", None):
         print(f"Loading Clara artifact from {args.load}...", file=sys.stderr)
         try:
-            return Clara.load(args.load)
+            clara = Clara.load(args.load)
         except FileNotFoundError:
             raise ArtifactError(f"no artifact at {args.load}") from None
+        if target and clara.nic.target.name != target:
+            raise ClaraError(
+                f"artifact at {args.load} was trained for target"
+                f" {clara.nic.target.name!r}, not {target!r}"
+            )
+        return clara
     config = TrainConfig.quick() if quick else TrainConfig()
     print("Training Clara (quick mode)..." if quick else "Training Clara...",
           file=sys.stderr)
-    return Clara(seed=args.seed).train(
+    return Clara(seed=args.seed, target=target).train(
         config, workers=args.workers, cache=args.cache
     )
 
@@ -207,9 +234,10 @@ def cmd_train(args) -> int:
         if value is not None
     }
     config = replace(config, **overrides)
-    clara = Clara(seed=args.seed)
+    clara = Clara(seed=args.seed, target=args.target)
     key = train_cache_key(config, seed=args.seed, nic=clara.nic)
-    print(f"Training Clara (cache key {key})...", file=sys.stderr)
+    print(f"Training Clara for target {clara.nic.target.name}"
+          f" (cache key {key})...", file=sys.stderr)
     clara.train(config, workers=args.workers, cache=args.cache)
     print(f"trained: predictor vocab={clara.predictor.vocab.size} tokens,"
           f" scaleout samples={len(clara.scaleout.samples)}")
@@ -219,8 +247,51 @@ def cmd_train(args) -> int:
     return 0
 
 
+def _cmd_analyze_all(args, spec) -> int:
+    """``analyze --target all``: train one Clara per registered target
+    and emit the cross-target comparison ranking."""
+    from repro.core import Clara, TrainConfig
+    from repro.core.compare import compare_targets
+    from repro.nic.targets import list_targets
+
+    if getattr(args, "load", None):
+        raise ClaraError(
+            "--target all trains one advisor per registered target and"
+            " cannot reuse a single --load artifact"
+        )
+    claras = {}
+    for name in list_targets():
+        print(f"Training Clara for target {name} (quick mode)...",
+              file=sys.stderr)
+        claras[name] = Clara(seed=args.seed, target=name).train(
+            TrainConfig.quick(), workers=args.workers, cache=args.cache
+        )
+    comparison = compare_targets(claras, args.element, spec)
+    payload = comparison.to_dict()
+    if args.json:
+        from repro.serve.schemas import dump_envelope, envelope
+
+        print(dump_envelope(envelope("cross_target_comparison", payload)))
+        return 0
+    print(f"Cross-target comparison: {args.element}")
+    print(f"{'rank':>4s} {'target':14s} {'tput(Mpps)':>11s} {'lat(us)':>9s}"
+          f" {'bound':>8s} {'cores':>6s} {'lint':>7s}")
+    for entry in payload["ranking"]:
+        lint = (f"{entry['lint']['n_errors']}E/"
+                f"{entry['lint']['n_warnings']}W")
+        print(f"{entry['rank']:4d} {entry['target']:14s}"
+              f" {entry['throughput_mpps']:11.2f}"
+              f" {entry['latency_us']:9.2f} {entry['bound']:>8s}"
+              f" {entry['cores']:6d} {lint:>7s}")
+    rec = payload["recommendation"]
+    print(f"\nrecommendation: {rec['target']} -- {rec['reason']}")
+    return 0
+
+
 def cmd_analyze(args) -> int:
     spec = _workload_from_args(args)
+    if args.target == "all":
+        return _cmd_analyze_all(args, spec)
     clara = _obtain_clara(args)
     analysis = clara.analyze(args.element, spec)
     config = clara.port_config(analysis)
@@ -261,13 +332,19 @@ def cmd_sweep(args) -> int:
     with span("profile_on_host", nf=element.name):
         profile = interp.run_trace(generate_trace(spec, seed=args.seed))
     freq = {b: c / profile.packets for b, c in profile.block_counts.items()}
-    model = NICModel()
-    with span("sweep_cores", nf=element.name):
+    model = NICModel(target=args.target)
+    with span("sweep_cores", nf=element.name, target=model.target.name):
         sweep = model.sweep_cores(
-            compile_module(module), freq, characterize(spec)
+            compile_module(module, target=model.target), freq,
+            characterize(spec, hierarchy=model.hierarchy),
         )
     knee = model.optimal_cores(sweep)
-    core_counts = (1, 2, 4, 8, 16, 24, 32, 40, 48, 60)
+    core_counts = tuple(
+        c for c in (1, 2, 4, 8, 16, 24, 32, 40, 48, 60)
+        if c <= model.n_cores
+    ) or (model.n_cores,)
+    if model.n_cores not in core_counts:
+        core_counts += (model.n_cores,)
     predicted_knee = None
     if args.load:
         from repro.core import Clara
@@ -326,7 +403,8 @@ def cmd_lint(args) -> int:
     only = args.only.split(",") if args.only else None
     disable = args.disable.split(",") if args.disable else None
     registry, reports = run_lint_reports(
-        elements=args.elements or None, only=only, disable=disable
+        elements=args.elements or None, only=only, disable=disable,
+        target=args.target,
     )
 
     n_errors = sum(r.n_errors for r in reports)
@@ -334,7 +412,9 @@ def cmd_lint(args) -> int:
     if args.sarif:
         print(json.dumps(sarif_report(reports, registry), indent=2))
     elif args.json:
-        print(dump_envelope(envelope("lint_run", lint_run_payload(reports))))
+        print(dump_envelope(envelope(
+            "lint_run", lint_run_payload(reports, target=args.target)
+        )))
     else:
         for report in reports:
             print(report.render(), end="")
@@ -419,6 +499,7 @@ def cmd_bench(args) -> int:
             repeats=args.repeats,
             quick=args.quick,
             seed=args.seed,
+            target=args.target,
         )
     if args.flame_out:
         profiler.write(args.flame_out)
@@ -465,6 +546,8 @@ def build_parser() -> argparse.ArgumentParser:
     obs = _obs_parent()
     train_source = _train_source_parent()
     workload = _workload_parent()
+    target = _target_parent()
+    target_or_all = _target_parent(allow_all=True)
 
     sub.add_parser("inventory", help="element inventory (Table 2)",
                    parents=[obs])
@@ -476,7 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_train = sub.add_parser(
         "train",
         help="run the learning phases, optionally saving the artifact",
-        parents=[obs],
+        parents=[target, obs],
     )
     p_train.add_argument("--quick", action="store_true",
                         help="small dataset sizes (fast, lower fidelity)")
@@ -496,14 +579,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="artifact-cache mode (default auto)")
 
     p_analyze = sub.add_parser("analyze", help="offloading insights",
-                               parents=[workload, train_source, obs])
+                               parents=[workload, train_source,
+                                        target_or_all, obs])
     p_analyze.add_argument("element")
     p_analyze.add_argument("--json", action="store_true",
                            help="emit the versioned JSON envelope instead"
                                 " of the human report")
 
     p_sweep = sub.add_parser("sweep", help="core-count sweep",
-                             parents=[workload, obs])
+                             parents=[workload, target, obs])
     p_sweep.add_argument("element")
     p_sweep.add_argument("--json", action="store_true",
                          help="emit the versioned JSON envelope instead of"
@@ -513,12 +597,12 @@ def build_parser() -> argparse.ArgumentParser:
                               " Clara artifact")
 
     sub.add_parser("explain", help="model interpretability report",
-                   parents=[train_source, obs])
+                   parents=[train_source, target, obs])
 
     p_serve = sub.add_parser(
         "serve",
         help="long-running analysis daemon (JSON-over-HTTP API)",
-        parents=[train_source, obs],
+        parents=[train_source, target, obs],
     )
     p_serve.add_argument("--host", default="127.0.0.1",
                          help="bind address (default 127.0.0.1)")
@@ -539,7 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint", help="static offload-portability diagnostics",
-        parents=[obs],
+        parents=[target, obs],
     )
     p_lint.add_argument("elements", nargs="*",
                         help="library element names (default: all)")
@@ -558,7 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench", help="continuous benchmarking of Clara's own hot paths",
-        parents=[obs],
+        parents=[target, obs],
     )
     p_bench.add_argument("cases", nargs="*",
                          help="bench case names (default: the whole"

@@ -117,9 +117,22 @@ def default_cache_dir() -> Path:
 
 
 def _nic_fingerprint(nic: Any) -> Dict[str, Any]:
-    """The NIC constants the scale-out ground truth depends on."""
+    """The NIC constants the learned models depend on.
+
+    Includes the full target description (register budget, accelerator
+    latency table, host-DMA hop, ...) — models trained for ``nfp-4000``
+    and ``dpu-offpath`` must never share a cache key — plus the
+    model-level topology/hierarchy fields, which callers can override
+    independently of the target for ablations.
+    """
     if nic is None:
         return {}
+    target = getattr(nic, "target", None)
+    target_payload: Dict[str, Any] = {}
+    if target is not None:
+        from repro.nic.targets import target_fingerprint
+
+        target_payload = target_fingerprint(target)
     hierarchy = getattr(nic, "hierarchy", None)
     regions = []
     if hierarchy is not None:
@@ -134,6 +147,7 @@ def _nic_fingerprint(nic: Any) -> Dict[str, Any]:
                 ]
             )
     return {
+        "target": target_payload,
         "n_cores": getattr(nic, "n_cores", None),
         "threads_per_core": getattr(nic, "threads_per_core", None),
         "freq_hz": getattr(nic, "freq_hz", None),

@@ -1,0 +1,199 @@
+"""Cross-target comparison: "which NIC should this NF be offloaded to?"
+
+With pluggable backends (:mod:`repro.nic.targets`) Clara can do more
+than predict how an NF behaves on one device — it can run the full
+insight pipeline against *every* registered target and rank the
+devices.  For each target the comparison:
+
+1. analyses the element with that target's trained Clara (per-target
+   predictor/scale-out models — the compilers differ, so the learned
+   mappings differ);
+2. applies the insights (``Clara.port_config``) and compiles the NF
+   for the target;
+3. simulates the ported NF on the target's machine model at the
+   suggested core count.
+
+Targets are ranked by predicted throughput (descending), latency
+(ascending) as the tie-break — the same objective ordering the paper's
+scale-out analysis uses.  Lint totals ride along so a reader can see
+*why* a device loses (e.g. state pinned to DRAM on a scratch-starved
+DPU).
+
+The result is a schema-versioned payload (``cross_target_comparison``)
+emitted by ``clara analyze <element> --target all``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.click.ast import ElementDef
+from repro.core.pipeline import AnalysisResult, Clara
+from repro.nic.compiler import compile_module
+from repro.obs import get_logger, span
+from repro.workload.spec import WorkloadSpec
+
+log = get_logger(__name__)
+
+__all__ = [
+    "CROSS_TARGET_SCHEMA",
+    "CrossTargetComparison",
+    "TargetOutcome",
+    "compare_targets",
+]
+
+#: version of the ``cross_target_comparison`` payload layout.
+CROSS_TARGET_SCHEMA = 1
+
+
+@dataclass
+class TargetOutcome:
+    """One target's predicted end-to-end result for the NF."""
+
+    target: str
+    display_name: str
+    throughput_mpps: float
+    latency_us: float
+    per_packet_cycles: float
+    bound: str
+    cores: int
+    n_lint_errors: int
+    n_lint_warnings: int
+    analysis: Optional[AnalysisResult] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "display_name": self.display_name,
+            "throughput_mpps": round(self.throughput_mpps, 6),
+            "latency_us": round(self.latency_us, 6),
+            "per_packet_cycles": round(self.per_packet_cycles, 3),
+            "bound": self.bound,
+            "cores": int(self.cores),
+            "lint": {
+                "n_errors": int(self.n_lint_errors),
+                "n_warnings": int(self.n_lint_warnings),
+            },
+        }
+
+
+@dataclass
+class CrossTargetComparison:
+    """Every target's outcome plus the ranking over them."""
+
+    element: str
+    workload: str
+    outcomes: List[TargetOutcome] = field(default_factory=list)
+
+    @property
+    def ranking(self) -> List[TargetOutcome]:
+        """Outcomes best-first: throughput down, latency as tie-break."""
+        return sorted(
+            self.outcomes,
+            key=lambda o: (-o.throughput_mpps, o.latency_us),
+        )
+
+    @property
+    def best(self) -> TargetOutcome:
+        if not self.outcomes:
+            raise ValueError("comparison has no outcomes")
+        return self.ranking[0]
+
+    def _reason(self) -> str:
+        ranked = self.ranking
+        best = ranked[0]
+        if len(ranked) == 1:
+            return f"only one target compared ({best.target})"
+        runner = ranked[1]
+        if runner.throughput_mpps > 0:
+            gain = best.throughput_mpps / runner.throughput_mpps
+            clause = f"{gain:.2f}x the throughput of {runner.target}"
+        else:
+            clause = f"{runner.target} predicts no throughput"
+        detail = f"predicted {best.throughput_mpps:.2f} Mpps ({best.bound}-bound)"
+        if best.n_lint_errors:
+            detail += f", but with {best.n_lint_errors} lint error(s)"
+        return f"{clause}; {detail}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": CROSS_TARGET_SCHEMA,
+            "kind": "cross_target_comparison",
+            "element": self.element,
+            "workload": self.workload,
+            "ranking": [
+                {**outcome.to_dict(), "rank": rank}
+                for rank, outcome in enumerate(self.ranking, start=1)
+            ],
+            "recommendation": {
+                "target": self.best.target,
+                "reason": self._reason(),
+            },
+        }
+
+
+def evaluate_on_target(
+    clara: Clara,
+    element: Union[ElementDef, str],
+    spec: WorkloadSpec,
+    trace_seed: int = 0,
+) -> TargetOutcome:
+    """Analyse + port + simulate one element on one trained Clara's
+    target, at the suggested core count."""
+    analysis = clara.analyze(element, spec, trace_seed=trace_seed)
+    config = clara.port_config(analysis)
+    program = compile_module(
+        analysis.prepared.module, config, target=clara.nic.target
+    )
+    perf = clara.nic.simulate(
+        program, analysis.block_freq, analysis.workload, cores=config.cores
+    )
+    report = analysis.report
+    n_errors = sum(1 for d in report.diagnostics if d.severity == "error")
+    n_warnings = sum(1 for d in report.diagnostics if d.severity == "warning")
+    return TargetOutcome(
+        target=clara.nic.target.name,
+        display_name=clara.nic.target.display_name,
+        throughput_mpps=perf.throughput_mpps,
+        latency_us=perf.latency_us,
+        per_packet_cycles=perf.per_packet_cycles,
+        bound=perf.bound,
+        cores=config.cores,
+        n_lint_errors=n_errors,
+        n_lint_warnings=n_warnings,
+        analysis=analysis,
+    )
+
+
+def compare_targets(
+    claras: Mapping[str, Clara],
+    element: Union[ElementDef, str],
+    spec: WorkloadSpec,
+    trace_seed: int = 0,
+) -> CrossTargetComparison:
+    """Rank ``claras``' targets for one (element, workload) pair.
+
+    ``claras`` maps registry target names to Claras trained *for that
+    target* (a model trained against the NFP compiler knows nothing
+    about the DPU's).  Needs at least two entries to be a comparison.
+    """
+    if len(claras) < 2:
+        raise ValueError(
+            "compare_targets needs trained Claras for at least two targets"
+        )
+    element_name = element if isinstance(element, str) else element.name
+    comparison = CrossTargetComparison(element=element_name, workload=spec.name)
+    with span("compare_targets", element=element_name, n=len(claras)):
+        for name in sorted(claras):
+            with span("evaluate_target", target=name):
+                outcome = evaluate_on_target(
+                    claras[name], element, spec, trace_seed=trace_seed
+                )
+            comparison.outcomes.append(outcome)
+            log.info(
+                "compare: %s on %s -> %.2f Mpps / %.2f us",
+                element_name, name,
+                outcome.throughput_mpps, outcome.latency_us,
+            )
+    return comparison

@@ -101,11 +101,13 @@ def parallel_map(
 # ---------------------------------------------------------------------------
 
 def _predictor_program_job(
-    args: Tuple[Any, int, int, str]
+    args: Tuple[Any, int, int, str, str]
 ) -> List[Tuple[List[str], float, str]]:
     """Generate + compile the ``index``-th synthesized program and
-    return its (token sequence, compute count, group) rows."""
-    stats, seed, index, prefix = args
+    return its (token sequence, compute count, group) rows.  ``target``
+    travels as a registry name (plain string, picklable) so each worker
+    compiles against the right backend's register budget and engines."""
+    stats, seed, index, prefix, target = args
     # Imports stay inside the worker: they keep this module import-light
     # and break the predictor <-> parallel import cycle.
     from repro.core.predictor import iter_block_samples
@@ -117,10 +119,10 @@ def _predictor_program_job(
     gen = ClickGen.for_program(stats, seed=seed, index=index)
     element = gen.element(f"{prefix}_{index}")
     prepared = prepare_element(element)
-    program = compile_module(prepared.module, PortConfig())
+    program = compile_module(prepared.module, PortConfig(), target=target)
     return [
-        (list(tokens), target, group)
-        for tokens, target, group in iter_block_samples(prepared, program)
+        (list(tokens), count, group)
+        for tokens, count, group in iter_block_samples(prepared, program)
     ]
 
 
@@ -130,10 +132,14 @@ def synthesize_predictor_rows(
     seed: int,
     workers: Optional[int] = 1,
     prefix: str = "synth",
+    target: Optional[str] = None,
 ) -> List[Tuple[List[str], float, str]]:
     """All (sequence, target, group) rows for ``n_programs`` synthesized
-    programs, in program order."""
-    jobs = [(stats, seed, index, prefix) for index in range(n_programs)]
+    programs, in program order, compiled for registry target ``target``
+    (``None`` means the default NFP)."""
+    jobs = [
+        (stats, seed, index, prefix, target) for index in range(n_programs)
+    ]
     rows: List[Tuple[List[str], float, str]] = []
     for program_rows in parallel_map(_predictor_program_job, jobs, workers):
         rows.extend(program_rows)
@@ -161,7 +167,7 @@ def _scaleout_program_job(args: Tuple[Any, ...]) -> List[Any]:
     gen = ClickGen.for_program(stats, seed=seed, index=index)
     element = gen.element(f"{prefix}_{index}")
     prepared = prepare_element(element)
-    program = compile_module(prepared.module, PortConfig())
+    program = compile_module(prepared.module, PortConfig(), target=nic.target)
     # Ground-truth per-block compute from the compiled program
     # (training programs ARE deployed, Section 4.2).
     block_compute = {
@@ -172,8 +178,10 @@ def _scaleout_program_job(args: Tuple[Any, ...]) -> List[Any]:
         spec_small = replace(spec, n_packets=trace_packets)
         interp = Interpreter(prepared.module, seed=seed)
         profile = interp.run_trace(generate_trace(spec_small, seed=seed))
-        workload = characterize(spec_small)
-        features = scaleout_features(prepared, block_compute, profile, workload)
+        workload = characterize(spec_small, hierarchy=nic.hierarchy)
+        features = scaleout_features(
+            prepared, block_compute, profile, workload, nic=nic
+        )
         packets = max(profile.packets, 1)
         freq = {b: c / packets for b, c in profile.block_counts.items()}
         sweep = nic.sweep_cores(program, freq, workload)

@@ -56,6 +56,7 @@ from repro.errors import NotTrainedError
 from repro.nfir.analysis import lint_module
 from repro.nic.machine import NICModel, WorkloadCharacter
 from repro.nic.port import PortConfig
+from repro.nic.targets import TargetDescription
 from repro.obs import get_logger, get_metrics, span
 from repro.obs.metrics import DEFAULT_BUCKETS, observe_latency
 from repro.workload import characterize, generate_trace
@@ -76,6 +77,8 @@ class AnalysisResult:
     prepared: PreparedNF
     profile: ExecutionProfile
     workload: WorkloadCharacter
+    #: registry name of the NIC target the analysis ran against.
+    target: str = "nfp-4000"
 
     @property
     def block_freq(self) -> Dict[str, float]:
@@ -90,6 +93,7 @@ class AnalysisResult:
         return {
             "schema": INSIGHT_REPORT_SCHEMA,
             "kind": "analysis_result",
+            "target": self.target,
             "report": self.report.to_dict(),
             "block_freq": {
                 name: round(freq, 6)
@@ -123,13 +127,21 @@ class AnalysisResult:
 class Clara:
     """Automated SmartNIC offloading insights."""
 
-    def __init__(self, nic: Optional[NICModel] = None, seed: int = 0) -> None:
-        self.nic = nic or NICModel()
+    def __init__(
+        self,
+        nic: Optional[NICModel] = None,
+        seed: int = 0,
+        target: "str | TargetDescription | None" = None,
+    ) -> None:
+        """``target`` selects the registered NIC backend the pipeline
+        models (default ``nfp-4000``); passing an explicit ``nic``
+        model overrides it entirely."""
+        self.nic = nic or NICModel(target=target)
         self.seed = seed
         self.predictor = InstructionPredictor(seed=seed)
         self.identifier = AlgorithmIdentifier(seed=seed)
         self.scaleout = ScaleoutAdvisor(nic=self.nic, seed=seed)
-        self.placement = PlacementAdvisor()
+        self.placement = PlacementAdvisor(hierarchy=self.nic.hierarchy)
         self.coalescing = CoalescingAdvisor(seed=seed)
         #: trained lazily by :meth:`train_colocation`.
         self.colocation: Optional["ColocationAdvisor"] = None
@@ -195,6 +207,7 @@ class Clara:
                     n_programs=config.n_predictor_programs,
                     seed=self.seed,
                     workers=workers,
+                    target=self.nic.target.name,
                 )
                 sp.set("n_samples", len(dataset))
             with span("fit_predictor") as sp:
@@ -284,6 +297,7 @@ class Clara:
             "seed": self.seed,
             "trained": self.trained,
             "train_config": self.train_config,
+            "target": self.nic.target.to_dict(),
             "advisors": {
                 "predictor": self.predictor.state_dict(),
                 "identifier": self.identifier.state_dict(),
@@ -325,8 +339,18 @@ class Clara:
 
     @classmethod
     def load(cls, path, nic: Optional[NICModel] = None) -> "Clara":
-        """A Clara instance restored from a :meth:`save` artifact."""
+        """A Clara instance restored from a :meth:`save` artifact.
+
+        When ``nic`` is not given, the NIC model is rebuilt from the
+        target description recorded in the artifact (pre-registry
+        artifacts recorded none and default to the NFP)."""
         state = load_state(path)
+        if nic is None:
+            target_payload = state.get("target")
+            if target_payload is not None:
+                nic = NICModel(
+                    target=TargetDescription.from_dict(target_payload)
+                )
         clara = cls(nic=nic, seed=int(state.get("seed", 0)))
         return clara.load_state_dict(state)
 
@@ -383,7 +407,7 @@ class Clara:
                 sp.set("n_blocks", len(prepared.blocks))
             profile = self.profile_on_host(prepared, spec, state, trace_seed)
             with span("characterize"):
-                workload = characterize(spec)
+                workload = characterize(spec, hierarchy=self.nic.hierarchy)
 
             with span("predict") as sp:
                 report = self.predictor.advise(prepared, profile, workload)
@@ -439,7 +463,7 @@ class Clara:
 
             # Offload lint (static portability diagnostics).
             with span("lint") as sp:
-                lint = lint_module(prepared.module)
+                lint = lint_module(prepared.module, target=self.nic.target)
                 report.diagnostics = list(lint.diagnostics)
                 sp.set("n_diagnostics", len(lint.diagnostics))
                 sp.set("n_errors", lint.n_errors)
@@ -455,7 +479,9 @@ class Clara:
             "analyze: %s under %s -> %d insights",
             element.name, spec.name, len(report.insights),
         )
-        return AnalysisResult(report, prepared, profile, workload)
+        return AnalysisResult(
+            report, prepared, profile, workload, target=self.nic.target.name
+        )
 
     # -- turning insights into a port ---------------------------------------
     def port_config(self, analysis: AnalysisResult) -> PortConfig:
@@ -498,5 +524,5 @@ class Clara:
             lpm_accel_blocks=frozenset(lpm_blocks),
             placement=dict(report.placement),
             packs=packs,
-            cores=report.suggested_cores or 60,
+            cores=report.suggested_cores or self.nic.n_cores,
         )

@@ -15,8 +15,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from repro.nic.regions import MemoryHierarchy, default_hierarchy
+from repro.nic.regions import MemoryHierarchy
+from repro.nic.targets import resolve_target
 from repro.obs.metrics import observe_latency
+
+
+def _default_hierarchy() -> MemoryHierarchy:
+    """Hierarchy of the default registered target (the NFP)."""
+    return resolve_target(None).hierarchy()
 
 
 @dataclass
@@ -26,7 +32,7 @@ class PlacementProblem:
     names: List[str]
     sizes: List[int]          # bytes
     frequencies: List[float]  # accesses per packet (host-profiled)
-    hierarchy: MemoryHierarchy = field(default_factory=default_hierarchy)
+    hierarchy: MemoryHierarchy = field(default_factory=_default_hierarchy)
 
     def __post_init__(self) -> None:
         if not (len(self.names) == len(self.sizes) == len(self.frequencies)):
@@ -173,7 +179,7 @@ class PlacementAdvisor:
     """Clara's placement insight generator."""
 
     def __init__(self, hierarchy: Optional[MemoryHierarchy] = None) -> None:
-        self.hierarchy = hierarchy or default_hierarchy()
+        self.hierarchy = hierarchy or _default_hierarchy()
 
     def problem_from_profile(
         self, module, profile

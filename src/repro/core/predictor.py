@@ -85,6 +85,7 @@ class PredictorDataset:
         seed: int = 0,
         corpus=None,
         workers: int = 1,
+        target: Optional[str] = None,
     ) -> "PredictorDataset":
         """The data-synthesis pipeline of Section 3.2: generate guided
         Click programs, compile each with both toolchains, and pair
@@ -98,7 +99,8 @@ class PredictorDataset:
         stats = extract_stats(corpus)
         dataset = cls()
         rows = synthesize_predictor_rows(
-            stats, n_programs=n_programs, seed=seed, workers=workers
+            stats, n_programs=n_programs, seed=seed, workers=workers,
+            target=target,
         )
         for tokens, target, group in rows:
             dataset.sequences.append(tokens)

@@ -32,13 +32,16 @@ def scaleout_features(
     block_compute: Mapping[str, float],
     profile: ExecutionProfile,
     workload: WorkloadCharacter,
+    nic: Optional[NICModel] = None,
 ) -> np.ndarray:
     """Feature vector for the cost model.
 
     Built only from what Clara has *before* porting: per-block compute
     counts (LSTM-predicted for a new NF, measured for training
     programs), host-profiled block frequencies, counted stateful
-    accesses, and the workload character.
+    accesses, and the workload character.  The estimates are grounded
+    in ``nic``'s target constants (clock, threads, line rate, memory
+    latencies), so NFP and DPU models see different feature scales.
     """
     packets = max(profile.packets, 1)
     compute_per_pkt = 0.0
@@ -67,16 +70,30 @@ def scaleout_features(
         api_issue += per_pkt * cost.cycles
         api_accesses += per_pkt * sum(c for _k, _s, c in cost.accesses)
 
+    nic = nic or NICModel()
+    from repro.nic.regions import REGION_EMEM, REGION_EMEM_CACHE
+
     intensity = compute_per_pkt / max(stateful_per_pkt + api_accesses, 0.25)
     hit = workload.emem_cache_hit_rate
-    emem_latency = hit * 90.0 + (1.0 - hit) * 300.0
-    issue_est = 120.0 + compute_per_pkt + packet_mem_per_pkt + api_issue
-    mem_est = (stateful_per_pkt + api_accesses) * emem_latency
+    emem_latency = (
+        hit * float(nic.hierarchy.latency(REGION_EMEM_CACHE))
+        + (1.0 - hit) * float(nic.hierarchy.latency(REGION_EMEM))
+    )
+    issue_est = (
+        nic.target.ingress_cycles + nic.target.egress_cycles
+        + compute_per_pkt + packet_mem_per_pkt + api_issue
+    )
+    mem_est = (
+        (stateful_per_pkt + api_accesses) * emem_latency
+        + nic.target.host_dma_cycles
+    )
     # Little's-law knee estimates: cores for the concurrency bound to
     # reach line rate, and for the single-issue compute bound to do so.
-    line_rate_pps = 40e9 / 8.0 / (workload.packet_bytes + 20.0)
-    n_concurrency = line_rate_pps * (issue_est + mem_est) / (8.0 * 1.2e9)
-    n_compute = line_rate_pps * issue_est / 1.2e9
+    line_rate_pps = nic.line_rate_gbps * 1e9 / 8.0 / (workload.packet_bytes + 20.0)
+    n_concurrency = line_rate_pps * (issue_est + mem_est) / (
+        float(nic.threads_per_core) * nic.freq_hz
+    )
+    n_compute = line_rate_pps * issue_est / nic.freq_hz
     est_cores = max(n_concurrency, n_compute)
     return np.array(
         [
@@ -127,7 +144,9 @@ class ScaleoutAdvisor:
         config: Optional[PortConfig] = None,
     ) -> int:
         """Ground truth: exhaustive core sweep on the NIC."""
-        program = compile_module(prepared.module, config or PortConfig())
+        program = compile_module(
+            prepared.module, config or PortConfig(), target=self.nic.target
+        )
         packets = max(profile.packets, 1)
         freq = {b: c / packets for b, c in profile.block_counts.items()}
         sweep = self.nic.sweep_cores(program, freq, workload)
@@ -182,9 +201,13 @@ class ScaleoutAdvisor:
         block_compute: Mapping[str, float],
         profile: ExecutionProfile,
         workload: WorkloadCharacter,
-        max_cores: int = 60,
+        max_cores: Optional[int] = None,
     ) -> int:
-        features = scaleout_features(prepared, block_compute, profile, workload)
+        if max_cores is None:
+            max_cores = self.nic.n_cores
+        features = scaleout_features(
+            prepared, block_compute, profile, workload, nic=self.nic
+        )
         raw = float(self.model.predict(features[None, :])[0])
         return int(np.clip(round(raw), 1, max_cores))
 
@@ -195,14 +218,16 @@ class ScaleoutAdvisor:
         profile: ExecutionProfile,
         workload: WorkloadCharacter,
         block_compute: Optional[Mapping[str, float]] = None,
-        max_cores: int = 60,
+        max_cores: Optional[int] = None,
     ) -> int:
         """Uniform advisor entry point.  ``block_compute`` is the
         LSTM-predicted per-block compute for an unported NF; when
         omitted, ground truth is taken from a compile of the module
         (the training-program path)."""
         if block_compute is None:
-            program = compile_module(prepared.module, PortConfig())
+            program = compile_module(
+                prepared.module, PortConfig(), target=self.nic.target
+            )
             block_compute = {
                 b.name: float(b.n_compute) for b in program.handler.blocks
             }

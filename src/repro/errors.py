@@ -31,6 +31,7 @@ __all__ = [
     "LINT_EXIT_WARNING",
     "NotTrainedError",
     "UnknownElementError",
+    "UnknownTargetError",
     "http_status_for",
 ]
 
@@ -55,6 +56,13 @@ class UnknownElementError(ClaraError, KeyError):
     """An element name is not in the element library."""
 
     exit_code = 3
+    http_status = 404
+
+
+class UnknownTargetError(ClaraError, KeyError):
+    """A NIC target name is not in the target registry."""
+
+    exit_code = 12
     http_status = 404
 
 
@@ -111,6 +119,7 @@ EXIT_CODES = {
     for cls in (
         ClaraError,
         UnknownElementError,
+        UnknownTargetError,
         InvalidWorkloadError,
         NotTrainedError,
         ArtifactError,
@@ -127,6 +136,7 @@ HTTP_STATUSES = {
     for cls in (
         ClaraError,
         UnknownElementError,
+        UnknownTargetError,
         InvalidWorkloadError,
         NotTrainedError,
         ArtifactError,

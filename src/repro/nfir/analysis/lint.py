@@ -90,10 +90,18 @@ class Diagnostic:
 
 class LintContext:
     """Shared per-module analysis state, built lazily so passes that
-    need the same dominator tree or annotation do not recompute it."""
+    need the same dominator tree or annotation do not recompute it.
 
-    def __init__(self, module: Module) -> None:
+    ``target`` is the NIC backend the lint run analyses for (a name,
+    a :class:`~repro.nic.targets.TargetDescription`, or ``None`` for
+    the default); capacity-style rules read their thresholds from it.
+    """
+
+    def __init__(self, module: Module, target: Any = None) -> None:
+        from repro.nic.targets import resolve_target
+
         self.module = module
+        self.target = resolve_target(target)
         self._domtrees: Dict[str, DominatorTree] = {}
 
     def domtree(self, function: Function) -> DominatorTree:
@@ -185,8 +193,9 @@ class PassRegistry:
         module: Module,
         only: Optional[Sequence[str]] = None,
         disable: Optional[Sequence[str]] = None,
+        target: Any = None,
     ) -> "LintReport":
-        ctx = LintContext(module)
+        ctx = LintContext(module, target=target)
         diagnostics: List[Diagnostic] = []
         for pass_ in self.select(only=only, disable=disable):
             diagnostics.extend(pass_.run(module, ctx))
@@ -324,10 +333,11 @@ def lint_module(
     registry: Optional[PassRegistry] = None,
     only: Optional[Sequence[str]] = None,
     disable: Optional[Sequence[str]] = None,
+    target: Any = None,
 ) -> LintReport:
-    """Run the (default) lint suite over one module."""
+    """Run the (default) lint suite over one module for one target."""
     if registry is None:
         from repro.nfir.analysis.passes import default_registry
 
         registry = default_registry()
-    return registry.run(module, only=only, disable=disable)
+    return registry.run(module, only=only, disable=disable, target=target)

@@ -491,9 +491,10 @@ class StateCapacityPass(LintPass):
     description = "global state too large or misaligned for the NIC"
 
     def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
-        from repro.nic.regions import default_hierarchy
-
-        hierarchy = default_hierarchy()
+        # Capacity thresholds come from the *active* target's declared
+        # hierarchy — a global that fits the NFP's 4MB IMEM may not fit
+        # a DPU's 64KB scratch (and vice versa).
+        hierarchy = ctx.target.hierarchy()
         regions = hierarchy.placeable
         largest = max(r.capacity_bytes for r in regions)
         sram = max(r.capacity_bytes for r in regions[:-1])

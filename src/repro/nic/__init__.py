@@ -33,6 +33,8 @@ What it preserves — and what Clara's analyses actually depend on — is
 workload-dependent knees, and (e) memory interference under colocation.
 """
 
+import warnings
+
 from repro.nic.isa import NICInstruction, NICProgram, BlockAsm
 from repro.nic.regions import (
     MemRegion,
@@ -41,7 +43,14 @@ from repro.nic.regions import (
     REGION_CTM,
     REGION_IMEM,
     REGION_EMEM,
-    default_hierarchy,
+)
+from repro.nic.targets import (
+    DEFAULT_TARGET,
+    TargetDescription,
+    get_target,
+    list_targets,
+    register_target,
+    resolve_target,
 )
 from repro.nic.port import PortConfig
 from repro.nic.compiler import NFCC, compile_module
@@ -58,7 +67,12 @@ __all__ = [
     "REGION_CTM",
     "REGION_IMEM",
     "REGION_EMEM",
-    "default_hierarchy",
+    "DEFAULT_TARGET",
+    "TargetDescription",
+    "get_target",
+    "list_targets",
+    "register_target",
+    "resolve_target",
     "PortConfig",
     "NFCC",
     "compile_module",
@@ -68,3 +82,22 @@ __all__ = [
     "ColocationResult",
     "simulate_colocation",
 ]
+
+
+def __getattr__(name):
+    # One-release deprecation shim: ``default_hierarchy`` used to be
+    # the way to get "the" NIC's memory hierarchy; with pluggable
+    # targets the hierarchy belongs to a TargetDescription.
+    if name == "default_hierarchy":
+        warnings.warn(
+            "repro.nic.default_hierarchy is deprecated; use "
+            "repro.nic.get_target('nfp-4000').hierarchy() (or the "
+            "hierarchy of whichever target you are analysing for). "
+            "The alias will be removed next release.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.nic.regions import default_hierarchy
+
+        return default_hierarchy
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

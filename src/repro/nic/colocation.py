@@ -12,12 +12,7 @@ from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.nic.isa import NICProgram
-from repro.nic.machine import (
-    DISPATCH_CYCLES_PER_CORE,
-    NICModel,
-    PerfResult,
-    WorkloadCharacter,
-)
+from repro.nic.machine import NICModel, PerfResult, WorkloadCharacter
 
 
 @dataclass
@@ -95,8 +90,8 @@ def simulate_colocation(
         util = model._utilization([(demand_a, x_a), (demand_b, x_b)])
         mem_a = model._memory_cycles(demand_a, util) + demand_a.accel_cycles
         mem_b = model._memory_cycles(demand_b, util) + demand_b.accel_cycles
-        lat_a = demand_a.issue_cycles + mem_a + DISPATCH_CYCLES_PER_CORE * n_a
-        lat_b = demand_b.issue_cycles + mem_b + DISPATCH_CYCLES_PER_CORE * n_b
+        lat_a = demand_a.issue_cycles + mem_a + model.dispatch_cycles_per_core * n_a
+        lat_b = demand_b.issue_cycles + mem_b + model.dispatch_cycles_per_core * n_b
         new_a = min(
             n_a * model.threads_per_core * model.freq_hz / lat_a,
             n_a * model.freq_hz / demand_a.issue_cycles,

@@ -69,8 +69,12 @@ from repro.nfir.values import Constant, Value
 from repro.nic.isa import BlockAsm, FunctionAsm, NICInstruction, NICProgram
 from repro.nic.port import PortConfig
 from repro.nic.regions import REGION_CTM
+from repro.nic.targets import TargetDescription, resolve_target
 
-#: General-purpose registers available to one NF context.
+#: General-purpose registers available to one NF context on the
+#: default target.  The per-target budget lives in
+#: ``TargetDescription.n_gprs``; this constant remains as the
+#: documented NFP value (and the fallback for target-less callers).
 N_GPRS = 28
 
 
@@ -89,16 +93,16 @@ class _RegAlloc:
         return id(alloca) in self.promoted
 
 
-def _allocate_registers(function: Function) -> _RegAlloc:
+def _allocate_registers(function: Function, n_gprs: int = N_GPRS) -> _RegAlloc:
     """First-come register allocation over alloca slots.
 
     Each slot consumes ceil(size/4) registers; slots that do not fit in
-    the 28-GPR budget spill to local memory.  This mirrors the visible
-    behaviour of the real allocator: small NFs see *zero* stack traffic,
-    large ones start paying for spills.
+    the target's GPR budget spill to local memory.  This mirrors the
+    visible behaviour of the real allocator: small NFs see *zero* stack
+    traffic, large ones start paying for spills.
     """
     alloc = _RegAlloc()
-    budget = N_GPRS
+    budget = n_gprs
     for instr in function.instructions():
         if not isinstance(instr, Alloca):
             continue
@@ -124,12 +128,18 @@ def _single_use_map(function: Function) -> Dict[int, Instruction]:
 
 
 class NFCC:
-    """Compiler instance; one per (module, port config)."""
+    """Compiler instance; one per (module, port config, target)."""
 
-    def __init__(self, module: Module, config: Optional[PortConfig] = None) -> None:
+    def __init__(
+        self,
+        module: Module,
+        config: Optional[PortConfig] = None,
+        target: "str | TargetDescription | None" = None,
+    ) -> None:
         self.module = module
         self.config = config or PortConfig()
         self.config.validate(list(module.globals))
+        self.target = resolve_target(target)
 
     # -- public API ----------------------------------------------------
     def compile(self) -> NICProgram:
@@ -141,16 +151,22 @@ class NFCC:
 
     # -- per-function --------------------------------------------------
     def _compile_function(self, function: Function) -> FunctionAsm:
-        regalloc = _allocate_registers(function)
+        regalloc = _allocate_registers(function, self.target.n_gprs)
         single_use = _single_use_map(function)
         alloca_map = build_alloca_points_to(function)
         fasm = FunctionAsm(function.name)
-        accel_sets = (
-            ("crc", self.config.crc_accel_blocks, "crc", "CRC engine"),
-            ("lpm", self.config.lpm_accel_blocks, "cam_lookup",
-             "LPM flow cache"),
-            ("crypto", self.config.crypto_accel_blocks, "crypto",
-             "crypto engine"),
+        # Accelerator substitution only happens for engines the target
+        # implements; blocks mapped to an absent engine compile to the
+        # ordinary software path.
+        accel_sets = tuple(
+            entry for entry in (
+                ("crc", self.config.crc_accel_blocks, "crc", "CRC engine"),
+                ("lpm", self.config.lpm_accel_blocks, "cam_lookup",
+                 "LPM flow cache"),
+                ("crypto", self.config.crypto_accel_blocks, "crypto",
+                 "crypto engine"),
+            )
+            if self.target.supports(entry[2])
         )
         # One accelerator command per *contiguous run* of substituted
         # blocks (a loop or one inlined-helper copy), emitted at the
@@ -478,7 +494,7 @@ class NFCC:
             emit(NICInstruction("rand", dst="r"))
             return
         if name in ("checksum_update_ip", "checksum_update_tcp"):
-            if self.config.use_checksum_accel:
+            if self.config.use_checksum_accel and self.target.supports("csum"):
                 emit(NICInstruction("csum", dst="sum", comment="ingress engine"))
             else:
                 emit(NICInstruction("call", srcs=("sw_checksum",)))
@@ -493,7 +509,10 @@ class NFCC:
 
 
 def compile_module(
-    module: Module, config: Optional[PortConfig] = None
+    module: Module,
+    config: Optional[PortConfig] = None,
+    target: "str | TargetDescription | None" = None,
 ) -> NICProgram:
-    """Compile an NFIR module to NIC assembly under a port config."""
-    return NFCC(module, config).compile()
+    """Compile an NFIR module to NIC assembly under a port config for
+    one registered target (default ``nfp-4000``)."""
+    return NFCC(module, config, target=target).compile()

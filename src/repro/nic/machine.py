@@ -37,27 +37,19 @@ from repro.nic.regions import (
     REGION_EMEM,
     REGION_EMEM_CACHE,
     REGION_LMEM,
-    default_hierarchy,
 )
+from repro.nic.targets import TargetDescription, resolve_target
 
-#: Accelerator engine latencies (cycles) — see paper Section 2 for the
-#: checksum figure; CRC and CAM numbers follow NFP databook ballpark.
-CSUM_ENGINE_CYCLES = 300.0
-CRC_ENGINE_CYCLES = 60.0
-CAM_LOOKUP_CYCLES = 40.0
-CRYPTO_ENGINE_CYCLES = 90.0
-
-#: Fixed per-packet path overheads (ingress DMA, metadata, egress).
-INGRESS_CYCLES = 80.0
-EGRESS_CYCLES = 40.0
-
-#: Work-distribution cost that grows with the number of participating
-#: micro-engines: every active context polls the dispatch rings and
-#: arbitration takes longer the more contenders there are.  This is
-#: what makes per-packet latency keep climbing past the throughput knee
-#: (paper Figure 11(e): MazuNAT latency roughly triples from few cores
-#: to 60) and makes over-provisioning cores actively bad.
-DISPATCH_CYCLES_PER_CORE = 8.0
+# The accelerator latency table, per-packet path overheads, and the
+# dispatch cost all moved into the active TargetDescription
+# (repro.nic.targets) — NICModel reads them from ``self.target``.
+# The dispatch cost is the work-distribution overhead that grows with
+# the number of participating micro-engines: every active context
+# polls the dispatch rings and arbitration takes longer the more
+# contenders there are.  This is what makes per-packet latency keep
+# climbing past the throughput knee (paper Figure 11(e): MazuNAT
+# latency roughly triples from few cores to 60) and makes
+# over-provisioning cores actively bad.
 
 
 @dataclass
@@ -124,16 +116,31 @@ class NICModel:
     def __init__(
         self,
         hierarchy: Optional[MemoryHierarchy] = None,
-        n_cores: int = 60,
-        threads_per_core: int = 8,
-        freq_hz: float = 1.2e9,
-        line_rate_gbps: float = 40.0,
+        n_cores: Optional[int] = None,
+        threads_per_core: Optional[int] = None,
+        freq_hz: Optional[float] = None,
+        line_rate_gbps: Optional[float] = None,
+        target: "str | TargetDescription | None" = None,
     ) -> None:
-        self.hierarchy = hierarchy or default_hierarchy()
-        self.n_cores = n_cores
-        self.threads_per_core = threads_per_core
-        self.freq_hz = freq_hz
-        self.line_rate_gbps = line_rate_gbps
+        """A machine model for ``target`` (default ``nfp-4000``).
+
+        Explicit ``hierarchy``/topology arguments override the
+        target's declared constants (used by ablations and tests);
+        omitted ones resolve from the description.
+        """
+        desc = resolve_target(target)
+        self.target = desc
+        self.hierarchy = hierarchy or desc.hierarchy()
+        self.n_cores = desc.n_cores if n_cores is None else n_cores
+        self.threads_per_core = (
+            desc.threads_per_core if threads_per_core is None
+            else threads_per_core
+        )
+        self.freq_hz = desc.freq_hz if freq_hz is None else freq_hz
+        self.line_rate_gbps = (
+            desc.line_rate_gbps if line_rate_gbps is None else line_rate_gbps
+        )
+        self.dispatch_cycles_per_core = desc.dispatch_cycles_per_core
 
     # -- demand extraction ------------------------------------------------
     def _resolve_region(self, instr: NICInstruction, config: PortConfig) -> str:
@@ -157,7 +164,12 @@ class NICModel:
         config: PortConfig = program.meta.get("config") or PortConfig()
         fasm: FunctionAsm = program.functions[function]
         demand = _Demand()
-        demand.issue_cycles += INGRESS_CYCLES + EGRESS_CYCLES
+        demand.issue_cycles += self.target.ingress_cycles + self.target.egress_cycles
+        # Off-path devices round-trip every packet through the SoC
+        # memory complex over PCIe; the DMA engine does the work, so
+        # like accelerator time the hop adds latency (hidden by other
+        # hardware threads) rather than pipeline-issue occupancy.
+        demand.accel_cycles += self.target.host_dma_cycles
         # Header DMA into CTM transfer registers.
         demand.add_access("ctm", 64, 1.0)
 
@@ -213,21 +225,23 @@ class NICModel:
                 demand.add_access(region, instr.size, freq)
             return
         if instr.opcode == "csum":
-            demand.accel_cycles += freq * CSUM_ENGINE_CYCLES
+            demand.accel_cycles += freq * self.target.accel_latency("csum")
             return
         if instr.opcode == "crc":
             demand.accel_cycles += freq * (
-                CRC_ENGINE_CYCLES + 0.25 * workload.packet_bytes
+                self.target.accel_latency("crc")
+                + self.target.crc_byte_cycles * workload.packet_bytes
             )
             return
         if instr.opcode == "crypto":
             demand.accel_cycles += freq * (
-                CRYPTO_ENGINE_CYCLES + 0.5 * workload.packet_bytes
+                self.target.accel_latency("crypto")
+                + self.target.crypto_byte_cycles * workload.packet_bytes
             )
             return
         if instr.opcode == "cam_lookup":
             hit = workload.flow_cache_hit_rate
-            demand.accel_cycles += freq * CAM_LOOKUP_CYCLES
+            demand.accel_cycles += freq * self.target.accel_latency("cam_lookup")
             if hit < 1.0:
                 # Misses fall back to the software match path.  Like the
                 # memory stalls that path is made of, the penalty is
@@ -328,7 +342,7 @@ class NICModel:
         compute_bound = n * self.freq_hz / demand.issue_cycles
         hard_cap = min(compute_bound, line_rate, bw_ceiling)
 
-        dispatch_cycles = DISPATCH_CYCLES_PER_CORE * n
+        dispatch_cycles = self.dispatch_cycles_per_core * n
 
         def latency_at(x: float) -> float:
             util = self._utilization([(demand, x)])

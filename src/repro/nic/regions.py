@@ -48,18 +48,6 @@ class MemRegion:
             raise ValueError(f"bad bandwidth for {self.name}")
 
 
-_DEFAULT_REGIONS = [
-    # SRAM scratchpads: low latency, high sustained access rates.
-    MemRegion(REGION_CLS, 64 * 1024, 25, 2.0),
-    MemRegion(REGION_CTM, 256 * 1024, 55, 1.2),
-    MemRegion(REGION_IMEM, 4 * 1024 * 1024, 150, 0.4),
-    # DRAM: random accesses bound by bank conflicts (~145M/s at 1.2GHz).
-    MemRegion(REGION_EMEM, 2 * 1024 * 1024 * 1024, 300, 0.12),
-    MemRegion(REGION_EMEM_CACHE, 3 * 1024 * 1024, 90, 0.8),
-    MemRegion(REGION_LMEM, 4 * 1024, 3, 16.0),
-]
-
-
 @dataclass
 class MemoryHierarchy:
     regions: Dict[str, MemRegion]
@@ -83,4 +71,12 @@ class MemoryHierarchy:
 
 
 def default_hierarchy() -> MemoryHierarchy:
-    return MemoryHierarchy({r.name: r for r in _DEFAULT_REGIONS})
+    """The default target's (NFP-4000) hierarchy.
+
+    Kept as an internal convenience while the ``repro.nic`` alias goes
+    through its deprecation cycle; the region constants themselves now
+    live on the ``nfp-4000`` :class:`~repro.nic.targets.TargetDescription`.
+    """
+    from repro.nic.targets import DEFAULT_TARGET, get_target
+
+    return get_target(DEFAULT_TARGET).hierarchy()

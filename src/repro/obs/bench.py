@@ -84,11 +84,19 @@ DEFAULT_MAD_K = 4.0
 # ---------------------------------------------------------------------------
 
 class BenchContext:
-    """Shared, memoized, *untimed* setup state for one suite run."""
+    """Shared, memoized, *untimed* setup state for one suite run.
 
-    def __init__(self, quick: bool = False, seed: int = 0) -> None:
+    ``target`` is the registered NIC backend the suite models
+    (``None`` = the registry default); cases that compile or simulate
+    read it, and per-target fixtures key their memo entries on it so
+    a mixed-target suite never shares a trained model across backends.
+    """
+
+    def __init__(self, quick: bool = False, seed: int = 0,
+                 target: Optional[str] = None) -> None:
         self.quick = quick
         self.seed = seed
+        self.target = target
         self._memo: Dict[str, Any] = {}
 
     def memo(self, key: str, factory: Callable[[], Any]) -> Any:
@@ -149,9 +157,12 @@ class BenchContext:
             return predictor.fit(self.predictor_dataset())
         return self.memo("fitted_predictor", build)
 
-    def trained_clara(self):
+    def trained_clara(self, target: Optional[str] = None):
         """A fully trained Clara sized for the mode (no cache: bench
-        measures this process, not the artifact store)."""
+        measures this process, not the artifact store).  ``target``
+        overrides the suite-level target for cross-target cases."""
+        target = target or self.target
+
         def build():
             from repro.core import Clara, TrainConfig
 
@@ -162,8 +173,8 @@ class BenchContext:
                 n_negatives=6,
                 scaleout_trace_packets=80,
             ) if self.quick else TrainConfig.quick()
-            return Clara(seed=self.seed).train(config)
-        return self.memo("trained_clara", build)
+            return Clara(seed=self.seed, target=target).train(config)
+        return self.memo(f"trained_clara:{target or 'default'}", build)
 
     def warm_server(self):
         """An in-process ``clara serve`` daemon on an ephemeral port.
@@ -284,7 +295,7 @@ def _case_scaleout_gbdt(ctx: BenchContext) -> Callable[[], Any]:
     from repro.core.scaleout import ScaleoutAdvisor
     from repro.nic.machine import NICModel
 
-    advisor = ScaleoutAdvisor(nic=NICModel(), seed=ctx.seed)
+    advisor = ScaleoutAdvisor(nic=NICModel(target=ctx.target), seed=ctx.seed)
     advisor.build_training_set(
         n_programs=2 if ctx.quick else 6,
         trace_packets=60 if ctx.quick else 150,
@@ -397,15 +408,30 @@ def _case_serve_analyze(ctx: BenchContext) -> Callable[[], Any]:
 def _case_corpus_lint(ctx: BenchContext) -> Callable[[], Any]:
     from repro.click.elements import ELEMENT_BUILDERS
     from repro.nfir.analysis import default_registry
+    from repro.nic.targets import resolve_target
 
     registry = default_registry()
+    target = resolve_target(ctx.target)
     names = sorted(ELEMENT_BUILDERS)
     if ctx.quick:
         names = names[:4]
     modules = [ctx.prepared(name).module for name in names]
 
     def run():
-        return [registry.run(module) for module in modules]
+        return [registry.run(module, target=target) for module in modules]
+    return run
+
+
+@register_case("dpu_analyze",
+               "end-to-end analyze on the dpu-offpath target")
+def _case_dpu_analyze(ctx: BenchContext) -> Callable[[], Any]:
+    from repro.workload.spec import WorkloadSpec
+
+    clara = ctx.trained_clara(target="dpu-offpath")
+    spec = WorkloadSpec(name="bench", n_flows=4096, n_packets=60)
+
+    def run():
+        return clara.analyze("aggcounter", spec, trace_seed=ctx.seed)
     return run
 
 
@@ -500,6 +526,9 @@ class BenchRun:
     created_unix: float
     host: Dict[str, Any]
     results: List[BenchCaseResult]
+    #: registered NIC target the suite modelled (suite default when
+    #: absent in an older artifact).
+    target: str = "nfp-4000"
 
     def result(self, name: str) -> Optional[BenchCaseResult]:
         for entry in self.results:
@@ -515,6 +544,7 @@ class BenchRun:
             "quick": self.quick,
             "repeats": self.repeats,
             "seed": self.seed,
+            "target": self.target,
             "created_unix": self.created_unix,
             "host": dict(self.host),
             "results": [entry.to_dict() for entry in self.results],
@@ -536,6 +566,7 @@ class BenchRun:
             quick=bool(data.get("quick", False)),
             repeats=int(data.get("repeats", 0)),
             seed=int(data.get("seed", 0)),
+            target=str(data.get("target", "nfp-4000")),
             created_unix=float(data.get("created_unix", 0.0)),
             host=dict(data.get("host", {})),
             results=[
@@ -565,7 +596,7 @@ class BenchRun:
         """The human table (cases in suite order, µs-precision)."""
         mode = "quick" if self.quick else "full"
         lines = [
-            f"Bench run @ {self.git_sha} ({mode},"
+            f"Bench run @ {self.git_sha} ({mode}, target {self.target},"
             f" median of {self.repeats}):",
             f"{'case':20s} {'median(ms)':>11s} {'mad(ms)':>9s}"
             f" {'min(ms)':>9s} {'max(ms)':>9s}",
@@ -585,6 +616,7 @@ def run_suite(
     quick: bool = False,
     seed: int = 0,
     warmup: int = 1,
+    target: Optional[str] = None,
 ) -> BenchRun:
     """Time the declared cases and return the :class:`BenchRun`.
 
@@ -594,12 +626,15 @@ def run_suite(
     untimed calls absorb first-call effects (lazy imports, allocator
     warm-up) before sampling starts.
     """
+    from repro.nic.targets import resolve_target
+
     selected = [get_case(name) for name in (names or default_case_names())]
     if repeats is None:
         repeats = 3 if quick else 5
     if repeats < 1:
         raise ClaraError("bench repeats must be >= 1")
-    ctx = BenchContext(quick=quick, seed=seed)
+    target_name = resolve_target(target).name
+    ctx = BenchContext(quick=quick, seed=seed, target=target)
     results: List[BenchCaseResult] = []
     for case in selected:
         with span(f"bench.{case.name}", repeats=repeats) as sp:
@@ -621,6 +656,7 @@ def run_suite(
         quick=quick,
         repeats=repeats,
         seed=seed,
+        target=target_name,
         created_unix=time.time(),
         host={
             "python": platform.python_version(),

@@ -43,15 +43,20 @@ def run_lint_reports(
     elements: Optional[Sequence[str]] = None,
     only: Optional[Sequence[str]] = None,
     disable: Optional[Sequence[str]] = None,
+    target: Optional[str] = None,
 ):
     """Run the offload linter over library elements and return
     ``(registry, reports)`` — the one lint execution path behind both
-    ``clara lint`` and ``POST /v1/lint``."""
+    ``clara lint`` and ``POST /v1/lint``.  ``target`` selects the NIC
+    backend whose capacity thresholds the rules check (``None`` means
+    the registry default)."""
     from repro.click.elements import ELEMENT_BUILDERS, build_element
     from repro.core.prepare import prepare_element
     from repro.nfir.analysis import default_registry
+    from repro.nic.targets import resolve_target
 
     registry = default_registry()
+    target_desc = resolve_target(target)
     only = list(only) if only else None
     disable = list(disable) if disable else None
     try:
@@ -62,11 +67,13 @@ def run_lint_reports(
         ) from None
     names = list(elements) if elements else sorted(ELEMENT_BUILDERS)
     reports = []
-    with span("lint_corpus", n_elements=len(names)) as sp:
+    with span("lint_corpus", n_elements=len(names),
+              target=target_desc.name) as sp:
         for name in names:
             prepared = prepare_element(build_element(name))
             reports.append(
-                registry.run(prepared.module, only=only, disable=disable)
+                registry.run(prepared.module, only=only, disable=disable,
+                             target=target_desc)
             )
         sp.set("n_diagnostics", sum(len(r.diagnostics) for r in reports))
     return registry, reports
@@ -95,27 +102,62 @@ class ClaraService:
         self.colocation_programs = int(colocation_programs)
         self.colocation_groups = int(colocation_groups)
         self._colocation_lock = threading.Lock()
+        #: per-target warm Claras; the primary serves its own target.
+        self._claras: Dict[str, Any] = {clara.nic.target.name: clara}
+        self._target_lock = threading.Lock()
         self.broker = PredictBroker.for_predictor(
             clara.predictor, window_s=batch_window_s, max_batch=max_batch
         )
 
+    def clara_for(self, target: Optional[str]):
+        """The warm Clara for ``target`` (``None`` = the primary's).
+
+        Non-primary targets are trained lazily on first use — same
+        config and seed as the primary, artifact-cache backed — behind
+        a lock, like the colocation ranker.  Only the primary's
+        predictor goes through the inference broker.
+        """
+        if target is None or target == self.clara.nic.target.name:
+            return self.clara
+        existing = self._claras.get(target)
+        if existing is not None:
+            return existing
+        with self._target_lock:
+            existing = self._claras.get(target)
+            if existing is None:
+                from repro.core.artifacts import TrainConfig
+                from repro.core.pipeline import Clara
+
+                config = self.clara.train_config or TrainConfig.quick()
+                log.info(
+                    "target %s cold: training a Clara for it (%s)",
+                    target, config,
+                )
+                existing = Clara(seed=self.clara.seed, target=target)
+                existing.train(config, cache="auto")
+                self._claras[target] = existing
+        return existing
+
     # -- endpoints ------------------------------------------------------
     def analyze(self, request: AnalyzeRequest) -> Dict[str, Any]:
-        analysis = self.clara.analyze(
+        clara = self.clara_for(request.target)
+        analysis = clara.analyze(
             request.element, request.workload, trace_seed=request.trace_seed
         )
-        config = self.clara.port_config(analysis)
+        config = clara.port_config(analysis)
         return envelope(
             "analysis_result", analysis_result_payload(analysis, config)
         )
 
     def lint(self, request: LintRequest) -> Dict[str, Any]:
+        target = request.target or self.clara.nic.target.name
         _registry, reports = run_lint_reports(
             elements=request.elements,
             only=request.only,
             disable=request.disable,
+            target=target,
         )
-        return envelope("lint_run", lint_run_payload(reports))
+        return envelope("lint_run", lint_run_payload(reports, target=target))
 
     def colocation(self, request: ColocationRequest) -> Dict[str, Any]:
         from repro.core.colocation import ranking_to_dict
@@ -132,6 +174,7 @@ class ClaraService:
         """``(http_status, envelope)`` for the readiness probe: 200
         once the advisors are warm, 503 while they are not."""
         from repro.click.elements import ELEMENT_BUILDERS
+        from repro.nic.targets import list_targets
 
         trained = bool(getattr(self.clara, "trained", False))
         result = {
@@ -141,6 +184,11 @@ class ClaraService:
             "n_elements": len(ELEMENT_BUILDERS),
             "wire_schema": WIRE_SCHEMA,
             "request_kinds": list(REQUEST_KINDS),
+            "targets": {
+                "default": self.clara.nic.target.name,
+                "available": list(list_targets()),
+                "warm": sorted(self._claras),
+            },
             "batching": {
                 "window_s": self.broker.window_s,
                 "max_batch": self.broker.max_batch,

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ClaraError, InvalidWorkloadError, http_status_for
+from repro.nic.targets import get_target
 from repro.workload.spec import WorkloadSpec
 
 __all__ = [
@@ -50,7 +51,8 @@ __all__ = [
 ]
 
 #: version of the request layouts and the response envelope.
-WIRE_SCHEMA = 1
+#: v2: requests carry an optional ``target`` (registered NIC backend).
+WIRE_SCHEMA = 2
 
 _WORKLOAD_FIELDS = {f.name for f in dataclasses.fields(WorkloadSpec)}
 
@@ -96,6 +98,23 @@ def _reject_unknown(data: Dict[str, Any], kind: str) -> None:
         )
 
 
+def _pop_target(data: Dict[str, Any], kind: str) -> Optional[str]:
+    """Pop and validate the optional ``target`` field of a request.
+
+    ``None`` means "the server's default target".  A name is checked
+    against the registry at parse time so an unknown target fails the
+    request with :class:`~repro.errors.UnknownTargetError` (HTTP 404)
+    before any work happens.
+    """
+    target = data.pop("target", None)
+    if target is None:
+        return None
+    if not isinstance(target, str):
+        raise ClaraError(f"{kind} 'target' must be a string")
+    get_target(target)  # raises UnknownTargetError on a miss
+    return target
+
+
 @dataclass(frozen=True)
 class AnalyzeRequest:
     """One offload-insight question: an element under a workload."""
@@ -103,6 +122,8 @@ class AnalyzeRequest:
     element: str
     workload: WorkloadSpec = WorkloadSpec()
     trace_seed: int = 0
+    #: registered NIC target to analyse for; ``None`` = server default.
+    target: Optional[str] = None
 
     kind = "analyze_request"
 
@@ -117,9 +138,10 @@ class AnalyzeRequest:
             )
         workload = workload_from_dict(data.pop("workload", {}) or {})
         trace_seed = int(data.pop("trace_seed", 0))
+        target = _pop_target(data, cls.kind)
         _reject_unknown(data, cls.kind)
         return cls(element=element, workload=workload,
-                   trace_seed=trace_seed)
+                   trace_seed=trace_seed, target=target)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -128,6 +150,7 @@ class AnalyzeRequest:
             "element": self.element,
             "workload": workload_to_dict(self.workload),
             "trace_seed": self.trace_seed,
+            "target": self.target,
         }
 
 
@@ -142,6 +165,8 @@ class LintRequest:
     elements: Optional[Tuple[str, ...]] = None
     only: Optional[Tuple[str, ...]] = None
     disable: Optional[Tuple[str, ...]] = None
+    #: registered NIC target whose capacities the rules check against.
+    target: Optional[str] = None
 
     kind = "lint_request"
 
@@ -163,8 +188,10 @@ class LintRequest:
         elements = cls._name_tuple(data.pop("elements", None), "elements")
         only = cls._name_tuple(data.pop("only", None), "only")
         disable = cls._name_tuple(data.pop("disable", None), "disable")
+        target = _pop_target(data, cls.kind)
         _reject_unknown(data, cls.kind)
-        return cls(elements=elements, only=only, disable=disable)
+        return cls(elements=elements, only=only, disable=disable,
+                   target=target)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -173,6 +200,7 @@ class LintRequest:
             "elements": None if self.elements is None else list(self.elements),
             "only": None if self.only is None else list(self.only),
             "disable": None if self.disable is None else list(self.disable),
+            "target": self.target,
         }
 
 
@@ -283,13 +311,19 @@ def analysis_result_payload(analysis, config) -> Dict[str, Any]:
     return payload
 
 
-def lint_run_payload(reports: Sequence[Any]) -> Dict[str, Any]:
+def lint_run_payload(
+    reports: Sequence[Any], target: Optional[str] = None
+) -> Dict[str, Any]:
     """The ``lint_run`` payload: every element's schema-versioned
     :class:`~repro.nfir.analysis.lint.LintReport` plus the totals the
-    exit-code protocol is based on."""
+    exit-code protocol is based on.  ``target`` is the NIC backend the
+    rules checked against (``None`` means the registry default)."""
+    from repro.nic.targets import resolve_target
+
     n_errors = sum(r.n_errors for r in reports)
     n_warnings = sum(r.n_warnings for r in reports)
     return {
+        "target": resolve_target(target).name,
         "reports": [report.to_dict() for report in reports],
         "n_errors": n_errors,
         "n_warnings": n_warnings,

@@ -14,7 +14,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nic.machine import WorkloadCharacter
-from repro.nic.regions import MemoryHierarchy, REGION_EMEM_CACHE, default_hierarchy
+from repro.nic.regions import MemoryHierarchy, REGION_EMEM_CACHE
+from repro.nic.targets import resolve_target
 from repro.workload.spec import WorkloadSpec
 
 
@@ -47,7 +48,7 @@ def characterize(
     (flow-table entry size); the EMEM cache holds
     ``cache_capacity / entry_bytes`` hot entries.
     """
-    hierarchy = hierarchy or default_hierarchy()
+    hierarchy = hierarchy or resolve_target(None).hierarchy()
     cache_capacity = hierarchy.region(REGION_EMEM_CACHE).capacity_bytes
     cache_entries = max(1, cache_capacity // max(state_entry_bytes, 1))
     emem_hit = zipf_hit_rate(cache_entries, spec.n_flows, spec.zipf_alpha)

@@ -12,7 +12,7 @@ from repro.nic import (
     NICModel,
     PortConfig,
     compile_module,
-    default_hierarchy,
+    get_target,
     simulate_colocation,
 )
 from repro.nic.machine import WorkloadCharacter
@@ -256,7 +256,7 @@ class TestColocation:
 
 class TestRegions:
     def test_hierarchy_ordering(self):
-        h = default_hierarchy()
+        h = get_target("nfp-4000").hierarchy()
         placeable = h.placeable
         lats = [r.latency_cycles for r in placeable]
         caps = [r.capacity_bytes for r in placeable]
@@ -264,7 +264,7 @@ class TestRegions:
         assert caps == sorted(caps)
 
     def test_scaled_override(self):
-        h = default_hierarchy()
+        h = get_target("nfp-4000").hierarchy()
         h2 = h.scaled(REGION_EMEM, latency_cycles=500)
         assert h2.latency(REGION_EMEM) == 500
         assert h.latency(REGION_EMEM) == 300  # original untouched

@@ -1,0 +1,196 @@
+"""Target-registry tests: description round-trips, registration
+discipline, cross-target model divergence, per-target cache keys, and
+the deprecation shim for the pre-registry import surface."""
+
+import warnings
+
+import pytest
+
+from repro.core.artifacts import TrainConfig, train_cache_key
+from repro.errors import UnknownTargetError
+from repro.nic.machine import NICModel
+from repro.nic.regions import (
+    REGION_CLS,
+    REGION_CTM,
+    REGION_EMEM,
+    REGION_EMEM_CACHE,
+    REGION_IMEM,
+    REGION_LMEM,
+    MemRegion,
+)
+from repro.nic.targets import (
+    DEFAULT_TARGET,
+    DPU_OFFPATH,
+    NFP_4000,
+    TargetDescription,
+    get_target,
+    list_targets,
+    register_target,
+    resolve_target,
+    target_fingerprint,
+)
+
+
+REGION_NAMES = (REGION_CLS, REGION_CTM, REGION_IMEM, REGION_EMEM,
+                REGION_EMEM_CACHE, REGION_LMEM)
+
+
+def custom_target(name="test-nic", **overrides):
+    """A small but complete description for registry tests."""
+    fields = dict(
+        name=name,
+        display_name="Test NIC",
+        n_cores=4,
+        threads_per_core=2,
+        freq_hz=1.0e9,
+        line_rate_gbps=10.0,
+        regions=tuple(
+            MemRegion(region, 1024 * (i + 1), 10 * (i + 1), 1.0)
+            for i, region in enumerate(REGION_NAMES)
+        ),
+    )
+    fields.update(overrides)
+    return TargetDescription(**fields)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert DEFAULT_TARGET == "nfp-4000"
+        assert set(list_targets()) >= {"nfp-4000", "dpu-offpath"}
+        assert get_target("nfp-4000") is NFP_4000
+        assert get_target("dpu-offpath") is DPU_OFFPATH
+
+    def test_unknown_target_is_typed_error(self):
+        with pytest.raises(UnknownTargetError) as excinfo:
+            get_target("no-such-nic")
+        assert "no-such-nic" in str(excinfo.value)
+        assert excinfo.value.http_status == 404
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_target(custom_target(name="nfp-4000"))
+
+    def test_resolve_accepts_name_none_and_description(self):
+        assert resolve_target(None) is NFP_4000
+        assert resolve_target("dpu-offpath") is DPU_OFFPATH
+        custom = custom_target()
+        assert resolve_target(custom) is custom
+
+
+class TestDescription:
+    def test_round_trip(self):
+        for desc in (NFP_4000, DPU_OFFPATH, custom_target()):
+            clone = TargetDescription.from_dict(desc.to_dict())
+            assert clone == desc
+            assert clone.to_dict() == desc.to_dict()
+
+    def test_bad_schema_rejected(self):
+        payload = NFP_4000.to_dict()
+        payload["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            TargetDescription.from_dict(payload)
+
+    def test_requires_all_region_names(self):
+        with pytest.raises(ValueError, match="region"):
+            custom_target(regions=(MemRegion("cls", 64, 2, 1.0),))
+
+    def test_accel_support_and_latency(self):
+        assert NFP_4000.supports("csum")
+        assert not custom_target(accel_ops=("crc",)).supports("csum")
+        assert DPU_OFFPATH.accel_latency("crc") < NFP_4000.accel_latency("crc")
+
+    def test_fingerprint_ignores_cosmetics(self):
+        renamed = custom_target(display_name="Marketing Name 9000",
+                                description="different words")
+        assert target_fingerprint(renamed) == \
+            target_fingerprint(custom_target())
+
+
+class TestModelDivergence:
+    """The two built-ins must actually disagree where their hardware
+    differs — an accelerator-heavy element is the clearest probe."""
+
+    @staticmethod
+    def demand(target):
+        from repro.click.elements import build_element
+        from repro.core.prepare import prepare_element
+        from repro.nic.compiler import compile_module
+        from repro.nic.port import PortConfig
+        from repro.workload import characterize
+        from repro.workload.spec import WorkloadSpec
+
+        prepared = prepare_element(build_element("wepdecap"))
+        model = NICModel(target=target)
+        base = compile_module(prepared.module)
+        names = frozenset(
+            block.name for block in base.functions["pkt_handler"].blocks
+        )
+        program = compile_module(
+            prepared.module,
+            PortConfig(use_checksum_accel=True, crypto_accel_blocks=names),
+            target=model.target,
+        )
+        freq = {
+            block.name: 1.0
+            for block in program.functions["pkt_handler"].blocks
+        }
+        workload = characterize(WorkloadSpec(name="probe"),
+                                hierarchy=model.hierarchy)
+        return model, model.packet_demand(program, freq, workload)
+
+    def test_accel_heavy_element_diverges(self):
+        nfp_model, nfp = self.demand("nfp-4000")
+        dpu_model, dpu = self.demand("dpu-offpath")
+        # Faster accelerator table and byte rates on the DPU...
+        assert nfp.accel_cycles > 0
+        assert dpu.accel_cycles - DPU_OFFPATH.host_dma_cycles < \
+            nfp.accel_cycles
+        # ...but every packet pays the host-DMA hop.
+        assert dpu.accel_cycles >= DPU_OFFPATH.host_dma_cycles
+        assert nfp_model.target.host_dma_cycles == 0.0
+
+    def test_nfp_matches_pre_registry_default(self):
+        """NICModel() without a target is exactly the old NFP model."""
+        model = NICModel()
+        assert model.target is NFP_4000
+        assert (model.n_cores, model.threads_per_core) == (60, 8)
+        assert model.freq_hz == 1.2e9
+        assert model.line_rate_gbps == 40.0
+        assert model.hierarchy.regions.keys() == \
+            NICModel(target="dpu-offpath").hierarchy.regions.keys()
+
+
+class TestCacheKeys:
+    def test_per_target_keys_do_not_collide(self):
+        config = TrainConfig.quick()
+        keys = {
+            name: train_cache_key(config, seed=0,
+                                  nic=NICModel(target=name))
+            for name in ("nfp-4000", "dpu-offpath")
+        }
+        assert keys["nfp-4000"] != keys["dpu-offpath"]
+
+    def test_same_target_same_key(self):
+        config = TrainConfig.quick()
+        first = train_cache_key(config, seed=0, nic=NICModel())
+        second = train_cache_key(config, seed=0,
+                                 nic=NICModel(target="nfp-4000"))
+        assert first == second
+
+
+class TestDeprecationShim:
+    def test_default_hierarchy_import_warns(self):
+        import repro.nic as nic
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fn = nic.default_hierarchy
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert fn().regions.keys() == NFP_4000.hierarchy().regions.keys()
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.nic as nic
+
+        with pytest.raises(AttributeError):
+            nic.definitely_not_a_symbol

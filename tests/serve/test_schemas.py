@@ -85,6 +85,31 @@ class TestAnalyzeRequest:
                 {"kind": "lint_request", "element": "aggcounter"}
             )
 
+    def test_target_round_trips(self):
+        req = AnalyzeRequest(element="aggcounter", target="dpu-offpath")
+        wire = req.to_dict()
+        assert wire["target"] == "dpu-offpath"
+        assert AnalyzeRequest.from_dict(wire) == req
+
+    def test_target_defaults_to_none(self):
+        assert AnalyzeRequest.from_dict(
+            {"element": "aggcounter"}
+        ).target is None
+
+    def test_unknown_target_rejected_at_parse_time(self):
+        from repro.errors import UnknownTargetError
+
+        with pytest.raises(UnknownTargetError, match="no-such-nic"):
+            AnalyzeRequest.from_dict(
+                {"element": "aggcounter", "target": "no-such-nic"}
+            )
+
+    def test_non_string_target_rejected(self):
+        with pytest.raises(ClaraError, match="must be a string"):
+            AnalyzeRequest.from_dict(
+                {"element": "aggcounter", "target": 7}
+            )
+
 
 class TestLintRequest:
     def test_round_trip(self):
@@ -102,6 +127,16 @@ class TestLintRequest:
             LintRequest.from_dict({"elements": "aggcounter"})
         with pytest.raises(ClaraError, match="list of strings"):
             LintRequest.from_dict({"only": [7]})
+
+    def test_target_round_trips(self):
+        req = LintRequest(elements=("aggcounter",), target="dpu-offpath")
+        assert LintRequest.from_dict(req.to_dict()) == req
+
+    def test_unknown_target_rejected(self):
+        from repro.errors import UnknownTargetError
+
+        with pytest.raises(UnknownTargetError):
+            LintRequest.from_dict({"target": "no-such-nic"})
 
 
 class TestColocationRequest:

@@ -79,6 +79,10 @@ class TestHealthAndMetrics:
         assert result["wire_schema"] == WIRE_SCHEMA
         assert "analyze_request" in result["request_kinds"]
         assert result["batching"]["max_batch"] >= 1
+        targets = result["targets"]
+        assert targets["default"] == "nfp-4000"
+        assert "dpu-offpath" in targets["available"]
+        assert targets["warm"] == ["nfp-4000"]
 
     def test_healthz_cold_clara_is_503(self):
         from repro.core import Clara
@@ -133,6 +137,16 @@ class TestCliParity:
         env = body_json(body)
         assert env["kind"] == "lint_run"
         assert env["result"]["reports"][0]["module"] == "aggcounter"
+
+    def test_dpu_lint_body_matches_cli_json_bytes(self, server, capsys):
+        main(["lint", "loadbalancer", "--target", "dpu-offpath", "--json"])
+        cli_bytes = capsys.readouterr().out.encode("utf-8")
+
+        status, _headers, body = http(server, "/v1/lint", payload={
+            "elements": ["loadbalancer"], "target": "dpu-offpath",
+        })
+        assert status == 200
+        assert body == cli_bytes
 
 
 class TestAnalyze:
@@ -267,6 +281,18 @@ class TestErrorMapping:
             status, _headers, body = http(server, path, raw=raw)
             assert status == 404
             assert body_json(body)["error"]["type"] == "ClaraError"
+
+    def test_unknown_target_is_404(self, server):
+        for path, payload in (
+            ("/v1/analyze", {"element": "aggcounter",
+                             "target": "no-such-nic"}),
+            ("/v1/lint", {"target": "no-such-nic"}),
+        ):
+            status, _headers, body = http(server, path, payload=payload)
+            assert status == 404
+            error = body_json(body)["error"]
+            assert error["type"] == "UnknownTargetError"
+            assert "no-such-nic" in error["message"]
 
     def test_bad_lint_rule_is_400_with_known_codes(self, server):
         status, _headers, body = http(

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.serve.schemas import WIRE_SCHEMA
 from repro.errors import (
     ArtifactCacheMiss,
     ArtifactError,
@@ -130,7 +131,7 @@ class TestJsonOutputs:
         assert main(["analyze", "aggcounter", "--packets", "60", "--json",
                      "--load", str(clara_artifacts["artifact"])]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == 1
+        assert payload["schema"] == WIRE_SCHEMA
         assert payload["kind"] == "analysis_result"
         assert payload["error"] is None
         result = payload["result"]
@@ -149,7 +150,7 @@ class TestJsonOutputs:
         assert main(["sweep", "aggcounter", "--packets", "60",
                      "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == 1
+        assert payload["schema"] == WIRE_SCHEMA
         assert payload["kind"] == "core_sweep"
         result = payload["result"]
         assert result["knee"] in [p["cores"] for p in result["points"]]
@@ -188,11 +189,27 @@ class TestLintCommand:
         assert code != LINT_EXIT_ERROR
         capsys.readouterr()
 
+    def test_unknown_target_exits_typed(self, capsys):
+        from repro.errors import UnknownTargetError
+
+        assert main(["lint", "--target", "no-such-nic"]) == \
+            UnknownTargetError.exit_code
+        assert "no-such-nic" in capsys.readouterr().err
+
+    def test_dpu_target_changes_capacity_verdicts(self, capsys):
+        # loadbalancer's 88KB conn_table fits the NFP's 4MB IMEM but
+        # no SRAM region on the scratch-starved DPU (CL008 warning).
+        assert main(["lint", "loadbalancer", "--only", "CL008"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "loadbalancer", "--only", "CL008",
+                     "--target", "dpu-offpath"]) == LINT_EXIT_WARNING
+        assert "CL008" in capsys.readouterr().out
+
     def test_json_output(self, capsys):
         code = main(["lint", "aggcounter", "--json"])
         assert code == LINT_EXIT_WARNING
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == 1
+        assert payload["schema"] == WIRE_SCHEMA
         assert payload["kind"] == "lint_run"
         (report,) = payload["result"]["reports"]
         assert report["module"] == "aggcounter"
