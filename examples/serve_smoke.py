@@ -55,7 +55,7 @@ def request(url, payload=None, timeout=120):
 
 
 #: wire schema this client speaks (see repro.serve.schemas.WIRE_SCHEMA)
-WIRE_SCHEMA = 2
+WIRE_SCHEMA = 3
 
 
 def envelope_of(body, expected_kind):

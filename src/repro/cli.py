@@ -402,26 +402,59 @@ def cmd_lint(args) -> int:
 
     only = args.only.split(",") if args.only else None
     disable = args.disable.split(",") if args.disable else None
-    registry, reports = run_lint_reports(
+    baseline = None
+    if args.baseline:
+        from repro.nfir.analysis.baseline import LintBaseline
+
+        baseline = LintBaseline.load(args.baseline)
+    registry, reports, stats = run_lint_reports(
         elements=args.elements or None, only=only, disable=disable,
-        target=args.target,
+        target=args.target, cache=args.cache, baseline=baseline,
     )
+
+    if args.write_baseline:
+        from repro.nfir.analysis.baseline import baseline_from_reports
+        from repro.nic.targets import resolve_target
+
+        snapshot = baseline_from_reports(
+            reports, target=resolve_target(args.target).name
+        )
+        path = snapshot.save(args.write_baseline)
+        print(
+            f"lint baseline written to {path}"
+            f" ({snapshot.n_fingerprints} accepted finding(s))"
+        )
+        return 0
 
     n_errors = sum(r.n_errors for r in reports)
     n_warnings = sum(r.n_warnings for r in reports)
     if args.sarif:
-        print(json.dumps(sarif_report(reports, registry), indent=2))
+        print(json.dumps(
+            sarif_report(reports, registry), indent=2
+        ))
     elif args.json:
         print(dump_envelope(envelope(
-            "lint_run", lint_run_payload(reports, target=args.target)
+            "lint_run",
+            lint_run_payload(reports, target=args.target, stats=stats),
         )))
     else:
         for report in reports:
             print(report.render(), end="")
-        print(
+        n_suppressed = sum(len(r.suppressed) for r in reports)
+        summary = (
             f"{len(reports)} element(s): {n_errors} error(s),"
             f" {n_warnings} warning(s)"
         )
+        if n_suppressed:
+            summary += f", {n_suppressed} suppressed"
+        if baseline is not None:
+            summary += f", {stats['n_baselined']} baselined"
+        if stats["cache"] != "off":
+            summary += (
+                f" [cache: {stats['hits']} hit(s),"
+                f" {stats['misses']} miss(es)]"
+            )
+        print(summary)
     if n_errors:
         return LINT_EXIT_ERROR
     if n_warnings:
@@ -639,6 +672,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated rule codes/names to skip")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
+    p_lint.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="record every current finding as accepted"
+                             " and write the baseline file")
+    p_lint.add_argument("--baseline", metavar="FILE", default=None,
+                        help="report (and gate on) only findings absent"
+                             " from this baseline file")
+    p_lint.add_argument("--cache", choices=("auto", "off"), default="off",
+                        help="incremental lint through the artifact cache"
+                             " (default off)")
 
     p_bench = sub.add_parser(
         "bench", help="continuous benchmarking of Clara's own hot paths",

@@ -467,6 +467,7 @@ class Clara:
                 report.diagnostics = list(lint.diagnostics)
                 sp.set("n_diagnostics", len(lint.diagnostics))
                 sp.set("n_errors", lint.n_errors)
+                sp.set("n_suppressed", len(lint.suppressed))
                 metrics = get_metrics()
                 for diag in lint.diagnostics:
                     metrics.counter(
@@ -474,6 +475,12 @@ class Clara:
                         severity=diag.severity,
                         rule=diag.rule,
                     ).inc()
+                    if diag.data.get("downgraded_by"):
+                        metrics.counter(
+                            "lint_downgrades",
+                            rule=diag.rule,
+                            by=str(diag.data["downgraded_by"]),
+                        ).inc()
 
         log.info(
             "analyze: %s under %s -> %d insights",

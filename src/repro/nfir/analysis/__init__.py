@@ -10,13 +10,26 @@ the reusable machinery behind that:
 * :mod:`repro.nfir.analysis.dataflow` — a generic forward/backward
   worklist solver plus def-use chains, liveness, reaching stores, and
   definitely-initialized slots;
+* :mod:`repro.nfir.analysis.absint` — abstract interpretation on the
+  worklist solver: the unsigned interval (value-range) domain with
+  branch refinement and widening, plus proven loop trip-count bounds;
+* :mod:`repro.nfir.analysis.footprint` — the state-footprint domain:
+  per-global access mix, per-flow vs cross-flow keying, and proven
+  worst-case resident bytes;
 * :mod:`repro.nfir.analysis.lint` — the pass framework: stable
   ``CL###`` rule codes, :class:`Diagnostic`, :class:`PassRegistry`,
-  and schema-versioned :class:`LintReport` with JSON/SARIF output;
-* :mod:`repro.nfir.analysis.passes` — the built-in offload rules
-  (NIC-unsupported opcodes, unbounded loops, recursion, dead state,
-  uninitialized loads, unreachable blocks, scale-out race candidates,
-  oversized/misaligned state).
+  cross-rule downgrades, ``clara-disable`` suppressions, and
+  schema-versioned :class:`LintReport` with JSON/SARIF output;
+* :mod:`repro.nfir.analysis.passes` — the built-in offload rules:
+  the syntactic generation (NIC-unsupported opcodes, unbounded loops,
+  recursion, dead state, uninitialized loads, unreachable blocks,
+  scale-out race candidates, oversized/misaligned state) and the
+  proof generation (bounded-loop, dead-branch, state-bound, read-only
+  state, host-transfer cost);
+* :mod:`repro.nfir.analysis.baseline` — accepted-finding fingerprints
+  behind ``clara lint --baseline``;
+* :mod:`repro.nfir.analysis.lint_cache` — content-addressed
+  incremental lint through the artifact cache.
 
 ``python -m repro.nfir.analysis --self-check`` exercises the whole
 stack against built-in fixtures (used as a CI smoke test).
@@ -34,7 +47,24 @@ from repro.nfir.analysis.dataflow import (
     solve,
     stores_reaching,
 )
+from repro.nfir.analysis.absint import (
+    Interval,
+    IntervalAnalysis,
+    LoopBound,
+    loop_trip_bounds,
+)
+from repro.nfir.analysis.baseline import (
+    LintBaseline,
+    apply_baseline,
+    baseline_from_reports,
+    diagnostic_fingerprint,
+)
 from repro.nfir.analysis.dominance import DominatorTree, block_predecessors
+from repro.nfir.analysis.footprint import (
+    StateFootprint,
+    module_footprints,
+    read_only_globals,
+)
 from repro.nfir.analysis.lint import (
     Diagnostic,
     LINT_REPORT_SCHEMA,
@@ -59,21 +89,32 @@ __all__ = [
     "DefUseChains",
     "Diagnostic",
     "DominatorTree",
+    "Interval",
+    "IntervalAnalysis",
     "LINT_REPORT_SCHEMA",
+    "LintBaseline",
     "LintContext",
     "LintPass",
     "LintReport",
+    "LoopBound",
     "PassRegistry",
     "SEVERITIES",
     "SEVERITY_ERROR",
     "SEVERITY_NOTE",
     "SEVERITY_WARNING",
+    "StateFootprint",
+    "apply_baseline",
+    "baseline_from_reports",
     "block_predecessors",
     "default_registry",
+    "diagnostic_fingerprint",
     "initialized_slots",
     "lint_module",
     "liveness",
+    "loop_trip_bounds",
     "maybe_uninitialized_loads",
+    "module_footprints",
+    "read_only_globals",
     "reaching_stores",
     "sarif_report",
     "severity_rank",

@@ -58,15 +58,42 @@ def _counted_loop():
     return f
 
 
+def _masked_table_reader():
+    """A handler that reads a 4096-entry table through a masked
+    (provably in [0, 255]) index: the interval domain must bound the
+    index and the footprint domain must shrink the resident bytes."""
+    from repro.nfir import Function, I32, IRBuilder, Module
+    from repro.nfir.function import GlobalVariable
+    from repro.nfir.types import ArrayType
+
+    module = Module("absint_fixture")
+    table = module.add_global(
+        GlobalVariable("table", ArrayType(I32, 4096), kind="array")
+    )
+    f = Function("pkt_handler", args=(("hash", I32),))
+    module.add_function(f)
+    entry = f.add_block("entry")
+    b = IRBuilder(f, entry)
+    idx = b.and_(f.args[0], b.const(I32, 0xFF))
+    cell = b.gep(table, [idx])
+    b.load(cell)
+    b.ret()
+    return module
+
+
 def self_check() -> List[str]:
     """Run the checks; returns a list of failure descriptions."""
     from repro.nfir import Module, verify_function
     from repro.nfir.analysis import (
         DominatorTree,
+        Interval,
+        IntervalAnalysis,
         default_registry,
         lint_module,
         liveness,
+        loop_trip_bounds,
         maybe_uninitialized_loads,
+        module_footprints,
         sarif_report,
     )
 
@@ -101,8 +128,43 @@ def self_check() -> List[str]:
     except Exception as exc:  # pragma: no cover - failure path
         failures.append(f"counted loop fails verification: {exc}")
 
+    # Interval domain: the counted loop's trip bound is provable, and
+    # inside the body the counter is refined below its bound.
+    bounds = loop_trip_bounds(loop)
+    check(
+        bounds.get("header") is not None
+        and bounds["header"].trip_max == 10,
+        "interval domain proves the counted loop's 10-trip bound",
+    )
+    analysis = IntervalAnalysis(loop)
+    body_env = analysis.env_in("body")
+    body_ivs = [
+        iv for value, iv in body_env.items()
+        if getattr(value, "opcode", None) == "load"
+    ]
+    check(
+        any(iv.hi <= 9 for iv in body_ivs),
+        "branch refinement caps the counter inside the loop body",
+    )
+    check(
+        Interval(0, 4).join(Interval(8, 12)) == Interval(0, 12),
+        "interval join is the convex hull",
+    )
+
+    # Footprint domain: a masked index provably shrinks the resident
+    # set of a declared table, keys it per-flow, and stays read-only.
+    fixture = _masked_table_reader()
+    footprints = module_footprints(fixture)
+    table_fp = footprints["table"]
+    check(table_fp.read_only, "masked table is read-only")
+    check(table_fp.per_flow, "argument-derived index keys per-flow")
+    check(
+        table_fp.resident_proven and table_fp.resident_bytes == 1024,
+        "interval-bounded index shrinks resident bytes to 1024",
+    )
+
     registry = default_registry()
-    check(len(registry) >= 8, "registry holds the built-in rules")
+    check(len(registry) >= 13, "registry holds the built-in rules")
     module = Module("selfcheck")
     module.add_function(loop)
     report = lint_module(module)

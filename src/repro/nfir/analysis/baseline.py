@@ -1,0 +1,193 @@
+"""Lint baselines: adopt the linter on a brownfield NF without fixing
+(or silencing) every pre-existing finding first.
+
+``clara lint --write-baseline FILE`` records a fingerprint for every
+current diagnostic; later runs with ``--baseline FILE`` report only
+*new* findings — the exit-code protocol then gates on regressions, not
+on legacy debt.  Fingerprints hash the rule code and the *structural*
+location (module/function/block/instruction ref plus a disambiguating
+ordinal), never the message text, so rewording a diagnostic or adding
+data does not invalidate a baseline.
+
+The file format is schema-versioned JSON, one fingerprint list per
+module, sorted for stable diffs under version control.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import ClaraError
+from repro.nfir.analysis.lint import Diagnostic, LintReport
+
+__all__ = [
+    "LINT_BASELINE_SCHEMA",
+    "LintBaseline",
+    "apply_baseline",
+    "baseline_from_reports",
+    "diagnostic_fingerprint",
+    "report_fingerprints",
+]
+
+#: Bump when the fingerprint recipe or the file layout changes;
+#: loading a file with a different schema is a hard error (a stale
+#: baseline silently matching nothing would resurface every legacy
+#: finding as "new").
+LINT_BASELINE_SCHEMA = 1
+
+
+def diagnostic_fingerprint(
+    module_name: str, diag: Diagnostic, ordinal: int = 0
+) -> str:
+    """A 16-hex-digit stable identity for one diagnostic.
+
+    ``ordinal`` distinguishes otherwise-identical findings at the same
+    structural location (the n-th CL001 on one instruction).
+    """
+    parts = "|".join((
+        diag.rule,
+        module_name,
+        diag.function or "",
+        diag.block or "",
+        diag.instruction or "",
+        str(ordinal),
+    ))
+    return hashlib.sha256(parts.encode("utf-8")).hexdigest()[:16]
+
+
+def report_fingerprints(report: LintReport) -> List[str]:
+    """Fingerprints of a report's diagnostics, in diagnostic order."""
+    counts: Dict[Tuple[str, str, str, str], int] = {}
+    out: List[str] = []
+    for diag in report.diagnostics:
+        key = (
+            diag.rule,
+            diag.function or "",
+            diag.block or "",
+            diag.instruction or "",
+        )
+        ordinal = counts.get(key, 0)
+        counts[key] = ordinal + 1
+        out.append(
+            diagnostic_fingerprint(report.module_name, diag, ordinal)
+        )
+    return out
+
+
+@dataclass
+class LintBaseline:
+    """Accepted (legacy) diagnostic fingerprints, per module."""
+
+    target: Optional[str] = None
+    fingerprints: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def __contains__(self, pair: Tuple[str, str]) -> bool:
+        module, fingerprint = pair
+        return fingerprint in self.fingerprints.get(module, ())
+
+    @property
+    def n_fingerprints(self) -> int:
+        return sum(len(v) for v in self.fingerprints.values())
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": LINT_BASELINE_SCHEMA,
+            "kind": "lint_baseline",
+            "target": self.target,
+            "fingerprints": {
+                module: sorted(fps)
+                for module, fps in sorted(self.fingerprints.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LintBaseline":
+        schema = data.get("schema")
+        if schema != LINT_BASELINE_SCHEMA:
+            raise ClaraError(
+                f"unsupported lint-baseline schema {schema!r}"
+                f" (expected {LINT_BASELINE_SCHEMA}); regenerate with"
+                " clara lint --write-baseline"
+            )
+        raw = data.get("fingerprints")
+        if not isinstance(raw, Mapping):
+            raise ClaraError("lint baseline has no fingerprint table")
+        return cls(
+            target=data.get("target"),
+            fingerprints={
+                str(module): {str(fp) for fp in fps}
+                for module, fps in raw.items()
+            },
+        )
+
+    def save(self, path: "Path | str") -> Path:
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "LintBaseline":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ClaraError(f"lint baseline not found: {path}") from None
+        except json.JSONDecodeError as exc:
+            raise ClaraError(
+                f"lint baseline {path} is not valid JSON: {exc}"
+            ) from None
+        return cls.from_dict(data)
+
+
+def baseline_from_reports(
+    reports: Sequence[LintReport], target: Optional[str] = None
+) -> LintBaseline:
+    """A baseline accepting every current diagnostic."""
+    return LintBaseline(
+        target=target,
+        fingerprints={
+            report.module_name: set(report_fingerprints(report))
+            for report in reports
+        },
+    )
+
+
+def apply_baseline(
+    reports: Sequence[LintReport], baseline: LintBaseline
+) -> Tuple[List[LintReport], int]:
+    """Filter baselined diagnostics out of ``reports``.
+
+    Returns ``(new_reports, n_baselined)``: fresh
+    :class:`LintReport` s holding only diagnostics *absent* from the
+    baseline (severity totals and exit codes then reflect regressions
+    only), plus the number filtered out.  Suppressed diagnostics pass
+    through untouched — they were already excluded from the totals.
+    """
+    filtered: List[LintReport] = []
+    n_baselined = 0
+    for report in reports:
+        accepted = baseline.fingerprints.get(report.module_name, set())
+        kept: List[Diagnostic] = []
+        for diag, fingerprint in zip(
+            report.diagnostics, report_fingerprints(report)
+        ):
+            if fingerprint in accepted:
+                n_baselined += 1
+            else:
+                kept.append(diag)
+        filtered.append(
+            LintReport(
+                module_name=report.module_name,
+                diagnostics=kept,
+                suppressed=list(report.suppressed),
+            )
+        )
+    return filtered, n_baselined

@@ -59,6 +59,16 @@ class DataflowProblem:
     def transfer(self, block: BasicBlock, value: FrozenSet) -> FrozenSet:
         raise NotImplementedError
 
+    def edge_transfer(
+        self, source: BasicBlock, dest: BasicBlock, value: FrozenSet
+    ) -> FrozenSet:
+        """Refine ``source``'s contribution along the edge into ``dest``
+        before the meet.  The default is the identity; path-sensitive
+        problems (e.g. the interval domain's branch refinement) override
+        it.  For forward problems ``source`` is a predecessor of
+        ``dest``; for backward problems it is a successor."""
+        return value
+
 
 @dataclass
 class DataflowResult:
@@ -114,8 +124,11 @@ def solve(function: Function, problem: DataflowProblem) -> DataflowResult:
     while worklist:
         name = worklist.pop(0)
         pending.discard(name)
+        dest = by_name[name]
         inputs = [
-            (result.out_sets if forward else result.in_sets)[s.name]
+            problem.edge_transfer(
+                s, dest, (result.out_sets if forward else result.in_sets)[s.name]
+            )
             for s in sources[name]
         ]
         if inputs:
@@ -134,8 +147,7 @@ def solve(function: Function, problem: DataflowProblem) -> DataflowResult:
                 )
         else:
             merged = boundary if is_boundary(name) else init
-        block = by_name[name]
-        transferred = problem.transfer(block, merged)
+        transferred = problem.transfer(dest, merged)
         if forward:
             result.in_sets[name] = merged
             changed = transferred != result.out_sets[name]

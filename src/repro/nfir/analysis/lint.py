@@ -12,14 +12,32 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.nfir.analysis.dominance import DominatorTree
 from repro.nfir.function import Function, Module
 
 #: version of the ``LintReport.to_dict()`` layout (bump on
 #: incompatible changes; documented in docs/API.md).
-LINT_REPORT_SCHEMA = 1
+#: v2: diagnostics carry a ``data`` dict (machine-readable facts:
+#: proofs, downgrade links, fix suggestions), and reports list the
+#: inline ``clara-disable`` suppressed diagnostics.
+LINT_REPORT_SCHEMA = 2
+
+#: meta key (on a :class:`~repro.nfir.instructions.Instruction` or a
+#: :class:`~repro.nfir.function.Module`) holding suppressed rule codes:
+#: a sequence of ``CL###`` strings, or ``"all"``.
+SUPPRESS_META_KEY = "clara-disable"
 
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
@@ -43,6 +61,11 @@ class Diagnostic:
     ``function``/``block``/``instruction`` narrow the location as far
     as the rule can (module-scope findings, e.g. about a global, leave
     them ``None``; ``instruction`` is the value ref or opcode).
+
+    ``data`` carries machine-readable facts alongside the prose:
+    proof payloads (``trip_max``, ``live_bytes``), cross-rule links
+    (``downgrades``/``downgraded_by``/``global``), and SARIF ``fix``
+    suggestions.  Values must be JSON-serializable.
     """
 
     rule: str
@@ -51,6 +74,7 @@ class Diagnostic:
     function: Optional[str] = None
     block: Optional[str] = None
     instruction: Optional[str] = None
+    data: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         severity_rank(self.severity)  # validate
@@ -74,6 +98,7 @@ class Diagnostic:
             "function": self.function,
             "block": self.block,
             "instruction": self.instruction,
+            "data": dict(self.data),
         }
 
     @classmethod
@@ -85,6 +110,7 @@ class Diagnostic:
             function=data.get("function"),
             block=data.get("block"),
             instruction=data.get("instruction"),
+            data=dict(data.get("data") or {}),
         )
 
 
@@ -103,6 +129,9 @@ class LintContext:
         self.module = module
         self.target = resolve_target(target)
         self._domtrees: Dict[str, DominatorTree] = {}
+        self._intervals: Dict[str, Any] = {}
+        self._trip_bounds: Dict[str, Dict[str, Any]] = {}
+        self._footprints: Optional[Dict[str, Any]] = None
 
     def domtree(self, function: Function) -> DominatorTree:
         tree = self._domtrees.get(function.name)
@@ -110,6 +139,44 @@ class LintContext:
             tree = DominatorTree(function)
             self._domtrees[function.name] = tree
         return tree
+
+    def intervals(self, function: Function):
+        """The solved :class:`~repro.nfir.analysis.absint
+        .IntervalAnalysis` for one function (cached; shared with the
+        footprint domain)."""
+        from repro.nfir.analysis.absint import IntervalAnalysis
+
+        analysis = self._intervals.get(function.name)
+        if analysis is None:
+            analysis = IntervalAnalysis(function)
+            self._intervals[function.name] = analysis
+        return analysis
+
+    def trip_bounds(self, function: Function) -> Dict[str, Any]:
+        """Proven loop bounds per header block name (cached)."""
+        from repro.nfir.analysis.absint import loop_trip_bounds
+
+        bounds = self._trip_bounds.get(function.name)
+        if bounds is None:
+            bounds = loop_trip_bounds(
+                function, self.intervals(function), self.domtree(function)
+            )
+            self._trip_bounds[function.name] = bounds
+        return bounds
+
+    def footprints(self) -> Dict[str, Any]:
+        """Per-global :class:`~repro.nfir.analysis.footprint
+        .StateFootprint` s for the module (cached; reuses the interval
+        fixpoints)."""
+        from repro.nfir.analysis.footprint import module_footprints
+
+        if self._footprints is None:
+            for function in self.module.functions.values():
+                self.intervals(function)  # warm the shared cache
+            self._footprints = module_footprints(
+                self.module, analyses=self._intervals
+            )
+        return self._footprints
 
 
 class LintPass:
@@ -128,8 +195,16 @@ class LintPass:
     def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
         raise NotImplementedError
 
-    def diag(self, severity: str, message: str, **loc: Optional[str]) -> Diagnostic:
-        return Diagnostic(self.code, severity, message, **loc)
+    def diag(
+        self,
+        severity: str,
+        message: str,
+        data: Optional[Dict[str, Any]] = None,
+        **loc: Optional[str],
+    ) -> Diagnostic:
+        return Diagnostic(
+            self.code, severity, message, data=dict(data or {}), **loc
+        )
 
 
 class PassRegistry:
@@ -199,15 +274,122 @@ class PassRegistry:
         diagnostics: List[Diagnostic] = []
         for pass_ in self.select(only=only, disable=disable):
             diagnostics.extend(pass_.run(module, ctx))
-        return LintReport(module_name=module.name, diagnostics=diagnostics)
+        apply_downgrades(diagnostics)
+        diagnostics, suppressed = apply_suppressions(module, diagnostics)
+        return LintReport(
+            module_name=module.name,
+            diagnostics=diagnostics,
+            suppressed=suppressed,
+        )
+
+
+def apply_downgrades(diagnostics: Sequence[Diagnostic]) -> None:
+    """Resolve cross-rule downgrade links in place.
+
+    A note whose ``data`` names a rule under ``downgrades`` (e.g.
+    CL009's bounded-loop proof names CL002) lowers the severity of
+    matching diagnostics of that rule to note: same function/block
+    location, or — when the note names a ``global`` — the same global
+    in the target's ``data``.  The downgraded diagnostic keeps its rule
+    code and records ``downgraded_by`` so baselines stay stable.
+    """
+    proofs = [d for d in diagnostics if d.data.get("downgrades")]
+    for proof in proofs:
+        rule = str(proof.data["downgrades"])
+        for diag in diagnostics:
+            if diag.rule != rule or diag.severity == SEVERITY_NOTE:
+                continue
+            if proof.data.get("global") is not None:
+                matched = diag.data.get("global") == proof.data["global"]
+            else:
+                matched = (
+                    diag.function == proof.function
+                    and diag.block == proof.block
+                )
+            if matched:
+                diag.severity = SEVERITY_NOTE
+                diag.data["downgraded_by"] = proof.rule
+                diag.message += f" [downgraded by {proof.rule}]"
+
+
+def _suppressed_rules(meta: Mapping[str, Any]) -> Optional[Set[str]]:
+    """Rule codes a ``clara-disable`` meta entry suppresses (``None``
+    when absent; an empty set never occurs — ``"all"`` returns
+    ``{"all"}``)."""
+    raw = meta.get(SUPPRESS_META_KEY)
+    if raw is None:
+        return None
+    if isinstance(raw, str):
+        rules = {r.strip() for r in raw.split(",") if r.strip()}
+    else:
+        rules = {str(r).strip() for r in raw}
+    return rules or None
+
+
+def _matches(rules: Set[str], code: str) -> bool:
+    return "all" in rules or code in rules
+
+
+def apply_suppressions(
+    module: Module, diagnostics: Sequence[Diagnostic]
+) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+    """Split diagnostics into (kept, suppressed) under the module's
+    inline ``clara-disable`` markers.
+
+    A module-level marker (``module.meta``) suppresses matching rules
+    everywhere; an instruction-level marker (``instr.meta``) suppresses
+    matching diagnostics at that exact instruction, or anywhere in its
+    block when the diagnostic carries no instruction ref (how
+    block-granular rules like CL002 are silenced).
+    """
+    module_rules = _suppressed_rules(module.meta)
+    by_instr: Dict[Tuple[str, str, str], Set[str]] = {}
+    by_block: Dict[Tuple[str, str], Set[str]] = {}
+    for function in module.functions.values():
+        for block in function.blocks:
+            for instr in block.instructions:
+                rules = _suppressed_rules(instr.meta)
+                if rules is None:
+                    continue
+                ref = instr.ref() if instr.name is not None else instr.opcode
+                by_instr.setdefault(
+                    (function.name, block.name, ref), set()
+                ).update(rules)
+                by_block.setdefault(
+                    (function.name, block.name), set()
+                ).update(rules)
+    kept: List[Diagnostic] = []
+    suppressed: List[Diagnostic] = []
+    for diag in diagnostics:
+        rules: Optional[Set[str]] = None
+        if module_rules is not None and _matches(module_rules, diag.rule):
+            rules = module_rules
+        elif diag.function is not None and diag.block is not None:
+            if diag.instruction is not None:
+                rules = by_instr.get(
+                    (diag.function, diag.block, diag.instruction)
+                )
+            else:
+                rules = by_block.get((diag.function, diag.block))
+        if rules is not None and _matches(rules, diag.rule):
+            suppressed.append(diag)
+        else:
+            kept.append(diag)
+    return kept, suppressed
 
 
 @dataclass
 class LintReport:
-    """Every diagnostic one lint run produced for one module."""
+    """Every diagnostic one lint run produced for one module.
+
+    ``suppressed`` lists the diagnostics inline ``clara-disable``
+    markers silenced — excluded from counts and exit codes but kept in
+    the report so suppressions stay visible and auditable.
+    """
 
     module_name: str
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    suppressed: List[Diagnostic] = field(default_factory=list)
 
     def by_severity(self, severity: str) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.severity == severity]
@@ -237,6 +419,10 @@ class LintReport:
             out[d.severity] += 1
         return out
 
+    @property
+    def n_suppressed(self) -> int:
+        return len(self.suppressed)
+
     # -- serialization -------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -245,6 +431,7 @@ class LintReport:
             "module": self.module_name,
             "counts": self.counts(),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "suppressed": [d.to_dict() for d in self.suppressed],
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -263,6 +450,9 @@ class LintReport:
             diagnostics=[
                 Diagnostic.from_dict(d) for d in data.get("diagnostics", [])
             ],
+            suppressed=[
+                Diagnostic.from_dict(d) for d in data.get("suppressed", [])
+            ],
         )
 
     def render(self) -> str:
@@ -270,11 +460,14 @@ class LintReport:
         for d in self.diagnostics:
             lines.append("  " + d.render())
         counts = self.counts()
-        lines.append(
+        summary = (
             f"  {counts[SEVERITY_ERROR]} error(s),"
             f" {counts[SEVERITY_WARNING]} warning(s),"
             f" {counts[SEVERITY_NOTE]} note(s)"
         )
+        if self.suppressed:
+            summary += f", {len(self.suppressed)} suppressed"
+        lines.append(summary)
         return "\n".join(lines) + "\n"
 
 
@@ -301,14 +494,32 @@ def sarif_report(
                     report.module_name, d.function, d.block, d.instruction
                 ) if part
             )
-            results.append({
+            result: Dict[str, Any] = {
                 "ruleId": d.rule,
                 "level": d.severity,  # SARIF levels: error/warning/note
                 "message": {"text": d.message},
                 "locations": [{
                     "logicalLocations": [{"fullyQualifiedName": qualified}]
                 }],
-            })
+            }
+            fix = d.data.get("fix") if d.data else None
+            if isinstance(fix, Mapping) and fix.get("description"):
+                change: Dict[str, Any] = {
+                    "artifactLocation": {"uri": f"nfir:{qualified}"},
+                    "replacements": [{
+                        "deletedRegion": {"startLine": 1, "startColumn": 1},
+                    }],
+                }
+                replacement = fix.get("replacement")
+                if replacement:
+                    change["replacements"][0]["insertedContent"] = {
+                        "text": str(replacement)
+                    }
+                result["fixes"] = [{
+                    "description": {"text": str(fix["description"])},
+                    "artifactChanges": [change],
+                }]
+            results.append(result)
     return {
         "$schema": (
             "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"

@@ -1,4 +1,4 @@
-"""The built-in offload-lint rules (``CL001``-``CL008``).
+"""The built-in offload-lint rules (``CL001``-``CL013``).
 
 Each rule flags one class of construct the paper identifies as an
 offload hazard: opcodes the NFP micro-engines have no native support
@@ -11,6 +11,13 @@ memory hierarchy cannot hold.  Severities follow one convention:
 * ``warning`` — portable but with a known performance or correctness
   hazard the developer should resolve;
 * ``note`` — advisory (constructs the compiler silently expands).
+
+The second-generation rules (``CL009``-``CL013``) are *proof* rules:
+they run the abstract-interpretation engine
+(:mod:`repro.nfir.analysis.absint` /
+:mod:`repro.nfir.analysis.footprint`) and emit notes that *downgrade*
+the first-generation syntactic warnings they subsume (see
+:func:`repro.nfir.analysis.lint.apply_downgrades`).
 """
 
 from __future__ import annotations
@@ -18,6 +25,11 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.nfir.analysis.dataflow import maybe_uninitialized_loads
+from repro.nfir.analysis.footprint import (
+    API_READS as _API_READS,
+    API_WRITES as _API_WRITES,
+    read_only_globals,
+)
 from repro.nfir.analysis.lint import (
     Diagnostic,
     LintContext,
@@ -36,21 +48,12 @@ from repro.nfir.instructions import (
     Instruction,
     Load,
     Phi,
+    Select,
     Store,
     CALL_KIND_INTERNAL,
 )
 from repro.nfir.types import IntType
 from repro.nfir.values import Argument, Constant, Value
-
-#: Framework APIs that only *read* / only *write* their backing global
-#: (mirrors repro.click.framework; kept local so repro.nfir stays
-#: independent of the frontend package).
-_API_READS = frozenset({
-    "hashmap_find", "hashmap_size", "vector_at", "vector_size",
-})
-_API_WRITES = frozenset({
-    "hashmap_insert", "hashmap_erase", "vector_push", "vector_remove",
-})
 
 
 def _instr_ref(instr: Instruction) -> str:
@@ -439,6 +442,12 @@ class RaceCandidatePass(LintPass):
     def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
         from repro.nfir.annotate import build_alloca_points_to, pointer_target
 
+        # A load of a never-written lookup table cannot be the read
+        # half of a racy read-modify-write: every replica observes the
+        # same bytes forever.  Computing the read-only set once keeps
+        # name-collapsed pointer targets (``stateful:<indirect>``)
+        # from matching loads of unrelated constant tables.
+        read_only = read_only_globals(module)
         for function in module.functions.values():
             alloca_map = build_alloca_points_to(function)
             for instr in function.instructions():
@@ -448,7 +457,7 @@ class RaceCandidatePass(LintPass):
                 if not target.startswith("stateful"):
                     continue
                 if self._depends_on_load_of(
-                    instr.value, target, alloca_map
+                    instr.value, target, alloca_map, read_only
                 ):
                     state = target.partition(":")[2] or "<indirect>"
                     yield self.diag(
@@ -456,13 +465,18 @@ class RaceCandidatePass(LintPass):
                         f"read-modify-write of shared state @{state} is"
                         " not atomic; concurrent cores (scale-out,"
                         " Section 4.2) can lose updates",
+                        data={"global": state},
                         **_loc(instr, function),
                     )
 
     def _depends_on_load_of(
-        self, value: Value, target: str, alloca_map
+        self,
+        value: Value,
+        target: str,
+        alloca_map,
+        read_only: Optional[Set[str]] = None,
     ) -> bool:
-        from repro.nfir.annotate import pointer_target
+        from repro.nfir.annotate import pointer_target, trace_pointer_root
 
         seen: Set[int] = set()
         stack = [value]
@@ -473,6 +487,13 @@ class RaceCandidatePass(LintPass):
             seen.add(id(node))
             if isinstance(node, Load):
                 if pointer_target(node.ptr, alloca_map) == target:
+                    root = trace_pointer_root(node.ptr)
+                    if (
+                        read_only
+                        and isinstance(root, GlobalVariable)
+                        and root.name in read_only
+                    ):
+                        continue  # read-only table: no lost update
                     return True
                 continue  # don't walk through memory
             if isinstance(node, Instruction):
@@ -505,6 +526,7 @@ class StateCapacityPass(LintPass):
                     SEVERITY_ERROR,
                     f"@{name} is {g.size_bytes} bytes; no NIC memory"
                     f" region can hold it (largest is {largest})",
+                    data={"global": name},
                 )
             elif g.size_bytes > sram:
                 yield self.diag(
@@ -512,6 +534,7 @@ class StateCapacityPass(LintPass):
                     f"@{name} is {g.size_bytes} bytes; it exceeds every"
                     " on-chip SRAM tier and is pinned to EMEM (DRAM"
                     " latency on every access)",
+                    data={"global": name},
                 )
             if g.size_bytes % 4 != 0:
                 yield self.diag(
@@ -519,6 +542,7 @@ class StateCapacityPass(LintPass):
                     f"@{name} is {g.size_bytes} bytes (not 4-byte"
                     " aligned); adjacent packing for coalescing"
                     " (Section 4.4) needs padding",
+                    data={"global": name},
                 )
         total = module.total_state_bytes()
         if total > total_capacity:
@@ -527,6 +551,299 @@ class StateCapacityPass(LintPass):
                 f"total state ({total} bytes) exceeds the combined"
                 f" placeable capacity ({total_capacity} bytes); the"
                 " placement ILP is infeasible",
+            )
+
+
+class BoundedLoopProofPass(LintPass):
+    """Loops the interval engine proves bounded even though the
+    syntactic counted-loop check (CL002) cannot: the proof note
+    downgrades the matching CL002 warning, so only *truly* unbounded
+    loops keep warning severity."""
+
+    code = "CL009"
+    name = "bounded-loop-proof"
+    description = "interval analysis proves a worst-case trip count"
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        from repro.nfir.cfg import natural_loops
+
+        syntactic = UnboundedLoopPass()
+        for function in module.functions.values():
+            loops = natural_loops(function)
+            if not loops:
+                continue
+            tree = ctx.domtree(function)
+            bounds = ctx.trip_bounds(function)
+            for header, body in loops.items():
+                bound = bounds.get(header)
+                if bound is None:
+                    continue
+                exits = syntactic._exit_conditions(function, body)
+                if exits and any(
+                    syntactic._is_counted_exit(cond, body, tree)
+                    for cond in exits
+                ):
+                    continue  # CL002 already accepts this loop
+                yield self.diag(
+                    SEVERITY_NOTE,
+                    f"loop is provably bounded: at most"
+                    f" {bound.trip_max} iteration(s) ({bound.reason})",
+                    function=function.name,
+                    block=header,
+                    data={
+                        "downgrades": "CL002",
+                        "trip_max": bound.trip_max,
+                        "counter": bound.counter,
+                    },
+                )
+
+
+class DeadComputePass(LintPass):
+    """Branches the interval engine proves one-sided, and non-trivial
+    compute that always produces the same constant.  Dead branches
+    carry a machine-applicable fix (fold to an unconditional branch);
+    constant compute is advisory (the NIC compiler folds it, but the
+    source is clearer without it)."""
+
+    code = "CL010"
+    name = "dead-branch"
+    description = "provably one-sided branch or constant-foldable compute"
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        for function in module.functions.values():
+            tree = ctx.domtree(function)
+            analysis = ctx.intervals(function)
+            for block in function.blocks:
+                if block.name not in tree.reachable:
+                    continue  # CL006 already flags unreachable blocks
+                intervals = analysis.eval_block(block)
+                term = block.terminator
+                if isinstance(term, CondBr) and not isinstance(
+                    term.cond, Constant
+                ):
+                    iv = intervals.get(term.cond)
+                    if iv is not None and iv.is_constant:
+                        taken = (
+                            term.if_true if iv.lo else term.if_false
+                        )
+                        dead = (
+                            term.if_false if iv.lo else term.if_true
+                        )
+                        yield self.diag(
+                            SEVERITY_WARNING,
+                            f"condition is always {iv.lo}; the branch"
+                            f" to %{dead.name} can never be taken",
+                            function=function.name,
+                            block=block.name,
+                            instruction=_instr_ref(term),
+                            data={
+                                "dead_block": dead.name,
+                                "fix": {
+                                    "description": (
+                                        "fold to an unconditional"
+                                        f" branch to %{taken.name}"
+                                    ),
+                                    "replacement": (
+                                        f"br label %{taken.name}"
+                                    ),
+                                },
+                            },
+                        )
+                for instr in block.instructions:
+                    if not isinstance(instr, (BinaryOp, ICmp, Select)):
+                        continue
+                    if all(
+                        isinstance(op, Constant) for op in instr.operands
+                    ):
+                        continue  # trivial folds are frontend artifacts
+                    iv = intervals.get(instr)
+                    if iv is not None and iv.is_constant:
+                        yield self.diag(
+                            SEVERITY_NOTE,
+                            f"always computes {iv.lo}; the compute is"
+                            " constant-foldable",
+                            data={"constant": iv.lo},
+                            **_loc(instr, function),
+                        )
+
+
+class StateBoundProofPass(LintPass):
+    """Per-global worst-case *resident* size from the footprint domain,
+    checked against the active target's memory regions.  When the
+    proven bound fits a tier the declared capacity does not, the note
+    downgrades CL008's declaration-based verdict."""
+
+    code = "CL011"
+    name = "state-bound-proof"
+    description = "proven resident state bound vs target memory regions"
+
+    @staticmethod
+    def _tier(size: int, largest: int, sram: int) -> int:
+        """0 = fits SRAM, 1 = DRAM only, 2 = fits nowhere."""
+        if size > largest:
+            return 2
+        if size > sram:
+            return 1
+        return 0
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        regions = ctx.target.hierarchy().placeable
+        largest = max(r.capacity_bytes for r in regions)
+        sram = max(r.capacity_bytes for r in regions[:-1])
+        footprints = ctx.footprints()
+        for name in sorted(footprints):
+            fp = footprints[name]
+            if not fp.accessed:
+                continue  # CL004's business
+            resident = fp.resident_bytes
+            if resident > largest:
+                yield self.diag(
+                    SEVERITY_ERROR,
+                    f"@{name}'s proven resident bound ({resident}"
+                    f" bytes) exceeds every memory region of"
+                    f" {ctx.target.name} (largest is {largest})",
+                    data={
+                        "global": name,
+                        "resident_bytes": resident,
+                    },
+                )
+                continue
+            if not fp.resident_proven:
+                continue
+            region = next(
+                r for r in regions if resident <= r.capacity_bytes
+            )
+            data: Dict[str, object] = {
+                "global": name,
+                "resident_bytes": resident,
+                "region": region.name,
+            }
+            declared_tier = self._tier(fp.declared_bytes, largest, sram)
+            if self._tier(resident, largest, sram) < declared_tier:
+                data["downgrades"] = "CL008"
+            yield self.diag(
+                SEVERITY_NOTE,
+                f"@{name} declares {fp.declared_bytes} bytes but"
+                f" provably touches at most {resident}; the resident"
+                f" set fits {region.name}",
+                data=data,
+            )
+
+
+class ReadOnlyStatePass(LintPass):
+    """Shared state the footprint domain proves read-only: replicas
+    cannot diverge, so the scale-out race analysis (CL007) does not
+    apply — the exoneration note downgrades matching CL007 warnings
+    and carries the replicate-per-core fix."""
+
+    code = "CL012"
+    name = "read-only-state"
+    description = "shared state is provably read-only (race-free)"
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        footprints = ctx.footprints()
+        for name in sorted(footprints):
+            fp = footprints[name]
+            if not fp.read_only:
+                continue
+            yield self.diag(
+                SEVERITY_NOTE,
+                f"@{name} is read-only ({fp.n_reads} read(s), no"
+                " writes): scale-out replicas cannot diverge and no"
+                " arbitration is needed",
+                data={
+                    "global": name,
+                    "downgrades": "CL007",
+                    "n_reads": fp.n_reads,
+                    "keying": fp.keying,
+                    "fix": {
+                        "description": (
+                            f"replicate @{name} per core; read-only"
+                            " state needs no arbitration"
+                        ),
+                    },
+                },
+            )
+
+
+class HostTransferCostPass(LintPass):
+    """Estimated host-transfer cost at each natural *cut point* of the
+    packet handler (join blocks outside every loop): the bytes live
+    across the cut — SSA values plus initialized stack slots still
+    read below it — priced with the active target's DMA/wire model.
+    These are the candidate offload boundaries ROADMAP item 2 asks
+    partial-offload planning to weigh."""
+
+    code = "CL013"
+    name = "host-transfer-cost"
+    description = "live-state transfer cost at handler cut points"
+
+    def run(self, module: Module, ctx: LintContext) -> Iterable[Diagnostic]:
+        from repro.nfir.analysis.dataflow import (
+            initialized_slots,
+            liveness,
+            slot_of,
+        )
+        from repro.nfir.cfg import natural_loops
+
+        try:
+            function = module.handler
+        except KeyError:
+            return
+        tree = ctx.domtree(function)
+        n_preds: Dict[str, int] = {}
+        for block in function.blocks:
+            for succ in block.successors():
+                n_preds[succ.name] = n_preds.get(succ.name, 0) + 1
+        in_loop: Set[str] = set()
+        for body in natural_loops(function).values():
+            in_loop |= body
+        live = liveness(function)
+        init = initialized_slots(function)
+        for block in function.blocks:
+            name = block.name
+            if (
+                name not in tree.reachable
+                or name in in_loop
+                or n_preds.get(name, 0) < 2
+            ):
+                continue
+            n_bytes = sum(
+                v.type.size_bytes()
+                for v in live.in_sets.get(name, frozenset())
+                if isinstance(v.type, IntType)
+            )
+            dominated = {
+                b.name for b in function.blocks
+                if tree.dominates(name, b.name)
+            }
+            loaded_below: Set[int] = set()
+            for b in function.blocks:
+                if b.name not in dominated:
+                    continue
+                for instr in b.instructions:
+                    if isinstance(instr, Load):
+                        slot = slot_of(instr.ptr)
+                        if slot is not None:
+                            loaded_below.add(id(slot))
+            for slot in init.in_sets.get(name, frozenset()):
+                if id(slot) in loaded_below:
+                    n_bytes += slot.allocated_type.size_bytes()
+            if n_bytes == 0:
+                continue
+            cycles = ctx.target.host_transfer_cycles(n_bytes)
+            yield self.diag(
+                SEVERITY_NOTE,
+                f"cutting the offload at %{name} transfers {n_bytes}"
+                f" live byte(s) to the host (~{cycles:.0f} cycles on"
+                f" {ctx.target.name})",
+                function=function.name,
+                block=name,
+                data={
+                    "cut_block": name,
+                    "live_bytes": n_bytes,
+                    "transfer_cycles": round(cycles, 1),
+                },
             )
 
 
@@ -539,6 +856,11 @@ BUILTIN_PASSES = (
     UnreachableBlockPass,
     RaceCandidatePass,
     StateCapacityPass,
+    BoundedLoopProofPass,
+    DeadComputePass,
+    StateBoundProofPass,
+    ReadOnlyStatePass,
+    HostTransferCostPass,
 )
 
 

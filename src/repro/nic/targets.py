@@ -165,6 +165,21 @@ class TargetDescription:
     def accel_latency(self, opcode: str) -> float:
         return float(self.accel_cycles.get(opcode, 0.0))
 
+    def host_transfer_cycles(self, n_bytes: int) -> float:
+        """Estimated cycles to move ``n_bytes`` of NF state between the
+        NIC and the host at a partition cut point: the device's
+        host-side hop (the PCIe/DMA round trip for off-path parts,
+        ingress+egress re-traversal for on-path ones) plus wire
+        serialization of the payload at line rate.  This is the cost
+        model the partial-offload partition search charges per packet
+        for every byte of state that crosses a cut (CL013 surfaces it
+        as live-state-bytes at dominator-frontier cut points)."""
+        hop = self.host_dma_cycles or (
+            self.ingress_cycles + self.egress_cycles
+        )
+        wire_seconds = (n_bytes * 8.0) / (self.line_rate_gbps * 1e9)
+        return hop + wire_seconds * self.freq_hz
+
     # -- (de)serialization ------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         return {

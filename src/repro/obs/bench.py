@@ -422,6 +422,34 @@ def _case_corpus_lint(ctx: BenchContext) -> Callable[[], Any]:
     return run
 
 
+@register_case("lint_absint",
+               "interval + footprint abstract interpretation")
+def _case_lint_absint(ctx: BenchContext) -> Callable[[], Any]:
+    from repro.click.elements import ELEMENT_BUILDERS
+    from repro.nfir.analysis import (
+        IntervalAnalysis,
+        loop_trip_bounds,
+        module_footprints,
+    )
+
+    names = sorted(ELEMENT_BUILDERS)
+    if ctx.quick:
+        names = names[:4]
+    modules = [ctx.prepared(name).module for name in names]
+
+    def run():
+        out = []
+        for module in modules:
+            analyses = {}
+            for function in module.functions.values():
+                analysis = IntervalAnalysis(function)
+                analyses[function.name] = analysis
+                out.append(loop_trip_bounds(function, analysis))
+            out.append(module_footprints(module, analyses=analyses))
+        return out
+    return run
+
+
 @register_case("dpu_analyze",
                "end-to-end analyze on the dpu-offpath target")
 def _case_dpu_analyze(ctx: BenchContext) -> Callable[[], Any]:

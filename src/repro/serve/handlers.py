@@ -44,15 +44,27 @@ def run_lint_reports(
     only: Optional[Sequence[str]] = None,
     disable: Optional[Sequence[str]] = None,
     target: Optional[str] = None,
+    cache: Any = "off",
+    baseline: Any = None,
 ):
     """Run the offload linter over library elements and return
-    ``(registry, reports)`` — the one lint execution path behind both
-    ``clara lint`` and ``POST /v1/lint``.  ``target`` selects the NIC
-    backend whose capacity thresholds the rules check (``None`` means
-    the registry default)."""
+    ``(registry, reports, stats)`` — the one lint execution path behind
+    both ``clara lint`` and ``POST /v1/lint``.  ``target`` selects the
+    NIC backend whose capacity thresholds the rules check (``None``
+    means the registry default).
+
+    ``cache`` enables incremental lint: ``"auto"`` uses the default
+    :class:`~repro.core.artifacts.ArtifactCache`, ``"off"``/``None``
+    disables caching, anything else is used as a cache object directly.
+    ``baseline`` filters accepted legacy findings: a
+    :class:`~repro.nfir.analysis.baseline.LintBaseline` or a flat
+    iterable of fingerprint strings (the wire form).  ``stats`` reports
+    ``hits``/``misses``/``n_baselined`` for the run.
+    """
     from repro.click.elements import ELEMENT_BUILDERS, build_element
     from repro.core.prepare import prepare_element
     from repro.nfir.analysis import default_registry
+    from repro.nfir.analysis.lint_cache import cached_lint_run
     from repro.nic.targets import resolve_target
 
     registry = default_registry()
@@ -65,18 +77,53 @@ def run_lint_reports(
         raise ClaraError(
             f"{exc.args[0]} (known: {', '.join(registry.codes)})"
         ) from None
+    cache_obj: Any = None
+    if cache == "auto":
+        from repro.core.artifacts import ArtifactCache
+
+        cache_obj = ArtifactCache()
+    elif cache not in (None, "off"):
+        cache_obj = cache
     names = list(elements) if elements else sorted(ELEMENT_BUILDERS)
     reports = []
+    stats = {
+        "cache": "off" if cache_obj is None else "on",
+        "hits": 0,
+        "misses": 0,
+        "n_baselined": 0,
+    }
     with span("lint_corpus", n_elements=len(names),
               target=target_desc.name) as sp:
         for name in names:
             prepared = prepare_element(build_element(name))
-            reports.append(
-                registry.run(prepared.module, only=only, disable=disable,
-                             target=target_desc)
+            report, outcome = cached_lint_run(
+                prepared.module, registry, cache_obj,
+                only=only, disable=disable, target=target_desc,
             )
+            if outcome == "hit":
+                stats["hits"] += 1
+            elif outcome == "miss":
+                stats["misses"] += 1
+            reports.append(report)
+        if baseline is not None:
+            from repro.nfir.analysis.baseline import (
+                LintBaseline,
+                apply_baseline,
+            )
+
+            if not isinstance(baseline, LintBaseline):
+                # Wire form: a flat fingerprint list. Fingerprints hash
+                # the module name, so sharing the set across modules
+                # cannot cross-match.
+                flat = {str(f) for f in baseline}
+                baseline = LintBaseline(fingerprints={
+                    r.module_name: flat for r in reports
+                })
+            reports, stats["n_baselined"] = apply_baseline(reports, baseline)
         sp.set("n_diagnostics", sum(len(r.diagnostics) for r in reports))
-    return registry, reports
+        sp.set("cache_hits", stats["hits"])
+        sp.set("n_baselined", stats["n_baselined"])
+    return registry, reports, stats
 
 
 class ClaraService:
@@ -151,13 +198,18 @@ class ClaraService:
 
     def lint(self, request: LintRequest) -> Dict[str, Any]:
         target = request.target or self.clara.nic.target.name
-        _registry, reports = run_lint_reports(
+        _registry, reports, stats = run_lint_reports(
             elements=request.elements,
             only=request.only,
             disable=request.disable,
             target=target,
+            cache="auto",
+            baseline=request.baseline or None,
         )
-        return envelope("lint_run", lint_run_payload(reports, target=target))
+        return envelope(
+            "lint_run",
+            lint_run_payload(reports, target=target, stats=stats),
+        )
 
     def colocation(self, request: ColocationRequest) -> Dict[str, Any]:
         from repro.core.colocation import ranking_to_dict

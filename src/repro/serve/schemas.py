@@ -52,7 +52,10 @@ __all__ = [
 
 #: version of the request layouts and the response envelope.
 #: v2: requests carry an optional ``target`` (registered NIC backend).
-WIRE_SCHEMA = 2
+#: v3: lint requests carry an optional ``baseline`` (accepted
+#: diagnostic fingerprints); lint_run payloads report suppression,
+#: baseline, and cache statistics.
+WIRE_SCHEMA = 3
 
 _WORKLOAD_FIELDS = {f.name for f in dataclasses.fields(WorkloadSpec)}
 
@@ -160,6 +163,9 @@ class LintRequest:
 
     ``elements=None`` means the whole corpus; ``only``/``disable``
     select rules by code or name, exactly like the CLI flags.
+    ``baseline`` carries accepted diagnostic fingerprints (from
+    ``clara lint --write-baseline``): matching findings are filtered
+    from the response and counted under ``stats.n_baselined``.
     """
 
     elements: Optional[Tuple[str, ...]] = None
@@ -167,6 +173,9 @@ class LintRequest:
     disable: Optional[Tuple[str, ...]] = None
     #: registered NIC target whose capacities the rules check against.
     target: Optional[str] = None
+    #: accepted legacy-finding fingerprints (see
+    #: :mod:`repro.nfir.analysis.baseline`).
+    baseline: Optional[Tuple[str, ...]] = None
 
     kind = "lint_request"
 
@@ -189,9 +198,10 @@ class LintRequest:
         only = cls._name_tuple(data.pop("only", None), "only")
         disable = cls._name_tuple(data.pop("disable", None), "disable")
         target = _pop_target(data, cls.kind)
+        baseline = cls._name_tuple(data.pop("baseline", None), "baseline")
         _reject_unknown(data, cls.kind)
         return cls(elements=elements, only=only, disable=disable,
-                   target=target)
+                   target=target, baseline=baseline)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -201,6 +211,7 @@ class LintRequest:
             "only": None if self.only is None else list(self.only),
             "disable": None if self.disable is None else list(self.disable),
             "target": self.target,
+            "baseline": None if self.baseline is None else list(self.baseline),
         }
 
 
@@ -312,21 +323,34 @@ def analysis_result_payload(analysis, config) -> Dict[str, Any]:
 
 
 def lint_run_payload(
-    reports: Sequence[Any], target: Optional[str] = None
+    reports: Sequence[Any],
+    target: Optional[str] = None,
+    stats: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The ``lint_run`` payload: every element's schema-versioned
     :class:`~repro.nfir.analysis.lint.LintReport` plus the totals the
     exit-code protocol is based on.  ``target`` is the NIC backend the
-    rules checked against (``None`` means the registry default)."""
+    rules checked against (``None`` means the registry default);
+    ``stats`` carries the run's baseline counter from
+    :func:`~repro.serve.handlers.run_lint_reports`.  Cache hit/miss
+    counters are deliberately *not* part of the payload — they vary
+    between transports and runs, and the payload must stay
+    byte-identical for identical lint results (they are observable
+    via metrics instead)."""
     from repro.nic.targets import resolve_target
 
     n_errors = sum(r.n_errors for r in reports)
     n_warnings = sum(r.n_warnings for r in reports)
+    n_suppressed = sum(len(r.suppressed) for r in reports)
     return {
         "target": resolve_target(target).name,
         "reports": [report.to_dict() for report in reports],
         "n_errors": n_errors,
         "n_warnings": n_warnings,
+        "n_suppressed": n_suppressed,
+        "n_baselined": (
+            int(stats.get("n_baselined", 0)) if stats is not None else 0
+        ),
     }
 
 

@@ -1,0 +1,141 @@
+"""State-footprint domain tests: read-only verdicts, per-flow vs
+cross-flow keying, and interval-proven resident-size bounds."""
+
+from repro.nfir import (
+    ArrayType,
+    Function,
+    GlobalVariable,
+    I8,
+    I32,
+    IRBuilder,
+    Module,
+    PointerType,
+)
+from repro.nfir.analysis.footprint import (
+    CROSS_FLOW,
+    PER_FLOW,
+    StateFootprint,
+    module_footprints,
+    read_only_globals,
+)
+
+
+def _module_with(function, *globals_):
+    module = Module("fixture")
+    module.add_function(function)
+    for g in globals_:
+        module.add_global(g)
+    return module
+
+
+def _handler(args=()):
+    f = Function("pkt_handler", args=args)
+    entry = f.add_block("entry")
+    return f, IRBuilder(f, entry)
+
+
+class TestReadOnlyGlobals:
+    def test_load_only_global_is_read_only(self):
+        f, b = _handler()
+        lut = GlobalVariable("lut", ArrayType(I32, 16), kind="array")
+        b.load(b.gep(lut, [b.const(I32, 3)]))
+        b.ret()
+        assert read_only_globals(_module_with(f, lut)) == {"lut"}
+
+    def test_any_store_disqualifies(self):
+        f, b = _handler()
+        ctr = GlobalVariable("ctr", I32)
+        b.store(b.add(b.load(ctr), b.const(I32, 1)), ctr)
+        b.ret()
+        assert read_only_globals(_module_with(f, ctr)) == set()
+
+    def test_api_classification(self):
+        f, b = _handler()
+        tbl = GlobalVariable("tbl", ArrayType(I32, 64), kind="hashmap")
+        vec = GlobalVariable("vec", ArrayType(I32, 64), kind="vector")
+        b.call("hashmap_find", [tbl, b.const(I32, 1)], PointerType(I32))
+        b.call("vector_push", [vec, b.const(I32, 1)], I32)
+        b.ret()
+        # hashmap_find only reads its backing store; vector_push writes.
+        assert read_only_globals(_module_with(f, tbl, vec)) == {"tbl"}
+
+    def test_unknown_api_assumed_read_write(self):
+        f, b = _handler()
+        tbl = GlobalVariable("tbl", ArrayType(I32, 64), kind="hashmap")
+        b.call("mystery_helper", [tbl], I32)
+        b.ret()
+        assert read_only_globals(_module_with(f, tbl)) == set()
+
+
+class TestStateFootprintProps:
+    def test_verdict_properties(self):
+        fp = StateFootprint("g", "array", 64, n_reads=3, n_writes=0,
+                            keying=PER_FLOW)
+        assert fp.read_only and fp.accessed and fp.per_flow
+        fp2 = StateFootprint("h", "scalar", 4)
+        assert not fp2.accessed and not fp2.read_only
+        d = fp.to_dict()
+        assert d["read_only"] is True and d["keying"] == PER_FLOW
+
+
+class TestModuleFootprints:
+    def test_masked_index_proves_resident_bound(self):
+        f, b = _handler(args=[("hash", I32)])
+        (hash_,) = f.args
+        table = GlobalVariable("table", ArrayType(I32, 4096), kind="array")
+        idx = b.binop("and", hash_, b.const(I32, 0xFF))
+        b.load(b.gep(table, [idx]))
+        b.ret()
+        fps = module_footprints(_module_with(f, table))
+        fp = fps["table"]
+        assert fp.declared_bytes == 4096 * 4
+        assert fp.resident_proven
+        assert fp.resident_bytes == 256 * 4
+        assert fp.read_only
+        # Index derived from the packet hash -> disjoint per flow.
+        assert fp.keying == PER_FLOW
+
+    def test_constant_index_is_cross_flow(self):
+        f, b = _handler()
+        table = GlobalVariable("table", ArrayType(I32, 4096), kind="array")
+        b.store(b.const(I32, 1), b.gep(table, [b.const(I32, 7)]))
+        b.ret()
+        fp = module_footprints(_module_with(f, table))["table"]
+        assert fp.keying == CROSS_FLOW
+        assert fp.n_writes == 1 and fp.n_reads == 0
+        assert fp.resident_proven and fp.resident_bytes == 4
+
+    def test_unconstrained_index_stays_declared(self):
+        f, b = _handler(args=[("hash", I32)])
+        (hash_,) = f.args
+        table = GlobalVariable("small", ArrayType(I8, 16), kind="array")
+        b.load(b.gep(table, [hash_]))  # top index, capped by the count
+        b.ret()
+        fp = module_footprints(_module_with(f, table))["small"]
+        assert not fp.resident_proven
+        assert fp.resident_bytes == fp.declared_bytes == 16
+
+    def test_api_managed_structure_stays_fully_resident(self):
+        f, b = _handler(args=[("hash", I32)])
+        (hash_,) = f.args
+        tbl = GlobalVariable("flows", ArrayType(I32, 1024), kind="hashmap")
+        b.call("hashmap_insert", [tbl, hash_], I32)
+        b.ret()
+        fp = module_footprints(_module_with(f, tbl))["flows"]
+        assert not fp.resident_proven
+        assert fp.n_writes == 1
+        # The key comes from the packet -> per-flow keying.
+        assert fp.keying == PER_FLOW
+
+    def test_shared_analyses_are_reused(self):
+        from repro.nfir.analysis.absint import IntervalAnalysis
+
+        f, b = _handler()
+        g = GlobalVariable("g", I32)
+        b.store(b.const(I32, 1), g)
+        b.ret()
+        module = _module_with(f, g)
+        analyses = {"pkt_handler": IntervalAnalysis(f)}
+        fps = module_footprints(module, analyses=analyses)
+        assert fps["g"].n_writes == 1
+        assert list(analyses) == ["pkt_handler"]  # nothing re-solved

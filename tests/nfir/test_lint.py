@@ -277,8 +277,11 @@ class TestDiagnostic:
 class TestRegistry:
     def test_builtins_present(self):
         registry = default_registry()
-        assert len(registry) == 8
-        assert registry.codes == [f"CL00{i}" for i in range(1, 9)]
+        assert len(registry) == 13
+        assert registry.codes == (
+            [f"CL00{i}" for i in range(1, 10)]
+            + [f"CL0{i}" for i in range(10, 14)]
+        )
 
     def test_get_by_code_or_name(self):
         registry = default_registry()

@@ -1,0 +1,213 @@
+"""Baseline workflow and incremental lint cache: fingerprint
+stability, file round-trips, new-findings-only filtering, and the
+content-addressed cache hit/miss protocol."""
+
+import pytest
+
+from repro.core.artifacts import ArtifactCache
+from repro.errors import ClaraError
+from repro.nfir import Function, GlobalVariable, I32, IRBuilder, Module
+from repro.nfir.analysis import default_registry, lint_module
+from repro.nfir.analysis.baseline import (
+    LINT_BASELINE_SCHEMA,
+    LintBaseline,
+    apply_baseline,
+    baseline_from_reports,
+    diagnostic_fingerprint,
+    report_fingerprints,
+)
+from repro.nfir.analysis.lint import Diagnostic, LintReport, SUPPRESS_META_KEY
+from repro.nfir.analysis.lint_cache import cached_lint_run, lint_cache_key
+
+
+def _module(name="fixture", sdiv=True, rmw=False):
+    module = Module(name)
+    f = Function("pkt_handler")
+    b = IRBuilder(f, f.add_block("entry"))
+    if sdiv:
+        b.binop("sdiv", b.const(I32, 8), b.const(I32, 3))
+    if rmw:
+        g = GlobalVariable("ctr", I32)
+        module.add_global(g)
+        b.store(b.add(b.load(g), b.const(I32, 1)), g)
+    b.ret()
+    module.add_function(f)
+    return module
+
+
+class TestFingerprints:
+    def test_stable_across_message_rewording(self):
+        a = Diagnostic("CL001", "warning", "old text", function="f",
+                       block="entry", instruction="%v1")
+        b = Diagnostic("CL001", "error", "new text entirely", function="f",
+                       block="entry", instruction="%v1",
+                       data={"extra": 1})
+        assert (
+            diagnostic_fingerprint("m", a) == diagnostic_fingerprint("m", b)
+        )
+
+    def test_sensitive_to_rule_module_and_location(self):
+        base = Diagnostic("CL001", "warning", "m", function="f")
+        fp = diagnostic_fingerprint("mod", base)
+        assert fp != diagnostic_fingerprint("other_mod", base)
+        assert fp != diagnostic_fingerprint(
+            "mod", Diagnostic("CL002", "warning", "m", function="f")
+        )
+        assert fp != diagnostic_fingerprint("mod", base, ordinal=1)
+        assert len(fp) == 16
+
+    def test_ordinals_disambiguate_duplicates(self):
+        dup = Diagnostic("CL001", "warning", "m", function="f",
+                         block="entry", instruction="sdiv")
+        report = LintReport("mod", diagnostics=[dup, dup])
+        fps = report_fingerprints(report)
+        assert len(fps) == 2 and fps[0] != fps[1]
+
+
+class TestBaselineFile:
+    def test_roundtrip_via_dict(self):
+        baseline = LintBaseline(
+            target="nfp-4000",
+            fingerprints={"a": {"0" * 16}, "b": {"1" * 16, "2" * 16}},
+        )
+        again = LintBaseline.from_dict(baseline.to_dict())
+        assert again == baseline
+        assert ("b", "1" * 16) in again
+        assert ("b", "9" * 16) not in again
+        assert again.n_fingerprints == 3
+
+    def test_save_and_load(self, tmp_path):
+        baseline = LintBaseline(fingerprints={"m": {"a" * 16}})
+        path = baseline.save(tmp_path / "baseline.json")
+        assert LintBaseline.load(path) == baseline
+
+    def test_schema_mismatch_rejected(self):
+        bad = {"schema": LINT_BASELINE_SCHEMA + 1, "fingerprints": {}}
+        with pytest.raises(ClaraError, match="schema"):
+            LintBaseline.from_dict(bad)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ClaraError, match="not found"):
+            LintBaseline.load(tmp_path / "absent.json")
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{nope", encoding="utf-8")
+        with pytest.raises(ClaraError, match="JSON"):
+            LintBaseline.load(path)
+
+
+class TestApplyBaseline:
+    def test_unchanged_module_reports_zero_new(self):
+        report = lint_module(_module(), only=["CL001"])
+        assert report.diagnostics  # the fixture does fire
+        baseline = baseline_from_reports([report], target="nfp-4000")
+        again = lint_module(_module(), only=["CL001"])
+        filtered, n_baselined = apply_baseline([again], baseline)
+        assert n_baselined == len(report.diagnostics)
+        assert not filtered[0].diagnostics
+
+    def test_new_finding_survives(self):
+        baseline = baseline_from_reports(
+            [lint_module(_module(), only=["CL001"])]
+        )
+        grown = lint_module(
+            _module(rmw=True), only=["CL001", "CL007"]
+        )
+        filtered, n_baselined = apply_baseline([grown], baseline)
+        assert n_baselined == 1  # the legacy sdiv
+        kept = filtered[0].diagnostics
+        assert [d.rule for d in kept] == ["CL007"]
+
+    def test_suppressed_carried_through(self):
+        module = _module()
+        instr = next(
+            i for i in module.functions["pkt_handler"].instructions()
+            if i.opcode == "sdiv"
+        )
+        instr.meta[SUPPRESS_META_KEY] = "CL001"
+        report = lint_module(module, only=["CL001"])
+        filtered, _ = apply_baseline([report], LintBaseline())
+        assert filtered[0].n_suppressed == 1
+
+
+class TestLintCache:
+    def test_key_is_deterministic_and_content_addressed(self):
+        key = lint_cache_key(_module(), ["CL001"], target="nfp-4000")
+        assert key == lint_cache_key(
+            _module(), ["CL001"], target="nfp-4000"
+        )
+        assert key.startswith("lint-")
+        # Rule order is canonicalized; content changes miss.
+        assert key == lint_cache_key(
+            _module(), ["CL001"], target="nfp-4000"
+        )
+        assert key != lint_cache_key(
+            _module(rmw=True), ["CL001"], target="nfp-4000"
+        )
+        assert key != lint_cache_key(
+            _module(), ["CL001", "CL007"], target="nfp-4000"
+        )
+        assert key != lint_cache_key(
+            _module(), ["CL001"], target="dpu-offpath"
+        )
+
+    def test_suppression_directives_change_the_key(self):
+        marked = _module()
+        instr = next(
+            i for i in marked.functions["pkt_handler"].instructions()
+            if i.opcode == "sdiv"
+        )
+        instr.meta[SUPPRESS_META_KEY] = "CL001"
+        assert lint_cache_key(marked, ["CL001"]) != lint_cache_key(
+            _module(), ["CL001"]
+        )
+
+    def test_miss_then_hit_roundtrips_report(self, tmp_path):
+        """The acceptance property: re-linting an unchanged (IR,
+        target, rules) triple is a pure artifact-cache hit."""
+        cache = ArtifactCache(tmp_path)
+        registry = default_registry()
+        report1, outcome1 = cached_lint_run(
+            _module(), registry, cache, only=["CL001"], target="nfp-4000"
+        )
+        assert outcome1 == "miss"
+        report2, outcome2 = cached_lint_run(
+            _module(), registry, cache, only=["CL001"], target="nfp-4000"
+        )
+        assert outcome2 == "hit"
+        assert report2.to_dict() == report1.to_dict()
+
+    def test_changed_ir_misses(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        registry = default_registry()
+        cached_lint_run(_module(), registry, cache, only=["CL001"])
+        _, outcome = cached_lint_run(
+            _module(rmw=True), registry, cache, only=["CL001"]
+        )
+        assert outcome == "miss"
+
+    def test_no_cache_degrades_to_plain_run(self):
+        report, outcome = cached_lint_run(
+            _module(), default_registry(), None, only=["CL001"]
+        )
+        assert outcome == "off"
+        assert report.diagnostics
+
+    def test_malformed_entry_falls_back_to_fresh_run(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        registry = default_registry()
+        key = lint_cache_key(
+            _module(), [p.code for p in registry.select(only=["CL001"])]
+        )
+        cache.store(key, {"report": {"schema": -1}})
+        report, outcome = cached_lint_run(
+            _module(), registry, cache, only=["CL001"]
+        )
+        assert outcome == "miss"  # re-ran and overwrote the bad entry
+        assert report.diagnostics
+        again, outcome2 = cached_lint_run(
+            _module(), registry, cache, only=["CL001"]
+        )
+        assert outcome2 == "hit"
+        assert again.to_dict() == report.to_dict()

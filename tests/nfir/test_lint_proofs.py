@@ -1,0 +1,423 @@
+"""Second-generation (proof) lint rules: CL009-CL013 golden fixtures,
+the cross-rule downgrade mechanism, the CL007 read-only exemption,
+inline suppressions, and SARIF fix emission."""
+
+from repro.nfir import (
+    ArrayType,
+    Function,
+    GlobalVariable,
+    I8,
+    I32,
+    IRBuilder,
+    Module,
+    PointerType,
+)
+from repro.nfir.analysis import default_registry, lint_module, sarif_report
+from repro.nfir.analysis.lint import (
+    Diagnostic,
+    SUPPRESS_META_KEY,
+    apply_downgrades,
+)
+
+
+def _module_with(function, *globals_):
+    module = Module("fixture")
+    module.add_function(function)
+    for g in globals_:
+        module.add_global(g)
+    return module
+
+
+def _handler(args=()):
+    f = Function("pkt_handler", args=args)
+    entry = f.add_block("entry")
+    return f, IRBuilder(f, entry)
+
+
+def _rules_fired(report, code):
+    return [d for d in report.diagnostics if d.rule == code]
+
+
+def _slot_bounded_loop(limit=50):
+    """A loop whose bound round-trips through a stack slot: the
+    syntactic CL002 check cannot see it is invariant, the interval
+    engine can."""
+    f, b = _handler()
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_ = f.add_block("exit")
+    n_slot = b.alloca(I32)
+    i_slot = b.alloca(I32)
+    b.store(b.const(I32, limit), n_slot)
+    b.store(b.const(I32, 0), i_slot)
+    b.br(header)
+    b.position_at_end(header)
+    i = b.load(i_slot)
+    n = b.load(n_slot)  # in-loop load: not syntactically invariant
+    b.cond_br(b.icmp("ult", i, n), body, exit_)
+    b.position_at_end(body)
+    b.store(b.add(b.load(i_slot), b.const(I32, 1)), i_slot)
+    b.br(header)
+    b.position_at_end(exit_)
+    b.ret()
+    return _module_with(f)
+
+
+class TestCl009BoundedLoopProof:
+    def test_proof_note_with_trip_bound(self):
+        report = lint_module(_slot_bounded_loop(), only=["CL009"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "note"
+        assert diag.data["trip_max"] == 50
+        assert diag.data["downgrades"] == "CL002"
+        assert diag.block == "header"
+
+    def test_downgrades_matching_cl002_warning(self):
+        report = lint_module(_slot_bounded_loop(), only=["CL002", "CL009"])
+        (cl002,) = _rules_fired(report, "CL002")
+        assert cl002.severity == "note"
+        assert cl002.data["downgraded_by"] == "CL009"
+        assert "[downgraded by CL009]" in cl002.message
+        assert report.clean  # nothing above note survives
+
+    def test_silent_on_syntactically_counted_loops(self):
+        f, b = _handler()
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        slot = b.alloca(I32)
+        b.store(b.const(I32, 0), slot)
+        b.br(header)
+        b.position_at_end(header)
+        i = b.load(slot)
+        b.cond_br(b.icmp("ult", i, b.const(I32, 16)), body, exit_)
+        b.position_at_end(body)
+        b.store(b.add(b.load(slot), b.const(I32, 1)), slot)
+        b.br(header)
+        b.position_at_end(exit_)
+        b.ret()
+        # CL002 accepts this loop itself; CL009 stays quiet.
+        report = lint_module(_module_with(f), only=["CL002", "CL009"])
+        assert not report.diagnostics
+
+    def test_truly_unbounded_loop_keeps_warning(self):
+        f, b = _handler()
+        header = f.add_block("header")
+        body = f.add_block("body")
+        exit_ = f.add_block("exit")
+        slot = b.alloca(I32)
+        b.store(b.const(I32, 1), slot)
+        b.br(header)
+        b.position_at_end(header)
+        x = b.load(slot)
+        b.cond_br(b.icmp("ne", x, b.const(I32, 0)), body, exit_)
+        b.position_at_end(body)
+        b.store(b.mul(b.load(slot), b.const(I32, 2)), slot)
+        b.br(header)
+        b.position_at_end(exit_)
+        b.ret()
+        report = lint_module(_module_with(f), only=["CL002", "CL009"])
+        (cl002,) = report.diagnostics
+        assert cl002.rule == "CL002" and cl002.severity == "warning"
+
+
+def _dead_branch_module():
+    f, b = _handler()
+    then = f.add_block("then")
+    other = f.add_block("other")
+    slot = b.alloca(I32)
+    b.store(b.const(I32, 0), slot)
+    x = b.load(slot)
+    b.cond_br(b.icmp("eq", x, b.const(I32, 0)), then, other)
+    b.position_at_end(then)
+    b.ret()
+    IRBuilder(f, other).ret()
+    return _module_with(f)
+
+
+class TestCl010DeadCompute:
+    def test_one_sided_branch_warns_with_fix(self):
+        report = lint_module(_dead_branch_module(), only=["CL010"])
+        (warn,) = report.by_severity("warning")
+        assert warn.data["dead_block"] == "other"
+        assert warn.data["fix"]["replacement"] == "br label %then"
+        assert "never be taken" in warn.message
+
+    def test_constant_compute_is_note(self):
+        f, b = _handler()
+        slot = b.alloca(I32)
+        b.store(b.const(I32, 5), slot)
+        x = b.load(slot)
+        b.add(x, b.const(I32, 3))  # always 8, but not a literal fold
+        b.ret()
+        report = lint_module(_module_with(f), only=["CL010"])
+        (note,) = report.diagnostics
+        assert note.severity == "note"
+        assert note.data["constant"] == 8
+
+    def test_literal_constant_folds_ignored(self):
+        f, b = _handler()
+        b.add(b.const(I32, 2), b.const(I32, 3))  # frontend artifact
+        b.ret()
+        assert not lint_module(_module_with(f), only=["CL010"]).diagnostics
+
+    def test_genuine_branch_is_clean(self):
+        f, b = _handler(args=[("n", I32)])
+        (n,) = f.args
+        then = f.add_block("then")
+        other = f.add_block("other")
+        b.cond_br(b.icmp("eq", n, b.const(I32, 0)), then, other)
+        IRBuilder(f, then).ret()
+        IRBuilder(f, other).ret()
+        assert not lint_module(_module_with(f), only=["CL010"]).diagnostics
+
+
+def _masked_big_table():
+    """Declared far beyond SRAM, provably touching 1KB."""
+    f, b = _handler(args=[("hash", I32)])
+    (hash_,) = f.args
+    table = GlobalVariable(
+        "table", ArrayType(I32, 2 * 2**20), kind="array"
+    )  # 8 MB declared
+    idx = b.binop("and", hash_, b.const(I32, 0xFF))
+    b.load(b.gep(table, [idx]))
+    b.ret()
+    return _module_with(f, table)
+
+
+class TestCl011StateBoundProof:
+    def test_proven_bound_downgrades_cl008(self):
+        report = lint_module(_masked_big_table(), only=["CL008", "CL011"])
+        (cl011,) = _rules_fired(report, "CL011")
+        assert cl011.severity == "note"
+        assert cl011.data["resident_bytes"] == 1024
+        assert cl011.data["downgrades"] == "CL008"
+        assert cl011.data["region"]
+        (cl008,) = [
+            d for d in _rules_fired(report, "CL008")
+            if "EMEM" in d.message
+        ]
+        assert cl008.severity == "note"
+        assert cl008.data["downgraded_by"] == "CL011"
+        assert report.clean
+
+    def test_resident_beyond_every_region_is_error(self):
+        f, b = _handler(args=[("hash", I32)])
+        (hash_,) = f.args
+        huge = GlobalVariable(
+            "huge", ArrayType(I8, 4 * 2**30), kind="array"
+        )
+        b.load(b.gep(huge, [hash_]))  # unconstrained: fully resident
+        b.ret()
+        report = lint_module(_module_with(f, huge), only=["CL011"])
+        (err,) = report.by_severity("error")
+        assert err.data["global"] == "huge"
+
+    def test_untouched_global_is_ignored(self):
+        f, b = _handler()
+        b.ret()
+        idle = GlobalVariable("idle", ArrayType(I32, 2 * 2**20))
+        report = lint_module(_module_with(f, idle), only=["CL011"])
+        assert not report.diagnostics  # CL004's business, not CL011's
+
+
+class TestCl012ReadOnlyState:
+    def test_read_only_table_gets_exoneration_note(self):
+        f, b = _handler()
+        lut = GlobalVariable("lut", ArrayType(I32, 16), kind="array")
+        b.load(b.gep(lut, [b.const(I32, 3)]))
+        b.ret()
+        report = lint_module(_module_with(f, lut), only=["CL012"])
+        (note,) = report.diagnostics
+        assert note.data["global"] == "lut"
+        assert note.data["downgrades"] == "CL007"
+        assert "replicate @lut" in note.data["fix"]["description"]
+
+    def test_written_state_gets_no_note(self):
+        f, b = _handler()
+        g = GlobalVariable("ctr", I32)
+        b.store(b.add(b.load(g), b.const(I32, 1)), g)
+        b.ret()
+        assert not lint_module(_module_with(f, g), only=["CL012"]).diagnostics
+
+
+class TestCl007ReadOnlyExemption:
+    def _store_through_api(self, also_write_directly):
+        f, b = _handler()
+        rules = GlobalVariable("rules", ArrayType(I32, 64), kind="vector")
+        x = b.load(b.gep(rules, [b.const(I32, 0)]))
+        p = b.call("vector_at", [rules, b.const(I32, 1)], PointerType(I32))
+        b.store(b.add(x, b.const(I32, 1)), p)
+        if also_write_directly:
+            b.store(b.const(I32, 9), b.gep(rules, [b.const(I32, 2)]))
+        b.ret()
+        return _module_with(f, rules)
+
+    def test_read_only_table_is_not_a_race_candidate(self):
+        report = lint_module(
+            self._store_through_api(also_write_directly=False),
+            only=["CL007"],
+        )
+        assert not report.diagnostics
+
+    def test_directly_written_table_still_warns(self):
+        report = lint_module(
+            self._store_through_api(also_write_directly=True),
+            only=["CL007"],
+        )
+        assert any(d.severity == "warning" for d in report.diagnostics)
+
+    def test_plain_rmw_still_warns(self):
+        f, b = _handler()
+        g = GlobalVariable("pkt_count", I32)
+        b.store(b.add(b.load(g), b.const(I32, 1)), g)
+        b.ret()
+        report = lint_module(_module_with(f, g), only=["CL007"])
+        (diag,) = report.diagnostics
+        assert diag.severity == "warning"
+        assert diag.data["global"] == "pkt_count"
+
+
+def _diamond_with_live_slot():
+    f, b = _handler(args=[("n", I32)])
+    (n,) = f.args
+    then = f.add_block("then")
+    other = f.add_block("other")
+    merge = f.add_block("merge")
+    slot = b.alloca(I32)
+    b.store(b.const(I32, 7), slot)
+    b.cond_br(b.icmp("ult", n, b.const(I32, 100)), then, other)
+    IRBuilder(f, then).br(merge)
+    IRBuilder(f, other).br(merge)
+    mb = IRBuilder(f, merge)
+    mb.load(slot)
+    mb.ret()
+    return _module_with(f)
+
+
+class TestCl013HostTransferCost:
+    def test_join_block_priced(self):
+        report = lint_module(_diamond_with_live_slot(), only=["CL013"])
+        (note,) = report.diagnostics
+        assert note.block == "merge"
+        assert note.data["cut_block"] == "merge"
+        assert note.data["live_bytes"] >= 4  # the initialized slot
+        assert note.data["transfer_cycles"] > 0
+
+    def test_costs_differ_across_targets(self):
+        module = _diamond_with_live_slot()
+        nfp = lint_module(module, only=["CL013"], target="nfp-4000")
+        dpu = lint_module(module, only=["CL013"], target="dpu-offpath")
+        c_nfp = nfp.diagnostics[0].data["transfer_cycles"]
+        c_dpu = dpu.diagnostics[0].data["transfer_cycles"]
+        assert c_nfp != c_dpu  # off-path DPU pays the host-DMA hop
+
+    def test_no_handler_means_no_cut_points(self):
+        f = Function("helper")
+        IRBuilder(f, f.add_block("entry")).ret()
+        module = Module("fixture")
+        module.add_function(f)
+        assert not lint_module(module, only=["CL013"]).diagnostics
+
+
+class TestDowngradeMechanism:
+    def test_global_keyed_downgrade(self):
+        victim = Diagnostic("CL008", "warning", "big", data={"global": "g"})
+        other = Diagnostic("CL008", "warning", "big", data={"global": "h"})
+        proof = Diagnostic(
+            "CL011", "note", "proof",
+            data={"downgrades": "CL008", "global": "g"},
+        )
+        apply_downgrades([victim, other, proof])
+        assert victim.severity == "note"
+        assert victim.data["downgraded_by"] == "CL011"
+        assert other.severity == "warning"
+
+    def test_location_keyed_downgrade(self):
+        victim = Diagnostic("CL002", "warning", "loop",
+                            function="f", block="header")
+        elsewhere = Diagnostic("CL002", "warning", "loop",
+                               function="f", block="other")
+        proof = Diagnostic("CL009", "note", "proof",
+                           function="f", block="header",
+                           data={"downgrades": "CL002"})
+        apply_downgrades([victim, elsewhere, proof])
+        assert victim.severity == "note"
+        assert elsewhere.severity == "warning"
+
+
+class TestSuppressions:
+    def test_instruction_level_suppression_counted(self):
+        f, b = _handler()
+        instr = b.binop("sdiv", b.const(I32, 8), b.const(I32, 3))
+        instr.meta[SUPPRESS_META_KEY] = "CL001"
+        b.ret()
+        report = lint_module(_module_with(f), only=["CL001"])
+        assert not report.diagnostics
+        assert report.n_suppressed == 1
+        assert report.suppressed[0].rule == "CL001"
+        assert "1 suppressed" in report.render()
+
+    def test_module_level_all_suppression(self):
+        module = _dead_branch_module()
+        module.meta[SUPPRESS_META_KEY] = "all"
+        report = lint_module(module, only=["CL010"])
+        assert not report.diagnostics and report.n_suppressed >= 1
+
+    def test_unrelated_rule_not_suppressed(self):
+        f, b = _handler()
+        instr = b.binop("sdiv", b.const(I32, 8), b.const(I32, 3))
+        instr.meta[SUPPRESS_META_KEY] = "CL999"
+        b.ret()
+        report = lint_module(_module_with(f), only=["CL001"])
+        assert len(report.diagnostics) == 1 and not report.suppressed
+
+    def test_suppressed_roundtrip_through_dict(self):
+        from repro.nfir.analysis import LintReport
+
+        f, b = _handler()
+        instr = b.binop("sdiv", b.const(I32, 8), b.const(I32, 3))
+        instr.meta[SUPPRESS_META_KEY] = "CL001"
+        b.ret()
+        report = lint_module(_module_with(f), only=["CL001"])
+        again = LintReport.from_dict(report.to_dict())
+        assert again.n_suppressed == 1
+        assert again.suppressed == report.suppressed
+
+
+class TestSarifFixes:
+    def test_dead_branch_fix_has_replacement(self):
+        registry = default_registry()
+        report = lint_module(
+            _dead_branch_module(), registry=registry, only=["CL010"]
+        )
+        sarif = sarif_report([report], registry)
+        (fixed,) = [
+            r for r in sarif["runs"][0]["results"] if "fixes" in r
+        ]
+        (fix,) = fixed["fixes"]
+        assert "unconditional" in fix["description"]["text"]
+        (change,) = fix["artifactChanges"]
+        (replacement,) = change["replacements"]
+        assert replacement["insertedContent"]["text"] == "br label %then"
+        assert change["artifactLocation"]["uri"].startswith("nfir:")
+
+    def test_advisory_fix_without_replacement(self):
+        f, b = _handler()
+        lut = GlobalVariable("lut", ArrayType(I32, 16), kind="array")
+        b.load(b.gep(lut, [b.const(I32, 3)]))
+        b.ret()
+        report = lint_module(_module_with(f, lut), only=["CL012"])
+        sarif = sarif_report([report])
+        (fixed,) = [
+            r for r in sarif["runs"][0]["results"] if "fixes" in r
+        ]
+        (fix,) = fixed["fixes"]
+        (change,) = fix["artifactChanges"]
+        assert "insertedContent" not in change["replacements"][0]
+
+    def test_rules_table_covers_all_builtins(self):
+        registry = default_registry()
+        sarif = sarif_report([], registry)
+        ids = [r["id"] for r in sarif["runs"][0]["tool"]["driver"]["rules"]]
+        assert ids == registry.codes

@@ -138,6 +138,58 @@ class TestLintRequest:
         with pytest.raises(UnknownTargetError):
             LintRequest.from_dict({"target": "no-such-nic"})
 
+    def test_baseline_fingerprints_round_trip(self):
+        req = LintRequest(
+            elements=("aggcounter",),
+            baseline=("a" * 16, "b" * 16),
+        )
+        wire = req.to_dict()
+        assert wire["baseline"] == ["a" * 16, "b" * 16]
+        assert LintRequest.from_dict(wire) == req
+        assert LintRequest.from_dict({}).baseline is None
+
+    def test_non_string_baseline_rejected(self):
+        with pytest.raises(ClaraError, match="list of strings"):
+            LintRequest.from_dict({"baseline": [12345]})
+
+
+class TestLintRunPayload:
+    def _report(self):
+        from repro.nfir import Function, I32, IRBuilder, Module
+        from repro.nfir.analysis import lint_module
+
+        module = Module("fixture")
+        f = Function("pkt_handler")
+        b = IRBuilder(f, f.add_block("entry"))
+        b.binop("sdiv", b.const(I32, 8), b.const(I32, 3))
+        b.ret()
+        module.add_function(f)
+        return lint_module(module, only=["CL001"])
+
+    def test_counters_present_and_deterministic(self):
+        from repro.serve.schemas import lint_run_payload
+
+        report = self._report()
+        payload = lint_run_payload([report], target="nfp-4000")
+        assert payload["n_errors"] == 0
+        assert payload["n_warnings"] == 1
+        assert payload["n_suppressed"] == 0
+        assert payload["n_baselined"] == 0
+        # Run-varying cache counters must never leak into the payload:
+        # the CLI and the server promise byte-identical envelopes.
+        assert "cache" not in payload
+
+    def test_stats_feed_the_baselined_counter(self):
+        from repro.serve.schemas import lint_run_payload
+
+        payload = lint_run_payload(
+            [self._report()],
+            target="nfp-4000",
+            stats={"cache": "on", "hits": 3, "n_baselined": 2},
+        )
+        assert payload["n_baselined"] == 2
+        assert "cache" not in payload
+
 
 class TestColocationRequest:
     def test_round_trip(self):
