@@ -260,13 +260,20 @@ def _cmd_analyze_all(args, spec) -> int:
             " cannot reuse a single --load artifact"
         )
     claras = {}
+    caches = []
     for name in list_targets():
         print(f"Training Clara for target {name} (quick mode)...",
               file=sys.stderr)
-        claras[name] = Clara(seed=args.seed, target=name).train(
+        clara = Clara(seed=args.seed, target=name).train(
             TrainConfig.quick(), workers=args.workers, cache=args.cache
         )
+        cache = _apply_predictor_flags(clara, args)
+        if cache is not None:
+            caches.append(cache)
+        claras[name] = clara
     comparison = compare_targets(claras, args.element, spec)
+    for cache in caches:
+        cache.flush()
     payload = comparison.to_dict()
     if args.json:
         from repro.serve.schemas import dump_envelope, envelope
@@ -288,13 +295,28 @@ def _cmd_analyze_all(args, spec) -> int:
     return 0
 
 
+def _apply_predictor_flags(clara, args) -> "Any":
+    """Apply ``--predictor-mode`` / ``--predict-cache`` to a trained
+    Clara; returns the attached cache (or ``None``) so the caller can
+    flush it after the run."""
+    clara.predictor.predictor_mode = args.predictor_mode
+    if args.predict_cache == "auto":
+        from repro.core.artifacts import ArtifactCache
+
+        return clara.enable_prediction_cache(store=ArtifactCache())
+    return None
+
+
 def cmd_analyze(args) -> int:
     spec = _workload_from_args(args)
     if args.target == "all":
         return _cmd_analyze_all(args, spec)
     clara = _obtain_clara(args)
+    cache = _apply_predictor_flags(clara, args)
     analysis = clara.analyze(args.element, spec)
     config = clara.port_config(analysis)
+    if cache is not None:
+        cache.flush()
     if args.json:
         from repro.serve.schemas import (
             analysis_result_payload,
@@ -484,6 +506,8 @@ def cmd_serve(args) -> int:
         max_batch=args.max_batch,
         colocation_programs=args.colocation_programs,
         colocation_groups=args.colocation_groups,
+        predict_cache=args.predict_cache == "on",
+        predictor_mode=args.predictor_mode,
     )
     server = build_server(clara, config)
     print(f"clara serve listening on {server.url()}"
@@ -618,6 +642,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--json", action="store_true",
                            help="emit the versioned JSON envelope instead"
                                 " of the human report")
+    p_analyze.add_argument("--predict-cache", choices=("auto", "off"),
+                           default="off",
+                           help="content-addressed prediction cache: auto"
+                                " persists block predictions in the"
+                                " artifact cache across runs (default off;"
+                                " results are bit-identical either way)")
+    p_analyze.add_argument("--predictor-mode",
+                           choices=("lstm", "distilled", "auto"),
+                           default="lstm",
+                           help="serving mode: lstm (exact sequence model),"
+                                " distilled (GBDT fast path), or auto"
+                                " (distilled where confident, LSTM"
+                                " fallback elsewhere; default lstm)")
 
     p_sweep = sub.add_parser("sweep", help="core-count sweep",
                              parents=[workload, target, obs])
@@ -653,6 +690,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--colocation-groups", type=int, default=12,
                          help="ranking groups for the lazily trained"
                               " colocation ranker (default 12)")
+    p_serve.add_argument("--predict-cache", choices=("on", "off"),
+                         default="on",
+                         help="in-memory content-addressed prediction"
+                              " cache for repeat analyzes (default on;"
+                              " responses are byte-identical either way)")
+    p_serve.add_argument("--predictor-mode",
+                         choices=("lstm", "distilled", "auto"),
+                         default="lstm",
+                         help="predictor serving mode (see analyze"
+                              " --predictor-mode; default lstm)")
 
     p_lint = sub.add_parser(
         "lint", help="static offload-portability diagnostics",

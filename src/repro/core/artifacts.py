@@ -45,10 +45,12 @@ __all__ = [
     "ArtifactCache",
     "ArtifactCacheMiss",
     "ArtifactError",
+    "PredictionCache",
     "TrainConfig",
     "default_cache_dir",
     "load_state",
     "save_state",
+    "sequence_key",
     "train_cache_key",
 ]
 
@@ -58,7 +60,7 @@ ARTIFACT_FORMAT = 1
 #: Code-relevant version tag.  Part of every cache key: bump it when
 #: the synthesis pipeline, model architectures, or state_dict layouts
 #: change in a way that invalidates previously trained weights.
-ARTIFACT_VERSION = "clara-artifacts-1"
+ARTIFACT_VERSION = "clara-artifacts-2"
 
 #: Environment variable overriding the default cache directory.
 ENV_CACHE_DIR = "REPRO_CLARA_CACHE"
@@ -224,6 +226,95 @@ def load_state(path: "os.PathLike | str") -> Dict[str, Any]:
             f" match code version {ARTIFACT_VERSION!r}"
         )
     return container["state"]
+
+
+def sequence_key(tokens: Any) -> str:
+    """Content address of one block token sequence (prediction-cache
+    row key).  JSON framing keeps distinct sequences distinct even when
+    tokens contain each other's separators."""
+    payload = json.dumps(list(tokens), separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+class PredictionCache:
+    """Content-addressed per-block prediction memo.
+
+    Maps ``sequence_key(block tokens)`` to the predicted instruction
+    count, valid only within one ``namespace`` — a hash of the model
+    fingerprint, the predictor mode, and the target fingerprint (see
+    ``InstructionPredictor.prediction_namespace``), so predictions
+    never leak across retrained weights, modes, or NIC targets.
+
+    Lookups and inserts hit an in-memory dict; pass ``store`` (an
+    :class:`ArtifactCache`) to additionally page the map in from disk
+    at construction and persist it on :meth:`flush`.  Cached values are
+    the exact doubles the model produced, so cached and uncached
+    predictions are bit-identical.
+    """
+
+    def __init__(
+        self,
+        namespace: str,
+        store: Optional["ArtifactCache"] = None,
+    ) -> None:
+        self.namespace = namespace
+        self.hits = 0
+        self.misses = 0
+        self._store = store
+        self._mem: Dict[str, float] = {}
+        self._dirty = False
+        if store is not None:
+            state = store.load(self._store_key())
+            if state is not None:
+                self._mem.update(state.get("predictions", {}))
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def _store_key(self) -> str:
+        return f"pred-{self.namespace}"
+
+    def lookup(self, keys: "list[str]") -> "list[Optional[float]]":
+        """Cached prediction per key (``None`` on miss), counting
+        hits/misses both locally and in the obs registry."""
+        out: "list[Optional[float]]" = []
+        hits = misses = 0
+        for key in keys:
+            value = self._mem.get(key)
+            if value is None:
+                misses += 1
+            else:
+                hits += 1
+            out.append(value)
+        self.hits += hits
+        self.misses += misses
+        metrics = get_metrics()
+        if hits:
+            metrics.counter(
+                "prediction_cache_requests", result="hit"
+            ).inc(hits)
+        if misses:
+            metrics.counter(
+                "prediction_cache_requests", result="miss"
+            ).inc(misses)
+        return out
+
+    def insert(self, keys: "list[str]", values: "list[float]") -> None:
+        for key, value in zip(keys, values):
+            self._mem[key] = float(value)
+        if keys:
+            self._dirty = True
+
+    def flush(self) -> Optional[Path]:
+        """Persist the map through the backing store, if any (no-op for
+        purely in-memory caches or when nothing changed)."""
+        if self._store is None or not self._dirty:
+            return None
+        path = self._store.store(
+            self._store_key(), {"predictions": dict(self._mem)}
+        )
+        self._dirty = False
+        return path
 
 
 class ArtifactCache:

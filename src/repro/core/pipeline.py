@@ -215,6 +215,11 @@ class Clara:
                 self.predictor.fit(dataset)
                 sp.set("vocab_size", self.predictor.vocab.size)
                 sp.set("epochs", config.predictor_epochs)
+            with span("distill_predictor") as sp:
+                # GBDT fast path imitating the fitted LSTM over the
+                # same corpus (--predictor-mode distilled/auto).
+                self.predictor.distill(dataset)
+                sp.set("threshold", self.predictor.distilled.threshold)
             with span("build_algorithm_corpus") as sp:
                 corpus = build_algorithm_corpus(
                     seed=self.seed, n_negatives=config.n_negatives
@@ -288,6 +293,20 @@ class Clara:
             get_metrics().counter("colocation_rankings").inc()
             order = self.colocation.rank_pairs(pairs)
             return [pairs[i] for i in order]
+
+    # -- serving fast paths ---------------------------------------------
+    def enable_prediction_cache(
+        self, store: Optional[ArtifactCache] = None
+    ) -> "Any":
+        """Attach the content-addressed prediction cache to the fitted
+        predictor, namespaced to this pipeline's NIC target.  Pass
+        ``store`` to page previously flushed predictions in from disk;
+        without it the cache is purely in-memory (what ``clara serve``
+        uses).  Returns the attached
+        :class:`~repro.core.artifacts.PredictionCache`."""
+        return self.predictor.attach_prediction_cache(
+            store=store, nic=self.nic
+        )
 
     # -- artifact persistence -------------------------------------------
     def state_dict(self) -> Dict[str, object]:

@@ -10,18 +10,28 @@ porting instead of prediction.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.click.elements import all_elements
+from repro.core.artifacts import (
+    ArtifactCache,
+    PredictionCache,
+    _nic_fingerprint,
+    sequence_key,
+)
 from repro.core.insights import InsightReport
 from repro.errors import NotTrainedError
 from repro.core.parallel import synthesize_predictor_rows
 from repro.core.prepare import PreparedNF
+from repro.ml.distill import ConfidenceGatedGBDT
 from repro.ml.encoding import (
     InstructionVocabulary,
+    encode_block_ids,
     encode_blocks,
     histogram_features,
 )
@@ -31,11 +41,17 @@ from repro.nic.compiler import compile_module
 from repro.nic.isa import NICProgram
 from repro.nic.libnfp import api_cost
 from repro.nic.port import PortConfig
-from repro.obs.metrics import observe_latency
+from repro.obs.metrics import get_metrics, observe_latency
 from repro.synthesis.stats import extract_stats
 
 #: Sequence length cap for block encodings (longer blocks truncate).
 MAX_BLOCK_LEN = 112
+
+#: Serving modes: ``lstm`` always runs the sequence model;
+#: ``distilled`` always serves the distilled GBDT student; ``auto``
+#: serves the student only where its error model is confident and
+#: falls back to the LSTM elsewhere.
+PREDICTOR_MODES = ("lstm", "distilled", "auto")
 
 
 def iter_block_samples(prepared: PreparedNF, program: NICProgram):
@@ -141,6 +157,13 @@ class InstructionPredictor:
         self.seed = seed
         self.vocab = InstructionVocabulary()
         self.model: Optional[LSTMRegressor] = None
+        #: distilled GBDT fast path (``None`` until :meth:`distill`);
+        #: part of :meth:`state_dict` — it is learned state.
+        self.distilled: Optional[ConfidenceGatedGBDT] = None
+        self._predictor_mode: str = "lstm"
+        self._prediction_cache: Optional[PredictionCache] = None
+        self._cache_store: Optional[ArtifactCache] = None
+        self._cache_nic: Any = None
         #: optional serving-time indirection: when set, every
         #: :meth:`predict_sequences` call routes through it instead of
         #: running the model directly (the serve broker installs one to
@@ -162,6 +185,107 @@ class InstructionPredictor:
         self.model.fit(X, mask, y, epochs=self.epochs, seed=self.seed)
         return self
 
+    def distill(self, dataset: PredictorDataset) -> "InstructionPredictor":
+        """Train the GBDT fast path to imitate the fitted LSTM over
+        ``dataset`` (typically the synthesis corpus the LSTM itself was
+        trained on).  The teacher signal is the LSTM's *served outputs*
+        — chunked long blocks included — so the student approximates
+        exactly the function :meth:`predict_direct` serves."""
+        if self.model is None:
+            raise NotTrainedError("fit the predictor before distilling")
+        sequences = [list(seq) for seq in dataset.sequences]
+        teacher = self._predict_uncached(sequences, mode="lstm")
+        features = histogram_features(self.vocab, sequences)
+        self.distilled = ConfidenceGatedGBDT.distill(
+            features, np.log1p(np.maximum(teacher, 0.0)), seed=self.seed
+        )
+        return self
+
+    # -- serving mode and prediction cache -----------------------------
+    @property
+    def predictor_mode(self) -> str:
+        return self._predictor_mode
+
+    @predictor_mode.setter
+    def predictor_mode(self, value: str) -> None:
+        if value not in PREDICTOR_MODES:
+            raise ValueError(
+                f"predictor_mode must be one of {PREDICTOR_MODES}, "
+                f"got {value!r}"
+            )
+        if value == self._predictor_mode:
+            return
+        self._predictor_mode = value
+        if self._prediction_cache is not None:
+            # The mode is part of the cache namespace — re-attach so
+            # stale entries from the previous mode cannot be served.
+            self.attach_prediction_cache(
+                store=self._cache_store, nic=self._cache_nic
+            )
+
+    def model_fingerprint(self) -> str:
+        """Content hash of the fitted weights + vocabulary + encoding
+        geometry: two predictors with identical fingerprints produce
+        identical predictions."""
+        if self.model is None:
+            raise NotTrainedError("predictor is not fitted")
+        digest = hashlib.sha256()
+        digest.update(
+            json.dumps(
+                {
+                    "hidden_dim": self.hidden_dim,
+                    "max_len": self.max_len,
+                    "vocab": self.vocab.tokens(),
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+        )
+        for name in sorted(self.model.params):
+            digest.update(name.encode("utf-8"))
+            digest.update(np.ascontiguousarray(self.model.params[name]).tobytes())
+        return digest.hexdigest()[:24]
+
+    def prediction_namespace(self, nic: Any = None) -> str:
+        """Cache namespace: model fingerprint x predictor mode (plus
+        the distilled model's fingerprint when it can serve) x target
+        fingerprint.  Any change to what a token sequence would predict
+        lands in a fresh namespace."""
+        payload: dict = {
+            "model": self.model_fingerprint(),
+            "mode": self.predictor_mode,
+            "nic": _nic_fingerprint(nic),
+        }
+        if self.predictor_mode != "lstm" and self.distilled is not None:
+            payload["distilled"] = self.distilled.fingerprint()
+        blob = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+    def attach_prediction_cache(
+        self,
+        store: Optional[ArtifactCache] = None,
+        nic: Any = None,
+    ) -> PredictionCache:
+        """Enable the content-addressed prediction cache (consulted by
+        :meth:`predict_direct` before any encoding happens).  Pass
+        ``store`` to page the namespace in from disk and allow
+        :meth:`~repro.core.artifacts.PredictionCache.flush`; ``nic``
+        scopes the namespace to a target."""
+        self._cache_store = store
+        self._cache_nic = nic
+        self._prediction_cache = PredictionCache(
+            self.prediction_namespace(nic), store=store
+        )
+        return self._prediction_cache
+
+    def detach_prediction_cache(self) -> None:
+        self._prediction_cache = None
+        self._cache_store = None
+        self._cache_nic = None
+
+    @property
+    def prediction_cache(self) -> Optional[PredictionCache]:
+        return self._prediction_cache
+
     # -- uniform advisor protocol --------------------------------------
     def advise(
         self, prepared: PreparedNF, profile=None, workload=None
@@ -178,6 +302,7 @@ class InstructionPredictor:
             "seed": self.seed,
             "vocab": self.vocab,
             "model": self.model,
+            "distilled": self.distilled,
         }
 
     def load_state_dict(self, state: dict) -> "InstructionPredictor":
@@ -187,6 +312,7 @@ class InstructionPredictor:
         self.seed = int(state["seed"])
         self.vocab = state["vocab"]
         self.model = state["model"]
+        self.distilled = state.get("distilled")
         return self
 
     def set_infer_hook(
@@ -219,30 +345,98 @@ class InstructionPredictor:
         """Run the model on ``sequences`` in this thread, bypassing any
         installed hook — re-entrant and thread-safe (the fitted weights
         are only read), so a broker can batch many callers into one
-        call here.  Blocks longer than ``max_len`` are chunked and
-        their chunk predictions summed — instruction selection is
-        local, so a long straight-line block compiles to roughly the
-        concatenation of its windows."""
+        call here.  The input is materialized exactly once, so
+        single-pass iterables (generators) are safe.  When a prediction
+        cache is attached, each sequence's content hash is consulted
+        before any encoding happens and only misses reach the model;
+        the kernel is batch-composition-invariant, so cached and
+        uncached predictions are bit-identical."""
         if self.model is None:
             raise NotTrainedError("predictor is not fitted")
         with observe_latency("predict_latency_seconds"):
-            chunks: List[List[str]] = []
-            owners: List[int] = []
-            for i, seq in enumerate(sequences):
-                seq = list(seq)
-                if not seq:
-                    chunks.append(seq)
-                    owners.append(i)
-                    continue
-                for start in range(0, len(seq), self.max_len):
-                    chunks.append(seq[start : start + self.max_len])
-                    owners.append(i)
-            X, mask = encode_blocks(self.vocab, chunks, self.max_len)
-            chunk_preds = self.model.predict(X, mask)
-            out = np.zeros(len(list(sequences)))
-            for owner, value in zip(owners, chunk_preds):
-                out[owner] += value
+            seqs = [list(seq) for seq in sequences]
+            out = np.zeros(len(seqs))
+            cache = self._prediction_cache
+            if cache is None:
+                missing = list(range(len(seqs)))
+                keys: List[str] = []
+            else:
+                keys = [sequence_key(seq) for seq in seqs]
+                cached = cache.lookup(keys)
+                missing = []
+                for i, value in enumerate(cached):
+                    if value is None:
+                        missing.append(i)
+                    else:
+                        out[i] = value
+            if missing:
+                values = self._predict_uncached([seqs[i] for i in missing])
+                for i, value in zip(missing, values):
+                    out[i] = value
+                if cache is not None:
+                    cache.insert(
+                        [keys[i] for i in missing],
+                        [float(v) for v in values],
+                    )
             return out
+
+    def _predict_uncached(
+        self,
+        seqs: List[List[str]],
+        mode: Optional[str] = None,
+    ) -> np.ndarray:
+        """Model inference for already-materialized sequences (the
+        cache-miss path).  Blocks longer than ``max_len`` are chunked
+        and their chunk predictions summed — instruction selection is
+        local, so a long straight-line block compiles to roughly the
+        concatenation of its windows.  ``mode`` overrides the serving
+        mode (distillation uses ``"lstm"`` to get a pure teacher
+        signal)."""
+        chunks: List[List[str]] = []
+        owners: List[int] = []
+        for i, seq in enumerate(seqs):
+            if not seq:
+                chunks.append(seq)
+                owners.append(i)
+                continue
+            for start in range(0, len(seq), self.max_len):
+                chunks.append(seq[start : start + self.max_len])
+                owners.append(i)
+        mode = mode or self.predictor_mode
+        if mode == "lstm":
+            chunk_preds = self._lstm_chunk_predictions(chunks)
+        else:
+            if self.distilled is None:
+                raise NotTrainedError(
+                    f"predictor_mode={mode!r} requires a distilled model"
+                    " (call distill() or train via Clara.train)"
+                )
+            features = histogram_features(self.vocab, chunks)
+            chunk_preds = self.distilled.predict_counts(features)
+            if mode == "auto":
+                fallback = np.flatnonzero(~self.distilled.confident(features))
+                if len(fallback):
+                    chunk_preds[fallback] = self._lstm_chunk_predictions(
+                        [chunks[j] for j in fallback]
+                    )
+                get_metrics().counter(
+                    "predictor_distilled_served", result="distilled"
+                ).inc(len(chunks) - len(fallback))
+                get_metrics().counter(
+                    "predictor_distilled_served", result="lstm_fallback"
+                ).inc(len(fallback))
+        out = np.zeros(len(seqs))
+        for owner, value in zip(owners, chunk_preds):
+            out[owner] += value
+        return out
+
+    def _lstm_chunk_predictions(self, chunks: List[List[str]]) -> np.ndarray:
+        """The batched LSTM kernel over encoded chunks.  Integer-id
+        encoding feeds :meth:`~repro.ml.lstm.LSTMRegressor.predict_ids`
+        — bit-identical to the one-hot matmul without materializing the
+        dense ``[n, max_len, vocab]`` tensor."""
+        ids, mask = encode_block_ids(self.vocab, chunks, self.max_len)
+        return self.model.predict_ids(ids, mask)
 
     def evaluate(self, dataset: PredictorDataset) -> float:
         """WMAPE against ground truth (the paper's Section 5.2 metric)."""

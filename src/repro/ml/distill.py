@@ -1,0 +1,124 @@
+"""Confidence-gated GBDT distillation of a sequence model.
+
+The LSTM predictor is accurate but recurrent; a GBDT over bag-of-words
+histogram features answers in a handful of tree walks.  Distillation
+trains the GBDT to imitate the *LSTM's own outputs* (not ground truth)
+over the synthesized corpus, so serving it is an approximation of the
+same function, and an **error model** — a second GBDT trained on
+K-fold out-of-fold absolute residuals of the student — predicts how
+far off the student is likely to be for a given feature row.  Rows
+whose predicted error is within the calibrated threshold are served by
+the student; the rest fall back to the teacher.
+
+This module is pure mechanism (features in, gated predictions out);
+the policy of *when* to consult it lives in
+:class:`repro.core.predictor.InstructionPredictor`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.gbdt import GBDTRegressor
+
+__all__ = ["ConfidenceGatedGBDT", "DEFAULT_CONFIDENCE_QUANTILE"]
+
+#: Fraction of out-of-fold residuals the confidence threshold admits:
+#: at 0.5, rows the error model scores better than the student's median
+#: out-of-fold error are served without teacher fallback.
+DEFAULT_CONFIDENCE_QUANTILE = 0.5
+
+
+class ConfidenceGatedGBDT:
+    """A distilled student model plus its own error predictor.
+
+    ``model`` regresses the teacher's log-space outputs from histogram
+    features; ``error_model`` regresses the student's expected absolute
+    log-space residual (estimated out-of-fold, so it is honest about
+    unseen rows); ``threshold`` is the residual level below which the
+    student is trusted.
+    """
+
+    def __init__(
+        self,
+        model: GBDTRegressor,
+        error_model: GBDTRegressor,
+        threshold: float,
+    ) -> None:
+        self.model = model
+        self.error_model = error_model
+        self.threshold = float(threshold)
+
+    @classmethod
+    def distill(
+        cls,
+        features: np.ndarray,
+        teacher_log: np.ndarray,
+        seed: int = 0,
+        n_folds: int = 5,
+        confidence_quantile: float = DEFAULT_CONFIDENCE_QUANTILE,
+        n_rounds: Optional[int] = None,
+    ) -> "ConfidenceGatedGBDT":
+        """Fit student + error model from ``(features, teacher_log)``.
+
+        The error model's training targets are **out-of-fold**: each
+        row's residual comes from a student that never saw it, so the
+        confidence gate generalizes instead of memorizing the corpus.
+        """
+        features = np.asarray(features, dtype=float)
+        teacher_log = np.asarray(teacher_log, dtype=float)
+        n = len(features)
+        if n == 0:
+            raise ValueError("cannot distill from an empty corpus")
+        kwargs = {} if n_rounds is None else {"n_rounds": int(n_rounds)}
+        model = GBDTRegressor(seed=seed, **kwargs).fit(features, teacher_log)
+
+        folds = min(max(2, n_folds), n)
+        rng = np.random.default_rng(seed)
+        fold_ids = rng.permutation(n) % folds
+        oof_abs = np.zeros(n)
+        for k in range(folds):
+            held = fold_ids == k
+            train = ~held
+            if not held.any() or not train.any():
+                continue
+            student = GBDTRegressor(seed=seed + 1 + k, **kwargs).fit(
+                features[train], teacher_log[train]
+            )
+            oof_abs[held] = np.abs(
+                student.predict(features[held]) - teacher_log[held]
+            )
+        error_model = GBDTRegressor(seed=seed + 101, **kwargs).fit(
+            features, oof_abs
+        )
+        threshold = float(np.quantile(oof_abs, confidence_quantile))
+        return cls(model, error_model, threshold)
+
+    def predict_counts(self, features: np.ndarray) -> np.ndarray:
+        """Student predictions mapped back to count space (the same
+        ``expm1``/clamp the LSTM inference path applies)."""
+        return np.maximum(np.expm1(self.model.predict(features)), 0.0)
+
+    def confident(self, features: np.ndarray) -> np.ndarray:
+        """Boolean mask: rows whose predicted student error is within
+        the calibrated threshold."""
+        return self.error_model.predict(features) <= self.threshold
+
+    def fingerprint(self) -> str:
+        """Content hash of the fitted student+gate (prediction-cache
+        namespacing): identical distillations hash identically."""
+        payload = pickle.dumps(
+            (
+                self.threshold,
+                self.model.base_,
+                self.model.trees,
+                self.error_model.base_,
+                self.error_model.trees,
+            ),
+            protocol=4,
+        )
+        return hashlib.sha256(payload).hexdigest()[:24]

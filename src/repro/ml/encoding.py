@@ -186,6 +186,31 @@ def encode_blocks(
     return X, mask
 
 
+def encode_block_ids(
+    vocab: InstructionVocabulary,
+    token_sequences: Sequence[Sequence[str]],
+    max_len: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Integer-id batch encoding: ``(ids[n, max_len], mask[n, max_len])``.
+
+    The inference-side counterpart of :func:`encode_blocks`: the LSTM's
+    input projection of a one-hot row is exactly one row of its weight
+    matrix, so ``ids`` feed an embedding gather
+    (:meth:`~repro.ml.lstm.LSTMRegressor.predict_ids`) that is
+    bit-identical to the one-hot matmul without ever materializing the
+    dense ``[n, max_len, vocab]`` tensor.  Padded positions hold id 0
+    (the pad token) and mask 0.
+    """
+    n = len(token_sequences)
+    ids = np.zeros((n, max_len), dtype=np.int64)
+    mask = np.zeros((n, max_len), dtype=np.float32)
+    for i, tokens in enumerate(token_sequences):
+        encoded = vocab.encode(list(tokens)[:max_len])
+        ids[i, : len(encoded)] = encoded
+        mask[i, : len(encoded)] = 1.0
+    return ids, mask
+
+
 def histogram_features(
     vocab: InstructionVocabulary, token_sequences: Sequence[Sequence[str]]
 ) -> np.ndarray:

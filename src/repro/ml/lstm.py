@@ -13,9 +13,15 @@ positive and heavy-tailed); predictions are clamped at zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
+
+#: rows per inference slice.  Very large batches (the serve broker can
+#: merge hundreds of concurrent requests) are processed in slices of
+#: this many sequences so peak activation memory stays bounded; slicing
+#: cannot change results because rows are independent.
+INFER_CHUNK_ROWS = 2048
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -98,6 +104,58 @@ class LSTMRegressor:
         r1 = np.maximum(a1, 0.0)
         out = (r1 @ p["W2"] + p["b2"]).ravel()
         return out, (caches, features, a1, r1)
+
+    def _infer_from_projections(
+        self, Zx: np.ndarray, mask: np.ndarray, norm_len: int
+    ) -> np.ndarray:
+        """Inference-only recurrence: ``Zx[B, T_eff, 4H]`` holds the
+        already-projected inputs (``x_t @ Wx`` for every timestep at
+        once — one fused matmul or, for one-hot rows, an exact
+        embedding gather), so the loop does a single ``[B,H]@[H,4H]``
+        matmul per timestep and no BPTT caches are built.  ``mask`` is
+        the *full* padded mask (its width may exceed ``Zx``'s T: fully
+        masked tail timesteps carry h/c unchanged, so truncating them
+        is exact).  ``norm_len`` is the padded width the length feature
+        is normalized by — it must be the encoder's ``max_len``, not
+        the truncated T, or truncation would change predictions.
+
+        Results are independent of batch composition: the output
+        projection is a per-row reduction (a width-1 matmul would
+        dispatch to a GEMV whose accumulation order varies with B), and
+        single-row batches are padded to two rows so every matmul takes
+        the same GEMM path as larger batches.  This is what makes
+        broker-merged, chunked, and per-request predictions
+        bit-identical.
+
+        Returns log-space predictions ``[B]``.
+        """
+        B, T_eff, _ = Zx.shape
+        single = B == 1
+        if single:
+            Zx = np.concatenate([Zx, Zx], axis=0)
+            mask = np.concatenate([mask, mask], axis=0)
+            B = 2
+        H = self.hidden_dim
+        p = self.params
+        Wh, b = p["Wh"], p["b"]
+        h = np.zeros((B, H))
+        c = np.zeros((B, H))
+        for t in range(T_eff):
+            z = Zx[:, t, :] + h @ Wh + b
+            i = _sigmoid(z[:, :H])
+            f = _sigmoid(z[:, H : 2 * H])
+            g = np.tanh(z[:, 2 * H : 3 * H])
+            o = _sigmoid(z[:, 3 * H :])
+            c_new = f * c + i * g
+            h_new = o * np.tanh(c_new)
+            m_t = mask[:, t][:, None]
+            c = m_t * c_new + (1.0 - m_t) * c
+            h = m_t * h_new + (1.0 - m_t) * h
+        length = mask.sum(axis=1, keepdims=True) / max(norm_len, 1)
+        features = np.concatenate([h, length], axis=1)
+        r1 = np.maximum(features @ p["W1"] + p["b1"], 0.0)
+        out = (r1 * p["W2"].ravel()).sum(axis=1) + p["b2"].ravel()
+        return out[:1] if single else out
 
     def _backward(self, X, mask, d_out, cache):
         B, T, _D = X.shape
@@ -188,6 +246,64 @@ class LSTMRegressor:
                 print(f"epoch {epoch}: mse={self.history[-1]:.4f}")
         return self
 
-    def predict(self, X: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        pred_log, _ = self._forward(X, mask)
-        return np.maximum(np.expm1(pred_log), 0.0)
+    def predict(
+        self,
+        X: np.ndarray,
+        mask: np.ndarray,
+        chunk_rows: Optional[int] = None,
+    ) -> np.ndarray:
+        """Batched inference over dense (one-hot) sequences.
+
+        Unlike the training forward pass this projects every timestep's
+        input in one fused matmul, truncates the recurrence to the
+        longest unmasked length in each slice, and processes at most
+        ``chunk_rows`` sequences at a time (default
+        :data:`INFER_CHUNK_ROWS`) to bound peak memory.  Rows are
+        independent, so slicing and truncation cannot change results.
+        """
+        chunk_rows = INFER_CHUNK_ROWS if chunk_rows is None else chunk_rows
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        B, T, D = X.shape
+        p = self.params
+        out = np.empty(B)
+        for start in range(0, B, chunk_rows):
+            xb = X[start : start + chunk_rows]
+            mb = mask[start : start + chunk_rows]
+            t_eff = int(mb.sum(axis=1).max()) if len(mb) else 0
+            Zx = (
+                xb[:, :t_eff, :].reshape(len(xb) * t_eff, D) @ p["Wx"]
+            ).reshape(len(xb), t_eff, 4 * self.hidden_dim)
+            out[start : start + chunk_rows] = \
+                self._infer_from_projections(Zx, mb, norm_len=T)
+        return np.maximum(np.expm1(out), 0.0)
+
+    def predict_ids(
+        self,
+        ids: np.ndarray,
+        mask: np.ndarray,
+        chunk_rows: Optional[int] = None,
+    ) -> np.ndarray:
+        """Batched inference over integer token ids ``[B, T]``.
+
+        The input projection of a one-hot row is exactly one row of
+        ``Wx``, so the fused matmul becomes an embedding gather —
+        bit-identical to :meth:`predict` on the equivalent one-hot
+        tensor (a one-hot dot product sums a single nonzero term) and
+        much faster, because the dense ``[B, T, vocab]`` tensor is
+        never materialized.
+        """
+        chunk_rows = INFER_CHUNK_ROWS if chunk_rows is None else chunk_rows
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        B, T = ids.shape
+        Wx = self.params["Wx"]
+        out = np.empty(B)
+        for start in range(0, B, chunk_rows):
+            ib = ids[start : start + chunk_rows]
+            mb = mask[start : start + chunk_rows]
+            t_eff = int(mb.sum(axis=1).max()) if len(mb) else 0
+            Zx = Wx[ib[:, :t_eff]]
+            out[start : start + chunk_rows] = \
+                self._infer_from_projections(Zx, mb, norm_len=T)
+        return np.maximum(np.expm1(out), 0.0)

@@ -33,8 +33,6 @@ What it preserves — and what Clara's analyses actually depend on — is
 workload-dependent knees, and (e) memory interference under colocation.
 """
 
-import warnings
-
 from repro.nic.isa import NICInstruction, NICProgram, BlockAsm
 from repro.nic.regions import (
     MemRegion,
@@ -82,22 +80,3 @@ __all__ = [
     "ColocationResult",
     "simulate_colocation",
 ]
-
-
-def __getattr__(name):
-    # One-release deprecation shim: ``default_hierarchy`` used to be
-    # the way to get "the" NIC's memory hierarchy; with pluggable
-    # targets the hierarchy belongs to a TargetDescription.
-    if name == "default_hierarchy":
-        warnings.warn(
-            "repro.nic.default_hierarchy is deprecated; use "
-            "repro.nic.get_target('nfp-4000').hierarchy() (or the "
-            "hierarchy of whichever target you are analysing for). "
-            "The alias will be removed next release.",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.nic.regions import default_hierarchy
-
-        return default_hierarchy
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -270,6 +270,27 @@ def _case_predictor_infer(ctx: BenchContext) -> Callable[[], Any]:
     return run
 
 
+@register_case("predictor_infer_cached",
+               "per-NF prediction served from the prediction cache")
+def _case_predictor_infer_cached(ctx: BenchContext) -> Callable[[], Any]:
+    from repro.core.predictor import InstructionPredictor
+
+    base = ctx.fitted_predictor()
+    # Clone through the state dict so the cache attaches to a private
+    # predictor — the shared fixture must stay cache-free for the
+    # uncached predictor_infer case.
+    predictor = InstructionPredictor().load_state_dict(base.state_dict())
+    predictor.attach_prediction_cache()
+    sequences = ctx.prepared("aggcounter").block_token_sequences()
+    # Populate during setup; every timed repeat is then a pure
+    # content-addressed hit (bit-identical to the uncached result).
+    predictor.predict_direct(sequences)
+
+    def run():
+        return predictor.predict_sequences(sequences)
+    return run
+
+
 @register_case("algorithm_id", "algorithm identification over a profiled NF")
 def _case_algorithm_id(ctx: BenchContext) -> Callable[[], Any]:
     from repro.core.algorithms import AlgorithmIdentifier, build_algorithm_corpus

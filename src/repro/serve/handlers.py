@@ -135,6 +135,13 @@ class ClaraService:
     lazily — on the first ``colocation`` request — with
     ``colocation_programs``/``colocation_groups`` sized deployments,
     behind a lock so concurrent first requests train once.
+
+    ``predict_cache`` attaches an in-memory content-addressed
+    prediction cache to every served predictor (repeat analyzes answer
+    from it; results are bit-identical either way) and
+    ``predictor_mode`` selects the serving mode (``lstm``,
+    ``distilled``, or ``auto``) — both also apply to lazily trained
+    per-target Claras.
     """
 
     def __init__(
@@ -144,17 +151,32 @@ class ClaraService:
         max_batch: int = 64,
         colocation_programs: int = 12,
         colocation_groups: int = 12,
+        predict_cache: bool = True,
+        predictor_mode: str = "lstm",
     ) -> None:
         self.clara = clara
         self.colocation_programs = int(colocation_programs)
         self.colocation_groups = int(colocation_groups)
+        self.predict_cache = bool(predict_cache)
+        self.predictor_mode = predictor_mode
         self._colocation_lock = threading.Lock()
         #: per-target warm Claras; the primary serves its own target.
         self._claras: Dict[str, Any] = {clara.nic.target.name: clara}
         self._target_lock = threading.Lock()
+        self._configure_predictor(clara)
         self.broker = PredictBroker.for_predictor(
             clara.predictor, window_s=batch_window_s, max_batch=max_batch
         )
+
+    def _configure_predictor(self, clara) -> None:
+        """Apply the service's serving mode and (in-memory) prediction
+        cache to one warm Clara — mode first, because the cache
+        namespace depends on it."""
+        clara.predictor.predictor_mode = self.predictor_mode
+        # A cold Clara (healthz 503 until trained) has no weights to
+        # fingerprint yet — the cache only attaches to fitted models.
+        if self.predict_cache and clara.predictor.model is not None:
+            clara.enable_prediction_cache()
 
     def clara_for(self, target: Optional[str]):
         """The warm Clara for ``target`` (``None`` = the primary's).
@@ -182,6 +204,7 @@ class ClaraService:
                 )
                 existing = Clara(seed=self.clara.seed, target=target)
                 existing.train(config, cache="auto")
+                self._configure_predictor(existing)
                 self._claras[target] = existing
         return existing
 
@@ -247,8 +270,29 @@ class ClaraService:
                 "batches": self.broker.n_batches,
                 "batched_requests": self.broker.n_jobs,
             },
+            "predictor": self._predictor_health(),
         }
         return (200 if trained else 503), envelope("health", result)
+
+    def _predictor_health(self) -> Dict[str, Any]:
+        """Serving-mode and prediction-cache stats, summed over every
+        warm Clara (the per-target ones share the service config)."""
+        hits = misses = entries = 0
+        for clara in self._claras.values():
+            cache = clara.predictor.prediction_cache
+            if cache is not None:
+                hits += cache.hits
+                misses += cache.misses
+                entries += len(cache)
+        return {
+            "mode": self.predictor_mode,
+            "cache": {
+                "enabled": self.predict_cache,
+                "hits": hits,
+                "misses": misses,
+                "entries": entries,
+            },
+        }
 
     # -- internals ------------------------------------------------------
     def _ensure_colocation(self) -> None:

@@ -60,6 +60,11 @@ class ServeConfig:
     #: lazy colocation-ranker training sizes.
     colocation_programs: int = 12
     colocation_groups: int = 12
+    #: in-memory content-addressed prediction cache (repeat analyzes
+    #: answer from it; cached and uncached results are bit-identical).
+    predict_cache: bool = True
+    #: predictor serving mode: ``lstm``, ``distilled``, or ``auto``.
+    predictor_mode: str = "lstm"
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -248,5 +253,7 @@ def build_server(clara, config: ServeConfig) -> ClaraServer:
         max_batch=config.max_batch,
         colocation_programs=config.colocation_programs,
         colocation_groups=config.colocation_groups,
+        predict_cache=config.predict_cache,
+        predictor_mode=config.predictor_mode,
     )
     return ClaraServer(service, host=config.host, port=config.port)

@@ -1,8 +1,7 @@
 """Target-registry tests: description round-trips, registration
 discipline, cross-target model divergence, per-target cache keys, and
-the deprecation shim for the pre-registry import surface."""
+the removed pre-registry import surface."""
 
-import warnings
 
 import pytest
 
@@ -178,16 +177,14 @@ class TestCacheKeys:
         assert first == second
 
 
-class TestDeprecationShim:
-    def test_default_hierarchy_import_warns(self):
+class TestDeprecationShimRemoved:
+    def test_default_hierarchy_alias_is_gone(self):
+        # The one-release shim completed its cycle; the hierarchy now
+        # belongs to a TargetDescription.
         import repro.nic as nic
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            fn = nic.default_hierarchy
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
-        assert fn().regions.keys() == NFP_4000.hierarchy().regions.keys()
+        with pytest.raises(AttributeError):
+            nic.default_hierarchy
 
     def test_unknown_attribute_still_raises(self):
         import repro.nic as nic
