@@ -9,11 +9,17 @@ exactly as an operator would —
    otherwise the daemon trains quick-mode through the artifact cache);
 2. poll ``GET /healthz`` until the daemon reports ready;
 3. drive one request through every endpoint — analyze, lint,
-   colocation — and check each response envelope;
+   colocation — and check each response envelope; the analyze request
+   carries an ``X-Clara-Request-Id`` and the echo is asserted (header
+   and envelope);
 4. confirm the error mapping (an unknown element must be a 404 with a
    typed error body, not a 500);
-5. scrape ``GET /metrics`` and check the request counters moved;
-6. SIGTERM the daemon and require a clean exit status 0.
+5. read the correlated events back from ``GET /v1/events`` and export
+   the whole journal with ``clara events --jsonl serve_events.jsonl``
+   (CI uploads the file as a build artifact);
+6. scrape ``GET /metrics``, check the request counters moved, and run
+   the payload through the strict exposition-format validator;
+7. SIGTERM the daemon and require a clean exit status 0.
 
 Any failed check raises, which exits non-zero and fails the job.
 
@@ -39,23 +45,26 @@ def free_port() -> int:
         return sock.getsockname()[1]
 
 
-def request(url, payload=None, timeout=120):
-    """``(status, parsed_body)``; HTTP error statuses are returned."""
+def request(url, payload=None, timeout=120, request_id=None):
+    """``(status, parsed_body)``; HTTP error statuses are returned.
+    ``request_id`` rides the ``X-Clara-Request-Id`` header."""
     data = None
     headers = {}
     if payload is not None:
         data = json.dumps(payload).encode("utf-8")
         headers["Content-Type"] = "application/json"
+    if request_id is not None:
+        headers["X-Clara-Request-Id"] = request_id
     req = urllib.request.Request(url, data=data, headers=headers)
     try:
         with urllib.request.urlopen(req, timeout=timeout) as resp:
-            return resp.status, resp.read()
+            return resp.status, resp.read(), dict(resp.headers)
     except urllib.error.HTTPError as err:
-        return err.code, err.read()
+        return err.code, err.read(), dict(err.headers)
 
 
 #: wire schema this client speaks (see repro.serve.schemas.WIRE_SCHEMA)
-WIRE_SCHEMA = 3
+WIRE_SCHEMA = 4
 
 
 def envelope_of(body, expected_kind):
@@ -74,7 +83,7 @@ def wait_ready(base, proc):
                 f"daemon exited early with status {proc.returncode}"
             )
         try:
-            status, body = request(f"{base}/healthz", timeout=5)
+            status, body, _headers = request(f"{base}/healthz", timeout=5)
         except (urllib.error.URLError, ConnectionError, TimeoutError):
             time.sleep(0.5)
             continue
@@ -102,25 +111,29 @@ def main() -> None:
         print(f"ready: wire schema {health['wire_schema']},"
               f" kinds {health['request_kinds']}")
 
-        status, body = request(f"{base}/v1/analyze", {
+        rid = "smoke-analyze-1"
+        status, body, headers = request(f"{base}/v1/analyze", {
             "element": "aggcounter",
             "workload": {"name": "smoke", "n_flows": 4096,
                          "n_packets": 60},
-        })
+        }, request_id=rid)
         assert status == 200, (status, body)
+        assert headers.get("X-Clara-Request-Id") == rid, headers
+        env = json.loads(body.decode("utf-8"))
+        assert env["request_id"] == rid, env
         result = envelope_of(body, "analysis_result")
         assert result["report"]["nf_name"] == "aggcounter", result
         assert result["port_config"]["cores"] >= 1, result
-        print("analyze: ok")
+        print("analyze: ok (request id echoed)")
 
-        status, body = request(f"{base}/v1/lint",
-                               {"elements": ["aggcounter"]})
+        status, body, _headers = request(f"{base}/v1/lint",
+                                         {"elements": ["aggcounter"]})
         assert status == 200, (status, body)
         result = envelope_of(body, "lint_run")
         assert result["reports"][0]["module"] == "aggcounter", result
         print(f"lint: ok ({result['n_warnings']} warning(s))")
 
-        status, body = request(f"{base}/v1/lint", {
+        status, body, _headers = request(f"{base}/v1/lint", {
             "elements": ["aggcounter"], "target": "dpu-offpath",
         })
         assert status == 200, (status, body)
@@ -128,7 +141,7 @@ def main() -> None:
         assert result["target"] == "dpu-offpath", result
         print("lint (dpu-offpath): ok")
 
-        status, body = request(f"{base}/v1/colocation", {
+        status, body, _headers = request(f"{base}/v1/colocation", {
             "elements": ["aggcounter", "udpcount", "iplookup"],
             "workload": {"name": "smoke", "n_packets": 50},
         })
@@ -137,13 +150,14 @@ def main() -> None:
         assert len(result["pairs"]) == 3, result
         print("colocation: ok (3 ranked pairs)")
 
-        status, body = request(f"{base}/v1/analyze", {"element": "nope"})
+        status, body, _headers = request(f"{base}/v1/analyze",
+                                         {"element": "nope"})
         assert status == 404, (status, body)
         error = json.loads(body.decode("utf-8"))["error"]
         assert error["type"] == "UnknownElementError", error
         print("error mapping: ok (unknown element -> 404)")
 
-        status, body = request(f"{base}/v1/analyze", {
+        status, body, _headers = request(f"{base}/v1/analyze", {
             "element": "aggcounter", "target": "no-such-nic",
         })
         assert status == 404, (status, body)
@@ -151,12 +165,40 @@ def main() -> None:
         assert error["type"] == "UnknownTargetError", error
         print("error mapping: ok (unknown target -> 404)")
 
-        status, body = request(f"{base}/metrics")
+        status, body, _headers = request(
+            f"{base}/v1/events?request_id={rid}"
+        )
+        assert status == 200, (status, body)
+        result = envelope_of(body, "events")
+        kinds = [e["kind"] for e in result["events"]]
+        assert "request_start" in kinds, kinds
+        assert all(e["request_id"] == rid for e in result["events"]), \
+            result["events"]
+        print(f"events: ok ({result['n_returned']} event(s) for {rid})")
+
+        # The CLI client over the same endpoint, exporting the full
+        # journal as JSON lines (CI uploads this as a build artifact).
+        subprocess.run(
+            [sys.executable, "-m", "repro", "events", "--url", base,
+             "--jsonl", "serve_events.jsonl"],
+            check=True,
+        )
+        with open("serve_events.jsonl", encoding="utf-8") as handle:
+            n_lines = sum(1 for _ in handle)
+        assert n_lines > 0, "empty event journal export"
+        print(f"clara events: ok ({n_lines} journal line(s) exported)")
+
+        status, body, _headers = request(f"{base}/metrics")
         assert status == 200, status
         text = body.decode("utf-8")
         assert "http_requests_total" in text, text[:400]
         assert 'endpoint="/v1/analyze"' in text, text[:400]
-        print("metrics: ok")
+        assert "slo_latency_seconds" in text, text[:400]
+        from repro.obs import validate_exposition
+
+        problems = validate_exposition(text)
+        assert not problems, problems
+        print("metrics: ok (exposition format validated)")
     finally:
         if proc.poll() is None:
             proc.send_signal(signal.SIGTERM)

@@ -31,6 +31,10 @@ Commands:
   ``LINT_EXIT_ERROR`` (9) on error-severity findings — distinct from
   the ClaraError exit codes so scripts can tell NF portability
   problems from tool failures;
+* ``events`` — poll a running ``clara serve`` daemon's event journal
+  (``GET /v1/events``): filter by ``--kind``/``--for-request``/
+  ``--since-seq``, export JSON lines with ``--jsonl``, or print the
+  daemon's envelope verbatim with ``--json``;
 * ``bench [cases...]`` — time the declared suite of pipeline
   workloads (median-of-N + MAD) and write a schema-versioned
   ``BENCH_<git-sha>.json`` trajectory artifact; ``--compare
@@ -54,6 +58,10 @@ hits/misses) as JSON, ``--trace-out PATH`` exports the span forest as
 Chrome trace-event JSON for Perfetto, ``--metrics PATH`` dumps the
 metrics registry in Prometheus text format, and ``-v``/``-q`` adjust
 ``repro.*`` log verbosity via :func:`repro.obs.configure`.
+``--log-format json`` switches log lines to structured JSON and
+``--request-id ID`` runs the command under a request-correlation
+context (ids stamped on spans, events, logs, and ``--json``
+envelopes — the CLI twin of the daemon's ``X-Clara-Request-Id``).
 
 Errors derived from :class:`repro.errors.ClaraError` exit with a
 distinct status per class (see ``EXIT_CODES`` in docs/API.md) and a
@@ -97,6 +105,17 @@ def _obs_parent() -> argparse.ArgumentParser:
     group.add_argument("--metrics", metavar="PATH", default=None,
                        help="write the metrics registry in Prometheus"
                             " text format after the run")
+    group.add_argument("--request-id", metavar="ID", default=None,
+                       help="run under a request-correlation context:"
+                            " the id is stamped on spans, JSON log"
+                            " lines, journal events, and the --json"
+                            " envelope (same mechanics as the daemon's"
+                            " X-Clara-Request-Id header)")
+    group.add_argument("--log-format", choices=("text", "json"),
+                       default="text",
+                       help="log line format: text (default) or json"
+                            " (one JSON object per line, request/span"
+                            " ids stamped on)")
     group.add_argument("-v", "--verbose", action="count", default=0,
                        help="log more (-v info, -vv debug)")
     group.add_argument("-q", "--quiet", action="store_true",
@@ -508,6 +527,11 @@ def cmd_serve(args) -> int:
         colocation_groups=args.colocation_groups,
         predict_cache=args.predict_cache == "on",
         predictor_mode=args.predictor_mode,
+        slow_request_ms=args.slow_request_ms,
+        slow_trace_dir=args.slow_trace_dir,
+        slo_window_s=args.slo_window_s,
+        slo_p99_s=args.slo_p99_s,
+        slo_error_rate=args.slo_error_rate,
     )
     server = build_server(clara, config)
     print(f"clara serve listening on {server.url()}"
@@ -530,6 +554,81 @@ def cmd_serve(args) -> int:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
     print("clara serve: clean shutdown", file=sys.stderr)
+    return 0
+
+
+def cmd_events(args) -> int:
+    """``clara events``: poll a running daemon's event journal.
+
+    A thin HTTP client over ``GET /v1/events`` — the printed ``--json``
+    body is the daemon's response byte-for-byte (same envelope, same
+    serializer), so scripts can treat both transports identically.
+    ``--jsonl PATH`` additionally re-exports the returned events one
+    JSON object per line for ingestion pipelines.
+    """
+    import urllib.error
+    import urllib.parse
+    import urllib.request
+
+    params = {}
+    if args.kind:
+        params["kind"] = args.kind
+    if args.for_request:
+        params["request_id"] = args.for_request
+    if args.since_seq is not None:
+        params["since_seq"] = str(args.since_seq)
+    if args.n is not None:
+        params["n"] = str(args.n)
+    url = args.url.rstrip("/") + "/v1/events"
+    if params:
+        url += "?" + urllib.parse.urlencode(params)
+    request = urllib.request.Request(url)
+    if args.request_id:
+        request.add_header("X-Clara-Request-Id", args.request_id)
+    try:
+        with urllib.request.urlopen(request, timeout=args.timeout) as resp:
+            body = resp.read()
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        message = body.decode("utf-8", "replace").strip()
+        try:
+            message = json.loads(message)["error"]["message"]
+        except Exception:  # noqa: BLE001 - non-envelope error body
+            pass
+        raise ClaraError(
+            f"daemon at {args.url} rejected the request"
+            f" (HTTP {exc.code}): {message}"
+        ) from None
+    except (urllib.error.URLError, OSError) as exc:
+        reason = getattr(exc, "reason", exc)
+        raise ClaraError(
+            f"cannot reach clara serve at {args.url}: {reason}"
+        ) from None
+
+    envelope_ = json.loads(body.decode("utf-8"))
+    result = envelope_.get("result", {})
+    events = result.get("events", [])
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        print(f"{len(events)} event(s) written to {args.jsonl}",
+              file=sys.stderr)
+    if args.json:
+        sys.stdout.buffer.write(body)
+        if not body.endswith(b"\n"):
+            sys.stdout.write("\n")
+        return 0
+    print(f"{'seq':>6s} {'kind':16s} {'request':34s} data")
+    for event in events:
+        rid = event.get("request_id") or "-"
+        data = json.dumps(event.get("data", {}), sort_keys=True)
+        print(f"{event['seq']:6d} {event['kind']:16s} {rid:34s} {data}")
+    print(
+        f"\n{result.get('n_returned', len(events))} of"
+        f" {result.get('n_emitted', '?')} emitted event(s)"
+        f" ({result.get('n_dropped', 0)} dropped by the ring buffer)"
+    )
     return 0
 
 
@@ -700,6 +799,50 @@ def build_parser() -> argparse.ArgumentParser:
                          default="lstm",
                          help="predictor serving mode (see analyze"
                               " --predictor-mode; default lstm)")
+    p_serve.add_argument("--slow-request-ms", type=float, default=5000.0,
+                         help="requests slower than this capture their"
+                              " full span tree into the event journal"
+                              " (default 5000)")
+    p_serve.add_argument("--slow-trace-dir", metavar="DIR", default=None,
+                         help="also write each slow request's span tree"
+                              " as a Chrome trace file under DIR")
+    p_serve.add_argument("--slo-window-s", type=float, default=300.0,
+                         help="sliding window for the rolling latency"
+                              " quantiles and error rate (default 300)")
+    p_serve.add_argument("--slo-p99-s", type=float, default=2.0,
+                         help="windowed p99 above this marks /healthz"
+                              " degraded (default 2.0)")
+    p_serve.add_argument("--slo-error-rate", type=float, default=0.05,
+                         help="windowed 5xx rate above this marks"
+                              " /healthz degraded (default 0.05)")
+
+    p_events = sub.add_parser(
+        "events",
+        help="poll a running clara serve daemon's event journal",
+        parents=[obs],
+    )
+    p_events.add_argument("--url", default="http://127.0.0.1:8787",
+                          help="daemon base URL (default"
+                               " http://127.0.0.1:8787)")
+    p_events.add_argument("--kind", default=None,
+                          help="only events of this kind (e.g."
+                               " request_finish, broker_batch,"
+                               " slow_request)")
+    p_events.add_argument("--for-request", metavar="ID", default=None,
+                          help="only events stamped with this request id")
+    p_events.add_argument("--since-seq", type=int, default=None,
+                          help="only events with seq > N (incremental"
+                               " polling)")
+    p_events.add_argument("-n", type=int, default=None,
+                          help="at most N events (newest kept)")
+    p_events.add_argument("--jsonl", metavar="PATH", default=None,
+                          help="also export the returned events as JSON"
+                               " lines to PATH")
+    p_events.add_argument("--timeout", type=float, default=10.0,
+                          help="HTTP timeout in seconds (default 10)")
+    p_events.add_argument("--json", action="store_true",
+                          help="print the daemon's envelope verbatim"
+                               " instead of the table")
 
     p_lint = sub.add_parser(
         "lint", help="static offload-portability diagnostics",
@@ -778,12 +921,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": cmd_serve,
         "lint": cmd_lint,
         "bench": cmd_bench,
+        "events": cmd_events,
     }
 
     from repro import obs
 
     obs.configure(verbosity=-1 if getattr(args, "quiet", False)
-                  else getattr(args, "verbose", 0))
+                  else getattr(args, "verbose", 0),
+                  fmt=getattr(args, "log_format", "text"))
     want_report = bool(
         getattr(args, "profile", False)
         or getattr(args, "json_report", None)
@@ -792,10 +937,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     tracer = obs.Tracer() if want_report else None
     previous = obs.set_tracer(tracer) if tracer is not None else None
 
+    # --request-id installs the same correlation context the daemon
+    # builds from X-Clara-Request-Id: spans, journal events, JSON log
+    # lines, and --json envelopes all carry the id, so a CLI run and an
+    # HTTP request with matching ids produce byte-identical bodies.
+    from contextlib import nullcontext
+
+    request_id = getattr(args, "request_id", None)
+    reqctx = (
+        obs.use_request(obs.RequestContext(request_id=request_id))
+        if request_id else nullcontext()
+    )
+
     status, code = "ok", 0
     obs.get_metrics().counter("cli_invocations", command=args.command).inc()
     try:
-        with obs.span(f"cli.{args.command}"):
+        with reqctx, obs.span(f"cli.{args.command}"):
             code = handlers[args.command](args)
     except ClaraError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -276,7 +276,12 @@ class PredictionCache:
 
     def lookup(self, keys: "list[str]") -> "list[Optional[float]]":
         """Cached prediction per key (``None`` on miss), counting
-        hits/misses both locally and in the obs registry."""
+        hits/misses in the obs registry and journaling one
+        ``cache_hit``/``cache_miss`` event per lookup (stamped with the
+        ambient request id, so a request's cache behaviour is visible
+        in ``GET /v1/events``)."""
+        from repro.obs.events import emit
+
         out: "list[Optional[float]]" = []
         hits = misses = 0
         for key in keys:
@@ -293,10 +298,12 @@ class PredictionCache:
             metrics.counter(
                 "prediction_cache_requests", result="hit"
             ).inc(hits)
+            emit("cache_hit", n_keys=hits, cache="prediction")
         if misses:
             metrics.counter(
                 "prediction_cache_requests", result="miss"
             ).inc(misses)
+            emit("cache_miss", n_keys=misses, cache="prediction")
         return out
 
     def insert(self, keys: "list[str]", values: "list[float]") -> None:

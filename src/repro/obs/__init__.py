@@ -20,7 +20,20 @@ the reproduction the same visibility over itself:
   ``--json-report`` render it.
 * :mod:`repro.obs.logconfig` — :func:`configure` wires ``repro.*``
   loggers to stderr at a verbosity; :func:`get_logger` is what library
-  modules use.
+  modules use.  ``fmt="json"`` switches to structured JSON lines with
+  request/span ids stamped on every record.
+* :mod:`repro.obs.reqctx` — :class:`RequestContext`, the
+  contextvars-based request-correlation context: one id follows a
+  request through spans, events, logs, cache lookups, and broker
+  batches (:func:`use_request` / :func:`current_request_id`).
+* :mod:`repro.obs.events` — :class:`EventJournal`, the bounded
+  ring-buffer journal of typed, schema-versioned serving events
+  (request start/finish, cache hit/miss, broker batch, lazy trains,
+  slow-request captures); ``GET /v1/events`` and ``clara events``
+  read it.
+* :mod:`repro.obs.slo` — :class:`SloTracker`, sliding-window
+  p50/p95/p99 + error rate per endpoint, the ``/healthz`` ok/degraded
+  verdict and the ``slo_*`` gauges on ``/metrics``.
 * :mod:`repro.obs.traceexport` — :func:`write_chrome_trace` turns a
   recorded span forest into Chrome trace-event JSON for Perfetto /
   ``chrome://tracing`` (the CLI's ``--trace-out``).
@@ -49,7 +62,14 @@ from repro.obs.bench import (
     compare_runs,
     run_suite,
 )
-from repro.obs.logconfig import configure, get_logger
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    Event,
+    EventJournal,
+    get_journal,
+    set_journal,
+)
+from repro.obs.logconfig import JsonFormatter, configure, get_logger
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -60,16 +80,27 @@ from repro.obs.metrics import (
     observe_latency,
     set_metrics,
     track_inflight,
+    validate_exposition,
 )
 from repro.obs.report import RUN_REPORT_SCHEMA, RunReport
+from repro.obs.reqctx import (
+    RequestContext,
+    current_request,
+    current_request_id,
+    new_request_id,
+    use_request,
+)
 from repro.obs.sampling import SamplingProfiler
+from repro.obs.slo import SloTracker, get_slo_tracker, set_slo_tracker
 from repro.obs.trace import (
     NullTracer,
     Span,
     Tracer,
+    current_span_id,
     get_tracer,
     set_tracer,
     span,
+    use_scoped_tracer,
     use_tracer,
 )
 from repro.obs.traceexport import (
@@ -82,29 +113,46 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchRun",
     "Counter",
+    "EVENT_SCHEMA",
+    "Event",
+    "EventJournal",
     "Gauge",
     "Histogram",
+    "JsonFormatter",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NullTracer",
     "RUN_REPORT_SCHEMA",
+    "RequestContext",
     "RunReport",
     "SamplingProfiler",
+    "SloTracker",
     "Span",
     "Tracer",
     "chrome_trace_events",
     "compare_runs",
     "configure",
+    "current_request",
+    "current_request_id",
+    "current_span_id",
+    "get_journal",
     "get_logger",
     "get_metrics",
+    "get_slo_tracker",
     "get_tracer",
+    "new_request_id",
     "observe_latency",
     "run_suite",
+    "set_journal",
     "set_metrics",
+    "set_slo_tracker",
     "set_tracer",
     "span",
     "to_chrome_trace",
     "track_inflight",
+    "use_request",
+    "use_scoped_tracer",
     "use_tracer",
+    "validate_exposition",
     "write_chrome_trace",
 ]

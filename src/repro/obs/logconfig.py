@@ -5,15 +5,30 @@ All repro modules log through children of the ``repro`` logger
 installs a handler — importing the library never touches global
 logging state, and the root ``repro`` logger carries a
 ``NullHandler`` so unconfigured use stays silent.
+
+Two output formats:
+
+* ``text`` (the default) — the classic ``LEVEL name: message`` lines,
+  suffixed with ``[rid=...]`` when a request context is ambient;
+* ``json`` — one JSON object per line (``ts``, ``level``, ``logger``,
+  ``message``, plus ``request_id``/``span_id`` when a request context
+  or recorded span is ambient), for log pipelines that want to join
+  daemon logs with the event journal and span trees by request id.
+
+Both formats read the correlation ids *at emit time* from
+:mod:`repro.obs.reqctx` / :func:`repro.obs.trace.current_span_id`, so
+library code never threads ids into log calls.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 import sys
+import time
 from typing import Optional, TextIO
 
-__all__ = ["configure", "get_logger"]
+__all__ = ["JsonFormatter", "configure", "get_logger"]
 
 ROOT_LOGGER = "repro"
 
@@ -33,14 +48,69 @@ def get_logger(name: str = "") -> logging.Logger:
     return logging.getLogger(name)
 
 
+def _correlation_ids() -> "tuple[Optional[str], str]":
+    """``(request_id, span_id)`` from the ambient context (lazy import
+    so logging set-up never drags the tracer in)."""
+    from repro.obs.reqctx import current_request_id
+    from repro.obs.trace import current_span_id
+
+    return current_request_id(), current_span_id()
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, request/span ids stamped on."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        request_id, span_id = _correlation_ids()
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if request_id is not None:
+            payload["request_id"] = request_id
+        if span_id:
+            payload["span_id"] = span_id
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+    def formatTime(self, record, datefmt=None):  # pragma: no cover
+        return time.strftime("%Y-%m-%dT%H:%M:%S",
+                             time.gmtime(record.created))
+
+
+class _TextFormatter(logging.Formatter):
+    """The classic text line, with a ``[rid=...]`` suffix inside a
+    request context so interactive ``-v`` output stays correlatable."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = (f"{record.levelname} {record.name}:"
+                f" {record.getMessage()}")
+        request_id, _span_id = _correlation_ids()
+        if request_id is not None:
+            line += f" [rid={request_id}]"
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
 def configure(
-    verbosity: int = 0, stream: Optional[TextIO] = None
+    verbosity: int = 0,
+    stream: Optional[TextIO] = None,
+    fmt: str = "text",
 ) -> logging.Logger:
     """Route ``repro.*`` logs to ``stream`` (default stderr) at a level
     chosen by ``verbosity`` (-1 quiet, 0 warnings, 1 ``-v`` info,
-    2 ``-vv`` debug).  Idempotent: reconfiguring replaces the handler
-    installed by the previous call instead of stacking another."""
-    level = _LEVELS.get(min(int(verbosity), 1), logging.DEBUG)
+    2 ``-vv`` debug), formatted as ``fmt`` (``"text"`` or ``"json"``).
+    Idempotent: reconfiguring replaces the handler installed by the
+    previous call instead of stacking another."""
+    if fmt not in ("text", "json"):
+        raise ValueError(f"log format must be 'text' or 'json', got {fmt!r}")
+    # Clamp below at -1 (quieter stays ERROR); anything above the
+    # mapped range (2+, i.e. -vv) falls through to DEBUG.
+    level = _LEVELS.get(max(int(verbosity), -1), logging.DEBUG)
     logger = logging.getLogger(ROOT_LOGGER)
     for handler in list(logger.handlers):
         if getattr(handler, "_repro_obs", False):
@@ -48,7 +118,7 @@ def configure(
     handler = logging.StreamHandler(stream or sys.stderr)
     handler._repro_obs = True  # type: ignore[attr-defined]
     handler.setFormatter(
-        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        JsonFormatter() if fmt == "json" else _TextFormatter()
     )
     logger.addHandler(handler)
     logger.setLevel(level)

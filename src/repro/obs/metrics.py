@@ -15,6 +15,7 @@ runs, analyses), never per packet or per block.
 from __future__ import annotations
 
 import bisect
+import re
 import threading
 import time
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -29,6 +30,7 @@ __all__ = [
     "observe_latency",
     "set_metrics",
     "track_inflight",
+    "validate_exposition",
 ]
 
 #: default histogram bucket upper bounds (seconds-flavoured).
@@ -51,10 +53,24 @@ def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition spec:
+    backslash, double quote, and line feed must be written as ``\\\\``,
+    ``\\"``, and ``\\n`` — raw, they corrupt the whole scrape (an
+    error-message label with a quote would split the sample line)."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _label_str(key: _LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in key
+    )
     return "{" + inner + "}"
 
 
@@ -222,6 +238,112 @@ class MetricsRegistry:
     def reset(self) -> None:
         with self._lock:
             self._metrics.clear()
+
+
+# ---------------------------------------------------------------------------
+# Exposition-format validation (tests + the CI serve-smoke scrape).
+# ---------------------------------------------------------------------------
+
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+#: a quoted label value: any run of non-special chars or a valid
+#: escape (the only legal ones are \\, \", and \n).
+_LABEL_VALUE_RE = re.compile(r'(?:[^"\\\n]|\\\\|\\"|\\n)*')
+_SAMPLE_VALUE_RE = re.compile(
+    r"[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf|NaN)"
+)
+_TYPE_KINDS = ("counter", "gauge", "histogram", "summary", "untyped")
+#: suffixes a histogram family's samples may carry.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_sample_line(line: str) -> Optional[str]:
+    """``None`` when ``line`` is a well-formed sample, else the error.
+    Strict: exactly ``name[{labels}] value`` (no timestamps — this
+    library never emits them)."""
+    match = _METRIC_NAME_RE.match(line)
+    if match is None:
+        return "sample does not start with a metric name"
+    pos = match.end()
+    if pos < len(line) and line[pos] == "{":
+        pos += 1
+        while True:
+            lmatch = _LABEL_NAME_RE.match(line, pos)
+            if lmatch is None:
+                return f"bad label name at column {pos}"
+            pos = lmatch.end()
+            if not line.startswith('="', pos):
+                return f'label not followed by ="..." at column {pos}'
+            pos += 2
+            vmatch = _LABEL_VALUE_RE.match(line, pos)
+            pos = vmatch.end()
+            if pos >= len(line) or line[pos] != '"':
+                return f"unterminated/illegal label value at column {pos}"
+            pos += 1
+            if pos < len(line) and line[pos] == ",":
+                pos += 1
+                continue
+            break
+        if pos >= len(line) or line[pos] != "}":
+            return f"unterminated label set at column {pos}"
+        pos += 1
+    if pos >= len(line) or line[pos] != " ":
+        return "metric name/labels not followed by a value"
+    value = line[pos + 1:]
+    if _SAMPLE_VALUE_RE.fullmatch(value) is None:
+        return f"unparseable sample value {value!r}"
+    return None
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Line-level validation of a Prometheus text-format payload.
+
+    Returns a list of ``"line N: problem"`` strings (empty = valid).
+    Checks that every ``# TYPE`` header is well formed, every sample
+    line parses (names, label syntax, escaped label values, float
+    value), and every sample belongs to a declared family — with
+    histogram samples allowed only their ``_bucket``/``_sum``/
+    ``_count`` suffixes.  Used by the metrics test suite and the CI
+    serve-smoke scrape, so an escaping bug fails the build rather than
+    a scraper at 3am.
+    """
+    errors: List[str] = []
+    families: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in _TYPE_KINDS:
+                    errors.append(f"line {lineno}: malformed TYPE header")
+                elif _METRIC_NAME_RE.fullmatch(parts[2]) is None:
+                    errors.append(f"line {lineno}: bad family name"
+                                  f" {parts[2]!r}")
+                elif parts[2] in families:
+                    errors.append(f"line {lineno}: duplicate TYPE for"
+                                  f" {parts[2]!r}")
+                else:
+                    families[parts[2]] = parts[3]
+            # other comments (# HELP, free text) are legal and skipped
+            continue
+        problem = _parse_sample_line(line)
+        if problem is not None:
+            errors.append(f"line {lineno}: {problem}")
+            continue
+        name = _METRIC_NAME_RE.match(line).group(0)
+        family = families.get(name)
+        if family is None:
+            for suffix in _HISTOGRAM_SUFFIXES:
+                base = name[: -len(suffix)] if name.endswith(suffix) else None
+                if base and families.get(base) in ("histogram", "summary"):
+                    family = families[base]
+                    break
+        if family is None:
+            errors.append(
+                f"line {lineno}: sample {name!r} has no TYPE header"
+            )
+    return errors
 
 
 _registry = MetricsRegistry()

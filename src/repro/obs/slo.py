@@ -1,0 +1,198 @@
+"""Sliding-window SLO tracking: rolling latency quantiles + error rate.
+
+Histograms answer "what is the all-time latency distribution"; an SLO
+needs "what is it *right now*".  :class:`SloTracker` keeps a bounded
+ring of ``(timestamp, duration, error)`` samples per endpoint and
+computes p50/p95/p99 and the error rate over a sliding wall-clock
+window, so ``/healthz`` can say whether tail latency is currently
+degrading rather than averaging over the daemon's whole life.
+
+Degradation policy: an endpoint is *degraded* when its windowed p99
+exceeds ``p99_threshold_s`` or its windowed error rate exceeds
+``error_rate_threshold`` (errors are statuses >= 500 — client errors
+are the client's problem).  The tracker's overall :meth:`status` is
+``"degraded"`` if any endpoint is, ``"ok"`` otherwise; the daemon
+surfaces it in ``/healthz`` and as gauges in ``/metrics`` without
+changing the readiness status code (a slow daemon is still *up* —
+load balancers read readiness, operators read degradation).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_ERROR_RATE_THRESHOLD",
+    "DEFAULT_P99_THRESHOLD_S",
+    "DEFAULT_WINDOW_S",
+    "SloTracker",
+    "get_slo_tracker",
+    "set_slo_tracker",
+]
+
+#: sliding window width, seconds.
+DEFAULT_WINDOW_S = 300.0
+#: windowed p99 above this marks an endpoint degraded.
+DEFAULT_P99_THRESHOLD_S = 2.0
+#: windowed 5xx error rate above this marks an endpoint degraded.
+DEFAULT_ERROR_RATE_THRESHOLD = 0.05
+#: per-endpoint sample ring size (bounds memory under heavy traffic;
+#: with a full ring the effective window is the newest samples only).
+MAX_SAMPLES_PER_ENDPOINT = 4096
+
+_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank quantile over an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class SloTracker:
+    """Per-endpoint sliding-window latency/error tracker."""
+
+    def __init__(
+        self,
+        window_s: float = DEFAULT_WINDOW_S,
+        p99_threshold_s: float = DEFAULT_P99_THRESHOLD_S,
+        error_rate_threshold: float = DEFAULT_ERROR_RATE_THRESHOLD,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be > 0")
+        self.window_s = float(window_s)
+        self.p99_threshold_s = float(p99_threshold_s)
+        self.error_rate_threshold = float(error_rate_threshold)
+        self._lock = threading.Lock()
+        #: endpoint -> ring of (ts, duration_s, is_error).
+        self._samples: Dict[str, Deque[Tuple[float, float, bool]]] = {}
+
+    def observe(
+        self,
+        endpoint: str,
+        duration_s: float,
+        status: int = 200,
+        now: Optional[float] = None,
+    ) -> None:
+        """Record one served request.  ``status >= 500`` counts as an
+        error; ``now`` is injectable for tests."""
+        ts = time.time() if now is None else now
+        with self._lock:
+            ring = self._samples.get(endpoint)
+            if ring is None:
+                ring = self._samples[endpoint] = deque(
+                    maxlen=MAX_SAMPLES_PER_ENDPOINT
+                )
+            ring.append((ts, float(duration_s), status >= 500))
+
+    def _window(
+        self, ring: Deque[Tuple[float, float, bool]], now: float
+    ) -> List[Tuple[float, float, bool]]:
+        horizon = now - self.window_s
+        return [s for s in ring if s[0] >= horizon]
+
+    def endpoint_stats(
+        self, endpoint: str, now: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Windowed ``{count, p50, p95, p99, error_rate, status}`` for
+        one endpoint (zeros and ``"ok"`` when the window is empty)."""
+        ts = time.time() if now is None else now
+        with self._lock:
+            ring = self._samples.get(endpoint)
+            samples = self._window(ring, ts) if ring else []
+        durations = sorted(s[1] for s in samples)
+        n_errors = sum(1 for s in samples if s[2])
+        stats: Dict[str, Any] = {"count": len(samples)}
+        for name, q in _QUANTILES:
+            stats[name + "_s"] = round(_quantile(durations, q), 6)
+        stats["error_rate"] = (
+            round(n_errors / len(samples), 6) if samples else 0.0
+        )
+        degraded = bool(samples) and (
+            stats["p99_s"] > self.p99_threshold_s
+            or stats["error_rate"] > self.error_rate_threshold
+        )
+        stats["status"] = "degraded" if degraded else "ok"
+        return stats
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """``{status, window_s, thresholds, endpoints: {...}}`` over
+        every endpoint seen in the window."""
+        with self._lock:
+            endpoints = sorted(self._samples)
+        per_endpoint = {
+            endpoint: self.endpoint_stats(endpoint, now=now)
+            for endpoint in endpoints
+        }
+        # Endpoints whose samples all aged out stay listed with zeros;
+        # drop them so the snapshot reflects the live window.
+        per_endpoint = {
+            endpoint: stats
+            for endpoint, stats in per_endpoint.items()
+            if stats["count"]
+        }
+        degraded = any(
+            stats["status"] == "degraded" for stats in per_endpoint.values()
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "window_s": self.window_s,
+            "thresholds": {
+                "p99_s": self.p99_threshold_s,
+                "error_rate": self.error_rate_threshold,
+            },
+            "endpoints": per_endpoint,
+        }
+
+    def status(self, now: Optional[float] = None) -> str:
+        return self.snapshot(now=now)["status"]
+
+    def export_gauges(self, registry, now: Optional[float] = None) -> None:
+        """Project the windowed stats onto gauges of ``registry`` (a
+        :class:`~repro.obs.metrics.MetricsRegistry`) so ``/metrics``
+        scrapes see them: ``slo_latency_seconds{endpoint,quantile}``,
+        ``slo_error_rate{endpoint}``, ``slo_window_requests{endpoint}``,
+        and ``slo_degraded`` (0/1 overall)."""
+        snap = self.snapshot(now=now)
+        for endpoint, stats in snap["endpoints"].items():
+            for name, _q in _QUANTILES:
+                registry.gauge(
+                    "slo_latency_seconds",
+                    endpoint=endpoint, quantile=name,
+                ).set(stats[name + "_s"])
+            registry.gauge(
+                "slo_error_rate", endpoint=endpoint
+            ).set(stats["error_rate"])
+            registry.gauge(
+                "slo_window_requests", endpoint=endpoint
+            ).set(stats["count"])
+        registry.gauge("slo_degraded").set(
+            1 if snap["status"] == "degraded" else 0
+        )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+
+_tracker = SloTracker()
+
+
+def get_slo_tracker() -> SloTracker:
+    """The process-default tracker the serving path observes into."""
+    return _tracker
+
+
+def set_slo_tracker(tracker: SloTracker) -> SloTracker:
+    """Swap the default tracker (tests, per-daemon config); returns
+    the previous one."""
+    global _tracker
+    previous = _tracker
+    _tracker = tracker
+    return previous

@@ -26,34 +26,63 @@ forest.  Spans also record an absolute wall-clock start
 (:attr:`Span.start_ts`) and the opening thread id (:attr:`Span.tid`),
 which is what lets :mod:`repro.obs.traceexport` emit Chrome
 trace-event JSON with real ``ts``/``tid`` values.
+
+Request correlation: every recorded span gets a unique
+:attr:`Span.span_id`, and when it opens inside an ambient
+:class:`~repro.obs.reqctx.RequestContext` the request id lands in its
+attributes — so a span forest can be filtered down to one request.
+The daemon installs a *scoped* tracer per request
+(:func:`use_scoped_tracer`, a :class:`contextvars.ContextVar`
+override of the process-global ambient tracer) so concurrent requests
+record into isolated forests without touching each other, which is
+what makes per-request slow-capture possible.
 """
 
 from __future__ import annotations
 
+import contextvars
+import itertools
 import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.obs.reqctx import current_request_id
+
 __all__ = [
     "NullTracer",
     "Span",
     "Tracer",
+    "current_span_id",
     "get_tracer",
     "set_tracer",
     "span",
+    "use_scoped_tracer",
     "use_tracer",
 ]
+
+#: process-wide monotonic span-id source; rendered hex with a short
+#: per-process random prefix so ids from different processes (or
+#: daemon restarts) don't collide in merged logs.
+_span_counter = itertools.count(1)
+_SPAN_ID_PREFIX = f"{threading.get_ident() ^ int(time.time() * 1e6):012x}"[-6:]
+
+
+def _next_span_id() -> str:
+    return f"{_SPAN_ID_PREFIX}{next(_span_counter):010x}"
 
 
 class Span:
     """One timed stage: a name, wall-clock bounds, attributes, children."""
 
-    __slots__ = ("name", "start_s", "end_s", "start_ts", "tid", "attrs",
-                 "children")
+    __slots__ = ("name", "span_id", "start_s", "end_s", "start_ts", "tid",
+                 "attrs", "children")
 
     def __init__(self, name: str, **attrs: Any) -> None:
         self.name = name
+        #: unique id assigned when a recording tracer opens the span
+        #: (empty until then); correlates spans with log lines/events.
+        self.span_id: str = ""
         self.start_s: float = 0.0
         self.end_s: Optional[float] = None
         #: absolute wall-clock start (``time.time()`` epoch seconds) —
@@ -81,6 +110,8 @@ class Span:
             "name": self.name,
             "duration_s": round(self.duration_s, 6),
         }
+        if self.span_id:
+            out["span_id"] = self.span_id
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         if self.children:
@@ -139,6 +170,10 @@ class Tracer:
         return _SpanContext(self, Span(name, **attrs))
 
     def _push(self, span_: Span) -> None:
+        span_.span_id = _next_span_id()
+        request_id = current_request_id()
+        if request_id is not None and "request_id" not in span_.attrs:
+            span_.attrs["request_id"] = request_id
         span_.start_s = time.perf_counter()
         span_.start_ts = time.time()
         span_.tid = threading.get_ident()
@@ -188,6 +223,7 @@ class _NullSpan:
 
     __slots__ = ()
     name = ""
+    span_id = ""
     attrs: Dict[str, Any] = {}
     children: List[Span] = []
     duration_s = 0.0
@@ -231,10 +267,19 @@ class NullTracer:
 
 _current: "Tracer | NullTracer" = NullTracer()
 
+#: context-local override of the ambient tracer (``None`` = use the
+#: process-global one).  Per-thread/per-context by construction, so a
+#: request handler can record its own isolated span forest while other
+#: threads keep reporting to the global tracer.
+_scoped: contextvars.ContextVar["Tracer | NullTracer | None"] = \
+    contextvars.ContextVar("repro_scoped_tracer", default=None)
+
 
 def get_tracer() -> "Tracer | NullTracer":
-    """The ambient tracer instrumented code reports to."""
-    return _current
+    """The ambient tracer instrumented code reports to (the scoped
+    override when one is installed, else the process-global one)."""
+    scoped = _scoped.get()
+    return _current if scoped is None else scoped
 
 
 def set_tracer(tracer: "Tracer | NullTracer") -> "Tracer | NullTracer":
@@ -256,6 +301,36 @@ def use_tracer(tracer: "Tracer | NullTracer") -> Iterator["Tracer | NullTracer"]
         set_tracer(previous)
 
 
+@contextmanager
+def use_scoped_tracer(
+    tracer: "Tracer | NullTracer",
+) -> Iterator["Tracer | NullTracer"]:
+    """Install ``tracer`` as a *context-local* ambient tracer.
+
+    Unlike :func:`use_tracer` this touches only the calling
+    thread/context — the daemon wraps each request in one so every
+    request records an isolated span forest regardless of what the
+    other worker threads are doing.
+    """
+    token = _scoped.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _scoped.reset(token)
+
+
+def current_span_id() -> str:
+    """The innermost open span's id on the calling thread's ambient
+    tracer, or ``""`` outside any recorded span (what the JSON log
+    formatter stamps onto records)."""
+    tracer = get_tracer()
+    stack = getattr(getattr(tracer, "_local", None), "stack", None)
+    if stack:
+        return stack[-1].span_id
+    return ""
+
+
 def span(name: str, **attrs: Any):
     """Open a span on the ambient tracer (no-op when tracing is off)."""
-    return _current.span(name, **attrs)
+    scoped = _scoped.get()
+    return (_current if scoped is None else scoped).span(name, **attrs)

@@ -27,12 +27,19 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from contextlib import nullcontext
 from typing import Callable, Deque, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ClaraError
-from repro.obs import get_logger, get_metrics
+from repro.obs import get_logger, get_metrics, span
+from repro.obs.events import emit
+from repro.obs.reqctx import (
+    RequestContext,
+    current_request_id,
+    use_request,
+)
 
 __all__ = ["PredictBroker"]
 
@@ -43,15 +50,25 @@ BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 class _Job:
-    """One parked ``predict_sequences`` call."""
+    """One parked ``predict_sequences`` call.
 
-    __slots__ = ("sequences", "done", "result", "error")
+    ``request_id`` is captured on the *submitting* thread — the
+    batcher runs on its own thread where the submitter's contextvars
+    are invisible, so the id must ride along with the job for the
+    batch to record which requests it merged.  ``enqueued_s`` feeds
+    the batch-wait measurement (first-enqueue to flush).
+    """
+
+    __slots__ = ("sequences", "done", "result", "error", "request_id",
+                 "enqueued_s")
 
     def __init__(self, sequences: Sequence[Sequence[str]]) -> None:
         self.sequences: List[Sequence[str]] = list(sequences)
         self.done = threading.Event()
         self.result: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
+        self.request_id = current_request_id()
+        self.enqueued_s = time.perf_counter()
 
 
 class PredictBroker:
@@ -151,17 +168,41 @@ class PredictBroker:
         flat: List[Sequence[str]] = []
         for job in jobs:
             flat.extend(job.sequences)
+        # Correlation: the ids of the requests this batch merges.  The
+        # batcher thread has no ambient request context of its own; if
+        # the batch serves exactly one request, re-establish that
+        # request's context around the model call so downstream
+        # instrumentation (prediction-cache events, spans) stays
+        # stamped.  A genuinely merged batch belongs to several
+        # requests at once — its children carry no single id and the
+        # ``broker_batch`` event records the full list instead.
+        request_ids = sorted({
+            job.request_id for job in jobs if job.request_id is not None
+        })
+        wait_s = (
+            time.perf_counter() - min(job.enqueued_s for job in jobs)
+            if jobs else 0.0
+        )
+        ctx = (
+            use_request(RequestContext(request_id=request_ids[0]))
+            if len(request_ids) == 1 and len(jobs) == 1
+            else nullcontext()
+        )
         try:
-            preds = (
-                self._predict(flat) if flat
-                else np.zeros(0, dtype=float)
-            )
-            preds = np.asarray(preds, dtype=float)
-            if preds.shape[0] != len(flat):
-                raise ClaraError(
-                    f"predict_fn returned {preds.shape[0]} rows for"
-                    f" {len(flat)} sequences"
+            with ctx, span(
+                "broker_batch", n_jobs=len(jobs), n_sequences=len(flat),
+                request_ids=request_ids,
+            ):
+                preds = (
+                    self._predict(flat) if flat
+                    else np.zeros(0, dtype=float)
                 )
+                preds = np.asarray(preds, dtype=float)
+                if preds.shape[0] != len(flat):
+                    raise ClaraError(
+                        f"predict_fn returned {preds.shape[0]} rows for"
+                        f" {len(flat)} sequences"
+                    )
         except BaseException as exc:  # noqa: BLE001 - scattered to callers
             for job in jobs:
                 job.error = exc
@@ -182,6 +223,15 @@ class PredictBroker:
         metrics.histogram(
             "serve_batch_jobs", buckets=BATCH_SIZE_BUCKETS
         ).observe(len(jobs))
+        metrics.histogram("serve_batch_wait_seconds").observe(wait_s)
+        emit(
+            "broker_batch",
+            request_id=request_ids[0] if len(request_ids) == 1 else None,
+            n_jobs=len(jobs),
+            n_sequences=len(flat),
+            wait_s=round(wait_s, 6),
+            request_ids=request_ids,
+        )
         if len(jobs) > 1:
             log.debug("broker: merged %d calls (%d sequences) into one"
                       " batch", len(jobs), len(flat))

@@ -22,6 +22,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ClaraError
 from repro.obs import get_logger, span
+from repro.obs.events import EVENT_KINDS, get_journal
+from repro.obs.slo import get_slo_tracker
 from repro.serve.broker import PredictBroker
 from repro.serve.schemas import (
     REQUEST_KINDS,
@@ -194,6 +196,8 @@ class ClaraService:
         with self._target_lock:
             existing = self._claras.get(target)
             if existing is None:
+                import time
+
                 from repro.core.artifacts import TrainConfig
                 from repro.core.pipeline import Clara
 
@@ -202,10 +206,15 @@ class ClaraService:
                     "target %s cold: training a Clara for it (%s)",
                     target, config,
                 )
+                t0 = time.perf_counter()
                 existing = Clara(seed=self.clara.seed, target=target)
                 existing.train(config, cache="auto")
                 self._configure_predictor(existing)
                 self._claras[target] = existing
+                get_journal().emit(
+                    "target_train", target=target,
+                    duration_s=round(time.perf_counter() - t0, 6),
+                )
         return existing
 
     # -- endpoints ------------------------------------------------------
@@ -245,9 +254,42 @@ class ClaraService:
         ranked = self.clara.rank_colocations(pairs)
         return envelope("colocation_ranking", ranking_to_dict(ranked))
 
+    def events(
+        self,
+        kind: Optional[str] = None,
+        request_id: Optional[str] = None,
+        since_seq: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """The ``events`` envelope for ``GET /v1/events``: the
+        journal's retained events (oldest-first, optionally filtered)
+        plus the counters a poller needs to detect a slid window."""
+        if kind is not None and kind not in EVENT_KINDS:
+            raise ClaraError(
+                f"unknown event kind {kind!r}"
+                f" (known: {', '.join(EVENT_KINDS)})"
+            )
+        journal = get_journal()
+        dicts = journal.to_dicts(
+            kind=kind, request_id=request_id,
+            since_seq=since_seq, limit=limit,
+        )
+        return envelope("events", {
+            "events": dicts,
+            "n_returned": len(dicts),
+            "n_emitted": journal.n_emitted,
+            "n_dropped": journal.n_dropped,
+            "capacity": journal.capacity,
+            "kinds": list(EVENT_KINDS),
+        })
+
     def health(self) -> Tuple[int, Dict[str, Any]]:
         """``(http_status, envelope)`` for the readiness probe: 200
-        once the advisors are warm, 503 while they are not."""
+        once the advisors are warm, 503 while they are not.  The
+        ``slo`` section carries the sliding-window latency quantiles
+        and the ok/degraded verdict — degradation does *not* flip the
+        status code (readiness is for load balancers; degradation is
+        for operators and alerting)."""
         from repro.click.elements import ELEMENT_BUILDERS
         from repro.nic.targets import list_targets
 
@@ -255,6 +297,7 @@ class ClaraService:
         result = {
             "ready": trained,
             "trained": trained,
+            "slo": get_slo_tracker().snapshot(),
             "colocation_trained": self.clara.colocation is not None,
             "n_elements": len(ELEMENT_BUILDERS),
             "wire_schema": WIRE_SCHEMA,
@@ -300,14 +343,23 @@ class ClaraService:
             return
         with self._colocation_lock:
             if self.clara.colocation is None:
+                import time
+
                 log.info(
                     "colocation ranker cold: training (%d programs,"
                     " %d groups)",
                     self.colocation_programs, self.colocation_groups,
                 )
+                t0 = time.perf_counter()
                 self.clara.train_colocation(
                     n_programs=self.colocation_programs,
                     n_groups=self.colocation_groups,
+                )
+                get_journal().emit(
+                    "colocation_train",
+                    n_programs=self.colocation_programs,
+                    n_groups=self.colocation_groups,
+                    duration_s=round(time.perf_counter() - t0, 6),
                 )
 
     def _build_candidates(

@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ClaraError, InvalidWorkloadError, http_status_for
 from repro.nic.targets import get_target
+from repro.obs.reqctx import current_request_id
 from repro.workload.spec import WorkloadSpec
 
 __all__ = [
@@ -55,7 +56,11 @@ __all__ = [
 #: v3: lint requests carry an optional ``baseline`` (accepted
 #: diagnostic fingerprints); lint_run payloads report suppression,
 #: baseline, and cache statistics.
-WIRE_SCHEMA = 3
+#: v4: envelopes carry ``request_id`` (the correlation id, echoed from
+#: ``X-Clara-Request-Id`` or minted; ``null`` outside a request
+#: context, e.g. plain CLI runs) and the daemon serves
+#: ``GET /v1/events`` (the ``events`` result kind).
+WIRE_SCHEMA = 4
 
 _WORKLOAD_FIELDS = {f.name for f in dataclasses.fields(WorkloadSpec)}
 
@@ -264,10 +269,16 @@ class ColocationRequest:
 # ---------------------------------------------------------------------------
 
 def envelope(kind: str, result: Any) -> Dict[str, Any]:
-    """A success envelope around one result payload."""
+    """A success envelope around one result payload.  ``request_id``
+    is read from the ambient request context at build time — the HTTP
+    handler and ``--request-id`` CLI runs install one, so the same
+    correlation id lands in the body without parameter threading
+    (``null`` outside any request context, keeping plain CLI output
+    byte-reproducible)."""
     return {
         "schema": WIRE_SCHEMA,
         "kind": kind,
+        "request_id": current_request_id(),
         "result": result,
         "error": None,
     }
@@ -279,6 +290,7 @@ def error_envelope(exc: BaseException, kind: str = "error") -> Dict[str, Any]:
     return {
         "schema": WIRE_SCHEMA,
         "kind": kind,
+        "request_id": current_request_id(),
         "result": None,
         "error": {
             "type": type(exc).__name__,

@@ -7,8 +7,13 @@ ClaraService`.  Endpoints:
 * ``POST /v1/analyze``    — :class:`AnalyzeRequest` -> ``analysis_result``
 * ``POST /v1/lint``       — :class:`LintRequest` -> ``lint_run``
 * ``POST /v1/colocation`` — :class:`ColocationRequest` -> ``colocation_ranking``
-* ``GET  /healthz``       — readiness probe (200 warm / 503 cold)
+* ``GET  /v1/events``     — the obs event journal (``?kind=``,
+  ``?request_id=``, ``?since_seq=``, ``?n=`` filters)
+* ``GET  /healthz``       — readiness probe (200 warm / 503 cold),
+  plus the sliding-window SLO verdict (ok/degraded, rolling
+  p50/p95/p99 and error rate per endpoint)
 * ``GET  /metrics``       — the process metrics registry, Prometheus text
+  (including the ``slo_*`` gauges projected at scrape time)
 
 Every response body is the versioned envelope of
 :mod:`repro.serve.schemas`; :class:`~repro.errors.ClaraError`
@@ -17,19 +22,48 @@ latency histograms (``http_request_seconds``), request counters
 (``http_requests_total``), and in-flight gauges
 (``http_inflight_requests``) feed the same registry ``/metrics``
 exposes, so the daemon observes itself.
+
+Request correlation: every request runs under a
+:class:`~repro.obs.reqctx.RequestContext` whose id comes from the
+``X-Clara-Request-Id`` header (or is minted).  The id is echoed in the
+``X-Clara-Request-Id`` response header and the envelope's
+``request_id`` field, stamped on every span and JSON log line, and
+carried by the journal events the request produces (start/finish,
+cache hit/miss, broker batch).  Each request also records its own
+isolated span forest (a scoped tracer), which is what
+``slow_request`` capture dumps into the journal when a request
+exceeds :attr:`ServeConfig.slow_request_ms`.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ClaraError, http_status_for
-from repro.obs import get_logger, get_metrics, track_inflight
+from repro.obs import (
+    RequestContext,
+    Tracer,
+    get_logger,
+    get_metrics,
+    span,
+    track_inflight,
+    use_request,
+    use_scoped_tracer,
+)
+from repro.obs.events import get_journal
 from repro.obs.metrics import DEFAULT_BUCKETS
+from repro.obs.slo import (
+    DEFAULT_ERROR_RATE_THRESHOLD,
+    DEFAULT_P99_THRESHOLD_S,
+    DEFAULT_WINDOW_S,
+    get_slo_tracker,
+)
 from repro.serve.handlers import ClaraService
 from repro.serve.schemas import (
     AnalyzeRequest,
@@ -65,6 +99,20 @@ class ServeConfig:
     predict_cache: bool = True
     #: predictor serving mode: ``lstm``, ``distilled``, or ``auto``.
     predictor_mode: str = "lstm"
+    #: a request slower than this (milliseconds) has its full span
+    #: tree captured into the journal as a ``slow_request`` event
+    #: (0 disables capture).
+    slow_request_ms: float = 5000.0
+    #: when set, each slow request additionally writes a Chrome
+    #: trace-event file ``slow-<request id>.trace.json`` under this
+    #: directory (created on demand).
+    slow_trace_dir: Optional[str] = None
+    #: sliding SLO window width, seconds.
+    slo_window_s: float = DEFAULT_WINDOW_S
+    #: windowed p99 above this marks an endpoint degraded, seconds.
+    slo_p99_s: float = DEFAULT_P99_THRESHOLD_S
+    #: windowed 5xx rate above this marks an endpoint degraded.
+    slo_error_rate: float = DEFAULT_ERROR_RATE_THRESHOLD
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -84,9 +132,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, body: bytes,
               content_type: str = "application/json") -> None:
+        from repro.obs import current_request_id
+
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        request_id = current_request_id()
+        if request_id is not None:
+            self.send_header("X-Clara-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -107,33 +160,103 @@ class _Handler(BaseHTTPRequestHandler):
             raise ClaraError("request body must be a JSON object")
         return payload
 
+    @property
+    def _config(self) -> "ServeConfig":
+        return self.server.clara_config  # type: ignore[attr-defined]
+
     def _instrumented(self, endpoint: str, fn) -> None:
-        """Run ``fn() -> (status, envelope)`` with the endpoint's
-        latency histogram, in-flight gauge, and request counter."""
+        """Run ``fn() -> (status, envelope)`` under a request context
+        with the endpoint's latency histogram, in-flight gauge, and
+        request counter.
+
+        The request id comes from the client's ``X-Clara-Request-Id``
+        header (minted when absent) and scopes everything ``fn`` does:
+        a per-request recording tracer (isolated from concurrent
+        requests), journal start/finish events, SLO observation, and —
+        when the request exceeds the slow threshold — a ``slow_request``
+        journal event carrying the full captured span tree.
+        """
         metrics = get_metrics()
+        journal = get_journal()
+        ctx = RequestContext(
+            request_id=self.headers.get("X-Clara-Request-Id"),
+            endpoint=endpoint,
+        )
+        tracer = Tracer()
         status = 500
-        try:
-            with track_inflight("http_inflight_requests",
-                                endpoint=endpoint), \
-                    metrics.histogram("http_request_seconds",
-                                      buckets=DEFAULT_BUCKETS,
-                                      endpoint=endpoint).time():
-                status, env = fn()
-                self._send_envelope(status, env)
-        except ClaraError as exc:
-            status = http_status_for(exc)
-            log.info("%s -> %d %s: %s", endpoint, status,
-                     type(exc).__name__, exc)
-            self._send_envelope(status, error_envelope(exc))
-        except BrokenPipeError:  # client went away mid-response
-            status = 499
-        except Exception as exc:  # noqa: BLE001 - daemon must not die
-            status = 500
-            log.exception("%s: unhandled error", endpoint)
-            self._send_envelope(status, error_envelope(exc))
-        finally:
-            metrics.counter("http_requests_total", endpoint=endpoint,
-                            status=str(status)).inc()
+        start_s = time.perf_counter()
+        with use_request(ctx), use_scoped_tracer(tracer):
+            journal.emit("request_start", endpoint=endpoint,
+                         method=self.command)
+            try:
+                with track_inflight("http_inflight_requests",
+                                    endpoint=endpoint), \
+                        metrics.histogram("http_request_seconds",
+                                          buckets=DEFAULT_BUCKETS,
+                                          endpoint=endpoint).time(), \
+                        span("http_request", endpoint=endpoint):
+                    status, env = fn()
+                    self._send_envelope(status, env)
+            except ClaraError as exc:
+                status = http_status_for(exc)
+                log.info("%s -> %d %s: %s", endpoint, status,
+                         type(exc).__name__, exc)
+                self._send_envelope(status, error_envelope(exc))
+            except BrokenPipeError:  # client went away mid-response
+                status = 499
+                log.debug("%s: client disconnected mid-response",
+                          endpoint)
+                metrics.counter("http_client_disconnects_total",
+                                endpoint=endpoint).inc()
+            except Exception as exc:  # noqa: BLE001 - daemon must not die
+                status = 500
+                log.exception("%s: unhandled error", endpoint)
+                self._send_envelope(status, error_envelope(exc))
+            finally:
+                duration_s = time.perf_counter() - start_s
+                metrics.counter("http_requests_total", endpoint=endpoint,
+                                status=str(status)).inc()
+                get_slo_tracker().observe(endpoint, duration_s,
+                                          status=status)
+                journal.emit("request_finish", endpoint=endpoint,
+                             status=status,
+                             duration_s=round(duration_s, 6))
+                self._capture_slow(endpoint, tracer, duration_s, status)
+
+    def _capture_slow(self, endpoint: str, tracer: Tracer,
+                      duration_s: float, status: int) -> None:
+        """Journal the request's span tree when it blew the latency
+        threshold (and optionally dump a Chrome trace file)."""
+        threshold_s = self._config.slow_request_ms / 1000.0
+        if threshold_s <= 0 or duration_s < threshold_s:
+            return
+        trace_file = None
+        if self._config.slow_trace_dir:
+            import os
+
+            from repro.obs import current_request_id, write_chrome_trace
+
+            try:
+                os.makedirs(self._config.slow_trace_dir, exist_ok=True)
+                trace_file = os.path.join(
+                    self._config.slow_trace_dir,
+                    f"slow-{current_request_id()}.trace.json",
+                )
+                write_chrome_trace(tracer, trace_file)
+            except OSError:  # diagnostics must never fail the request
+                log.exception("slow-trace export failed")
+                trace_file = None
+        get_journal().emit(
+            "slow_request",
+            endpoint=endpoint,
+            status=status,
+            duration_s=round(duration_s, 6),
+            threshold_s=threshold_s,
+            spans=[root.to_dict() for root in tracer.roots],
+            trace_file=trace_file,
+        )
+        log.warning("%s: slow request (%.3fs > %.3fs threshold)",
+                    endpoint, duration_s, threshold_s)
 
     # -- routes ---------------------------------------------------------
     _POST_ROUTES = {
@@ -142,14 +265,42 @@ class _Handler(BaseHTTPRequestHandler):
         "/v1/colocation": (ColocationRequest, "colocation"),
     }
 
+    @staticmethod
+    def _query_int(query: Dict[str, Any], name: str) -> Optional[int]:
+        values = query.get(name)
+        if not values:
+            return None
+        try:
+            return int(values[-1])
+        except ValueError:
+            raise ClaraError(
+                f"query parameter {name!r} must be an integer"
+            ) from None
+
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        if self.path == "/healthz":
+        url = urlsplit(self.path)
+        if url.path == "/healthz":
             self._instrumented("/healthz", self.service.health)
-        elif self.path == "/metrics":
+        elif url.path == "/v1/events":
+            query = parse_qs(url.query)
+
+            def run() -> Tuple[int, Dict[str, Any]]:
+                return 200, self.service.events(
+                    kind=(query.get("kind") or [None])[-1],
+                    request_id=(query.get("request_id") or [None])[-1],
+                    since_seq=self._query_int(query, "since_seq"),
+                    limit=self._query_int(query, "n"),
+                )
+
+            self._instrumented("/v1/events", run)
+        elif url.path == "/metrics":
             # Prometheus text, not an envelope (scrapers expect the
-            # exposition format verbatim).
+            # exposition format verbatim).  The SLO gauges are
+            # projected from the sliding window at scrape time, so
+            # they are as fresh as the scrape.
             with track_inflight("http_inflight_requests",
                                 endpoint="/metrics"):
+                get_slo_tracker().export_gauges(get_metrics())
                 body = get_metrics().to_prometheus().encode("utf-8")
                 self._send(200, body,
                            content_type="text/plain; version=0.0.4")
@@ -193,11 +344,22 @@ class ClaraServer:
         service: ClaraService,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
+        config: Optional[ServeConfig] = None,
     ) -> None:
         self.service = service
+        self.config = config if config is not None \
+            else ServeConfig(host=host, port=port)
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.clara_service = service  # type: ignore[attr-defined]
+        self._httpd.clara_config = self.config  # type: ignore[attr-defined]
+        # The SLO policy is daemon configuration applied to the
+        # process-default tracker (mutated, not replaced, so events
+        # and samples already recorded stay visible).
+        tracker = get_slo_tracker()
+        tracker.window_s = float(self.config.slo_window_s)
+        tracker.p99_threshold_s = float(self.config.slo_p99_s)
+        tracker.error_rate_threshold = float(self.config.slo_error_rate)
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -256,4 +418,5 @@ def build_server(clara, config: ServeConfig) -> ClaraServer:
         predict_cache=config.predict_cache,
         predictor_mode=config.predictor_mode,
     )
-    return ClaraServer(service, host=config.host, port=config.port)
+    return ClaraServer(service, host=config.host, port=config.port,
+                       config=config)

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.obs import MetricsRegistry, get_metrics, set_metrics
+from repro.obs import (
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    validate_exposition,
+)
 
 
 class TestCounters:
@@ -91,3 +96,100 @@ class TestDefaultRegistry:
         reg.counter("c").inc()
         reg.reset()
         assert reg.to_dict() == {}
+
+
+class TestLabelEscaping:
+    """Regression tests for exposition escaping: backslashes, quotes,
+    and newlines in label values must be escaped per the Prometheus
+    text format, or scrapers reject the whole payload."""
+
+    def test_quote_in_label_value(self):
+        reg = MetricsRegistry()
+        reg.counter("errs", msg='he said "hi"').inc()
+        assert 'errs{msg="he said \\"hi\\""} 1' in reg.to_prometheus()
+
+    def test_backslash_in_label_value(self):
+        reg = MetricsRegistry()
+        reg.counter("errs", path="C:\\tmp").inc()
+        assert 'errs{path="C:\\\\tmp"} 1' in reg.to_prometheus()
+
+    def test_newline_in_label_value(self):
+        reg = MetricsRegistry()
+        reg.counter("errs", msg="line1\nline2").inc()
+        text = reg.to_prometheus()
+        assert 'errs{msg="line1\\nline2"} 1' in text
+        # The raw newline must not split the sample across lines.
+        assert all(
+            line.startswith(("#", "errs")) for line in text.splitlines()
+        )
+
+    def test_backslash_escaped_before_quote(self):
+        # A value ending in a backslash must not swallow the closing
+        # quote: \ -> \\ first, then " -> \".
+        reg = MetricsRegistry()
+        reg.counter("errs", v='trailing\\').inc()
+        assert 'errs{v="trailing\\\\"} 1' in reg.to_prometheus()
+
+    def test_hostile_values_validate_cleanly(self):
+        reg = MetricsRegistry()
+        reg.counter("errs", msg='a"b\\c\nd', result="hit").inc(3)
+        assert validate_exposition(reg.to_prometheus()) == []
+
+
+class TestValidateExposition:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", endpoint="/v1/analyze").inc(7)
+        reg.counter("requests_total", endpoint="/healthz").inc()
+        reg.gauge("inflight").set(2)
+        reg.histogram("latency_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        reg.counter("weird", msg='q"uote\\slash\nnewline').inc()
+        return reg
+
+    def test_populated_registry_is_valid(self):
+        assert validate_exposition(self._populated().to_prometheus()) == []
+
+    def test_histogram_suffixes_accepted(self):
+        text = self._populated().to_prometheus()
+        assert "latency_seconds_bucket" in text
+        assert "latency_seconds_sum" in text
+        assert "latency_seconds_count" in text
+        assert validate_exposition(text) == []
+
+    def test_missing_type_header_rejected(self):
+        errors = validate_exposition("orphan_metric 1\n")
+        assert len(errors) == 1 and "no TYPE header" in errors[0]
+
+    def test_unescaped_quote_rejected(self):
+        bad = ('# TYPE errs counter\n'
+               'errs{msg="he said "hi""} 1\n')
+        assert validate_exposition(bad) != []
+
+    def test_raw_newline_in_value_rejected(self):
+        bad = ('# TYPE errs counter\n'
+               'errs{msg="line1\nline2"} 1\n')
+        assert validate_exposition(bad) != []
+
+    def test_bad_sample_value_rejected(self):
+        bad = "# TYPE c counter\nc not-a-number\n"
+        errors = validate_exposition(bad)
+        assert len(errors) == 1 and "unparseable sample value" in errors[0]
+
+    def test_malformed_type_header_rejected(self):
+        assert validate_exposition("# TYPE c flavor\nc 1\n") != []
+
+    def test_duplicate_type_header_rejected(self):
+        bad = "# TYPE c counter\n# TYPE c counter\nc 1\n"
+        errors = validate_exposition(bad)
+        assert any("duplicate TYPE" in e for e in errors)
+
+    def test_inf_and_scientific_values_accepted(self):
+        good = ("# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 3\n'
+                "h_sum 1.5e-3\n"
+                "h_count 3\n")
+        assert validate_exposition(good) == []
+
+    def test_help_comments_and_blank_lines_skipped(self):
+        good = "# HELP c something\n\n# TYPE c counter\nc 1\n"
+        assert validate_exposition(good) == []

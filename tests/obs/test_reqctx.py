@@ -1,0 +1,125 @@
+"""RequestContext: the contextvars-based correlation context."""
+
+import logging
+import threading
+
+from repro.obs import (
+    JsonFormatter,
+    RequestContext,
+    current_request,
+    current_request_id,
+    new_request_id,
+    use_request,
+)
+from repro.obs.reqctx import MAX_REQUEST_ID_LEN, sanitize_request_id
+
+
+class TestRequestContext:
+    def test_default_mints_an_id(self):
+        ctx = RequestContext()
+        assert len(ctx.request_id) == 32
+        assert ctx.request_id != RequestContext().request_id
+
+    def test_new_request_id_is_hex(self):
+        rid = new_request_id()
+        int(rid, 16)  # raises if not hex
+        assert len(rid) == 32
+
+    def test_client_id_preserved(self):
+        assert RequestContext(request_id="abc").request_id == "abc"
+
+
+class TestSanitize:
+    def test_strips_and_truncates(self):
+        assert sanitize_request_id("  abc  ") == "abc"
+        long = "x" * 500
+        assert sanitize_request_id(long) == "x" * MAX_REQUEST_ID_LEN
+
+    def test_control_characters_dropped(self):
+        assert sanitize_request_id("a\x00b\r\nc") == "abc"
+
+    def test_empty_and_none_mint_fresh(self):
+        assert len(sanitize_request_id("")) == 32
+        assert len(sanitize_request_id("   ")) == 32
+        assert len(sanitize_request_id(None)) == 32
+
+
+class TestAmbientContext:
+    def test_none_outside_any_request(self):
+        assert current_request() is None
+        assert current_request_id() is None
+
+    def test_use_request_installs_and_restores(self):
+        ctx = RequestContext(request_id="rid-1")
+        with use_request(ctx):
+            assert current_request() is ctx
+            assert current_request_id() == "rid-1"
+        assert current_request_id() is None
+
+    def test_nesting_restores_outer(self):
+        with use_request(RequestContext(request_id="outer")):
+            with use_request(RequestContext(request_id="inner")):
+                assert current_request_id() == "inner"
+            assert current_request_id() == "outer"
+
+    def test_plain_threads_start_without_context(self):
+        # The daemon relies on this isolation: each request thread sees
+        # only its own context, and background threads see none.
+        seen = {}
+
+        def worker():
+            seen["id"] = current_request_id()
+
+        with use_request(RequestContext(request_id="rid-main")):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["id"] is None
+
+    def test_concurrent_threads_see_their_own_context(self):
+        barrier = threading.Barrier(2)
+        seen = {}
+
+        def worker(rid):
+            with use_request(RequestContext(request_id=rid)):
+                barrier.wait()
+                seen[rid] = current_request_id()
+
+        threads = [
+            threading.Thread(target=worker, args=(rid,))
+            for rid in ("t-a", "t-b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == {"t-a": "t-a", "t-b": "t-b"}
+
+
+class TestLogStamping:
+    def _record(self, msg="hello"):
+        return logging.LogRecord(
+            name="repro.test", level=logging.INFO, pathname=__file__,
+            lineno=1, msg=msg, args=(), exc_info=None,
+        )
+
+    def test_json_formatter_stamps_request_id(self):
+        import json
+
+        formatter = JsonFormatter()
+        with use_request(RequestContext(request_id="rid-log")):
+            inside = json.loads(formatter.format(self._record()))
+        outside = json.loads(formatter.format(self._record()))
+        assert inside["request_id"] == "rid-log"
+        assert inside["message"] == "hello"
+        assert "request_id" not in outside
+
+    def test_text_formatter_suffixes_rid(self):
+        from repro.obs.logconfig import _TextFormatter
+
+        formatter = _TextFormatter()
+        with use_request(RequestContext(request_id="rid-log")):
+            inside = formatter.format(self._record())
+        outside = formatter.format(self._record())
+        assert inside.endswith("[rid=rid-log]")
+        assert "rid=" not in outside

@@ -1,0 +1,141 @@
+"""SloTracker: sliding-window quantiles, error rate, degradation."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import (
+    SloTracker,
+    get_slo_tracker,
+    set_slo_tracker,
+)
+
+
+class TestQuantiles:
+    def test_windowed_percentiles(self):
+        tracker = SloTracker(window_s=60.0)
+        for ms in range(1, 101):  # 1ms .. 100ms
+            tracker.observe("/v1/analyze", ms / 1000.0, now=100.0)
+        stats = tracker.endpoint_stats("/v1/analyze", now=100.0)
+        assert stats["count"] == 100
+        assert stats["p50_s"] == pytest.approx(0.050, abs=0.002)
+        assert stats["p95_s"] == pytest.approx(0.095, abs=0.002)
+        assert stats["p99_s"] == pytest.approx(0.099, abs=0.002)
+
+    def test_empty_window_is_zeroed_ok(self):
+        tracker = SloTracker()
+        stats = tracker.endpoint_stats("/nope")
+        assert stats == {
+            "count": 0, "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0,
+            "error_rate": 0.0, "status": "ok",
+        }
+
+    def test_single_sample(self):
+        tracker = SloTracker()
+        tracker.observe("/healthz", 0.25, now=10.0)
+        stats = tracker.endpoint_stats("/healthz", now=10.0)
+        assert stats["p50_s"] == stats["p99_s"] == 0.25
+
+
+class TestSlidingWindow:
+    def test_old_samples_age_out(self):
+        tracker = SloTracker(window_s=30.0)
+        tracker.observe("/v1/analyze", 9.0, now=0.0)    # very slow, old
+        tracker.observe("/v1/analyze", 0.01, now=100.0)
+        stats = tracker.endpoint_stats("/v1/analyze", now=100.0)
+        assert stats["count"] == 1
+        assert stats["p99_s"] == pytest.approx(0.01)
+
+    def test_fully_aged_endpoint_dropped_from_snapshot(self):
+        tracker = SloTracker(window_s=10.0)
+        tracker.observe("/old", 0.1, now=0.0)
+        tracker.observe("/live", 0.1, now=100.0)
+        snap = tracker.snapshot(now=100.0)
+        assert list(snap["endpoints"]) == ["/live"]
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SloTracker(window_s=0)
+
+
+class TestDegradation:
+    def test_p99_over_threshold_degrades(self):
+        tracker = SloTracker(window_s=60.0, p99_threshold_s=0.5)
+        for _ in range(10):
+            tracker.observe("/v1/analyze", 1.0, now=5.0)
+        assert tracker.endpoint_stats(
+            "/v1/analyze", now=5.0)["status"] == "degraded"
+        assert tracker.status(now=5.0) == "degraded"
+
+    def test_error_rate_over_threshold_degrades(self):
+        tracker = SloTracker(window_s=60.0, error_rate_threshold=0.10)
+        for i in range(10):
+            tracker.observe("/v1/lint", 0.01,
+                            status=500 if i < 2 else 200, now=5.0)
+        stats = tracker.endpoint_stats("/v1/lint", now=5.0)
+        assert stats["error_rate"] == pytest.approx(0.2)
+        assert stats["status"] == "degraded"
+
+    def test_client_errors_do_not_count(self):
+        tracker = SloTracker(window_s=60.0, error_rate_threshold=0.10)
+        for _ in range(10):
+            tracker.observe("/v1/analyze", 0.01, status=404, now=5.0)
+        stats = tracker.endpoint_stats("/v1/analyze", now=5.0)
+        assert stats["error_rate"] == 0.0
+        assert stats["status"] == "ok"
+
+    def test_healthy_overall_status(self):
+        tracker = SloTracker(window_s=60.0, p99_threshold_s=2.0)
+        tracker.observe("/healthz", 0.001, now=5.0)
+        snap = tracker.snapshot(now=5.0)
+        assert snap["status"] == "ok"
+        assert snap["thresholds"] == {"p99_s": 2.0, "error_rate": 0.05}
+
+    def test_one_bad_endpoint_degrades_the_whole(self):
+        tracker = SloTracker(window_s=60.0, p99_threshold_s=0.1)
+        tracker.observe("/fast", 0.001, now=5.0)
+        tracker.observe("/slow", 9.0, now=5.0)
+        snap = tracker.snapshot(now=5.0)
+        assert snap["status"] == "degraded"
+        assert snap["endpoints"]["/fast"]["status"] == "ok"
+        assert snap["endpoints"]["/slow"]["status"] == "degraded"
+
+
+class TestGaugeExport:
+    def test_gauges_projected(self):
+        tracker = SloTracker(window_s=60.0, p99_threshold_s=0.5)
+        for _ in range(4):
+            tracker.observe("/v1/analyze", 1.0, status=500, now=5.0)
+        registry = MetricsRegistry()
+        tracker.export_gauges(registry, now=5.0)
+        exported = registry.to_dict()
+        key = 'slo_latency_seconds{endpoint="/v1/analyze",quantile="p99"}'
+        assert exported[key] == pytest.approx(1.0)
+        assert exported['slo_error_rate{endpoint="/v1/analyze"}'] == 1.0
+        assert exported['slo_window_requests{endpoint="/v1/analyze"}'] == 4
+        assert exported["slo_degraded"] == 1
+
+    def test_exported_text_passes_the_validator(self):
+        from repro.obs import validate_exposition
+
+        tracker = SloTracker()
+        tracker.observe("/v1/analyze", 0.01, now=5.0)
+        registry = MetricsRegistry()
+        tracker.export_gauges(registry, now=5.0)
+        assert validate_exposition(registry.to_prometheus()) == []
+
+
+class TestDefaultTracker:
+    def test_get_set_roundtrip(self):
+        fresh = SloTracker()
+        previous = set_slo_tracker(fresh)
+        try:
+            assert get_slo_tracker() is fresh
+        finally:
+            set_slo_tracker(previous)
+        assert get_slo_tracker() is previous
+
+    def test_reset_clears_samples(self):
+        tracker = SloTracker()
+        tracker.observe("/x", 0.1, now=1.0)
+        tracker.reset()
+        assert tracker.snapshot(now=1.0)["endpoints"] == {}

@@ -192,3 +192,122 @@ class TestDisabledTracer:
                 pass
         tracer.clear()
         assert tracer.roots == []
+
+
+class TestSpanIds:
+    def test_recorded_spans_get_unique_ids(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("a"):
+                with obs.span("b"):
+                    pass
+            with obs.span("c"):
+                pass
+        ids = [s.span_id for s in tracer.iter_spans()]
+        assert all(ids)
+        assert len(set(ids)) == 3
+
+    def test_span_id_in_to_dict_only_when_recorded(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("a"):
+                pass
+        recorded = tracer.roots[0].to_dict()
+        assert recorded["span_id"] == tracer.roots[0].span_id
+        # An unrecorded Span (never pushed) has no id and omits the key.
+        from repro.obs.trace import Span
+
+        assert "span_id" not in Span("loose").to_dict()
+
+    def test_request_id_stamped_from_ambient_context(self):
+        from repro.obs import RequestContext, use_request
+
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with use_request(RequestContext(request_id="rid-span")):
+                with obs.span("inside"):
+                    pass
+            with obs.span("outside"):
+                pass
+        inside, outside = tracer.roots
+        assert inside.attrs["request_id"] == "rid-span"
+        assert "request_id" not in outside.attrs
+
+    def test_explicit_request_id_attr_not_clobbered(self):
+        from repro.obs import RequestContext, use_request
+
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with use_request(RequestContext(request_id="ambient")):
+                with obs.span("s", request_id="explicit"):
+                    pass
+        assert tracer.roots[0].attrs["request_id"] == "explicit"
+
+    def test_current_span_id_tracks_innermost(self):
+        from repro.obs import current_span_id
+
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            assert current_span_id() == ""
+            with obs.span("outer") as outer:
+                assert current_span_id() == outer.span_id
+                with obs.span("inner") as inner:
+                    assert current_span_id() == inner.span_id
+                assert current_span_id() == outer.span_id
+        assert current_span_id() == ""
+
+
+class TestScopedTracer:
+    def test_overrides_ambient_for_the_scope(self):
+        from repro.obs import use_scoped_tracer
+
+        scoped = obs.Tracer()
+        before = obs.get_tracer()
+        with use_scoped_tracer(scoped):
+            assert obs.get_tracer() is scoped
+            with obs.span("captured"):
+                pass
+        assert obs.get_tracer() is before
+        assert [s.name for s in scoped.roots] == ["captured"]
+
+    def test_layers_over_a_recording_global(self):
+        from repro.obs import use_scoped_tracer
+
+        global_tracer = obs.Tracer()
+        scoped = obs.Tracer()
+        with obs.use_tracer(global_tracer):
+            with obs.span("global-1"):
+                pass
+            with use_scoped_tracer(scoped):
+                with obs.span("scoped-1"):
+                    pass
+            with obs.span("global-2"):
+                pass
+        assert [s.name for s in global_tracer.roots] == [
+            "global-1", "global-2",
+        ]
+        assert [s.name for s in scoped.roots] == ["scoped-1"]
+
+    def test_threads_record_into_their_own_scopes(self):
+        # The daemon's per-request isolation: two handler threads with
+        # their own scoped tracers never see each other's spans.
+        from repro.obs import use_scoped_tracer
+
+        tracers = {"a": obs.Tracer(), "b": obs.Tracer()}
+        barrier = threading.Barrier(2)
+
+        def worker(key):
+            with use_scoped_tracer(tracers[key]):
+                barrier.wait()
+                with obs.span(f"work-{key}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(key,)) for key in tracers
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert [s.name for s in tracers["a"].roots] == ["work-a"]
+        assert [s.name for s in tracers["b"].roots] == ["work-b"]

@@ -235,9 +235,18 @@ class TestEnvelope:
         assert env == {
             "schema": WIRE_SCHEMA,
             "kind": "analysis_result",
+            "request_id": None,
             "result": {"x": 1},
             "error": None,
         }
+
+    def test_request_id_stamped_from_ambient_context(self):
+        from repro.obs import RequestContext, use_request
+
+        with use_request(RequestContext(request_id="abc123")):
+            env = envelope("health", {"ready": True})
+        assert env["request_id"] == "abc123"
+        assert envelope("health", {"ready": True})["request_id"] is None
 
     def test_error_shape_carries_typed_facts(self):
         env = error_envelope(UnknownElementError("unknown element 'nope'"))

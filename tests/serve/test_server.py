@@ -30,14 +30,15 @@ CLI_WORKLOAD_60 = {
 }
 
 
-def http(server, path, payload=None, raw=None, method=None):
+def http(server, path, payload=None, raw=None, method=None, headers=None):
     """``(status, headers, body_bytes)`` for one request; HTTP errors
     are returned, not raised."""
     if raw is None and payload is not None:
         raw = json.dumps(payload).encode("utf-8")
+    all_headers = {"Content-Type": "application/json"} if raw else {}
+    all_headers.update(headers or {})
     req = urllib.request.Request(
-        server.url(path), data=raw, method=method,
-        headers={"Content-Type": "application/json"} if raw else {},
+        server.url(path), data=raw, method=method, headers=all_headers,
     )
     try:
         with urllib.request.urlopen(req, timeout=30) as resp:
@@ -48,6 +49,22 @@ def http(server, path, payload=None, raw=None, method=None):
 
 def body_json(body):
     return json.loads(body.decode("utf-8"))
+
+
+def poll_journal(timeout_s=5.0, **filters):
+    """Journal events matching ``filters``, polling briefly: finish and
+    slow-capture events are emitted *after* the response is sent, so an
+    immediate read can race the handler thread."""
+    import time
+
+    from repro.obs.events import get_journal
+
+    deadline = time.monotonic() + timeout_s
+    events = get_journal().snapshot(**filters)
+    while not events and time.monotonic() < deadline:
+        time.sleep(0.02)
+        events = get_journal().snapshot(**filters)
+    return events
 
 
 @pytest.fixture(scope="module")
@@ -109,10 +126,16 @@ class TestHealthAndMetrics:
 
 
 class TestCliParity:
+    """One serializer, two transports.  The envelope stamps the ambient
+    request id, so parity needs both transports to carry the same one:
+    the CLI's ``--request-id`` flag is the twin of the daemon's
+    ``X-Clara-Request-Id`` header."""
+
     def test_analyze_body_matches_cli_json_bytes(
         self, server, clara_artifacts, capsys
     ):
         assert main(["analyze", "aggcounter", "--packets", "60", "--json",
+                     "--request-id", "parity-1",
                      "--load", str(clara_artifacts["artifact"])]) == 0
         cli_bytes = capsys.readouterr().out.encode("utf-8")
 
@@ -121,16 +144,17 @@ class TestCliParity:
             "kind": "analyze_request",
             "element": "aggcounter",
             "workload": CLI_WORKLOAD_60,
-        })
+        }, headers={"X-Clara-Request-Id": "parity-1"})
         assert status == 200
         assert body == cli_bytes
 
     def test_lint_body_matches_cli_json_bytes(self, server, capsys):
-        main(["lint", "aggcounter", "--json"])
+        main(["lint", "aggcounter", "--json", "--request-id", "parity-2"])
         cli_bytes = capsys.readouterr().out.encode("utf-8")
 
         status, _headers, body = http(
-            server, "/v1/lint", payload={"elements": ["aggcounter"]}
+            server, "/v1/lint", payload={"elements": ["aggcounter"]},
+            headers={"X-Clara-Request-Id": "parity-2"},
         )
         assert status == 200
         assert body == cli_bytes
@@ -139,12 +163,13 @@ class TestCliParity:
         assert env["result"]["reports"][0]["module"] == "aggcounter"
 
     def test_dpu_lint_body_matches_cli_json_bytes(self, server, capsys):
-        main(["lint", "loadbalancer", "--target", "dpu-offpath", "--json"])
+        main(["lint", "loadbalancer", "--target", "dpu-offpath", "--json",
+              "--request-id", "parity-3"])
         cli_bytes = capsys.readouterr().out.encode("utf-8")
 
         status, _headers, body = http(server, "/v1/lint", payload={
             "elements": ["loadbalancer"], "target": "dpu-offpath",
-        })
+        }, headers={"X-Clara-Request-Id": "parity-3"})
         assert status == 200
         assert body == cli_bytes
 
@@ -156,10 +181,14 @@ class TestAnalyze:
             {"element": name, "workload": {"name": "t", "n_packets": 50}}
             for name in elements
         ]
-        sequential = [
-            body_json(http(server, "/v1/analyze", payload=p)[2])
-            for p in payloads
-        ]
+        def ask(payload):
+            # Every request gets its own generated correlation id;
+            # strip it so only the analysis content is compared.
+            env = body_json(http(server, "/v1/analyze", payload=payload)[2])
+            del env["request_id"]
+            return env
+
+        sequential = [ask(p) for p in payloads]
 
         before = server.service.broker.n_jobs
         barrier = threading.Barrier(len(payloads))
@@ -167,9 +196,7 @@ class TestAnalyze:
 
         def worker(i):
             barrier.wait()
-            concurrent[i] = body_json(
-                http(server, "/v1/analyze", payload=payloads[i])[2]
-            )
+            concurrent[i] = ask(payloads[i])
 
         threads = [
             threading.Thread(target=worker, args=(i,))
@@ -187,11 +214,13 @@ class TestAnalyze:
 
     def test_trace_seed_is_honored(self, server):
         def ask(seed):
-            return body_json(http(server, "/v1/analyze", payload={
+            env = body_json(http(server, "/v1/analyze", payload={
                 "element": "aggcounter",
                 "workload": {"name": "t", "n_packets": 50},
                 "trace_seed": seed,
             })[2])
+            del env["request_id"]  # generated fresh per request
+            return env
 
         assert ask(3) == ask(3)  # deterministic per seed
 
@@ -300,3 +329,267 @@ class TestErrorMapping:
         )
         assert status == 400
         assert "CL001" in body_json(body)["error"]["message"]
+
+
+class TestRequestCorrelation:
+    """The tentpole acceptance path: one client-supplied request id is
+    echoed in the response header and envelope, stamped on journal
+    events, and visible in JSON log lines."""
+
+    def test_client_id_echoed_in_header_and_envelope(self, server):
+        status, headers, body = http(
+            server, "/healthz",
+            headers={"X-Clara-Request-Id": "abc"},
+        )
+        assert status == 200
+        assert headers["X-Clara-Request-Id"] == "abc"
+        assert body_json(body)["request_id"] == "abc"
+
+    def test_id_minted_when_header_absent(self, server):
+        _status, headers, body = http(server, "/healthz")
+        rid = headers["X-Clara-Request-Id"]
+        assert len(rid) == 32
+        assert body_json(body)["request_id"] == rid
+
+    def test_hostile_header_sanitized(self, server):
+        _status, headers, _body = http(
+            server, "/healthz",
+            headers={"X-Clara-Request-Id": "x" * 500},
+        )
+        assert headers["X-Clara-Request-Id"] == "x" * 128
+
+    def test_journal_events_carry_the_id(self, server):
+        from repro.obs.events import get_journal
+
+        rid = "journal-e2e-1"
+        http(server, "/v1/analyze", payload={
+            "element": "aggcounter",
+            "workload": {"name": "t", "n_packets": 50},
+        }, headers={"X-Clara-Request-Id": rid})
+        finish = poll_journal(kind="request_finish", request_id=rid)[0]
+        kinds = [
+            e.kind for e in get_journal().snapshot(request_id=rid)
+        ]
+        assert kinds[0] == "request_start"
+        assert kinds[-1] == "request_finish"
+        assert finish.data["endpoint"] == "/v1/analyze"
+        assert finish.data["status"] == 200
+        assert finish.data["duration_s"] > 0
+
+    def test_json_log_lines_stamped_with_the_id(self, server):
+        import io
+
+        from repro import obs
+
+        stream = io.StringIO()
+        obs.configure(verbosity=2, stream=stream, fmt="json")
+        try:
+            http(server, "/healthz",
+                 headers={"X-Clara-Request-Id": "log-e2e-1"})
+        finally:
+            obs.configure(verbosity=0)
+        records = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        stamped = [r for r in records
+                   if r.get("request_id") == "log-e2e-1"]
+        assert stamped, records
+        assert all("ts" in r and "level" in r for r in stamped)
+
+
+class TestEventsEndpoint:
+    def test_events_returned_with_counters(self, server):
+        rid = "events-e2e-1"
+        http(server, "/healthz", headers={"X-Clara-Request-Id": rid})
+        poll_journal(kind="request_finish", request_id=rid)
+        status, _headers, body = http(
+            server, f"/v1/events?request_id={rid}"
+        )
+        assert status == 200
+        env = body_json(body)
+        assert env["kind"] == "events"
+        result = env["result"]
+        assert result["n_returned"] == len(result["events"]) >= 2
+        assert {e["kind"] for e in result["events"]} >= {
+            "request_start", "request_finish",
+        }
+        assert all(e["request_id"] == rid for e in result["events"])
+        assert result["n_emitted"] >= result["n_returned"]
+        assert "slow_request" in result["kinds"]
+
+    def test_kind_filter_and_limit(self, server):
+        http(server, "/healthz")
+        status, _headers, body = http(
+            server, "/v1/events?kind=request_finish&n=3"
+        )
+        assert status == 200
+        events = body_json(body)["result"]["events"]
+        assert 0 < len(events) <= 3
+        assert all(e["kind"] == "request_finish" for e in events)
+
+    def test_since_seq_pagination(self, server):
+        status, _headers, body = http(server, "/v1/events")
+        all_events = body_json(body)["result"]["events"]
+        cursor = all_events[-1]["seq"]
+        status, _headers, body = http(
+            server, f"/v1/events?since_seq={cursor}"
+        )
+        newer = body_json(body)["result"]["events"]
+        assert all(e["seq"] > cursor for e in newer)
+
+    def test_unknown_kind_is_400(self, server):
+        status, _headers, body = http(server, "/v1/events?kind=nope")
+        assert status == 400
+        assert "request_start" in body_json(body)["error"]["message"]
+
+    def test_non_integer_since_seq_is_400(self, server):
+        status, _headers, body = http(server, "/v1/events?since_seq=abc")
+        assert status == 400
+        assert "since_seq" in body_json(body)["error"]["message"]
+
+
+class TestSloSurface:
+    def test_healthz_carries_windowed_quantiles(self, server):
+        http(server, "/healthz")  # at least one prior sample
+        _status, _headers, body = http(server, "/healthz")
+        slo = body_json(body)["result"]["slo"]
+        assert slo["status"] in ("ok", "degraded")
+        assert slo["window_s"] > 0
+        assert set(slo["thresholds"]) == {"p99_s", "error_rate"}
+        stats = slo["endpoints"]["/healthz"]
+        assert stats["count"] >= 1
+        assert 0 <= stats["p50_s"] <= stats["p95_s"] <= stats["p99_s"]
+        assert stats["status"] in ("ok", "degraded")
+
+    def test_metrics_has_slo_gauges_and_validates(self, server):
+        from repro.obs import validate_exposition
+
+        http(server, "/healthz")
+        _status, _headers, body = http(server, "/metrics")
+        text = body.decode("utf-8")
+        assert validate_exposition(text) == []
+        assert "slo_latency_seconds" in text
+        assert 'quantile="p99"' in text
+        assert "slo_degraded" in text
+        assert "slo_window_requests" in text
+
+
+class TestSlowRequestCapture:
+    def test_span_tree_journaled_and_trace_written(self, tmp_path):
+        from repro.core import Clara
+
+        # Threshold of 1 microsecond: every request is "slow".
+        srv = build_server(Clara(seed=0), ServeConfig(
+            port=0, slow_request_ms=0.001,
+            slow_trace_dir=str(tmp_path / "slow"),
+        ))
+        srv.start()
+        rid = "slow-e2e-1"
+        try:
+            status, _headers, body = http(
+                srv, "/healthz", headers={"X-Clara-Request-Id": rid}
+            )
+            events = poll_journal(kind="slow_request", request_id=rid)
+        finally:
+            srv.shutdown()
+        assert len(events) == 1
+        data = events[0].data
+        assert data["endpoint"] == "/healthz"
+        assert data["duration_s"] >= data["threshold_s"]
+        # The captured forest: an http_request root stamped with the id.
+        roots = data["spans"]
+        assert roots and roots[0]["name"] == "http_request"
+        assert roots[0]["attrs"]["request_id"] == rid
+        assert roots[0]["span_id"]
+        # And the Chrome trace file landed where configured.
+        trace_file = data["trace_file"]
+        assert trace_file and trace_file.endswith(f"slow-{rid}.trace.json")
+        with open(trace_file, encoding="utf-8") as handle:
+            assert json.load(handle)["traceEvents"]
+
+    def test_fast_requests_not_captured(self, server):
+        from repro.obs.events import get_journal
+
+        rid = "fast-e2e-1"
+        http(server, "/healthz", headers={"X-Clara-Request-Id": rid})
+        assert get_journal().snapshot(kind="slow_request",
+                                      request_id=rid) == []
+
+    def test_retrievable_over_the_wire(self, tmp_path):
+        import time
+
+        from repro.core import Clara
+
+        srv = build_server(Clara(seed=0), ServeConfig(
+            port=0, slow_request_ms=0.001,
+        ))
+        srv.start()
+        rid = "slow-e2e-2"
+        events = []
+        try:
+            http(srv, "/healthz", headers={"X-Clara-Request-Id": rid})
+            # Capture happens after the response is sent (the duration
+            # isn't known until then), so poll briefly.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                _s, _h, body = http(
+                    srv, f"/v1/events?kind=slow_request&request_id={rid}"
+                )
+                events = body_json(body)["result"]["events"]
+                if events:
+                    break
+                time.sleep(0.02)
+        finally:
+            srv.shutdown()
+        assert len(events) == 1
+        assert events[0]["data"]["spans"]
+
+
+class TestEventsCli:
+    def test_json_output_matches_http_body_bytes(self, server, capsys):
+        http(server, "/healthz")
+        query = "/v1/events?kind=request_finish&n=2"
+        _s, _h, body = http(server, query)
+
+        assert main(["events", "--url", server.url().rstrip("/"),
+                     "--kind", "request_finish", "-n", "2",
+                     "--json"]) == 0
+        cli_out = capsys.readouterr().out.encode("utf-8")
+        # Same envelope serializer; the CLI relays the body verbatim
+        # (modulo its own request adding events between the two reads,
+        # so compare shapes, not the event list).
+        cli_env = json.loads(cli_out)
+        http_env = body_json(body)
+        assert cli_env["kind"] == http_env["kind"] == "events"
+        assert cli_env["schema"] == http_env["schema"]
+        assert set(cli_env["result"]) == set(http_env["result"])
+
+    def test_table_output_and_jsonl_export(self, server, capsys, tmp_path):
+        rid = "cli-events-1"
+        http(server, "/healthz", headers={"X-Clara-Request-Id": rid})
+        poll_journal(kind="request_finish", request_id=rid)
+        out_path = tmp_path / "events.jsonl"
+        assert main(["events", "--url", server.url().rstrip("/"),
+                     "--for-request", rid,
+                     "--jsonl", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "request_start" in out and "request_finish" in out
+        assert rid in out
+        lines = out_path.read_text().splitlines()
+        assert len(lines) >= 2
+        assert all(json.loads(line)["request_id"] == rid
+                   for line in lines)
+
+    def test_unreachable_daemon_is_clara_error(self, capsys):
+        # Port 9 (discard) is never a clara daemon.
+        code = main(["events", "--url", "http://127.0.0.1:9",
+                     "--timeout", "0.5"])
+        assert code != 0
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_bad_kind_surfaces_daemon_message(self, server, capsys):
+        code = main(["events", "--url", server.url().rstrip("/"),
+                     "--kind", "nope"])
+        assert code != 0
+        err = capsys.readouterr().err
+        assert "HTTP 400" in err and "unknown event kind" in err
