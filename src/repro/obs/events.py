@@ -161,7 +161,8 @@ class EventJournal:
         if since_seq is not None:
             events = [e for e in events if e.seq > since_seq]
         if limit is not None and limit >= 0:
-            events = events[-limit:]
+            # events[-0:] would be the whole list, not none of it.
+            events = events[-limit:] if limit > 0 else []
         return events
 
     def to_dicts(self, **filters: Any) -> List[Dict[str, Any]]:

@@ -72,6 +72,9 @@ class SloTracker:
         self._lock = threading.Lock()
         #: endpoint -> ring of (ts, duration_s, is_error).
         self._samples: Dict[str, Deque[Tuple[float, float, bool]]] = {}
+        #: endpoints whose gauges the last export_gauges call set —
+        #: zeroed on the next export once they age out of the window.
+        self._exported_endpoints: set = set()
 
     def observe(
         self,
@@ -158,8 +161,25 @@ class SloTracker:
         :class:`~repro.obs.metrics.MetricsRegistry`) so ``/metrics``
         scrapes see them: ``slo_latency_seconds{endpoint,quantile}``,
         ``slo_error_rate{endpoint}``, ``slo_window_requests{endpoint}``,
-        and ``slo_degraded`` (0/1 overall)."""
+        and ``slo_degraded`` (0/1 overall).
+
+        Endpoints that were exported previously but have since aged
+        out of the window get their gauges zeroed (once), so an idle
+        endpoint's last computed values do not linger forever and
+        alerts on the ``slo_*`` gauges can clear."""
         snap = self.snapshot(now=now)
+        live = set(snap["endpoints"])
+        with self._lock:
+            stale = self._exported_endpoints - live
+            self._exported_endpoints = live
+        for endpoint in sorted(stale):
+            for name, _q in _QUANTILES:
+                registry.gauge(
+                    "slo_latency_seconds",
+                    endpoint=endpoint, quantile=name,
+                ).set(0.0)
+            registry.gauge("slo_error_rate", endpoint=endpoint).set(0.0)
+            registry.gauge("slo_window_requests", endpoint=endpoint).set(0)
         for endpoint, stats in snap["endpoints"].items():
             for name, _q in _QUANTILES:
                 registry.gauge(

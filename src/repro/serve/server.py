@@ -8,7 +8,9 @@ ClaraService`.  Endpoints:
 * ``POST /v1/lint``       — :class:`LintRequest` -> ``lint_run``
 * ``POST /v1/colocation`` — :class:`ColocationRequest` -> ``colocation_ranking``
 * ``GET  /v1/events``     — the obs event journal (``?kind=``,
-  ``?request_id=``, ``?since_seq=``, ``?n=`` filters)
+  ``?request_id=``, ``?since_seq=``, ``?n=`` filters); the poll
+  itself is metered but not journaled, so polling cannot evict the
+  events being observed
 * ``GET  /healthz``       — readiness probe (200 warm / 503 cold),
   plus the sliding-window SLO verdict (ok/degraded, rolling
   p50/p95/p99 and error rate per endpoint)
@@ -38,6 +40,7 @@ exceeds :attr:`ServeConfig.slow_request_ms`.
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from dataclasses import dataclass
@@ -164,7 +167,8 @@ class _Handler(BaseHTTPRequestHandler):
     def _config(self) -> "ServeConfig":
         return self.server.clara_config  # type: ignore[attr-defined]
 
-    def _instrumented(self, endpoint: str, fn) -> None:
+    def _instrumented(self, endpoint: str, fn,
+                      emit_events: bool = True) -> None:
         """Run ``fn() -> (status, envelope)`` under a request context
         with the endpoint's latency histogram, in-flight gauge, and
         request counter.
@@ -175,6 +179,12 @@ class _Handler(BaseHTTPRequestHandler):
         requests), journal start/finish events, SLO observation, and —
         when the request exceeds the slow threshold — a ``slow_request``
         journal event carrying the full captured span tree.
+
+        ``emit_events=False`` keeps the request out of the journal
+        (metrics and SLO observation still happen) — used for read-only
+        observability endpoints like ``/v1/events``, where a steady
+        poller would otherwise fill the ring with its own polling
+        events and evict the serving events it is trying to observe.
         """
         metrics = get_metrics()
         journal = get_journal()
@@ -186,8 +196,9 @@ class _Handler(BaseHTTPRequestHandler):
         status = 500
         start_s = time.perf_counter()
         with use_request(ctx), use_scoped_tracer(tracer):
-            journal.emit("request_start", endpoint=endpoint,
-                         method=self.command)
+            if emit_events:
+                journal.emit("request_start", endpoint=endpoint,
+                             method=self.command)
             try:
                 with track_inflight("http_inflight_requests",
                                     endpoint=endpoint), \
@@ -218,17 +229,24 @@ class _Handler(BaseHTTPRequestHandler):
                                 status=str(status)).inc()
                 get_slo_tracker().observe(endpoint, duration_s,
                                           status=status)
-                journal.emit("request_finish", endpoint=endpoint,
-                             status=status,
-                             duration_s=round(duration_s, 6))
-                self._capture_slow(endpoint, tracer, duration_s, status)
+                if emit_events:
+                    journal.emit("request_finish", endpoint=endpoint,
+                                 status=status,
+                                 duration_s=round(duration_s, 6))
+                self._capture_slow(endpoint, tracer, duration_s, status,
+                                   emit_events=emit_events)
 
     def _capture_slow(self, endpoint: str, tracer: Tracer,
-                      duration_s: float, status: int) -> None:
+                      duration_s: float, status: int,
+                      emit_events: bool = True) -> None:
         """Journal the request's span tree when it blew the latency
         threshold (and optionally dump a Chrome trace file)."""
         threshold_s = self._config.slow_request_ms / 1000.0
         if threshold_s <= 0 or duration_s < threshold_s:
+            return
+        log.warning("%s: slow request (%.3fs > %.3fs threshold)",
+                    endpoint, duration_s, threshold_s)
+        if not emit_events:  # observability polls stay out of the journal
             return
         trace_file = None
         if self._config.slow_trace_dir:
@@ -238,9 +256,14 @@ class _Handler(BaseHTTPRequestHandler):
 
             try:
                 os.makedirs(self._config.slow_trace_dir, exist_ok=True)
+                # The request id is client-controlled and may contain
+                # path separators; only a safe charset reaches the
+                # filename, so a hostile id cannot escape the trace dir.
+                rid = current_request_id() or "unknown"
+                safe_rid = re.sub(r"[^A-Za-z0-9._-]", "_", rid)
                 trace_file = os.path.join(
                     self._config.slow_trace_dir,
-                    f"slow-{current_request_id()}.trace.json",
+                    f"slow-{safe_rid}.trace.json",
                 )
                 write_chrome_trace(tracer, trace_file)
             except OSError:  # diagnostics must never fail the request
@@ -255,8 +278,6 @@ class _Handler(BaseHTTPRequestHandler):
             spans=[root.to_dict() for root in tracer.roots],
             trace_file=trace_file,
         )
-        log.warning("%s: slow request (%.3fs > %.3fs threshold)",
-                    endpoint, duration_s, threshold_s)
 
     # -- routes ---------------------------------------------------------
     _POST_ROUTES = {
@@ -292,7 +313,9 @@ class _Handler(BaseHTTPRequestHandler):
                     limit=self._query_int(query, "n"),
                 )
 
-            self._instrumented("/v1/events", run)
+            # emit_events=False: reading the journal must not write to
+            # it, or pollers evict the events they came to observe.
+            self._instrumented("/v1/events", run, emit_events=False)
         elif url.path == "/metrics":
             # Prometheus text, not an envelope (scrapers expect the
             # exposition format verbatim).  The SLO gauges are

@@ -116,6 +116,10 @@ class TestSnapshot:
         events = self._journal().snapshot(limit=2)
         assert [e.seq for e in events] == [2, 3]
 
+    def test_limit_zero_returns_nothing(self):
+        # events[-0:] is the whole list; limit=0 must mean "none".
+        assert self._journal().snapshot(limit=0) == []
+
     def test_filters_compose(self):
         events = self._journal().snapshot(request_id="a", limit=1)
         assert [e.kind for e in events] == ["request_finish"]

@@ -114,6 +114,22 @@ class TestGaugeExport:
         assert exported['slo_window_requests{endpoint="/v1/analyze"}'] == 4
         assert exported["slo_degraded"] == 1
 
+    def test_idle_endpoint_gauges_zeroed_after_ageout(self):
+        tracker = SloTracker(window_s=60.0)
+        tracker.observe("/v1/analyze", 1.0, status=500, now=5.0)
+        registry = MetricsRegistry()
+        tracker.export_gauges(registry, now=5.0)
+        key = 'slo_latency_seconds{endpoint="/v1/analyze",quantile="p99"}'
+        assert registry.to_dict()[key] == pytest.approx(1.0)
+        # All samples age out of the window: the next export must zero
+        # the endpoint's gauges instead of letting stale values linger.
+        tracker.export_gauges(registry, now=1000.0)
+        exported = registry.to_dict()
+        assert exported[key] == 0.0
+        assert exported['slo_error_rate{endpoint="/v1/analyze"}'] == 0.0
+        assert exported['slo_window_requests{endpoint="/v1/analyze"}'] == 0
+        assert exported["slo_degraded"] == 0
+
     def test_exported_text_passes_the_validator(self):
         from repro.obs import validate_exposition
 

@@ -417,6 +417,23 @@ class TestEventsEndpoint:
         assert result["n_emitted"] >= result["n_returned"]
         assert "slow_request" in result["kinds"]
 
+    def test_polling_events_is_not_journaled(self, server):
+        import time
+
+        from repro.obs.events import get_journal
+
+        rid = "events-poller-1"
+        status, headers, _body = http(
+            server, "/v1/events", headers={"X-Clara-Request-Id": rid}
+        )
+        assert status == 200
+        # Correlation still works (header echoed) but the poll itself
+        # leaves no journal entries, so a steady poller cannot evict
+        # the serving events it is observing.
+        assert headers.get("X-Clara-Request-Id") == rid
+        time.sleep(0.2)  # finish events are emitted post-response
+        assert get_journal().snapshot(request_id=rid) == []
+
     def test_kind_filter_and_limit(self, server):
         http(server, "/healthz")
         status, _headers, body = http(
@@ -506,6 +523,35 @@ class TestSlowRequestCapture:
         assert trace_file and trace_file.endswith(f"slow-{rid}.trace.json")
         with open(trace_file, encoding="utf-8") as handle:
             assert json.load(handle)["traceEvents"]
+
+    def test_hostile_request_id_cannot_escape_trace_dir(self, tmp_path):
+        import os
+
+        from repro.core import Clara
+
+        trace_dir = tmp_path / "slow"
+        srv = build_server(Clara(seed=0), ServeConfig(
+            port=0, slow_request_ms=0.001,
+            slow_trace_dir=str(trace_dir),
+        ))
+        srv.start()
+        rid = "../../../../tmp/evil"
+        try:
+            http(srv, "/healthz", headers={"X-Clara-Request-Id": rid})
+            events = poll_journal(kind="slow_request", request_id=rid)
+        finally:
+            srv.shutdown()
+        assert len(events) == 1
+        trace_file = events[0].data["trace_file"]
+        assert trace_file is not None
+        # The path separators were replaced, so the file landed inside
+        # the configured directory — not four levels up.
+        real_dir = os.path.realpath(str(trace_dir))
+        assert os.path.realpath(trace_file).startswith(real_dir + os.sep)
+        assert os.path.basename(trace_file) == \
+            "slow-.._.._.._.._tmp_evil.trace.json"
+        assert os.path.exists(trace_file)
+        assert not (tmp_path / "tmp" / "evil").exists()
 
     def test_fast_requests_not_captured(self, server):
         from repro.obs.events import get_journal
